@@ -1,0 +1,28 @@
+"""A2 -- ablations of the design choices DESIGN.md calls out:
+correction policy, transition-time composition law, dominance ordering,
+and window semantics."""
+
+from repro.experiments import ablations
+
+from conftest import scaled
+
+
+def test_design_choice_ablations(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run(n_configs=scaled(25, minimum=6), seed=404),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+
+    default = "default (paper corr, harmonic, dominance)"
+
+    # Harmonic composition beats the literal additive analogue of
+    # eq. 4.5 on transition time (the one place we deviate, on purpose).
+    assert result.rms(default, "ttime") <= result.rms("ttime=additive",
+                                                      "ttime") * 1.05
+
+    # All delay variants stay within single-digit RMS percent -- the
+    # algorithm is robust; the correction mainly moves the step-input
+    # corner cases.
+    for variant in result.delay_errors:
+        assert result.rms(variant, "delay") < 10.0

@@ -1,0 +1,34 @@
+"""A1 -- the paper's accuracy claim against equivalent-inverter methods.
+
+"The results are more accurate than previously published methods of
+calculating delay for multi-input gates which rely on the reduction of
+the gate to an equivalent inverter" (Section 7).
+"""
+
+import numpy as np
+
+from repro.experiments import baselines_exp
+
+from conftest import scaled
+
+
+def test_baseline_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: baselines_exp.run(n_configs=scaled(30, minimum=8), seed=1996),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+
+    ours = np.asarray(result.delay_errors["proximity (ours)"])
+    extreme = np.asarray(result.delay_errors["collapsed extreme [8]"])
+    weighted = np.asarray(result.delay_errors["collapsed weighted [13]"])
+
+    def rms(errors):
+        return float(np.sqrt(np.mean(errors ** 2)))
+
+    # Who wins, and by roughly what factor: the compositional algorithm
+    # beats both collapsing baselines by a wide margin.
+    assert rms(ours) * 3 < rms(extreme)
+    assert rms(ours) * 3 < rms(weighted)
+    assert result.worst_abs_error("proximity (ours)") < 15.0
+    assert max(abs(e) for e in extreme) > 20.0

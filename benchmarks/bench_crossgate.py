@@ -1,0 +1,29 @@
+"""A4 -- cross-gate generality: the Table-5-1 protocol on NOR3 and
+AOI21 (in-window regime), plus the measured all-branch AOI21 limitation."""
+
+from repro.experiments import crossgate
+from repro.waveform import FALL, RISE
+
+from conftest import scaled
+
+
+def test_crossgate_validation(benchmark):
+    result = benchmark.pedantic(
+        lambda: crossgate.run(
+            n_configs=scaled(10, minimum=3), seed=77,
+            gates=("nor3", "aoi21", "aoi21-all"),
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+
+    # Simple gates: Table-5-1-quality errors in both directions.
+    for direction in (FALL, RISE):
+        assert result.worst_delay_error(f"nor3/{direction}") < 12.0
+        # Same-branch AOI21 pair with the oracle dual model is exact.
+        assert result.worst_delay_error(f"aoi21/{direction}") < 0.5
+
+    # The documented limitation stays visible: mixed-branch switching on
+    # the complex gate is markedly worse than the same-branch pair.
+    assert result.worst_delay_error("aoi21-all/fall") > \
+        result.worst_delay_error("aoi21/fall") + 5.0

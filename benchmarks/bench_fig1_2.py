@@ -1,0 +1,47 @@
+"""E1/E2 -- regenerate paper Figure 1-2 (a-d).
+
+Delay and output transition time of the NAND3 testbench versus the
+separation between transitions on ``a`` (slow) and ``b`` (fast), for
+falling inputs (panels a, b) and rising inputs (panels c, d).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1_2
+from repro.waveform import FALL, RISE
+
+from conftest import scaled
+
+
+def _separations(n):
+    return np.linspace(-200e-12, 700e-12, n)
+
+
+def test_fig1_2_falling_inputs(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig1_2.run(direction=FALL, separations=_separations(scaled(13))),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+    # Panel (a): the proximity effect is significant -- delay drops by
+    # a large fraction as the separation closes.
+    assert result.proximity_gain() > 0.2
+    # Saturation outside the window: the two widest separations agree.
+    assert result.delays[-1] == pytest.approx(result.delays[-2], rel=0.03)
+    # Panel (b): rise time also shrinks at close separation.
+    assert min(result.ttimes) < 0.85 * max(result.ttimes)
+
+
+def test_fig1_2_rising_inputs(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig1_2.run(direction=RISE, separations=_separations(scaled(13))),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+    # Panels (c)/(d): delay is an increasing function of separation for
+    # rising inputs (the later b arrives, the later the stack conducts),
+    # equivalently decreasing as proximity tightens.
+    assert result.delays[0] < result.delays[-1]
+    mid = len(result.delays) // 2
+    assert result.delays[0] <= result.delays[mid] <= result.delays[-1] * 1.05

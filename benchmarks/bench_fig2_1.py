@@ -1,0 +1,29 @@
+"""E3 -- regenerate paper Figure 2-1 (b, c): the VTC family and the
+threshold-selection table of the 3-input NAND."""
+
+import pytest
+
+from repro.experiments import fig2_1
+
+
+def test_fig2_1_vtc_family_and_thresholds(benchmark):
+    result = benchmark.pedantic(fig2_1.run, rounds=1, iterations=1)
+    print("\n" + result.summary())
+
+    # 2^3 - 1 curves, each internally consistent.
+    assert len(result.family) == 7
+    for curve in result.family:
+        assert 0.0 < curve.vil < curve.vm < curve.vih < 5.0
+
+    # Paper's selection structure: min Vil from the input closest to
+    # ground, max Vih from the all-switching VTC.
+    assert result.min_vil_curve().label == "c"
+    assert result.max_vih_curve().label == "abc"
+
+    # Section-2 guarantee: the band brackets every member's Vm.
+    for curve in result.family:
+        assert result.selected.vil < curve.vm < result.selected.vih
+
+    # Same corner of the design space as the paper's 1.25 V / 3.37 V.
+    assert result.selected.vil == pytest.approx(1.25, abs=0.4)
+    assert result.selected.vih == pytest.approx(3.37, abs=0.4)

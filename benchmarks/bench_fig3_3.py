@@ -1,0 +1,43 @@
+"""E4 -- regenerate paper Figure 3-3: proximity effect on delay with the
+dominance-crossover discontinuity, for tau_b in {100, 500, 1000} ps."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3_3
+
+from conftest import scaled
+
+
+def test_fig3_3_proximity_curves(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig3_3.run(
+            tau_bs=(100e-12, 500e-12, 1000e-12),
+            points_per_curve=scaled(13, minimum=7),
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+
+    for curve in result.curves:
+        # The reference (dominant) input changes across the sweep and
+        # the change produces a visible discontinuity in the delay.
+        assert set(curve.references) == {"a", "b"}
+        assert curve.discontinuity() > 20e-12
+
+        # The model tracks the simulation closely along the curve.
+        errors = [abs(row["err_pct"]) for row in curve.rows()]
+        assert np.median(errors) < 5.0
+
+        # Both tails saturate: outside the proximity window the delay
+        # equals the respective single-input delay (b-alone on the left,
+        # a-alone on the right), so adjacent edge samples agree.
+        assert curve.model_delays[-1] == pytest.approx(
+            curve.model_delays[-2], rel=0.03)
+        assert curve.model_delays[0] == pytest.approx(
+            curve.model_delays[1], rel=0.03)
+
+    # Crossover location moves with tau_b: slower b -> larger Delta_b ->
+    # smaller crossover separation (Delta_a - Delta_b shrinks).
+    crossovers = [c.crossover_sep for c in result.curves]
+    assert crossovers[0] > crossovers[-1]

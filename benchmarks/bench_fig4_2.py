@@ -1,0 +1,23 @@
+"""E5 -- regenerate paper Figure 4-2: storage complexity of the full
+(2n-1)-argument model versus the compositional dual-input models."""
+
+from repro.experiments import fig4_2
+
+
+def test_fig4_2_storage_complexity(benchmark):
+    result = benchmark(fig4_2.run, fan_ins=(2, 3, 4, 5, 6, 8), grid=8)
+    print("\n" + result.summary())
+    rows = {r["n"]: r for r in result.rows()}
+
+    # The paper's point: the full model is hopeless beyond tiny fan-in,
+    # while the compositional model grows linearly in n.
+    assert rows[3]["full_over_shared"] > 50
+    assert rows[8]["full_over_shared"] > 1e9
+
+    # Compositional-with-sharing is 2n models: n*g + n*g^3 entries.
+    assert rows[4]["shared_entries"] == 4 * 8 + 4 * 512
+
+    # All-pairs sits between the two.
+    for n in (3, 4, 5, 6, 8):
+        assert rows[n]["shared_entries"] <= rows[n]["all_pairs_entries"]
+        assert rows[n]["all_pairs_entries"] < rows[n]["full_entries"]

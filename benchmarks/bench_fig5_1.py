@@ -1,0 +1,35 @@
+"""E7 -- regenerate paper Figure 5-1: error-distribution histograms of
+the Table 5-1 population (delay in 2% bins, rise time in 5% bins)."""
+
+import numpy as np
+
+from repro.experiments import fig5_1, table5_1
+
+from conftest import scaled
+
+
+def test_fig5_1_error_histograms(benchmark):
+    n_configs = scaled(100, minimum=10)
+
+    def run():
+        validation = table5_1.run(n_configs=n_configs, seed=1996)
+        return fig5_1.run(validation=validation)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + result.summary())
+
+    delay_hist = result.delay_histogram()
+    ttime_hist = result.ttime_histogram()
+    assert sum(delay_hist.values()) == n_configs
+    assert sum(ttime_hist.values()) == n_configs
+
+    # The paper's histograms are unimodal and centred near zero: the
+    # modal bin must touch zero and hold a plurality of the mass.
+    errors = np.asarray(result.validation.delay_errors)
+    modal_count = max(delay_hist.values())
+    assert modal_count >= n_configs * 0.3
+    assert abs(np.median(errors)) < 3.0
+
+    # Rise-time distribution is wider than the delay distribution.
+    assert (np.std(result.validation.ttime_errors)
+            >= 0.5 * np.std(result.validation.delay_errors))

@@ -1,0 +1,39 @@
+"""E8 -- regenerate paper Figure 6-1(b): glitch magnitude versus the
+separation of opposite transitions, with the V_il validity line and the
+minimum valid separation (the gate's inertial delay)."""
+
+import numpy as np
+
+from repro.experiments import fig6_1
+
+from conftest import scaled
+
+
+def test_fig6_1_glitch_vs_separation(benchmark):
+    n_points = scaled(11, minimum=6)
+    result = benchmark.pedantic(
+        lambda: fig6_1.run(
+            tau_rises=(100e-12, 500e-12, 1000e-12),
+            separations=np.linspace(-300e-12, 1200e-12, n_points),
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+
+    for curve in result.curves:
+        vmins = curve.vmins
+        # Monotone (to simulator noise in the saturated tails): later
+        # blocker -> deeper output excursion.
+        assert all(b <= a + 0.05 for a, b in zip(vmins, vmins[1:]))
+        # Blocked at negative separation (output never leaves the rail
+        # region), completed at the widest separation.
+        assert vmins[0] > result.vil
+        assert vmins[-1] < result.vil
+        # The bisection found the V_il crossing inside the sweep.
+        assert curve.min_valid_separation is not None
+        assert -300e-12 < curve.min_valid_separation < 1200e-12
+
+    # Paper's family ordering: a slower causing edge needs MORE
+    # separation to complete the transition (inertial delay grows).
+    minima = [c.min_valid_separation for c in result.curves]
+    assert minima[0] < minima[1] < minima[2]

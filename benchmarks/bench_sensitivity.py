@@ -1,0 +1,24 @@
+"""A6 -- load-transfer sensitivity: one characterization load serves
+other loads through the (parasitic-corrected) drive factor."""
+
+from repro.experiments import sensitivity
+
+from conftest import scaled
+
+
+def test_load_transfer(benchmark):
+    result = benchmark.pedantic(
+        lambda: sensitivity.run(n_taus=scaled(6, minimum=3),
+                                n_proximity=scaled(6, minimum=3)),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+
+    for factor in ("x0.6", "x1.8"):
+        # With the fitted effective parasitic the transfer is tight...
+        assert result.rms(f"{factor} single cpar") < 3.0
+        # ...and the raw eq. 3.7 drive factor is an order worse.
+        assert result.rms(f"{factor} single no-cpar") > \
+            3.0 * result.rms(f"{factor} single cpar")
+        # The full algorithm stays within a few percent off-load.
+        assert result.rms(f"{factor} proximity") < 6.0

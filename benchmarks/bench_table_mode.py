@@ -1,0 +1,38 @@
+"""A5 -- the deployable table-backed models on the Table 5-1 protocol.
+
+The paper's Section-5 validation used HSPICE as the dual-input
+macromodel (our ``mode="oracle"``); a production flow would use the
+characterized interpolation tables instead.  This benchmark runs the
+same random population through the table-backed models
+(eq. 3.7/3.8 single-input curves with the fitted effective parasitic,
+eq. 3.11/3.12 trilinear proximity tables) and checks that the
+deployable accuracy stays within the paper's reported envelope.
+"""
+
+from repro.experiments import table5_1
+
+from conftest import scaled
+
+
+def test_table_mode_validation(benchmark):
+    n_configs = scaled(50, minimum=10)
+    result = benchmark.pedantic(
+        lambda: table5_1.run(
+            n_configs=n_configs, seed=1996, mode="table",
+            characterize_kwargs={"directions": ("fall",), "pairs": "all"},
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+
+    rows = {r["quantity"]: r for r in result.rows()}
+    delay = rows["delay"]
+    rise = rows["rise_time"]
+
+    # Deployable tables land in the paper's reported regime.
+    assert abs(delay["mean_err_pct"]) < 4.0
+    assert delay["std_pct"] < 6.0
+    assert delay["max_err_pct"] < 12.0 and delay["min_err_pct"] > -12.0
+    assert abs(rise["mean_err_pct"]) < 8.0
+    assert rise["std_pct"] < 10.0
+    assert rise["max_err_pct"] < 25.0 and rise["min_err_pct"] > -25.0

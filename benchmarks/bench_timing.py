@@ -1,0 +1,22 @@
+"""A3 -- proximity-aware STA against classic STA and flat simulation on
+a two-level NAND3 tree (the deployment experiment)."""
+
+from repro.experiments import timing_exp
+
+from conftest import scaled
+
+
+def test_proximity_sta_vs_classic(benchmark):
+    result = benchmark.pedantic(
+        lambda: timing_exp.run(n_scenarios=scaled(4, minimum=2), seed=7),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.summary())
+
+    # The proximity analyzer tracks the transistor-level ground truth;
+    # the classic analyzer overestimates arrival when inputs cluster.
+    assert result.rms_error("proximity") < 10.0
+    assert result.rms_error("classic") > 2.0 * result.rms_error("proximity")
+    for scenario in result.scenarios:
+        row = scenario.row()
+        assert row["classic_err_pct"] > row["prox_err_pct"] - 1.0

@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper artifact (table or figure) and
+asserts its reproduction shape.  Sweep sizes follow the paper by default
+and can be scaled down for a quick look:
+
+    REPRO_BENCH_SCALE=0.2 pytest benchmarks/ --benchmark-only
+
+Benchmarks print their artifact (the table/figure in text form) to
+stdout; run with ``-s`` to see them.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    try:
+        return max(0.05, min(float(os.environ.get("REPRO_BENCH_SCALE", "1")), 1.0))
+    except ValueError:
+        return 1.0
+
+
+def scaled(n: int, minimum: int = 3) -> int:
+    return max(minimum, int(round(n * bench_scale())))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()

@@ -1,0 +1,35 @@
+"""A scaled-down Table 5-1 validation run with per-case detail.
+
+Random input configurations on the NAND3 testbench, algorithm versus
+full transient simulation -- the paper's Section-5 protocol.  The full
+100-configuration run lives in ``benchmarks/bench_table5_1.py``; this
+example keeps it to 20 cases and prints every one.
+
+Run:  python examples/nand3_validation.py [n_configs]
+"""
+
+import sys
+
+from repro.experiments import fig5_1, table5_1
+
+
+def main(n_configs: int = 20) -> None:
+    result = table5_1.run(n_configs=n_configs, seed=1996)
+    print("case   tau_a  tau_b  tau_c   s_ab   s_ac  ref  model_ps  sim_ps  err%")
+    print("-" * 74)
+    for idx, case in enumerate(result.cases):
+        print(
+            f"{idx:4d}  {case.taus['a']*1e12:5.0f}  {case.taus['b']*1e12:5.0f}  "
+            f"{case.taus['c']*1e12:5.0f}  {case.seps['ab']*1e12:5.0f}  "
+            f"{case.seps['ac']*1e12:5.0f}    {case.reference}  "
+            f"{case.model_delay*1e12:8.1f}  {case.sim_delay*1e12:6.1f}  "
+            f"{case.delay_error_pct:+5.2f}"
+        )
+    print()
+    print(result.summary())
+    print()
+    print(fig5_1.run(validation=result).summary())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20)

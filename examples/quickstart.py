@@ -1,0 +1,50 @@
+"""Quickstart: proximity-aware delay of a 3-input NAND in ~40 lines.
+
+Builds the paper's testbench gate, characterizes it (oracle mode: the
+built-in circuit simulator answers macromodel queries, as the paper used
+HSPICE), and shows how much two temporally close falling inputs speed
+the gate up compared with the classic single-input delay.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DelayCalculator, Edge, Gate, default_process, format_quantity
+from repro.charlib import GateLibrary
+
+
+def main() -> None:
+    process = default_process()
+    gate = Gate.nand(3, process, load="100fF")
+
+    # One call does everything: VTC family -> Section-2 thresholds ->
+    # macromodels.  Results are cached in .repro_cache/.
+    library = GateLibrary.characterize(gate, mode="oracle")
+    print(f"gate: {gate.name}, thresholds: {library.thresholds.describe()}")
+
+    calc = DelayCalculator(library)
+
+    # Classic single-input view: only input 'a' switches (tau = 500 ps).
+    single = calc.single_delay("a", "fall", "500ps")
+    print(f"\nsingle-input delay from 'a':        {format_quantity(single, 's')}")
+
+    # Proximity view: 'b' falls 100 ps after 'a' with a fast 100 ps edge.
+    edges = {
+        "a": Edge("fall", 0.0, "500ps"),
+        "b": Edge("fall", "100ps", "100ps"),
+    }
+    result = calc.explain(edges)
+    print(f"proximity-aware delay:              {format_quantity(result.delay, 's')}"
+          f"  (dominant input: {result.reference})")
+    print(f"output transition time:             {format_quantity(result.ttime, 's')}")
+    speedup = (single - result.delay) / single * 100
+    print(f"\nthe second input makes the gate {speedup:.0f}% faster than the "
+          f"classic model predicts -- the paper's proximity effect.")
+
+    for fold in result.steps:
+        print(f"  folded {fold.input_name}: separation "
+              f"{format_quantity(fold.separation, 's')}, "
+              f"delay ratio D2 = {fold.delay_ratio:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro: temporal-proximity gate delay modeling.
+
+Reproduction of V. Chandramouli and K. A. Sakallah, "Modeling the
+Effects of Temporal Proximity of Input Transitions on Gate Propagation
+Delay and Transition Time" (DAC 1996), including the transistor-level
+circuit simulator the validation needs.
+
+Quick tour (see README.md for more):
+
+>>> from repro import Gate, default_process, Edge, DelayCalculator
+>>> from repro.charlib import GateLibrary
+>>> gate = Gate.nand(3, default_process())
+>>> library = GateLibrary.characterize(gate, mode="oracle")
+>>> calc = DelayCalculator(library)
+>>> edges = {"a": Edge("fall", 0.0, "500ps"), "b": Edge("fall", "100ps", "100ps")}
+>>> delay = calc.delay(edges)   # proximity-aware, from the dominant input
+"""
+
+from .errors import (
+    CharacterizationError,
+    ConvergenceError,
+    MeasurementError,
+    ModelError,
+    NetlistError,
+    ReproError,
+    TimingError,
+    UnitError,
+)
+from .units import format_quantity, parse_quantity
+from .tech import MosfetParams, Process, Sizing, default_process, fast_process
+from .waveform import (
+    Edge,
+    FALL,
+    RISE,
+    Pwl,
+    Thresholds,
+    gate_delay,
+    opposite,
+    ramp,
+    separation,
+    step,
+    timing_threshold,
+    transition_time,
+)
+from .gates import Gate, Leaf, Parallel, Series
+from .spice import Circuit, dc_sweep, solve_dc, transient
+from .vtc import select_thresholds, vtc_family
+from .charlib import GateLibrary
+from .core import CorrectionPolicy, DelayCalculator, ProximityResult, proximity_delay
+from .inertial import glitch_response, minimum_separation
+from .baselines import CollapsedInverterBaseline
+from .timing import ClassicSta, ProximitySta, TimingNetlist
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError", "UnitError", "NetlistError", "ConvergenceError",
+    "MeasurementError", "CharacterizationError", "ModelError", "TimingError",
+    # units
+    "parse_quantity", "format_quantity",
+    # tech
+    "MosfetParams", "Process", "Sizing", "default_process", "fast_process",
+    # waveform
+    "Pwl", "Edge", "RISE", "FALL", "Thresholds", "ramp", "step", "opposite",
+    "gate_delay", "transition_time", "separation", "timing_threshold",
+    # gates
+    "Gate", "Leaf", "Series", "Parallel",
+    # spice
+    "Circuit", "solve_dc", "dc_sweep", "transient",
+    # vtc
+    "vtc_family", "select_thresholds",
+    # characterization + core
+    "GateLibrary", "DelayCalculator", "CorrectionPolicy", "ProximityResult",
+    "proximity_delay",
+    # inertial
+    "glitch_response", "minimum_separation",
+    # baselines
+    "CollapsedInverterBaseline",
+    # timing
+    "TimingNetlist", "ProximitySta", "ClassicSta",
+]

@@ -1,0 +1,23 @@
+"""Prior-art baselines: series/parallel collapsing to an equivalent inverter.
+
+The methods the paper improves upon ([8] Jun et al., [13] Nabavi-Lishi &
+Rumin) reduce a multi-input gate to an inverter by collapsing series and
+parallel transistors, derive a single *equivalent input waveform* from
+the switching inputs, and evaluate an inverter delay model.  We
+implement that family here -- generously, with our circuit simulator as
+the inverter model (stronger than their polynomial fits) -- so the
+benchmarks can compare the paper's compositional algorithm against it on
+identical inputs.
+"""
+
+from .collapse import (
+    collapse_strengths,
+    equivalent_inverter_gate,
+    CollapsedInverterBaseline,
+)
+
+__all__ = [
+    "collapse_strengths",
+    "equivalent_inverter_gate",
+    "CollapsedInverterBaseline",
+]

@@ -1,0 +1,247 @@
+"""Series/parallel collapsing of a gate into an equivalent inverter.
+
+The baseline follows the recipe of the prior art the paper compares
+against:
+
+1. **Collapse strengths.**  The network driving the output transition
+   (pull-up for a rising output, pull-down for a falling one) is
+   collapsed over the *conducting* transistors -- series combine as
+   ``1/K_eq = sum 1/K_i``, parallel as ``K_eq = sum K_i``.  The opposing
+   network is collapsed with every transistor conducting (its initial
+   state).
+2. **Equivalent input waveform.**  Two policies:
+
+   * ``"extreme"`` -- the edge whose arrival first makes the driving
+     network conduct (the earliest switching input of a parallel
+     network, the latest of a series stack), in the spirit of [8];
+   * ``"weighted"`` -- strength-weighted mean arrival and transition
+     time over the switching inputs, a loading-aware flavour in the
+     spirit of [13].
+
+3. **Inverter evaluation.**  The collapsed inverter is simulated
+   directly (memoized), which is *more* generous to the baseline than
+   the polynomial macromodels of the original papers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import ModelError
+from ..gates import Gate
+from ..gates.topology import Leaf, Network, Parallel, Series
+from ..tech import Sizing
+from ..units import parse_quantity
+from ..waveform import Edge, RISE, Thresholds, opposite
+from ..charlib.simulate import single_input_response
+
+__all__ = [
+    "collapse_strengths",
+    "onset_input",
+    "equivalent_inverter_gate",
+    "CollapsedInverterBaseline",
+    "BaselineEstimate",
+]
+
+
+def collapse_strengths(tree: Network, strengths: Mapping[str, float],
+                       conducting: Mapping[str, bool]) -> float:
+    """Series/parallel-collapsed strength of a transistor network.
+
+    ``strengths`` maps input name -> K of its transistor in this
+    network; ``conducting`` marks which transistors are on.  A
+    non-conducting network collapses to strength 0.
+    """
+    if isinstance(tree, Leaf):
+        if not conducting.get(tree.name, False):
+            return 0.0
+        k = strengths[tree.name]
+        if k <= 0.0:
+            raise ModelError(f"non-positive strength for input {tree.name!r}")
+        return k
+    child_ks = [collapse_strengths(c, strengths, conducting) for c in tree.children]
+    if isinstance(tree, Series):
+        if any(k == 0.0 for k in child_ks):
+            return 0.0
+        return 1.0 / sum(1.0 / k for k in child_ks)
+    return sum(child_ks)  # Parallel
+
+
+def onset_input(tree: Network, stable_conducting: Mapping[str, bool],
+                arrival_order: list[str]) -> str:
+    """The switching input whose arrival first makes the network conduct.
+
+    Walks the switching inputs in arrival order, marking each conducting
+    in turn; returns the one that completes a conducting path.  For a
+    parallel network of switching transistors this is the earliest
+    arrival; for a series stack, the latest.
+    """
+    state = dict(stable_conducting)
+    for name in arrival_order:
+        state[name] = True
+        if _network_conducts(tree, state):
+            return name
+    raise ModelError(
+        "the switching inputs never make the driving network conduct; "
+        "check the stable-input levels"
+    )
+
+
+def _network_conducts(tree: Network, state: Mapping[str, bool]) -> bool:
+    if isinstance(tree, Leaf):
+        return bool(state.get(tree.name, False))
+    if isinstance(tree, Series):
+        return all(_network_conducts(c, state) for c in tree.children)
+    return any(_network_conducts(c, state) for c in tree.children)
+
+
+def equivalent_inverter_gate(gate: Gate, switching: Tuple[str, ...],
+                             direction: str) -> Gate:
+    """Collapse ``gate`` for the given switching set into an inverter.
+
+    The inverter's NMOS/PMOS widths are chosen so its strengths equal
+    the collapsed driving/opposing strengths.
+    """
+    out_dir = gate.output_direction(direction)
+    n_strengths = {x: gate.strength_n(x) for x in gate.inputs}
+    p_strengths = {x: gate.strength_p(x) for x in gate.inputs}
+    switching_set = set(switching)
+    stable_levels = gate.sensitizing_levels(list(switching))
+
+    # Conduction state of each network once all switching edges are done:
+    # NMOS conducts on a high input, PMOS on a low one.
+    n_conducting = {}
+    p_conducting = {}
+    for name in gate.inputs:
+        if name in switching_set:
+            high = direction == RISE  # final level after the edge
+        else:
+            high = bool(stable_levels.get(name, True))
+        n_conducting[name] = high
+        p_conducting[name] = not high
+
+    if out_dir == RISE:
+        k_drive = collapse_strengths(gate.pullup, p_strengths, p_conducting)
+        # Opposing pull-down: initial state (before the edges) conducts.
+        k_oppose = collapse_strengths(
+            gate.pulldown, n_strengths, {x: True for x in gate.inputs},
+        )
+        kp_eq, kn_eq = k_drive, k_oppose
+    else:
+        k_drive = collapse_strengths(gate.pulldown, n_strengths, n_conducting)
+        k_oppose = collapse_strengths(
+            gate.pullup, p_strengths, {x: True for x in gate.inputs},
+        )
+        kn_eq, kp_eq = k_drive, k_oppose
+    if kn_eq <= 0.0 or kp_eq <= 0.0:
+        raise ModelError(
+            f"collapsed strengths must be positive (kn={kn_eq:g}, kp={kp_eq:g}); "
+            f"the switching set {sorted(switching_set)!r} may not drive the output"
+        )
+
+    length = gate.sizing.length
+    wn = 2.0 * kn_eq * length / gate.process.nmos.kp
+    wp = 2.0 * kp_eq * length / gate.process.pmos.kp
+    sizing = Sizing(wn=wn, wp=wp, length=length)
+    return Gate(
+        f"{gate.name}-collapsed-{''.join(sorted(switching_set))}-{direction}",
+        Leaf("a"), gate.process, load=gate.load, sizing=sizing,
+        stack_scaling=False,
+    )
+
+
+@dataclass(frozen=True)
+class BaselineEstimate:
+    """Result of a collapsed-inverter evaluation."""
+
+    output_crossing: float
+    ttime: float
+    equivalent_edge: Edge
+    inverter_name: str
+
+    def delay_from(self, reference_edge: Edge) -> float:
+        """Delay re-referenced to a chosen input edge (for comparing with
+        the proximity algorithm, which reports from the dominant input)."""
+        return self.output_crossing - reference_edge.t_cross
+
+
+class CollapsedInverterBaseline:
+    """The [8]/[13]-style equivalent-inverter delay estimator."""
+
+    def __init__(self, gate: Gate, thresholds: Thresholds, *,
+                 waveform_policy: str = "extreme") -> None:
+        if waveform_policy not in ("extreme", "weighted"):
+            raise ModelError(
+                f"waveform_policy must be 'extreme' or 'weighted', got "
+                f"{waveform_policy!r}"
+            )
+        self.gate = gate
+        self.thresholds = thresholds
+        self.waveform_policy = waveform_policy
+        self._inverters: Dict[Tuple[Tuple[str, ...], str], Gate] = {}
+        self._memo: Dict[Tuple, Tuple[float, float]] = {}
+
+    def _inverter(self, switching: Tuple[str, ...], direction: str) -> Gate:
+        key = (switching, direction)
+        if key not in self._inverters:
+            self._inverters[key] = equivalent_inverter_gate(
+                self.gate, switching, direction,
+            )
+        return self._inverters[key]
+
+    def _equivalent_edge(self, edges: Mapping[str, Edge], direction: str) -> Edge:
+        names = sorted(edges)
+        if self.waveform_policy == "weighted":
+            out_dir = self.gate.output_direction(direction)
+            strengths = {
+                name: (self.gate.strength_p(name) if out_dir == RISE
+                       else self.gate.strength_n(name))
+                for name in names
+            }
+            total = sum(strengths.values())
+            t_eq = sum(strengths[n] * edges[n].t_cross for n in names) / total
+            tau_eq = sum(strengths[n] * edges[n].tau for n in names) / total
+            return Edge(direction, t_eq, tau_eq)
+        # "extreme": the edge that first makes the driving network conduct.
+        out_dir = self.gate.output_direction(direction)
+        tree = self.gate.pullup if out_dir == RISE else self.gate.pulldown
+        stable_levels = self.gate.sensitizing_levels(list(names))
+        stable_conducting = {}
+        for name in self.gate.inputs:
+            if name in edges:
+                continue
+            high = bool(stable_levels.get(name, True))
+            stable_conducting[name] = (not high) if out_dir == RISE else high
+        order = sorted(names, key=lambda n: edges[n].t_cross)
+        chosen = onset_input(tree, stable_conducting, order)
+        return edges[chosen]
+
+    def estimate(self, edges: Mapping[str, Edge], *,
+                 load: Optional[float] = None) -> BaselineEstimate:
+        """Collapse, derive the equivalent waveform, evaluate the inverter."""
+        if not edges:
+            raise ModelError("baseline estimate needs at least one edge")
+        directions = {e.direction for e in edges.values()}
+        if len(directions) != 1:
+            raise ModelError("baseline requires same-direction edges")
+        direction = next(iter(directions))
+        switching = tuple(sorted(edges))
+        inverter = self._inverter(switching, direction)
+        eq_edge = self._equivalent_edge(edges, direction)
+
+        cl = self.gate.load if load is None else parse_quantity(load, unit="F")
+        memo_key = (switching, direction, round(eq_edge.tau * 1e15),
+                    round(cl * 1e18))
+        if memo_key not in self._memo:
+            shot = single_input_response(
+                inverter, "a", direction, eq_edge.tau, self.thresholds, load=cl,
+            )
+            self._memo[memo_key] = (shot.delay, shot.out_ttime)
+        delay, ttime = self._memo[memo_key]
+        return BaselineEstimate(
+            output_crossing=eq_edge.t_cross + delay,
+            ttime=ttime,
+            equivalent_edge=eq_edge,
+            inverter_name=inverter.name,
+        )

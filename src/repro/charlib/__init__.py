@@ -1,0 +1,39 @@
+"""Characterization: turning circuit simulations into macromodels.
+
+This package is the bridge between the :mod:`repro.spice` substrate and
+the :mod:`repro.models` macromodels.  It knows how to
+
+* drive a gate with precisely-placed PWL edges and measure delay /
+  output transition time under the paper's conventions
+  (:mod:`~repro.charlib.simulate`),
+* sweep those simulations over normalized grids to build the
+  single-input (eq. 3.7/3.8) and dual-input (eq. 3.11/3.12) tables
+  (:mod:`~repro.charlib.single`, :mod:`~repro.charlib.dual`),
+* cache every expensive result on disk keyed by a content hash of the
+  process, gate and grid (:mod:`~repro.charlib.cache`), and
+* assemble everything into a :class:`~repro.charlib.library.GateLibrary`
+  ready for the Section-4 algorithm.
+"""
+
+from .cache import CharacterizationCache, default_cache
+from .simulate import SingleShot, MultiShot, single_input_response, multi_input_response
+from .single import characterize_single_input, SingleInputGrid
+from .dual import characterize_dual_input, DualInputGrid
+from .library import GateLibrary
+from .liberty import to_liberty, write_liberty
+
+__all__ = [
+    "CharacterizationCache",
+    "default_cache",
+    "SingleShot",
+    "MultiShot",
+    "single_input_response",
+    "multi_input_response",
+    "characterize_single_input",
+    "SingleInputGrid",
+    "characterize_dual_input",
+    "DualInputGrid",
+    "GateLibrary",
+    "to_liberty",
+    "write_liberty",
+]

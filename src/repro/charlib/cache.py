@@ -1,0 +1,125 @@
+"""Disk cache for characterization results.
+
+Characterizing a dual-input macromodel takes hundreds of transient
+simulations, so every expensive computation in :mod:`repro.charlib` runs
+through this JSON-file cache.  Entries are keyed by the SHA-256 of a
+canonical-JSON *key object* that includes the process card, gate
+topology, grids and code-schema version -- any change invalidates the
+entry automatically.
+
+The cache directory is resolved, in order, from:
+
+1. an explicit ``directory`` argument,
+2. the ``REPRO_CACHE_DIR`` environment variable,
+3. ``.repro_cache/`` under the current working directory.
+
+Set ``REPRO_CACHE_DIR=off`` to disable caching entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import CharacterizationError
+
+__all__ = ["CharacterizationCache", "default_cache"]
+
+#: Bump when the stored schema of any characterization artifact changes.
+SCHEMA_VERSION = 3
+
+
+def _canonical_hash(key: Dict[str, Any]) -> str:
+    try:
+        blob = json.dumps(key, sort_keys=True, separators=(",", ":"), default=_jsonify)
+    except TypeError as exc:
+        raise CharacterizationError(f"cache key is not JSON-serializable: {exc}") from exc
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def _jsonify(value: Any) -> Any:
+    """Fallback serializer for numpy arrays and scalars.
+
+    ``tolist`` handles both (a numpy scalar's ``tolist`` returns the
+    plain Python number), so it is checked first -- arrays also expose
+    ``item``, which would raise for size > 1.
+    """
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"unserializable cache-key value of type {type(value).__name__}")
+
+
+class CharacterizationCache:
+    """A directory of JSON blobs addressed by content-hashed keys."""
+
+    def __init__(self, directory: Optional[str | Path] = None) -> None:
+        if directory is None:
+            env = os.environ.get("REPRO_CACHE_DIR", "")
+            if env.lower() == "off":
+                self._dir: Optional[Path] = None
+                return
+            directory = env or ".repro_cache"
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def enabled(self) -> bool:
+        return self._dir is not None
+
+    @property
+    def directory(self) -> Optional[Path]:
+        return self._dir
+
+    def _path(self, kind: str, key: Dict[str, Any]) -> Path:
+        assert self._dir is not None
+        digest = _canonical_hash({"schema": SCHEMA_VERSION, "kind": kind, **key})
+        return self._dir / f"{kind}-{digest}.json"
+
+    def load(self, kind: str, key: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Fetch a cached payload, or ``None`` on miss/corruption."""
+        if self._dir is None:
+            return None
+        path = self._path(kind, key)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            # A corrupt entry is a miss; it will be rewritten.
+            return None
+
+    def store(self, kind: str, key: Dict[str, Any], payload: Dict[str, Any]) -> None:
+        if self._dir is None:
+            return
+        path = self._path(kind, key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, default=_jsonify)
+        os.replace(tmp, path)
+
+    def get_or_compute(self, kind: str, key: Dict[str, Any],
+                       compute: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
+        """The main entry point: load on hit, else compute and store."""
+        cached = self.load(kind, key)
+        if cached is not None:
+            return cached
+        payload = compute()
+        self.store(kind, key, payload)
+        return payload
+
+
+_DEFAULT: Optional[CharacterizationCache] = None
+
+
+def default_cache() -> CharacterizationCache:
+    """The process-wide cache instance (honours ``REPRO_CACHE_DIR``)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = CharacterizationCache()
+    return _DEFAULT

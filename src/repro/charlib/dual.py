@@ -1,0 +1,159 @@
+"""Dual-input macromodel characterization (paper eq. 3.11 / 3.12).
+
+The sweep grid is rectangular **in the normalized coordinates** of the
+macromodel: for each reference transition time ``tau_ref`` the
+single-input delay ``Delta1(tau_ref)`` is measured first, then the other
+input's transition time and the separation are chosen as multiples of
+``Delta1``.  Each grid point is one two-input transient simulation; the
+measured ``Delta2/Delta1`` and ``tau2/tau1`` ratios fill the two tables
+of a :class:`~repro.models.dual.TableDualInputModel`.
+
+The separation axis is chosen to bracket the proximity window: ratios
+saturate at 1 for ``s > Delta1`` (delay window) and the model clamps
+beyond the grid, so the default axis spans ``[-3, +1.5]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..gates import Gate
+from ..models.dual import TableDualInputModel
+from ..waveform import Edge, Thresholds, normalize_direction
+from .cache import CharacterizationCache, default_cache
+from .simulate import multi_input_response, single_input_response
+
+__all__ = ["DualInputGrid", "characterize_dual_input"]
+
+
+@dataclass(frozen=True)
+class DualInputGrid:
+    """Sweep grid for dual-input characterization.
+
+    ``tau_refs`` are physical reference transition times; ``a2`` and
+    ``a3`` are the normalized other-input transition time
+    (``tau_other/Delta1``) and separation (``sep/Delta1``) axes.
+    """
+
+    tau_refs: Tuple[float, ...] = tuple(
+        float(t) for t in np.geomspace(50e-12, 2000e-12, 5)
+    )
+    a2: Tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+    a3: Tuple[float, ...] = (-3.0, -2.0, -1.0, -0.5, 0.0, 0.25, 0.5, 0.75, 1.0, 1.5)
+
+    def __post_init__(self) -> None:
+        if len(self.tau_refs) < 2 or any(t <= 0 for t in self.tau_refs):
+            raise CharacterizationError("tau_refs must be >= 2 positive values")
+        if len(self.a2) < 2 or any(a <= 0 for a in self.a2):
+            raise CharacterizationError("a2 axis must be >= 2 positive values")
+        if len(self.a3) < 2:
+            raise CharacterizationError("a3 axis must have >= 2 values")
+        for name in ("tau_refs", "a2", "a3"):
+            axis = np.asarray(getattr(self, name))
+            if np.any(np.diff(axis) <= 0):
+                raise CharacterizationError(f"{name} must be strictly increasing")
+
+    @classmethod
+    def fast(cls) -> "DualInputGrid":
+        """A coarse grid for tests and quick demos."""
+        return cls(
+            tau_refs=(100e-12, 500e-12, 2000e-12),
+            a2=(0.5, 1.5, 5.0),
+            a3=(-2.0, -1.0, 0.0, 0.5, 1.0),
+        )
+
+    def key(self) -> dict:
+        return {"tau_refs": list(self.tau_refs), "a2": list(self.a2),
+                "a3": list(self.a3)}
+
+    @property
+    def n_points(self) -> int:
+        return len(self.tau_refs) * len(self.a2) * len(self.a3)
+
+
+def characterize_dual_input(
+    gate: Gate, reference: str, other: str, direction: str,
+    thresholds: Thresholds, *,
+    grid: Optional[DualInputGrid] = None,
+    cache: Optional[CharacterizationCache] = None,
+) -> TableDualInputModel:
+    """Build the dual-input proximity table for an ordered input pair.
+
+    ``reference`` must differ from ``other``; both must be gate inputs.
+    The table's first axis is ``tau_ref/Delta1(tau_ref)``, which is
+    strictly increasing in ``tau_ref`` for CMOS gates (delay grows
+    sublinearly with input slew); a violation raises, as it would break
+    interpolation.
+    """
+    direction = normalize_direction(direction)
+    if reference == other:
+        raise CharacterizationError("reference and other input must differ")
+    for name in (reference, other):
+        if name not in gate.inputs:
+            raise CharacterizationError(f"{name!r} is not an input of {gate.name!r}")
+    grid = grid or DualInputGrid()
+    cache = cache or default_cache()
+    key = {
+        **gate.cache_key(),
+        "reference": reference,
+        "other": other,
+        "direction": direction,
+        "vil": thresholds.vil,
+        "vih": thresholds.vih,
+        **grid.key(),
+    }
+
+    def compute() -> dict:
+        a1_axis = []
+        delay_table = np.empty((len(grid.tau_refs), len(grid.a2), len(grid.a3)))
+        ttime_table = np.empty_like(delay_table)
+        for i, tau_ref in enumerate(grid.tau_refs):
+            single = single_input_response(
+                gate, reference, direction, tau_ref, thresholds,
+            )
+            delta1, tau1 = single.delay, single.out_ttime
+            if delta1 <= 0 or tau1 <= 0:
+                raise CharacterizationError(
+                    f"non-positive single-input response at tau={tau_ref:g}s "
+                    f"(delay={delta1:g}, ttime={tau1:g})"
+                )
+            a1_axis.append(tau_ref / delta1)
+            for j, a2 in enumerate(grid.a2):
+                for k, a3 in enumerate(grid.a3):
+                    edges = {
+                        reference: Edge(direction, 0.0, tau_ref),
+                        other: Edge(direction, a3 * delta1, a2 * delta1),
+                    }
+                    shot = multi_input_response(
+                        gate, edges, thresholds, reference=reference,
+                    )
+                    delay_table[i, j, k] = shot.delay / delta1
+                    ttime_table[i, j, k] = shot.out_ttime / tau1
+        if np.any(np.diff(a1_axis) <= 0):
+            raise CharacterizationError(
+                "tau_ref/Delta1 axis is not increasing; widen the tau_refs "
+                "spacing or check the single-input responses"
+            )
+        return {
+            "a1": a1_axis,
+            "a2": list(grid.a2),
+            "a3": list(grid.a3),
+            "delay_table": delay_table.tolist(),
+            "ttime_table": ttime_table.tolist(),
+        }
+
+    payload = cache.get_or_compute("dual", key, compute)
+    axes = (
+        np.asarray(payload["a1"]),
+        np.asarray(payload["a2"]),
+        np.asarray(payload["a3"]),
+    )
+    return TableDualInputModel(
+        reference, other, direction, axes,
+        np.asarray(payload["delay_table"]),
+        np.asarray(payload["ttime_table"]),
+    )

@@ -1,0 +1,162 @@
+"""Liberty-format (NLDM) export of characterized gate libraries.
+
+Downstream STA tools speak Liberty: per-arc ``cell_rise``/``cell_fall``
+delay tables and ``rise_transition``/``fall_transition`` slew tables
+indexed by input slew and output load.  :func:`to_liberty` samples a
+:class:`~repro.charlib.GateLibrary`'s single-input macromodels onto such
+grids and writes a syntactically conventional ``.lib`` text.
+
+Scope notes:
+
+* NLDM has no notion of the proximity effect -- this export is the
+  *classic single-input view* of the characterized gate, i.e. exactly
+  what a conventional flow would use, and therefore also what the A3
+  benchmark's "classic STA" corresponds to.  The proximity models have
+  no Liberty encoding; they stay in this library's own JSON format
+  (:meth:`~repro.charlib.GateLibrary.save`).
+* Timing sense and the related-pin logic function come from the gate's
+  network expression; all single-stage CMOS cells are
+  ``negative_unate``.
+* Values are exported in the library units declared in the header
+  (ns, pF).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..gates.topology import Leaf, Network, Parallel, Series
+from ..waveform import FALL, RISE
+from .library import GateLibrary
+
+__all__ = ["to_liberty", "write_liberty"]
+
+_NS = 1e9   # seconds -> ns
+_PF = 1e12  # farads -> pF
+
+
+def _fmt_row(values: Sequence[float]) -> str:
+    return ", ".join(f"{v:.5f}" for v in values)
+
+
+def _logic_function(tree: Network) -> str:
+    """Liberty boolean of the pull-down network's complement."""
+    def render(node: Network) -> str:
+        if isinstance(node, Leaf):
+            return node.name.upper()
+        op = "*" if isinstance(node, Series) else "+"
+        return "(" + op.join(render(c) for c in node.children) + ")"
+
+    return f"!{render(tree)}"
+
+
+def _table(name: str, template: str, rows: List[List[float]],
+           slews_ns: Sequence[float], loads_pf: Sequence[float],
+           indent: str) -> List[str]:
+    lines = [f"{indent}{name} ({template}) {{"]
+    lines.append(f'{indent}  index_1 ("{_fmt_row(slews_ns)}");')
+    lines.append(f'{indent}  index_2 ("{_fmt_row(loads_pf)}");')
+    lines.append(f"{indent}  values ( \\")
+    for i, row in enumerate(rows):
+        tail = ", \\" if i + 1 < len(rows) else " \\"
+        lines.append(f'{indent}    "{_fmt_row(row)}"{tail}')
+    lines.append(f"{indent}  );")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def to_liberty(library: GateLibrary, *,
+               library_name: str = "repro_lib",
+               slews: Optional[Sequence[float]] = None,
+               loads: Optional[Sequence[float]] = None) -> str:
+    """Render the library's single-input timing as Liberty text.
+
+    ``slews`` (input transition times, seconds) and ``loads`` (farads)
+    set the NLDM grid; defaults cover the paper's 50 ps - 2 ns range and
+    0.5x-2x the characterization load.
+    """
+    if library.mode != "table":
+        raise CharacterizationError(
+            "Liberty export needs a table-mode library (oracle models "
+            "would trigger simulations per table cell; characterize with "
+            "mode='table' first)"
+        )
+    gate = library.gate
+    slew_grid = list(slews) if slews is not None else [
+        float(x) for x in np.geomspace(50e-12, 2000e-12, 5)
+    ]
+    load_grid = list(loads) if loads is not None else [
+        gate.load * f for f in (0.5, 1.0, 1.5, 2.0)
+    ]
+    slews_ns = [s * _NS for s in slew_grid]
+    loads_pf = [c * _PF for c in load_grid]
+    template = f"delay_template_{len(slew_grid)}x{len(load_grid)}"
+
+    out: List[str] = []
+    out.append(f"library ({library_name}) {{")
+    out.append('  delay_model : "table_lookup";')
+    out.append('  time_unit : "1ns";')
+    out.append('  voltage_unit : "1V";')
+    out.append('  capacitive_load_unit (1, pf);')
+    out.append(f"  nom_voltage : {gate.process.vdd:.2f};")
+    out.append(f"  lu_table_template ({template}) {{")
+    out.append('    variable_1 : input_net_transition;')
+    out.append('    variable_2 : total_output_net_capacitance;')
+    out.append(f'    index_1 ("{_fmt_row(slews_ns)}");')
+    out.append(f'    index_2 ("{_fmt_row(loads_pf)}");')
+    out.append("  }")
+
+    out.append(f"  cell ({gate.name}) {{")
+    out.append(f"    area : {gate.n_inputs * 2.0:.1f};")
+    for pin in gate.inputs:
+        # Input capacitance: gate caps of the pin's transistors.
+        cap = (gate.process.nmos.cgs_per_width + gate.process.nmos.cgd_per_width) \
+            * gate.nmos_width(pin)
+        cap += (gate.process.pmos.cgs_per_width + gate.process.pmos.cgd_per_width) \
+            * gate.pmos_width(pin)
+        out.append(f"    pin ({pin.upper()}) {{")
+        out.append("      direction : input;")
+        out.append(f"      capacitance : {cap * _PF:.5f};")
+        out.append("    }")
+
+    out.append(f"    pin ({gate.output.upper()}) {{")
+    out.append("      direction : output;")
+    out.append(f'      function : "{_logic_function(gate.pulldown)}";')
+    for pin in gate.inputs:
+        arcs = []
+        for direction, delay_kw, slew_kw in (
+            (FALL, "cell_rise", "rise_transition"),   # input falls -> z rises
+            (RISE, "cell_fall", "fall_transition"),   # input rises -> z falls
+        ):
+            try:
+                model = library.single(pin, direction)
+            except Exception:
+                continue
+            delay_rows, slew_rows = [], []
+            for slew in slew_grid:
+                delay_rows.append([model.delay(slew, c) * _NS for c in load_grid])
+                slew_rows.append([model.ttime(slew, c) * _NS for c in load_grid])
+            arcs.append((delay_kw, delay_rows))
+            arcs.append((slew_kw, slew_rows))
+        if not arcs:
+            continue
+        out.append(f"      timing () {{")
+        out.append(f'        related_pin : "{pin.upper()}";')
+        out.append("        timing_sense : negative_unate;")
+        for keyword, rows in arcs:
+            out.extend(_table(keyword, template, rows, slews_ns, loads_pf,
+                              indent="        "))
+        out.append("      }")
+    out.append("    }")
+    out.append("  }")
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def write_liberty(library: GateLibrary, path, **kwargs) -> None:
+    """Write :func:`to_liberty` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_liberty(library, **kwargs))

@@ -1,0 +1,202 @@
+"""Gate stimulus construction, transient runs and measurements.
+
+These are the "lab bench" routines of the reproduction: they place PWL
+edges on a gate's inputs with exact threshold-crossing times, run the
+transient engine, and measure delay / output transition time / extremum
+voltage under the paper's conventions.  Everything higher up
+(characterization grids, the validation experiment, the oracle models)
+funnels through :func:`single_input_response` and
+:func:`multi_input_response`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..errors import MeasurementError
+from ..gates import Gate
+from ..spice import transient
+from ..units import parse_quantity
+from ..waveform import (
+    Edge,
+    Pwl,
+    Thresholds,
+    gate_delay,
+    opposite,
+    transition_time,
+)
+
+__all__ = [
+    "SingleShot",
+    "MultiShot",
+    "estimate_settle_time",
+    "single_input_response",
+    "multi_input_response",
+]
+
+
+@dataclass(frozen=True)
+class SingleShot:
+    """Measured response to a single switching input."""
+
+    input_name: str
+    direction: str
+    tau: float
+    load: float
+    delay: float
+    out_ttime: float
+    output: Pwl
+
+
+@dataclass(frozen=True)
+class MultiShot:
+    """Measured response to multiple switching inputs.
+
+    ``delay`` is measured from ``reference`` (the paper measures delay
+    "relative to input x_i, the reference input").  ``vmin``/``vmax``
+    record the output extrema after the first edge -- the Section-6
+    glitch observables.
+    """
+
+    reference: str
+    delay: float
+    out_ttime: float
+    output: Pwl
+    vmin: float
+    vmax: float
+
+
+def estimate_settle_time(gate: Gate, load: float) -> float:
+    """A generous upper bound on how long the output takes to finish.
+
+    Uses the weakest saturated drive through either network:
+    ``t = C_L * Vdd / I_min``, padded by an order of magnitude.  The
+    transient window logic retries with doubled windows, so this only
+    needs to be the right magnitude.
+    """
+    vdd = gate.process.vdd
+    i_n = min(
+        gate.process.nmos.strength(gate.nmos_width(x), gate.sizing.length)
+        for x in gate.inputs
+    ) * (vdd - gate.process.nmos.vt0) ** 2
+    i_p = min(
+        gate.process.pmos.strength(gate.pmos_width(x), gate.sizing.length)
+        for x in gate.inputs
+    ) * (vdd + gate.process.pmos.vt0) ** 2
+    slew = load * vdd / min(i_n, i_p)
+    return 10.0 * slew
+
+
+def _edge_ramps(gate: Gate, edges: Mapping[str, Edge],
+                thresholds: Thresholds) -> tuple[Dict[str, Pwl], float, float]:
+    """Lower edges to ramps, shifting so every ramp starts after t=0.
+
+    Returns ``(ramps, shift, last_ramp_end)`` where ``shift`` was added
+    to every edge time (measurements are differences, so the shift
+    cancels; callers that need absolute times subtract it).
+    """
+    margin = 50e-12
+    starts = []
+    for edge in edges.values():
+        pwl = edge.to_pwl(thresholds)
+        starts.append(pwl.t_start)
+    shift = max(0.0, margin - min(starts)) if starts else 0.0
+    ramps: Dict[str, Pwl] = {}
+    last_end = 0.0
+    for name, edge in edges.items():
+        pwl = edge.shifted(shift).to_pwl(thresholds)
+        ramps[name] = pwl
+        last_end = max(last_end, pwl.t_end)
+    return ramps, shift, last_end
+
+
+def multi_input_response(gate: Gate, edges: Mapping[str, Edge],
+                         thresholds: Thresholds, *,
+                         reference: Optional[str] = None,
+                         load: Optional[float | str] = None,
+                         max_retries: int = 3) -> MultiShot:
+    """Simulate the gate with the given edges and measure the response.
+
+    All edges must share one direction (the proximity case); opposite
+    directions are legal too (the Section-6 glitch case), in which case
+    ``delay``/``out_ttime`` are measured for the *completed* output
+    transition caused by the reference input and may raise
+    :class:`~repro.errors.MeasurementError` if the output never completes
+    it (that is precisely the inertial-delay phenomenon, and callers of
+    the glitch experiment catch it).
+
+    Undriven inputs sit at levels that sensitize the output to the driven
+    set.  The transient window is sized from
+    :func:`estimate_settle_time` and doubled on incomplete measurements,
+    up to ``max_retries`` times.
+    """
+    if not edges:
+        raise MeasurementError("multi_input_response needs at least one edge")
+    for name in edges:
+        if name not in gate.inputs:
+            raise MeasurementError(f"{name!r} is not an input of {gate.name!r}")
+    ref = reference or min(edges, key=lambda n: edges[n].t_cross)
+    if ref not in edges:
+        raise MeasurementError(f"reference {ref!r} has no edge")
+
+    cl = gate.load if load is None else parse_quantity(load, unit="F")
+    ramps, shift, last_end = _edge_ramps(gate, edges, thresholds)
+    settle = estimate_settle_time(gate, cl) + max(e.tau for e in edges.values())
+
+    ref_edge = edges[ref]
+    out_dir = gate.output_direction(ref_edge.direction)
+    circuit = gate.build(ramps, load=cl, switching=list(edges))
+
+    last_error: Optional[MeasurementError] = None
+    for attempt in range(max_retries):
+        t_stop = last_end + settle * (2.0 ** attempt)
+        result = transient(circuit, t_stop, record=[gate.output])
+        output = result.node(gate.output)
+        try:
+            delay = gate_delay(
+                ramps[ref], ref_edge.direction, output, out_dir, thresholds,
+            )
+            ttime = transition_time(output, out_dir, thresholds)
+        except MeasurementError as exc:
+            last_error = exc
+            continue
+        first_start = min(p.t_start for p in ramps.values())
+        window = output.windowed(first_start, output.t_end)
+        return MultiShot(
+            reference=ref,
+            delay=delay,
+            out_ttime=ttime,
+            output=output.shifted(-shift),
+            vmin=window.min(),
+            vmax=window.max(),
+        )
+    raise MeasurementError(
+        f"output of {gate.name!r} never completed its {out_dir} transition "
+        f"within {max_retries} window doublings: {last_error}"
+    )
+
+
+def single_input_response(gate: Gate, input_name: str, direction: str,
+                          tau: float | str, thresholds: Thresholds, *,
+                          load: Optional[float | str] = None) -> SingleShot:
+    """Simulate one switching input (others sensitizing) and measure.
+
+    The edge's threshold crossing is placed at a comfortable margin after
+    t=0; the reported delay/transition time are position-independent.
+    """
+    tau_s = parse_quantity(tau, unit="s")
+    edge = Edge(direction, t_cross=0.0, tau=tau_s)
+    shot = multi_input_response(
+        gate, {input_name: edge}, thresholds, reference=input_name, load=load,
+    )
+    cl = gate.load if load is None else parse_quantity(load, unit="F")
+    return SingleShot(
+        input_name=input_name,
+        direction=edge.direction,
+        tau=tau_s,
+        load=cl,
+        delay=shot.delay,
+        out_ttime=shot.out_ttime,
+        output=shot.output,
+    )

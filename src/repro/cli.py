@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Commands
+--------
+``vtc``          -- print the VTC threshold table and selected thresholds.
+``delay``        -- proximity-aware delay/ttime for one configuration.
+``characterize`` -- build and save a table-mode gate library.
+``validate``     -- run the Table 5-1 validation.
+``experiment``   -- run any experiment by id (e1..e8, a1..a4).
+``glitch``       -- Section-6 minimum-separation (inertial delay).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .charlib import GateLibrary
+from .charlib.library import cached_thresholds
+from .core import DelayCalculator
+from .errors import ReproError
+from .gates import Gate
+from .tech.presets import PROCESSES
+from .units import format_quantity, parse_quantity
+from .waveform import Edge
+
+__all__ = ["main", "build_parser"]
+
+
+def _gate_from_args(args: argparse.Namespace) -> Gate:
+    process = PROCESSES[args.process]()
+    kind = args.gate.lower()
+    load = parse_quantity(args.load, unit="F")
+    if kind.startswith("nand"):
+        return Gate.nand(int(kind[4:] or 2), process, load=load)
+    if kind.startswith("nor"):
+        return Gate.nor(int(kind[3:] or 2), process, load=load)
+    if kind in ("inv", "inverter"):
+        return Gate.inverter(process, load=load)
+    if kind == "aoi21":
+        return Gate.aoi21(process, load=load)
+    if kind == "oai21":
+        return Gate.oai21(process, load=load)
+    if kind == "aoi22":
+        return Gate.aoi22(process, load=load)
+    raise ReproError(f"unknown gate {args.gate!r} (try nand3, nor2, inv, aoi21)")
+
+
+def _add_gate_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gate", default="nand3",
+                        help="cell: nandN, norN, inv, aoi21, oai21, aoi22")
+    parser.add_argument("--process", default="default", choices=sorted(PROCESSES),
+                        help="technology preset")
+    parser.add_argument("--load", default="100f", help="output load (e.g. 100f)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal-proximity gate delay modeling (DAC 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_vtc = sub.add_parser("vtc", help="VTC family thresholds (paper Fig 2-1)")
+    _add_gate_options(p_vtc)
+
+    p_delay = sub.add_parser("delay", help="proximity-aware delay for one config")
+    _add_gate_options(p_delay)
+    p_delay.add_argument(
+        "--edge", action="append", required=True, metavar="PIN:DIR:TAU[:AT]",
+        help="switching input, e.g. a:fall:500ps:0ps (repeatable)")
+    p_delay.add_argument("--mode", default="oracle", choices=("oracle", "table"))
+    p_delay.add_argument("--correction", default="paper",
+                         choices=("paper", "scaled", "off"))
+
+    p_char = sub.add_parser("characterize", help="build + save a table library")
+    _add_gate_options(p_char)
+    p_char.add_argument("--output", required=True, help="JSON file to write")
+    p_char.add_argument("--fast", action="store_true",
+                        help="use the small demo grids")
+
+    p_val = sub.add_parser("validate", help="Table 5-1 validation run")
+    _add_gate_options(p_val)
+    p_val.add_argument("--configs", type=int, default=100)
+    p_val.add_argument("--seed", type=int, default=1996)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment by id")
+    p_exp.add_argument("id", choices=(
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+        "a1", "a2", "a3", "a4"))
+    p_exp.add_argument("--quick", action="store_true",
+                       help="reduced sweep sizes for a fast look")
+
+    p_glitch = sub.add_parser("glitch", help="Section-6 inertial delay")
+    _add_gate_options(p_glitch)
+    p_glitch.add_argument("--causing", default="b")
+    p_glitch.add_argument("--blocking", default="a")
+    p_glitch.add_argument("--tau-causing", default="100ps")
+    p_glitch.add_argument("--tau-blocking", default="500ps")
+    return parser
+
+
+def _parse_edge(spec: str) -> tuple[str, Edge]:
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise ReproError(
+            f"edge spec {spec!r} must be PIN:DIR:TAU or PIN:DIR:TAU:AT")
+    pin, direction, tau = parts[:3]
+    at = parts[3] if len(parts) == 4 else "0s"
+    return pin, Edge(direction, parse_quantity(at, unit="s"),
+                     parse_quantity(tau, unit="s"))
+
+
+def _cmd_vtc(args: argparse.Namespace) -> int:
+    from .experiments.report import format_table
+    from .vtc import threshold_table, select_thresholds
+    from .charlib.library import cached_vtc_family
+
+    gate = _gate_from_args(args)
+    family = cached_vtc_family(gate)
+    print(format_table(threshold_table(family)))
+    thr = select_thresholds(family, gate.process.vdd)
+    print(f"\nselected: {thr.describe()}")
+    return 0
+
+
+def _cmd_delay(args: argparse.Namespace) -> int:
+    gate = _gate_from_args(args)
+    edges = dict(_parse_edge(spec) for spec in args.edge)
+    library = GateLibrary.characterize(gate, mode=args.mode)
+    calc = DelayCalculator(library, correction=args.correction)
+    result = calc.explain(edges)
+    print(f"reference (dominant) input: {result.reference}")
+    print(f"dominance order:            {' > '.join(result.order)}")
+    print(f"delay:                      {format_quantity(result.delay, 's')}"
+          f"  (raw {format_quantity(result.raw_delay, 's')}, "
+          f"correction {format_quantity(result.delay_correction, 's')})")
+    print(f"output transition time:     {format_quantity(result.ttime, 's')}")
+    for fold in result.steps:
+        windows = []
+        if fold.in_delay_window:
+            windows.append("delay")
+        if fold.in_ttime_window:
+            windows.append("ttime")
+        print(f"  folded {fold.input_name}: sep="
+              f"{format_quantity(fold.separation, 's')} "
+              f"D2={fold.delay_ratio:.3f} T2={fold.ttime_ratio:.3f} "
+              f"({'+'.join(windows)})")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .charlib import DualInputGrid, SingleInputGrid
+
+    gate = _gate_from_args(args)
+    kwargs = {}
+    if args.fast:
+        kwargs["single_grid"] = SingleInputGrid.fast()
+        kwargs["dual_grid"] = DualInputGrid.fast()
+    library = GateLibrary.characterize(gate, mode="table", **kwargs)
+    library.save(args.output)
+    print(f"wrote {args.output}: thresholds {library.thresholds.describe()}, "
+          f"{len(library.single_keys)} single + {len(library.dual_keys)} dual models")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments import table5_1
+
+    process = PROCESSES[args.process]()
+    result = table5_1.run(process, n_configs=args.configs, seed=args.seed,
+                          load=parse_quantity(args.load, unit="F"))
+    print(result.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments as ex
+
+    quick = args.quick
+    if args.id in ("e1", "e2"):
+        direction = "fall" if args.id == "e1" else "rise"
+        seps = [s * 1e-12 for s in range(-200, 701, 150)] if quick else None
+        print(ex.fig1_2.run(direction=direction, separations=seps).summary())
+    elif args.id == "e3":
+        print(ex.fig2_1.run().summary())
+    elif args.id == "e4":
+        kwargs = {"points_per_curve": 7, "tau_bs": (100e-12, 1000e-12)} if quick else {}
+        print(ex.fig3_3.run(**kwargs).summary())
+    elif args.id == "e5":
+        print(ex.fig4_2.run().summary())
+    elif args.id in ("e6", "e7"):
+        n = 15 if quick else 100
+        validation = ex.table5_1.run(n_configs=n)
+        if args.id == "e6":
+            print(validation.summary())
+        else:
+            print(ex.fig5_1.run(validation=validation).summary())
+    elif args.id == "e8":
+        kwargs = {"tau_rises": (100e-12, 1000e-12),
+                  "separations": [s * 1e-12 for s in range(-200, 1101, 260)]} if quick else {}
+        print(ex.fig6_1.run(**kwargs).summary())
+    elif args.id == "a1":
+        print(ex.baselines_exp.run(n_configs=8 if quick else 30).summary())
+    elif args.id == "a2":
+        print(ex.ablations.run(n_configs=6 if quick else 25).summary())
+    elif args.id == "a3":
+        print(ex.timing_exp.run(n_scenarios=2 if quick else 4).summary())
+    elif args.id == "a4":
+        print(ex.crossgate.run(n_configs=3 if quick else 10).summary())
+    return 0
+
+
+def _cmd_glitch(args: argparse.Namespace) -> int:
+    from .inertial import SimulatorGlitchModel, minimum_separation
+
+    gate = _gate_from_args(args)
+    thresholds = cached_thresholds(gate)
+    model = SimulatorGlitchModel(gate, args.causing, args.blocking, thresholds)
+    min_sep = minimum_separation(
+        model,
+        parse_quantity(args.tau_causing, unit="s"),
+        parse_quantity(args.tau_blocking, unit="s"),
+        thresholds,
+    )
+    print(f"minimum valid separation (inertial delay): "
+          f"{format_quantity(min_sep, 's')}")
+    return 0
+
+
+_COMMANDS = {
+    "vtc": _cmd_vtc,
+    "delay": _cmd_delay,
+    "characterize": _cmd_characterize,
+    "validate": _cmd_validate,
+    "experiment": _cmd_experiment,
+    "glitch": _cmd_glitch,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

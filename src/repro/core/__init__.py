@@ -1,0 +1,32 @@
+"""The paper's primary contribution: the proximity delay calculator.
+
+* :mod:`~repro.core.dominance` -- identifying the dominant input
+  (Section 3, Figure 3-2) and ordering inputs by dominance.
+* :mod:`~repro.core.algorithm` -- the ``ProximityDelay`` composition
+  algorithm (Section 4, Figure 4-1) for delay and output transition
+  time, including the equivalent-waveform shift and the linear
+  corrective term.
+* :mod:`~repro.core.api` -- :class:`~repro.core.api.DelayCalculator`,
+  the high-level entry point tying a characterized
+  :class:`~repro.charlib.GateLibrary` to the algorithm.
+"""
+
+from .dominance import alone_crossing, order_by_dominance, dominance_crossover
+from .algorithm import (
+    CorrectionPolicy,
+    ProximityResult,
+    ProximityStep,
+    proximity_delay,
+)
+from .api import DelayCalculator
+
+__all__ = [
+    "alone_crossing",
+    "order_by_dominance",
+    "dominance_crossover",
+    "CorrectionPolicy",
+    "ProximityResult",
+    "ProximityStep",
+    "proximity_delay",
+    "DelayCalculator",
+]

@@ -1,0 +1,331 @@
+"""The ``ProximityDelay`` algorithm (paper Section 4, Figure 4-1).
+
+Inputs are folded in one at a time, most dominant first.  At iteration
+*i* the cumulative effect of ``y_1..y_{i-1}`` is represented by the
+*equivalent waveform* ``y*`` -- a copy of ``y_1`` shifted so its alone
+output crossing lands at the cumulative delay (eq. 4.3):
+
+    y*(t) = y_1(t + Delta1 - Delta_cum)
+
+so the separation seen by the dual-input model is
+
+    s* = s_{y1,yi} + Delta1 - Delta_cum
+
+and, re-referencing eq. 4.4 back to ``y_1`` (eq. 4.5):
+
+    Delta_cum' = Delta_cum + Delta1 * (D2(tau_y1/Delta1,
+                                          tau_yi/Delta1,
+                                          s*/Delta1) - 1)
+
+The transition time is computed in the same pass ("a slight modification
+of the algorithm allows it to be used for output transition time
+computation"): the same equivalent waveform drives the ``T2`` model, but
+with the wider proximity window ``Delta_cum + tau_cum`` (the paper's
+"only when s_ab > Delta_a^(1) + tau_a^(1) can the effect of b be
+ignored", generalized to the cumulative values).  The paper does not
+spell out the transition-time update rule, so two composition laws are
+provided:
+
+* ``"harmonic"`` (default) -- transition *rates* add, mirroring the
+  physics of parallel conduction paths whose currents superpose:
+
+      1/tau_cum' = 1/tau_cum + 1/(T2 * tau1) - 1/tau1
+
+* ``"additive"`` -- the literal analogue of the delay recursion
+  (eq. 4.5), ``tau_cum' = tau_cum + tau1 * (T2 - 1)``; it over-corrects
+  when the ratios are far from one (see the ablation benchmark).
+
+The loop runs while inputs fall inside the transition-time window (the
+wider one); inputs outside the *delay* window leave the delay unchanged
+but may still reshape the output transition.  Figure 4-1's while-loop
+stops at the first out-of-window input in dominance order; pass
+``stop_at_first_outside=False`` to skip such inputs instead (ablation).
+
+Two known failure modes (simultaneous identical inputs; a dominant input
+arriving very late in the window) are patched by the paper's **linear
+corrective term**, bounded by the all-inputs-simultaneous-step error and
+ramped to zero across the window -- see :func:`apply_correction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Mapping, Optional, Tuple
+
+from ..errors import ModelError
+from ..waveform import Edge
+from .dominance import order_by_dominance
+
+__all__ = [
+    "CorrectionPolicy",
+    "ProximityStep",
+    "ProximityResult",
+    "proximity_delay",
+    "apply_correction",
+]
+
+
+class CorrectionPolicy(str, Enum):
+    """How the Section-4 corrective term is applied.
+
+    * ``PAPER`` -- the bound measured on the all-inputs simultaneous
+      step is applied in full whenever at least two inputs merged
+      (faithful to the paper's description).
+    * ``SCALED`` -- the bound is additionally scaled by
+      ``(m-1)/(n-1)`` where *m* is the number of merged inputs,
+      softening the correction when fewer inputs are in the window.
+    * ``OFF`` -- no correction (the ablation baseline).
+    """
+
+    PAPER = "paper"
+    SCALED = "scaled"
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class ProximityStep:
+    """One folded input in the composition loop (for explainability)."""
+
+    input_name: str
+    separation: float
+    s_star: float
+    in_delay_window: bool
+    in_ttime_window: bool
+    delay_ratio: float
+    ttime_ratio: float
+    delay_before: float
+    delay_after: float
+    ttime_before: float
+    ttime_after: float
+
+
+@dataclass(frozen=True)
+class ProximityResult:
+    """Everything the algorithm computed for one input configuration.
+
+    ``delay``/``ttime`` are the corrected values (equal to the raw ones
+    when the correction is off or inapplicable); times are seconds.
+    ``delay`` is measured from the reference (most dominant) input's
+    threshold crossing, per the paper's convention.
+    """
+
+    reference: str
+    order: Tuple[str, ...]
+    delay: float
+    ttime: float
+    raw_delay: float
+    raw_ttime: float
+    steps: Tuple[ProximityStep, ...]
+    delay_correction: float
+    ttime_correction: float
+    delta1: Mapping[str, float]
+    tau1: Mapping[str, float]
+
+    @property
+    def merged_inputs(self) -> Tuple[str, ...]:
+        """Reference plus every input that affected delay or ttime."""
+        return (self.reference,) + tuple(s.input_name for s in self.steps)
+
+    @property
+    def delay_steps(self) -> Tuple[ProximityStep, ...]:
+        return tuple(s for s in self.steps if s.in_delay_window)
+
+    @property
+    def ttime_steps(self) -> Tuple[ProximityStep, ...]:
+        return tuple(s for s in self.steps if s.in_ttime_window)
+
+
+def apply_correction(raw: float, step_error: float, policy: CorrectionPolicy,
+                     *, merged_count: int, total_inputs: int,
+                     last_separation: float, window: float) -> Tuple[float, float]:
+    """The paper's linear corrective term.
+
+    ``step_error`` is (algorithm - simulation) for the all-inputs
+    simultaneous-step case; the applied correction is ``w * E`` with
+    ``w = 1`` for ``s_{y1,ym} <= 0``, ramping linearly to 0 at
+    ``s_{y1,ym} = window`` (the cumulative value before the last merge).
+    Returns ``(corrected_value, applied_correction)``.
+
+    The correction targets the error of *repeated composition*, which
+    only exists once a third input is folded in: with two switching
+    inputs the dual-input macromodel applies directly and needs no
+    patching (verified exact in oracle mode).  Hence ``merged_count >=
+    3`` gates the correction under every policy.
+    """
+    if policy is CorrectionPolicy.OFF or merged_count < 3:
+        return raw, 0.0
+    if last_separation <= 0.0:
+        weight = 1.0
+    elif window <= 0.0 or last_separation >= window:
+        weight = 0.0
+    else:
+        weight = 1.0 - last_separation / window
+    if policy is CorrectionPolicy.SCALED and total_inputs > 2:
+        weight *= (merged_count - 1) / (total_inputs - 1)
+    correction = weight * step_error
+    return raw - correction, correction
+
+
+def proximity_delay(
+    edges: Mapping[str, Edge],
+    delta1: Mapping[str, float],
+    tau1: Mapping[str, float],
+    dual_lookup,
+    *,
+    step_error: Tuple[float, float] = (0.0, 0.0),
+    total_inputs: Optional[int] = None,
+    correction: CorrectionPolicy = CorrectionPolicy.PAPER,
+    stop_at_first_outside: bool = True,
+    ttime_composition: str = "harmonic",
+    ordering: str = "dominance",
+    load: Optional[float] = None,
+) -> ProximityResult:
+    """Run ``ProximityDelay`` for one input configuration.
+
+    Parameters
+    ----------
+    edges:
+        One same-direction :class:`~repro.waveform.Edge` per switching
+        input.  (Opposite-direction pairs are the Section-6 glitch case,
+        handled by :mod:`repro.inertial`.)
+    delta1, tau1:
+        Single-input delay / output transition time per switching input,
+        evaluated at that input's ``tau`` by the single-input models.
+    dual_lookup:
+        Callable ``(reference, other, direction) -> DualInputModel``.
+    step_error:
+        ``(delay_error, ttime_error)``: algorithm-minus-simulation on
+        the all-inputs simultaneous step (the corrective bound).
+    total_inputs:
+        Fan-in of the gate (defaults to ``len(edges)``), used by the
+        ``SCALED`` policy.
+    ttime_composition:
+        ``"harmonic"`` (default) or ``"additive"``; see the module
+        docstring.
+    ordering:
+        ``"dominance"`` (paper Step 1, default) or ``"arrival"`` --
+        naive earliest-first ordering, provided as the ablation
+        showing why dominance matters.
+    """
+    if ordering not in ("dominance", "arrival"):
+        raise ModelError(
+            f"ordering must be 'dominance' or 'arrival', got {ordering!r}"
+        )
+    if ttime_composition not in ("harmonic", "additive"):
+        raise ModelError(
+            f"ttime_composition must be 'harmonic' or 'additive', got "
+            f"{ttime_composition!r}"
+        )
+    if not edges:
+        raise ModelError("proximity_delay needs at least one edge")
+    directions = {edge.direction for edge in edges.values()}
+    if len(directions) != 1:
+        raise ModelError(
+            f"all edges must share a direction for the proximity model, got "
+            f"{sorted(directions)}; use repro.inertial for opposite transitions"
+        )
+    direction = next(iter(directions))
+
+    if ordering == "dominance":
+        ordered = order_by_dominance(edges, delta1)
+    else:
+        ordered = sorted(edges, key=lambda n: (edges[n].t_cross, n))
+    reference = ordered[0]
+    ref_edge = edges[reference]
+    base_delay = delta1[reference]
+    base_ttime = tau1[reference]
+    if base_delay <= 0.0 or base_ttime <= 0.0:
+        raise ModelError(
+            f"single-input responses of {reference!r} must be positive "
+            f"(delta1={base_delay:g}, tau1={base_ttime:g})"
+        )
+
+    steps: List[ProximityStep] = []
+    delay_cum = base_delay
+    ttime_cum = base_ttime
+    for other in ordered[1:]:
+        sep = edges[other].t_cross - ref_edge.t_cross
+        in_delay = sep < delay_cum
+        in_ttime = sep < delay_cum + ttime_cum
+        if not in_ttime:
+            if stop_at_first_outside:
+                break
+            continue
+        s_star = sep + base_delay - delay_cum
+        model = dual_lookup(reference, other, direction)
+        d_ratio = 1.0
+        t_ratio = 1.0
+        delay_before, ttime_before = delay_cum, ttime_cum
+        if in_delay:
+            d_ratio = model.delay_ratio(
+                ref_edge.tau, edges[other].tau, s_star,
+                delta1=base_delay, load=load,
+            )
+            delay_cum = delay_cum + base_delay * (d_ratio - 1.0)
+        t_ratio = model.ttime_ratio(
+            ref_edge.tau, edges[other].tau, s_star,
+            tau1=base_ttime, delta1=base_delay, load=load,
+        )
+        if ttime_composition == "harmonic":
+            # Transition rates superpose; clamp the rate to stay positive
+            # when a strongly slowing input (T2 >> 1) would drive it
+            # through zero.
+            rate = (1.0 / ttime_cum
+                    + 1.0 / (max(t_ratio, 1e-9) * base_ttime)
+                    - 1.0 / base_ttime)
+            rate = max(rate, 1e-3 / base_ttime)
+            ttime_cum = 1.0 / rate
+        else:
+            ttime_cum = ttime_cum + base_ttime * (t_ratio - 1.0)
+        steps.append(ProximityStep(
+            input_name=other,
+            separation=sep,
+            s_star=s_star,
+            in_delay_window=in_delay,
+            in_ttime_window=True,
+            delay_ratio=d_ratio,
+            ttime_ratio=t_ratio,
+            delay_before=delay_before,
+            delay_after=delay_cum,
+            ttime_before=ttime_before,
+            ttime_after=ttime_cum,
+        ))
+
+    raw_delay, raw_ttime = delay_cum, ttime_cum
+    n_total = total_inputs if total_inputs is not None else len(edges)
+
+    delay_steps = [s for s in steps if s.in_delay_window]
+    if delay_steps:
+        last = delay_steps[-1]
+        delay, delay_corr = apply_correction(
+            raw_delay, step_error[0], correction,
+            merged_count=1 + len(delay_steps), total_inputs=n_total,
+            last_separation=last.separation, window=last.delay_before,
+        )
+    else:
+        delay, delay_corr = raw_delay, 0.0
+    if steps:
+        last = steps[-1]
+        ttime, ttime_corr = apply_correction(
+            raw_ttime, step_error[1], correction,
+            merged_count=1 + len(steps), total_inputs=n_total,
+            last_separation=last.separation,
+            window=last.delay_before + last.ttime_before,
+        )
+    else:
+        ttime, ttime_corr = raw_ttime, 0.0
+
+    return ProximityResult(
+        reference=reference,
+        order=tuple(ordered),
+        delay=delay,
+        ttime=ttime,
+        raw_delay=raw_delay,
+        raw_ttime=raw_ttime,
+        steps=tuple(steps),
+        delay_correction=delay_corr,
+        ttime_correction=ttime_corr,
+        delta1=dict(delta1),
+        tau1=dict(tau1),
+    )

@@ -1,0 +1,176 @@
+"""High-level delay calculation: :class:`DelayCalculator`.
+
+This is the class a downstream timing tool instantiates per gate: it
+owns a characterized :class:`~repro.charlib.GateLibrary`, calibrates the
+Section-4 corrective term lazily (one all-inputs fast-step simulation
+per direction), and exposes delay / output transition time for
+arbitrary multi-input switching configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..charlib.library import GateLibrary
+from ..charlib.simulate import multi_input_response
+from ..errors import ModelError
+from ..units import parse_quantity
+from ..waveform import Edge
+from .algorithm import CorrectionPolicy, ProximityResult, proximity_delay
+from .dominance import order_by_dominance
+
+__all__ = ["DelayCalculator"]
+
+
+class DelayCalculator:
+    """Proximity-aware delay and transition-time calculation for a gate.
+
+    Parameters
+    ----------
+    library:
+        A characterized :class:`~repro.charlib.GateLibrary` (table or
+        oracle mode).
+    correction:
+        The Section-4 corrective-term policy.
+    step_tau:
+        Transition time standing in for the paper's "step signal" when
+        calibrating the corrective bound.  Defaults to 50 ps, the
+        fastest input of the paper's validation sweep (and the fastest
+        edge the macromodel grids cover).
+    stop_at_first_outside:
+        Figure 4-1 loop semantics; see
+        :func:`~repro.core.algorithm.proximity_delay`.
+    ttime_composition:
+        Transition-time composition law, ``"harmonic"`` (default) or
+        ``"additive"``; see :mod:`repro.core.algorithm`.
+    """
+
+    def __init__(self, library: GateLibrary, *,
+                 correction: CorrectionPolicy | str = CorrectionPolicy.PAPER,
+                 step_tau: float | str = 50e-12,
+                 stop_at_first_outside: bool = True,
+                 ttime_composition: str = "harmonic",
+                 ordering: str = "dominance") -> None:
+        self.library = library
+        self.correction = CorrectionPolicy(correction)
+        self.step_tau = parse_quantity(step_tau, unit="s")
+        self.stop_at_first_outside = stop_at_first_outside
+        self.ttime_composition = ttime_composition
+        self.ordering = ordering
+        self._step_error_memo: Dict[Tuple[str, int], Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Single-input conveniences
+    # ------------------------------------------------------------------
+    @property
+    def gate(self):
+        return self.library.gate
+
+    @property
+    def thresholds(self):
+        return self.library.thresholds
+
+    def single_delay(self, input_name: str, direction: str, tau: float | str,
+                     *, load: Optional[float] = None) -> float:
+        """``Delta^(1)`` of one pin (seconds)."""
+        tau_s = parse_quantity(tau, unit="s")
+        return self.library.single(input_name, direction).delay(tau_s, load)
+
+    def single_ttime(self, input_name: str, direction: str, tau: float | str,
+                     *, load: Optional[float] = None) -> float:
+        """``tau^(1)`` of one pin (seconds, full swing)."""
+        tau_s = parse_quantity(tau, unit="s")
+        return self.library.single(input_name, direction).ttime(tau_s, load)
+
+    # ------------------------------------------------------------------
+    # The proximity calculation
+    # ------------------------------------------------------------------
+    def _response_maps(self, edges: Mapping[str, Edge],
+                       load: Optional[float]) -> Tuple[Dict[str, float], Dict[str, float]]:
+        delta1, tau1 = {}, {}
+        for name, edge in edges.items():
+            model = self.library.single(name, edge.direction)
+            delta1[name] = model.delay(edge.tau, load)
+            tau1[name] = model.ttime(edge.tau, load)
+        return delta1, tau1
+
+    def explain(self, edges: Mapping[str, Edge], *,
+                load: Optional[float] = None) -> ProximityResult:
+        """Full :class:`~repro.core.algorithm.ProximityResult` for a
+        switching configuration (delay, ttime, dominance order, folded
+        steps, corrections)."""
+        if not edges:
+            raise ModelError("explain() needs at least one switching edge")
+        for name in edges:
+            if name not in self.gate.inputs:
+                raise ModelError(f"{name!r} is not an input of {self.gate.name!r}")
+        delta1, tau1 = self._response_maps(edges, load)
+        direction = next(iter(edges.values())).direction
+        step_error = (0.0, 0.0)
+        if self.correction is not CorrectionPolicy.OFF and len(edges) >= 2:
+            step_error = self.step_error(direction, load=load)
+        return proximity_delay(
+            edges, delta1, tau1, self.library.dual,
+            step_error=step_error,
+            total_inputs=self.gate.n_inputs,
+            correction=self.correction,
+            stop_at_first_outside=self.stop_at_first_outside,
+            ttime_composition=self.ttime_composition,
+            ordering=self.ordering,
+            load=load,
+        )
+
+    def delay(self, edges: Mapping[str, Edge], *,
+              load: Optional[float] = None) -> float:
+        """Proximity-aware delay (seconds, from the dominant input)."""
+        return self.explain(edges, load=load).delay
+
+    def ttime(self, edges: Mapping[str, Edge], *,
+              load: Optional[float] = None) -> float:
+        """Proximity-aware output transition time (seconds, full swing)."""
+        return self.explain(edges, load=load).ttime
+
+    def output_crossing_time(self, edges: Mapping[str, Edge], *,
+                             load: Optional[float] = None) -> float:
+        """Absolute time the output crosses its delay threshold."""
+        result = self.explain(edges, load=load)
+        return edges[result.reference].t_cross + result.delay
+
+    # ------------------------------------------------------------------
+    # Corrective-term calibration
+    # ------------------------------------------------------------------
+    def step_error(self, direction: str, *,
+                   load: Optional[float] = None) -> Tuple[float, float]:
+        """(algorithm - simulation) on the all-inputs simultaneous step.
+
+        The paper: "We recorded the absolute difference between the
+        delay value computed by our method and the actual delay value,
+        when a step signal is applied to all the inputs at the same
+        time."  We keep the sign so the correction also fixes
+        under-estimates.  Memoized per (direction, load).
+        """
+        cl = self.gate.load if load is None else float(load)
+        memo_key = (direction, round(cl * 1e18))
+        if memo_key in self._step_error_memo:
+            return self._step_error_memo[memo_key]
+
+        edges = {
+            name: Edge(direction, 0.0, self.step_tau)
+            for name in self.gate.inputs
+        }
+        delta1, tau1 = self._response_maps(edges, load)
+        raw = proximity_delay(
+            edges, delta1, tau1, self.library.dual,
+            correction=CorrectionPolicy.OFF,
+            stop_at_first_outside=self.stop_at_first_outside,
+            ttime_composition=self.ttime_composition,
+            ordering=self.ordering,
+            load=load,
+        )
+        reference = order_by_dominance(edges, delta1)[0]
+        shot = multi_input_response(
+            self.gate, edges, self.thresholds, reference=reference, load=cl,
+        )
+        error = (raw.raw_delay - shot.delay, raw.raw_ttime - shot.out_ttime)
+        self._step_error_memo[memo_key] = error
+        return error

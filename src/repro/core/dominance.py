@@ -1,0 +1,69 @@
+"""Dominant-input identification (paper Section 3, Figure 3-2).
+
+The dominant input is *not* the one that switches first: it is the input
+whose **single-input output response crosses the delay threshold
+first**.  In the paper's figure, input *a* (slow, early) loses dominance
+to input *b* (fast, late) because ``z_b`` reaches ``V_il`` before
+``z_a`` does; the crossover happens at separation
+``s_ab = Delta_a^(1) - Delta_b^(1)``.
+
+With arrival times measured at the paper's onset thresholds, the
+"alone-output crossing" of input *x* is simply ``t_x + Delta_x^(1)``,
+and dominance ordering is ascending order of that quantity.  This also
+encodes the series-stack position automatically, since ``Delta^(1)``
+differs per pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..errors import ModelError
+from ..waveform import Edge
+
+__all__ = ["alone_crossing", "order_by_dominance", "dominance_crossover"]
+
+
+def alone_crossing(edge: Edge, delta1: float) -> float:
+    """When the output would cross the delay threshold if this input
+    switched alone: ``t_cross + Delta^(1)``."""
+    return edge.t_cross + delta1
+
+
+def order_by_dominance(edges: Mapping[str, Edge],
+                       delta1: Mapping[str, float]) -> List[str]:
+    """Input names ordered most-dominant first.
+
+    This realizes Step 1 of the paper's algorithm: relabel inputs
+    ``y_1..y_n`` such that ``i < j`` iff ``s_{y_i y_j} >
+    Delta_{y_i}^(1) - Delta_{y_j}^(1)`` -- equivalently, ascending
+    alone-output crossing times ``t + Delta^(1)``.  Ties break toward
+    the earlier-arriving input, then lexicographically, so the ordering
+    is deterministic (the paper notes that with identical simultaneous
+    inputs "our algorithm will identify one of the inputs as the
+    dominant one and proceed").
+    """
+    if not edges:
+        raise ModelError("order_by_dominance needs at least one edge")
+    missing = [name for name in edges if name not in delta1]
+    if missing:
+        raise ModelError(f"missing single-input delays for {missing!r}")
+    return sorted(
+        edges,
+        key=lambda name: (
+            alone_crossing(edges[name], delta1[name]),
+            edges[name].t_cross,
+            name,
+        ),
+    )
+
+
+def dominance_crossover(delta1_first: float, delta1_second: float) -> float:
+    """The separation at which dominance flips back to the earlier input.
+
+    For inputs *a* (arrives first) and *b*: *b* dominates while
+    ``s_ab < Delta_a^(1) - Delta_b^(1)``; at larger separations *a* is
+    dominant.  This is the discontinuity location visible in the paper's
+    Figure 3-3.
+    """
+    return delta1_first - delta1_second

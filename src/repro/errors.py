@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the major failure classes:
+
+* :class:`UnitError` -- malformed engineering-notation quantities.
+* :class:`NetlistError` -- ill-formed circuit descriptions.
+* :class:`ConvergenceError` -- Newton / transient solver failures.
+* :class:`MeasurementError` -- a waveform never crosses a requested
+  threshold, a transition is incomplete, etc.
+* :class:`CharacterizationError` -- macromodel construction failures
+  (empty grids, non-monotonic sweeps, cache corruption).
+* :class:`ModelError` -- macromodel evaluation outside its valid region.
+* :class:`TimingError` -- gate-level timing graph problems (combinational
+  cycles, dangling pins).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity string could not be parsed or formatted."""
+
+
+class NetlistError(ReproError, ValueError):
+    """A circuit description is structurally invalid."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A nonlinear or transient solve failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of Newton iterations performed before giving up, when
+        applicable (``None`` otherwise).
+    residual:
+        Final residual norm, when applicable.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class MeasurementError(ReproError, ValueError):
+    """A waveform measurement (crossing, delay, transition time) failed."""
+
+
+class CharacterizationError(ReproError, RuntimeError):
+    """Macromodel characterization could not be completed."""
+
+
+class ModelError(ReproError, ValueError):
+    """A macromodel was evaluated with invalid or out-of-domain arguments."""
+
+
+class TimingError(ReproError, ValueError):
+    """A gate-level timing analysis problem (cycles, unknown nets...)."""

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Every experiment exposes a ``run(...)`` function returning a result
+dataclass with ``rows()`` (machine-readable) and ``summary()``
+(formatted text mirroring the paper's artifact).  The benchmarks in
+``benchmarks/`` wrap these with pytest-benchmark; the index lives in
+DESIGN.md and the measured-vs-paper record in EXPERIMENTS.md.
+
+| experiment id | paper artifact | module |
+|---------------|----------------|--------|
+| E1/E2 | Figure 1-2 (a-d) | :mod:`~repro.experiments.fig1_2` |
+| E3 | Figure 2-1 (b,c) | :mod:`~repro.experiments.fig2_1` |
+| E4 | Figure 3-3 | :mod:`~repro.experiments.fig3_3` |
+| E5 | Figure 4-2 | :mod:`~repro.experiments.fig4_2` |
+| E6 | Table 5-1 | :mod:`~repro.experiments.table5_1` |
+| E7 | Figure 5-1 | :mod:`~repro.experiments.fig5_1` |
+| E8 | Figure 6-1 (b) | :mod:`~repro.experiments.fig6_1` |
+| A1 | baseline comparison (Section 5/7 claim) | :mod:`~repro.experiments.baselines_exp` |
+| A2 | design-choice ablations | :mod:`~repro.experiments.ablations` |
+| A3 | proximity-aware STA | :mod:`~repro.experiments.timing_exp` |
+| A4 | cross-gate generality (NOR3/AOI21) | :mod:`~repro.experiments.crossgate` |
+| A5 | deployable table-mode validation | :mod:`~repro.experiments.table5_1` (``mode="table"``) |
+| A6 | load-transfer sensitivity | :mod:`~repro.experiments.sensitivity` |
+"""
+
+from . import (
+    ablations,
+    baselines_exp,
+    crossgate,
+    fig1_2,
+    fig2_1,
+    fig3_3,
+    fig4_2,
+    fig5_1,
+    fig6_1,
+    sensitivity,
+    table5_1,
+    timing_exp,
+)
+from .report import ascii_histogram, format_table
+
+__all__ = [
+    "fig1_2", "fig2_1", "fig3_3", "fig4_2", "fig5_1", "fig6_1",
+    "table5_1", "baselines_exp", "ablations", "timing_exp", "crossgate",
+    "sensitivity",
+    "format_table", "ascii_histogram",
+]

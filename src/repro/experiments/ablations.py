@@ -1,0 +1,119 @@
+"""A2 -- ablations of the design choices DESIGN.md calls out.
+
+Four knobs, each evaluated on the same random population against full
+simulations:
+
+* **correction policy** -- off / paper / scaled (the Section-4
+  corrective term);
+* **ttime composition** -- harmonic (ours) vs additive (the literal
+  analogue of eq. 4.5);
+* **input ordering** -- dominance (paper Step 1) vs naive arrival
+  order (what you would do without Section 3's analysis);
+* **window semantics** -- stop at the first out-of-window input
+  (Figure 4-1's while-loop) vs skipping it and folding later in-window
+  inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import DelayCalculator
+from ..tech import Process
+from ..waveform import Edge, FALL
+from ..charlib.simulate import multi_input_response
+from .common import paper_gate, paper_library, paper_thresholds
+from .report import format_table
+from .table5_1 import random_cases
+
+__all__ = ["AblationResult", "run", "VARIANTS"]
+
+#: name -> DelayCalculator keyword overrides.
+VARIANTS: Dict[str, Dict[str, object]] = {
+    "default (paper corr, harmonic, dominance)": {},
+    "correction=off": {"correction": "off"},
+    "correction=scaled": {"correction": "scaled"},
+    "ttime=additive": {"ttime_composition": "additive"},
+    "ordering=arrival": {"ordering": "arrival"},
+    "window=skip-outside": {"stop_at_first_outside": False},
+}
+
+
+@dataclass
+class AblationResult:
+    delay_errors: Dict[str, List[float]]
+    ttime_errors: Dict[str, List[float]]
+    n_configs: int
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for variant in self.delay_errors:
+            d = np.asarray(self.delay_errors[variant])
+            t = np.asarray(self.ttime_errors[variant])
+            rows.append({
+                "variant": variant,
+                "delay_rms_pct": float(np.sqrt(np.mean(d ** 2))),
+                "delay_worst_pct": float(np.max(np.abs(d))),
+                "ttime_rms_pct": float(np.sqrt(np.mean(t ** 2))),
+                "ttime_worst_pct": float(np.max(np.abs(t))),
+            })
+        return rows
+
+    def summary(self) -> str:
+        return (
+            f"Design-choice ablations over {self.n_configs} configurations\n"
+            + format_table(self.rows())
+        )
+
+    def rms(self, variant: str, metric: str = "delay") -> float:
+        errors = (self.delay_errors if metric == "delay"
+                  else self.ttime_errors)[variant]
+        return float(np.sqrt(np.mean(np.asarray(errors) ** 2)))
+
+
+def run(process: Optional[Process] = None, *,
+        n_configs: int = 25,
+        seed: int = 404,
+        direction: str = FALL,
+        load: float = 100e-15,
+        variants: Optional[Dict[str, Dict[str, object]]] = None) -> AblationResult:
+    gate = paper_gate(process, load=load)
+    thresholds = paper_thresholds(process, load=load)
+    library = paper_library(process, mode="oracle", load=load)
+    chosen = variants or VARIANTS
+    calcs = {
+        name: DelayCalculator(library, **kwargs)  # type: ignore[arg-type]
+        for name, kwargs in chosen.items()
+    }
+    delay_errors: Dict[str, List[float]] = {name: [] for name in calcs}
+    ttime_errors: Dict[str, List[float]] = {name: [] for name in calcs}
+
+    for config in random_cases(n_configs, seed):
+        taus = config["taus"]
+        seps = config["seps"]
+        edges = {
+            "a": Edge(direction, 0.0, taus["a"]),
+            "b": Edge(direction, seps["ab"], taus["b"]),
+            "c": Edge(direction, seps["ac"], taus["c"]),
+        }
+        shots: Dict[str, object] = {}
+        for name, calc in calcs.items():
+            result = calc.explain(edges)
+            # Ground truth must be measured from each variant's own
+            # reference input (arrival ordering may pick another one).
+            if result.reference not in shots:
+                shots[result.reference] = multi_input_response(
+                    gate, edges, thresholds, reference=result.reference,
+                )
+            shot = shots[result.reference]
+            delay_errors[name].append(
+                (result.delay - shot.delay) / shot.delay * 100.0)
+            ttime_errors[name].append(
+                (result.ttime - shot.out_ttime) / shot.out_ttime * 100.0)
+    return AblationResult(
+        delay_errors=delay_errors, ttime_errors=ttime_errors,
+        n_configs=n_configs,
+    )

@@ -1,0 +1,103 @@
+"""A1 -- the paper's accuracy claim against equivalent-inverter methods.
+
+Section 7: "The results are more accurate than previously published
+methods of calculating delay for multi-input gates which rely on the
+reduction of the gate to an equivalent inverter."  This experiment runs
+the Table 5-1 random population through
+
+* the Section-4 proximity algorithm (ours),
+* the [8]-style collapsed inverter with the *extreme* equivalent
+  waveform, and
+* the [13]-flavoured collapsed inverter with a *strength-weighted*
+  equivalent waveform,
+
+all referenced to the same dominant input and compared against full
+three-input transient simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines import CollapsedInverterBaseline
+from ..tech import Process
+from ..waveform import Edge, FALL
+from ..charlib.simulate import multi_input_response
+from .common import paper_calculator, paper_gate, paper_thresholds
+from .report import format_table, stat_row
+from .table5_1 import random_cases
+
+__all__ = ["BaselineComparison", "run"]
+
+
+@dataclass
+class BaselineComparison:
+    delay_errors: Dict[str, List[float]]
+    ttime_errors: Dict[str, List[float]]
+    n_configs: int
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for method, errors in self.delay_errors.items():
+            rows.append({"metric": "delay", **stat_row(method, errors)})
+        for method, errors in self.ttime_errors.items():
+            rows.append({"metric": "ttime", **stat_row(method, errors)})
+        return rows
+
+    def summary(self) -> str:
+        return (
+            f"Baseline comparison over {self.n_configs} random configurations\n"
+            + format_table(self.rows())
+        )
+
+    def worst_abs_error(self, method: str) -> float:
+        return max(abs(e) for e in self.delay_errors[method])
+
+
+def run(process: Optional[Process] = None, *,
+        n_configs: int = 30,
+        seed: int = 1996,
+        direction: str = FALL,
+        load: float = 100e-15) -> BaselineComparison:
+    gate = paper_gate(process, load=load)
+    thresholds = paper_thresholds(process, load=load)
+    calc = paper_calculator(process, mode="oracle", load=load)
+    methods = {
+        "proximity (ours)": None,
+        "collapsed extreme [8]": CollapsedInverterBaseline(
+            gate, thresholds, waveform_policy="extreme"),
+        "collapsed weighted [13]": CollapsedInverterBaseline(
+            gate, thresholds, waveform_policy="weighted"),
+    }
+    delay_errors: Dict[str, List[float]] = {m: [] for m in methods}
+    ttime_errors: Dict[str, List[float]] = {m: [] for m in methods}
+
+    for config in random_cases(n_configs, seed):
+        taus = config["taus"]
+        seps = config["seps"]
+        edges = {
+            "a": Edge(direction, 0.0, taus["a"]),
+            "b": Edge(direction, seps["ab"], taus["b"]),
+            "c": Edge(direction, seps["ac"], taus["c"]),
+        }
+        ours = calc.explain(edges)
+        ref_edge = edges[ours.reference]
+        shot = multi_input_response(gate, edges, thresholds,
+                                    reference=ours.reference)
+        delay_errors["proximity (ours)"].append(
+            (ours.delay - shot.delay) / shot.delay * 100.0)
+        ttime_errors["proximity (ours)"].append(
+            (ours.ttime - shot.out_ttime) / shot.out_ttime * 100.0)
+        for name, baseline in methods.items():
+            if baseline is None:
+                continue
+            estimate = baseline.estimate(edges)
+            delay_errors[name].append(
+                (estimate.delay_from(ref_edge) - shot.delay) / shot.delay * 100.0)
+            ttime_errors[name].append(
+                (estimate.ttime - shot.out_ttime) / shot.out_ttime * 100.0)
+    return BaselineComparison(
+        delay_errors=delay_errors, ttime_errors=ttime_errors,
+        n_configs=n_configs,
+    )

@@ -1,0 +1,71 @@
+"""Shared fixtures for the paper experiments.
+
+Every experiment runs on the same testbench as the paper: a 3-input CMOS
+NAND gate driving a fixed load (Figure 1-1).  The helpers here build the
+gate, its thresholds and libraries once per process (module-level
+memoization keyed by process name + load).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..charlib import GateLibrary
+from ..charlib.library import cached_thresholds
+from ..core import DelayCalculator
+from ..gates import Gate
+from ..tech import Process, default_process
+from ..waveform import Thresholds
+
+__all__ = ["paper_gate", "paper_thresholds", "paper_library", "paper_calculator"]
+
+_GATES: Dict[Tuple[str, float], Gate] = {}
+_LIBS: Dict[tuple, GateLibrary] = {}
+
+
+def paper_gate(process: Optional[Process] = None, *,
+               load: float = 100e-15) -> Gate:
+    """The paper's Figure 1-1 testbench: a 3-input NAND."""
+    proc = process or default_process()
+    key = (proc.name, load)
+    if key not in _GATES:
+        _GATES[key] = Gate.nand(3, proc, load=load)
+    return _GATES[key]
+
+
+def paper_thresholds(process: Optional[Process] = None, *,
+                     load: float = 100e-15) -> Thresholds:
+    """Section-2 thresholds of the testbench (min V_il / max V_ih)."""
+    return cached_thresholds(paper_gate(process, load=load))
+
+
+def paper_library(process: Optional[Process] = None, *, mode: str = "oracle",
+                  load: float = 100e-15, **characterize_kwargs) -> GateLibrary:
+    """A characterized library for the testbench.
+
+    ``mode="oracle"`` (default) mirrors the paper's Section-5 use of the
+    circuit simulator as the dual-input macromodel; ``mode="table"``
+    builds the deployable interpolation tables (slower the first time,
+    cached on disk afterwards).  Extra keyword arguments go to
+    :meth:`~repro.charlib.GateLibrary.characterize` (grids, pair
+    selection, directions); they become part of the memoization key.
+    """
+    proc = process or default_process()
+    key = (proc.name, load, mode, tuple(sorted(
+        (k, repr(v)) for k, v in characterize_kwargs.items()
+    )))
+    if key not in _LIBS:
+        _LIBS[key] = GateLibrary.characterize(
+            paper_gate(proc, load=load), mode=mode, **characterize_kwargs,
+        )
+    return _LIBS[key]
+
+
+def paper_calculator(process: Optional[Process] = None, *,
+                     mode: str = "oracle", load: float = 100e-15,
+                     characterize_kwargs: Optional[dict] = None,
+                     **calculator_kwargs) -> DelayCalculator:
+    """A ready :class:`~repro.core.DelayCalculator` on the testbench."""
+    library = paper_library(process, mode=mode, load=load,
+                            **(characterize_kwargs or {}))
+    return DelayCalculator(library, **calculator_kwargs)

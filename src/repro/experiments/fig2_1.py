@@ -1,0 +1,64 @@
+"""E3 -- paper Figure 2-1: the VTC family and the threshold table.
+
+Reproduces (b) the family of ``2^n - 1 = 7`` voltage transfer curves of
+the 3-input NAND and (c) the table of V_il / V_m / V_ih per switching
+subset, plus the Section-2 selection: minimum V_il (from the input
+closest to ground) and maximum V_ih (from the all-inputs-switching
+curve).  Paper values for its process: V_il = 1.25 V, V_ih = 3.37 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..tech import Process
+from ..vtc import select_thresholds, threshold_table
+from ..vtc.thresholds import VtcCurve
+from ..waveform import Thresholds
+from ..charlib.library import cached_vtc_family
+from .common import paper_gate
+from .report import format_table
+
+__all__ = ["Fig21Result", "run"]
+
+#: The thresholds the paper reports for its (different) process.
+PAPER_VIL = 1.25
+PAPER_VIH = 3.37
+
+
+@dataclass
+class Fig21Result:
+    family: List[VtcCurve]
+    selected: Thresholds
+
+    def rows(self) -> List[Dict[str, object]]:
+        return threshold_table(self.family)
+
+    def min_vil_curve(self) -> VtcCurve:
+        return min(self.family, key=lambda c: c.vil)
+
+    def max_vih_curve(self) -> VtcCurve:
+        return max(self.family, key=lambda c: c.vih)
+
+    def summary(self) -> str:
+        lines = [
+            "Figure 2-1(c): switching thresholds per VTC of the 3-input NAND",
+            format_table(self.rows()),
+            "",
+            f"selected (min Vil / max Vih): vil={self.selected.vil:.3f}V "
+            f"vih={self.selected.vih:.3f}V "
+            f"(paper's process: vil={PAPER_VIL}V vih={PAPER_VIH}V)",
+            f"min Vil comes from subset {self.min_vil_curve().label!r} "
+            f"(paper: the input closest to ground)",
+            f"max Vih comes from subset {self.max_vih_curve().label!r} "
+            f"(paper: all inputs switching together)",
+        ]
+        return "\n".join(lines)
+
+
+def run(process: Optional[Process] = None, *, load: float = 100e-15) -> Fig21Result:
+    gate = paper_gate(process, load=load)
+    family = cached_vtc_family(gate)
+    selected = select_thresholds(family, gate.process.vdd)
+    return Fig21Result(family=family, selected=selected)

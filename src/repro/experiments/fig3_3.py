@@ -1,0 +1,143 @@
+"""E4 -- paper Figure 3-3: the dual-input proximity effect on delay,
+with the dominance crossover.
+
+Setup (paper Section 3): NAND3 with ``c`` tied to Vdd; ``a`` falls with
+tau = 500 ps, ``b`` falls with tau in {100, 500, 1000} ps; the
+separation ``s_ab`` sweeps from ``-(Delta_b + tau_b)`` to
+``(Delta_a + tau_a)``.  Delay is measured from the **dominant** input,
+so the curve shows a discontinuity at the crossover separation
+``s = Delta_a^(1) - Delta_b^(1)`` where the reference changes ("there is
+a discontinuity in the delay value when the dominant input changes.
+This is because our reference for measuring delay also changes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import DelayCalculator, dominance_crossover
+from ..tech import Process
+from ..units import parse_quantity
+from ..waveform import Edge, FALL
+from ..charlib.simulate import multi_input_response
+from .common import paper_calculator, paper_gate, paper_thresholds
+from .report import format_table, series_plot
+
+__all__ = ["Fig33Curve", "Fig33Result", "run"]
+
+
+@dataclass
+class Fig33Curve:
+    tau_b: float
+    crossover_sep: float
+    separations: List[float]
+    model_delays: List[float]
+    sim_delays: List[float]
+    references: List[str]
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "sep_ps": s * 1e12,
+                "model_ps": m * 1e12,
+                "sim_ps": g * 1e12,
+                "err_pct": (m - g) / g * 100.0,
+                "reference": r,
+            }
+            for s, m, g, r in zip(self.separations, self.model_delays,
+                                  self.sim_delays, self.references)
+        ]
+
+    def discontinuity(self) -> float:
+        """Largest jump between adjacent model-delay samples (the
+        crossover discontinuity the paper points out)."""
+        deltas = np.abs(np.diff(self.model_delays))
+        return float(deltas.max()) if deltas.size else 0.0
+
+
+@dataclass
+class Fig33Result:
+    tau_a: float
+    curves: List[Fig33Curve]
+
+    def rows(self) -> List[Dict[str, object]]:
+        out: List[Dict[str, object]] = []
+        for curve in self.curves:
+            for row in curve.rows():
+                out.append({"tau_b_ps": curve.tau_b * 1e12, **row})
+        return out
+
+    def summary(self) -> str:
+        parts = [
+            f"Figure 3-3: proximity effect on delay "
+            f"(tau_a = {self.tau_a*1e12:.0f}ps falling, c at Vdd)"
+        ]
+        for curve in self.curves:
+            parts.append(
+                f"\n-- tau_b = {curve.tau_b*1e12:.0f}ps "
+                f"(dominance crossover at s_ab = {curve.crossover_sep*1e12:.1f}ps, "
+                f"model jump {curve.discontinuity()*1e12:.1f}ps)"
+            )
+            parts.append(format_table(curve.rows()))
+            parts.append(series_plot(
+                [s * 1e12 for s in curve.separations],
+                {
+                    "model": [d * 1e12 for d in curve.model_delays],
+                    "sim": [d * 1e12 for d in curve.sim_delays],
+                },
+                x_label="s_ab (ps)", y_label="delay (ps)",
+            ))
+        return "\n".join(parts)
+
+
+def run(process: Optional[Process] = None, *,
+        tau_a: float | str = 500e-12,
+        tau_bs: Sequence[float] = (100e-12, 500e-12, 1000e-12),
+        points_per_curve: int = 13,
+        mode: str = "oracle",
+        load: float = 100e-15) -> Fig33Result:
+    """Sweep s_ab for each tau_b; model delay (measured from the dominant
+    input) against ground-truth simulation."""
+    gate = paper_gate(process, load=load)
+    thresholds = paper_thresholds(process, load=load)
+    calc = paper_calculator(process, mode=mode, load=load)
+    tau_a_s = parse_quantity(tau_a, unit="s")
+
+    curves: List[Fig33Curve] = []
+    delta_a = calc.single_delay("a", FALL, tau_a_s)
+    tau_a_out = calc.single_ttime("a", FALL, tau_a_s)
+    for tau_b in tau_bs:
+        tau_b_s = float(tau_b)
+        delta_b = calc.single_delay("b", FALL, tau_b_s)
+        tau_b_out = calc.single_ttime("b", FALL, tau_b_s)
+        lo = -(delta_b + tau_b_out)
+        hi = delta_a + tau_a_out
+        crossover = dominance_crossover(delta_a, delta_b)
+        seps = np.unique(np.concatenate([
+            np.linspace(lo, hi, points_per_curve),
+            # Bracket the crossover tightly so the jump is visible.
+            [crossover - 5e-12, crossover + 5e-12],
+        ]))
+        model_delays, sim_delays, refs = [], [], []
+        for sep in seps:
+            edges = {
+                "a": Edge(FALL, 0.0, tau_a_s),
+                "b": Edge(FALL, float(sep), tau_b_s),
+            }
+            result = calc.explain(edges)
+            shot = multi_input_response(
+                gate, edges, thresholds, reference=result.reference,
+            )
+            model_delays.append(result.delay)
+            sim_delays.append(shot.delay)
+            refs.append(result.reference)
+        curves.append(Fig33Curve(
+            tau_b=tau_b_s, crossover_sep=crossover,
+            separations=[float(s) for s in seps],
+            model_delays=model_delays, sim_delays=sim_delays,
+            references=refs,
+        ))
+    return Fig33Result(tau_a=tau_a_s, curves=curves)

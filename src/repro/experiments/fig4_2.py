@@ -1,0 +1,80 @@
+"""E5 -- paper Figure 4-2: storage complexity of the modeling options.
+
+Compares, as a function of fan-in *n* and table resolution *g* (grid
+points per argument):
+
+1. **Full model** (eq. 4.1): *n* functions of ``2n - 1`` arguments ->
+   ``n * g^(2n-1)`` table entries; impractical beyond tiny *n*.
+2. **Compositional, all pairs** (the matrix of Figure 4-2(2a)):
+   *n* single-input models (``g`` entries) plus ``n^2 - n`` dual-input
+   models (``g^3`` entries each).
+3. **Compositional, shared** (the paper's practical observation: "we
+   need only n such macromodels"): *n* single + *n* dual models.
+
+Counts cover the delay models; the paper doubles everything for output
+transition time, and so do we in the ``*_bytes`` columns (8-byte
+entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .report import format_table
+
+__all__ = ["StorageRow", "Fig42Result", "run"]
+
+
+@dataclass(frozen=True)
+class StorageRow:
+    n_inputs: int
+    grid: int
+    full_entries: int
+    all_pairs_entries: int
+    shared_entries: int
+
+    def as_dict(self) -> Dict[str, object]:
+        scale = 2 * 8  # delay + transition time, 8 bytes per entry
+        return {
+            "n": self.n_inputs,
+            "g": self.grid,
+            "full_entries": self.full_entries,
+            "all_pairs_entries": self.all_pairs_entries,
+            "shared_entries": self.shared_entries,
+            "full_bytes": self.full_entries * scale,
+            "all_pairs_bytes": self.all_pairs_entries * scale,
+            "shared_bytes": self.shared_entries * scale,
+            "full_over_shared": self.full_entries / self.shared_entries,
+        }
+
+
+@dataclass
+class Fig42Result:
+    rows_data: List[StorageRow]
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [r.as_dict() for r in self.rows_data]
+
+    def summary(self) -> str:
+        return (
+            "Figure 4-2: storage complexity (delay + ttime, 8B entries)\n"
+            + format_table(self.rows())
+        )
+
+
+def model_counts(n: int, g: int) -> StorageRow:
+    """Entry counts for one (fan-in, grid) point."""
+    if n < 2:
+        raise ValueError("storage comparison needs n >= 2")
+    if g < 2:
+        raise ValueError("grid resolution must be >= 2")
+    full = n * g ** (2 * n - 1)
+    all_pairs = n * g + (n * n - n) * g ** 3
+    shared = n * g + n * g ** 3
+    return StorageRow(n, g, full, all_pairs, shared)
+
+
+def run(*, fan_ins: Sequence[int] = (2, 3, 4, 5, 6, 8),
+        grid: int = 8) -> Fig42Result:
+    return Fig42Result([model_counts(n, grid) for n in fan_ins])

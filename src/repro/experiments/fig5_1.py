@@ -1,0 +1,72 @@
+"""E7 -- paper Figure 5-1: the error-distribution histograms.
+
+Renders the Table 5-1 error populations as bar-chart histograms: delay
+errors in 2 % bins, transition-time errors in 5 % bins (matching the
+granularity visible in the paper's charts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..tech import Process
+from .report import ascii_histogram
+from .table5_1 import Table51Result, run as run_table51
+
+__all__ = ["Fig51Result", "run"]
+
+
+@dataclass
+class Fig51Result:
+    validation: Table51Result
+    delay_bin_pct: float = 2.0
+    ttime_bin_pct: float = 5.0
+
+    def delay_histogram(self) -> Dict[str, int]:
+        return _bins(self.validation.delay_errors, self.delay_bin_pct)
+
+    def ttime_histogram(self) -> Dict[str, int]:
+        return _bins(self.validation.ttime_errors, self.ttime_bin_pct)
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for label, count in self.delay_histogram().items():
+            rows.append({"quantity": "delay", "bin_pct": label, "count": count})
+        for label, count in self.ttime_histogram().items():
+            rows.append({"quantity": "ttime", "bin_pct": label, "count": count})
+        return rows
+
+    def summary(self) -> str:
+        return "\n\n".join([
+            ascii_histogram(self.validation.delay_errors,
+                            bin_width=self.delay_bin_pct,
+                            label="Figure 5-1(a): delay error (%)"),
+            ascii_histogram(self.validation.ttime_errors,
+                            bin_width=self.ttime_bin_pct,
+                            label="Figure 5-1(b): output transition-time error (%)"),
+        ])
+
+
+def _bins(values: List[float], width: float) -> Dict[str, int]:
+    data = np.asarray(values)
+    lo = np.floor(data.min() / width) * width
+    hi = np.ceil(data.max() / width) * width
+    if hi <= lo:
+        hi = lo + width
+    edges = np.arange(lo, hi + 0.5 * width, width)
+    counts, _ = np.histogram(data, bins=edges)
+    return {
+        f"[{edges[i]:+.0f},{edges[i+1]:+.0f})": int(c)
+        for i, c in enumerate(counts)
+    }
+
+
+def run(process: Optional[Process] = None, *,
+        validation: Optional[Table51Result] = None,
+        **table51_kwargs) -> Fig51Result:
+    """Histogram the Table 5-1 population (reusing it when provided)."""
+    result = validation or run_table51(process, **table51_kwargs)
+    return Fig51Result(validation=result)

@@ -1,0 +1,124 @@
+"""E8 -- paper Figure 6-1(b): glitch magnitude versus separation.
+
+NAND3 with ``c`` tied to Vdd; ``a`` falls (tau = 500 ps) while ``b``
+rises with tau in {100, 500, 1000} ps.  The minimum output voltage is
+plotted against the separation; the dotted ``V_il`` line marks where the
+output counts as having completed its transition, and its crossing with
+each curve is the minimum valid separation -- the gate's inertial delay
+for that slew pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..inertial import SimulatorGlitchModel, glitch_response, minimum_separation
+from ..tech import Process
+from ..units import parse_quantity
+from ..waveform import Thresholds
+from .common import paper_gate, paper_thresholds
+from .report import format_table, series_plot
+
+__all__ = ["Fig61Curve", "Fig61Result", "run"]
+
+
+@dataclass
+class Fig61Curve:
+    tau_rise: float
+    separations: List[float]
+    vmins: List[float]
+    min_valid_separation: Optional[float]
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [
+            {"sep_ps": s * 1e12, "vmin_V": v}
+            for s, v in zip(self.separations, self.vmins)
+        ]
+
+
+@dataclass
+class Fig61Result:
+    tau_fall: float
+    vil: float
+    curves: List[Fig61Curve]
+
+    def rows(self) -> List[Dict[str, object]]:
+        out: List[Dict[str, object]] = []
+        for curve in self.curves:
+            for row in curve.rows():
+                out.append({"tau_rise_ps": curve.tau_rise * 1e12, **row})
+        return out
+
+    def summary(self) -> str:
+        parts = [
+            f"Figure 6-1(b): glitch magnitude vs separation "
+            f"(a falls, tau_a={self.tau_fall*1e12:.0f}ps; Vil line at "
+            f"{self.vil:.2f}V)"
+        ]
+        for curve in self.curves:
+            ms = ("%.1fps" % (curve.min_valid_separation * 1e12)
+                  if curve.min_valid_separation is not None else "not bracketed")
+            parts.append(
+                f"\n-- tau_b (rise) = {curve.tau_rise*1e12:.0f}ps; "
+                f"minimum valid separation (inertial delay): {ms}"
+            )
+            parts.append(format_table(curve.rows()))
+        all_seps = self.curves[0].separations
+        parts.append(series_plot(
+            [s * 1e12 for s in all_seps],
+            {
+                f"tau_b={c.tau_rise*1e12:.0f}ps": c.vmins
+                for c in self.curves
+            },
+            x_label="separation (ps)", y_label="Vmin (V)",
+        ))
+        return "\n".join(parts)
+
+
+def run(process: Optional[Process] = None, *,
+        tau_fall: float | str = 500e-12,
+        tau_rises: Sequence[float] = (100e-12, 500e-12, 1000e-12),
+        separations: Optional[Sequence[float]] = None,
+        load: float = 100e-15) -> Fig61Result:
+    """Sweep separation for each rise time and locate the V_il crossing.
+
+    Separation here is ``t_blocking - t_causing`` (the falling ``a``
+    relative to the rising ``b``): positive = ``b`` leads, giving the
+    output time to fall.
+    """
+    gate = paper_gate(process, load=load)
+    thresholds = paper_thresholds(process, load=load)
+    tau_fall_s = parse_quantity(tau_fall, unit="s")
+    if separations is None:
+        separations = np.linspace(-300e-12, 1200e-12, 11)
+
+    curves: List[Fig61Curve] = []
+    for tau_rise in tau_rises:
+        tau_rise_s = float(tau_rise)
+        vmins = []
+        for sep in separations:
+            shot = glitch_response(
+                gate, causing="b", blocking="a",
+                tau_causing=tau_rise_s, tau_blocking=tau_fall_s,
+                sep=float(sep), thresholds=thresholds,
+            )
+            vmins.append(shot.extremum)
+        model = SimulatorGlitchModel(gate, "b", "a", thresholds)
+        try:
+            min_sep = minimum_separation(
+                model, tau_rise_s, tau_fall_s, thresholds,
+                lo=float(min(separations)), hi=float(max(separations)),
+            )
+        except MeasurementError:
+            min_sep = None
+        curves.append(Fig61Curve(
+            tau_rise=tau_rise_s,
+            separations=[float(s) for s in separations],
+            vmins=vmins,
+            min_valid_separation=min_sep,
+        ))
+    return Fig61Result(tau_fall=tau_fall_s, vil=thresholds.vil, curves=curves)

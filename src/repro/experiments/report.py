@@ -1,0 +1,113 @@
+"""Plain-text reporting helpers shared by the experiments.
+
+Everything renders to monospaced text so results are readable in a
+terminal, in pytest output and in EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "ascii_histogram", "series_plot", "stat_row"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 *, floatfmt: str = "{:.4g}") -> str:
+    """Align a list of dict rows into a text table.
+
+    Column order follows ``columns`` or the first row's key order.
+    Floats are formatted with ``floatfmt``; everything else with
+    ``str``.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in rendered
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def ascii_histogram(values: Iterable[float], *, bin_width: float,
+                    lo: Optional[float] = None, hi: Optional[float] = None,
+                    width: int = 40, label: str = "") -> str:
+    """A horizontal-bar histogram (the paper's Figure 5-1 style).
+
+    ``bin_width`` sets the bucket size in the same unit as ``values``
+    (percent, for the error distributions).
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return "(no samples)"
+    lo = float(np.floor(data.min() / bin_width) * bin_width) if lo is None else lo
+    hi = float(np.ceil(data.max() / bin_width) * bin_width) if hi is None else hi
+    if hi <= lo:
+        hi = lo + bin_width
+    edges = np.arange(lo, hi + 0.5 * bin_width, bin_width)
+    counts, _ = np.histogram(data, bins=edges)
+    peak = max(int(counts.max()), 1)
+    lines = [f"{label} (n={data.size})"] if label else []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{edges[i]:+7.1f}, {edges[i+1]:+7.1f})  {count:4d}  {bar}")
+    return "\n".join(lines)
+
+
+def series_plot(x: Sequence[float], series: Mapping[str, Sequence[float]], *,
+                width: int = 64, height: int = 16,
+                x_label: str = "x", y_label: str = "y") -> str:
+    """A crude character-grid scatter of several named series."""
+    xs = np.asarray(x, dtype=float)
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    if xs.size == 0 or all_y.size == 0:
+        return "(no data)"
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for (name, ys), marker in zip(series.items(), markers):
+        for xv, yv in zip(xs, np.asarray(ys, dtype=float)):
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = marker
+    lines = [f"{y_label}: {y_lo:.4g} .. {y_hi:.4g}"]
+    lines.extend("|" + "".join(r) for r in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: {x_lo:.4g} .. {x_hi:.4g}   " + "  ".join(
+        f"{m}={n}" for (n, _), m in zip(series.items(), markers)
+    ))
+    return "\n".join(lines)
+
+
+def stat_row(label: str, errors_pct: Sequence[float]) -> Dict[str, object]:
+    """Mean/std/max/min row over percent errors (Table 5-1 layout)."""
+    data = np.asarray(list(errors_pct), dtype=float)
+    return {
+        "quantity": label,
+        "mean_err_pct": float(np.mean(data)),
+        "std_pct": float(np.std(data, ddof=0)),
+        "max_err_pct": float(np.max(data)),
+        "min_err_pct": float(np.min(data)),
+    }

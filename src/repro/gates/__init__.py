@@ -1,0 +1,24 @@
+"""CMOS gate construction.
+
+Gates are described by a *pull-down network expression* -- a
+series/parallel tree over the input names -- from which the complementary
+pull-up network is derived as the dual tree.  :class:`Gate` turns the
+description plus a :class:`~repro.tech.Process` into simulate-ready
+:class:`~repro.spice.Circuit` instances with arbitrary stimuli on each
+input.  Constructors for the standard cells (inverter, NAND-n, NOR-n,
+AOI/OAI) cover everything the paper uses and more.
+"""
+
+from .topology import Leaf, Series, Parallel, dual, leaves, conducts, series_depths
+from .gate import Gate
+
+__all__ = [
+    "Leaf",
+    "Series",
+    "Parallel",
+    "dual",
+    "leaves",
+    "conducts",
+    "series_depths",
+    "Gate",
+]

@@ -1,0 +1,40 @@
+"""Inertial delay as a proximity effect (paper Section 6).
+
+When two inputs of a NAND-class gate switch in *opposite* directions in
+close temporal proximity (``a`` falls while ``b`` rises), the output
+emits a runt glitch instead of completing its transition.  The paper
+models the **minimum output voltage** as a proximity macromodel and
+defines the gate's inertial delay as the minimum separation at which the
+glitch still reaches ``V_il`` -- i.e. at which the output completes a
+valid transition.
+
+This package provides the glitch measurement
+(:func:`~repro.inertial.glitch.glitch_response`), table and simulator
+macromodels of the glitch extremum, the minimum-separation solver, and
+the single-input pulse variant ("for a NAND gate, we can have a rising
+glitch at the output only when the same input first falls and then
+rises").
+"""
+
+from .glitch import (
+    GlitchShot,
+    glitch_response,
+    pulse_response,
+    SimulatorGlitchModel,
+    TableGlitchModel,
+    characterize_glitch,
+    GlitchGrid,
+)
+from .minsep import minimum_separation, minimum_pulse_width
+
+__all__ = [
+    "GlitchShot",
+    "glitch_response",
+    "pulse_response",
+    "SimulatorGlitchModel",
+    "TableGlitchModel",
+    "characterize_glitch",
+    "GlitchGrid",
+    "minimum_separation",
+    "minimum_pulse_width",
+]

@@ -1,0 +1,122 @@
+"""Minimum-separation solvers: inertial delay from the glitch model.
+
+The paper: "From this equation, we find the minimum separation at which
+the magnitude of voltage is equal to V_il.  This is the minimum
+separation between two inputs of opposite transitions that will generate
+a valid output."  The same bisection applied to a single-input pulse
+yields the classic minimum pulse width (inertial delay) of a pin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import MeasurementError, ModelError
+from ..gates import Gate
+from ..units import parse_quantity
+from ..waveform import FALL, Thresholds
+
+__all__ = ["bisect_threshold", "minimum_separation", "minimum_pulse_width"]
+
+
+def bisect_threshold(probe: Callable[[float], float], target: float, *,
+                     lo: float, hi: float, increasing: bool,
+                     tol: float = 1e-13, max_iterations: int = 60) -> float:
+    """Find ``x`` with ``probe(x) == target`` by bisection on ``[lo, hi]``.
+
+    ``increasing`` declares the monotonicity of ``probe`` (glitch depth
+    grows with separation).  Raises when the target is not bracketed.
+    """
+    f_lo = probe(lo) - target
+    f_hi = probe(hi) - target
+    if not increasing:
+        f_lo, f_hi = -f_lo, -f_hi
+        sign = -1.0
+    else:
+        sign = 1.0
+    if f_lo > 0.0:
+        raise MeasurementError(
+            f"target already exceeded at the lower bracket ({lo:g})"
+        )
+    if f_hi < 0.0:
+        raise MeasurementError(
+            f"target never reached within the bracket ([{lo:g}, {hi:g}])"
+        )
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        if hi - lo < tol:
+            return mid
+        value = sign * (probe(mid) - target)
+        if value < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def minimum_separation(model, tau_causing: float | str, tau_blocking: float | str,
+                       thresholds: Thresholds, *, delta1: Optional[float] = None,
+                       lo: float | str = -2e-9, hi: float | str = 5e-9) -> float:
+    """The inertial-delay separation: smallest ``sep`` at which the
+    output completes a valid transition.
+
+    ``model`` is a glitch macromodel
+    (:class:`~repro.inertial.glitch.TableGlitchModel` or
+    :class:`~repro.inertial.glitch.SimulatorGlitchModel`); ``delta1`` is
+    the causing input's single-input delay, required by table models for
+    normalization.
+
+    For a falling output the extremum (minimum voltage) *decreases* with
+    separation toward 0 V and the validity target is ``V_il``; for a
+    rising output it increases toward Vdd with target ``V_ih``.
+    """
+    tau_c = parse_quantity(tau_causing, unit="s")
+    tau_b = parse_quantity(tau_blocking, unit="s")
+    lo_s = parse_quantity(lo, unit="s")
+    hi_s = parse_quantity(hi, unit="s")
+    if model.output_direction == FALL:
+        target = thresholds.vil
+        increasing = False  # vmin falls as sep grows
+    else:
+        target = thresholds.vih
+        increasing = True
+
+    def probe(sep: float) -> float:
+        return model.extremum(tau_c, tau_b, sep, delta1=delta1)
+
+    return bisect_threshold(probe, target, lo=lo_s, hi=hi_s,
+                            increasing=increasing)
+
+
+def minimum_pulse_width(gate: Gate, input_name: str, *, tau_first: float | str,
+                        tau_second: float | str, first_direction: str,
+                        thresholds: Thresholds,
+                        lo: float | str = None, hi: float | str = 5e-9) -> float:
+    """Smallest single-input pulse width that still produces a valid
+    output transition (the pin's inertial delay), found by bisection on
+    direct simulations."""
+    from .glitch import pulse_response
+
+    tau1 = parse_quantity(tau_first, unit="s")
+    tau2 = parse_quantity(tau_second, unit="s")
+    # Edges must not overlap: the ramps consume a threshold-dependent
+    # fraction of each tau; a full tau of spacing is always safe.
+    lo_s = parse_quantity(lo, unit="s") if lo is not None else (tau1 + tau2)
+    hi_s = parse_quantity(hi, unit="s")
+    out_dir = gate.output_direction(first_direction)
+    if out_dir == FALL:
+        target = thresholds.vil
+        increasing = False
+    else:
+        target = thresholds.vih
+        increasing = True
+
+    def probe(width: float) -> float:
+        shot = pulse_response(
+            gate, input_name, width=width, tau_first=tau1, tau_second=tau2,
+            first_direction=first_direction, thresholds=thresholds,
+        )
+        return shot.extremum
+
+    return bisect_threshold(probe, target, lo=lo_s, hi=hi_s,
+                            increasing=increasing, tol=1e-12)

@@ -1,0 +1,32 @@
+"""RC interconnect modeling (an engineering extension beyond the paper).
+
+The paper's experiments drive gates through ideal wires; real nets add
+resistive-capacitive delay and slew degradation that interact with the
+proximity effect (a wire that skews two inputs apart can push them out
+of each other's proximity window).  This package provides:
+
+* :class:`~repro.interconnect.wire.WireSpec` -- per-unit-length R/C wire
+  descriptions with distributed pi-segment expansion for the circuit
+  simulator,
+* :func:`~repro.interconnect.elmore.elmore_delay` /
+  :func:`~repro.interconnect.elmore.elmore_slew` -- first-moment delay
+  and slew estimates over RC trees,
+* :class:`~repro.interconnect.elmore.RcTree` -- generic RC-tree
+  construction for multi-fanout nets.
+
+The timing layer consumes these to annotate nets; the flattener emits
+the same pi models into the transistor-level circuit so that the STA
+annotation and the ground truth stay consistent.
+"""
+
+from .wire import WireSpec, pi_model, emit_wire
+from .elmore import RcTree, elmore_delay, elmore_slew
+
+__all__ = [
+    "WireSpec",
+    "pi_model",
+    "emit_wire",
+    "RcTree",
+    "elmore_delay",
+    "elmore_slew",
+]

@@ -1,0 +1,136 @@
+"""Elmore (first-moment) delay over RC trees.
+
+The Elmore delay from the root of an RC tree to a sink is
+
+    T_D(sink) = sum over nodes k of  R(path(root, sink) ^ path(root, k)) * C_k
+
+i.e. each node's capacitance weighted by the resistance shared between
+its path and the sink's path.  It is the industry-standard first-order
+net delay estimate and upper-bounds the actual 50% delay of an RC tree
+(Gupta et al.); we use it to annotate nets in the proximity STA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import TimingError
+from .wire import WireSpec
+
+__all__ = ["RcTree", "elmore_delay", "elmore_slew"]
+
+
+@dataclass
+class _Node:
+    name: str
+    parent: Optional[str]
+    resistance: float  # from parent
+    capacitance: float
+
+
+class RcTree:
+    """A grounded-capacitance RC tree rooted at a driver node."""
+
+    def __init__(self, root: str = "root") -> None:
+        self._root = root
+        self._nodes: Dict[str, _Node] = {
+            root: _Node(root, None, 0.0, 0.0)
+        }
+        self._children: Dict[str, List[str]] = {root: []}
+
+    @property
+    def root(self) -> str:
+        return self._root
+
+    def add_node(self, name: str, parent: str, *, resistance: float,
+                 capacitance: float) -> None:
+        """Attach ``name`` below ``parent`` through ``resistance`` ohms,
+        with ``capacitance`` farads to ground at the new node."""
+        if name in self._nodes:
+            raise TimingError(f"RC-tree node {name!r} already exists")
+        if parent not in self._nodes:
+            raise TimingError(f"RC-tree parent {parent!r} does not exist")
+        if resistance < 0.0 or capacitance < 0.0:
+            raise TimingError("RC-tree element values must be non-negative")
+        self._nodes[name] = _Node(name, parent, resistance, capacitance)
+        self._children[name] = []
+        self._children[parent].append(name)
+
+    def add_wire(self, name: str, parent: str, wire: WireSpec, *,
+                 segments: int = 1) -> str:
+        """Attach a wire as ``segments`` RC sections; returns the far-end
+        node name (``name`` itself)."""
+        if segments < 1:
+            raise TimingError("a wire needs at least one segment")
+        seg_r = wire.resistance / segments
+        seg_c = wire.capacitance / segments
+        upstream = parent
+        for idx in range(1, segments + 1):
+            node = name if idx == segments else f"{name}.s{idx}"
+            self.add_node(node, upstream, resistance=seg_r, capacitance=seg_c)
+            upstream = node
+        return name
+
+    def add_cap(self, node: str, capacitance: float) -> None:
+        """Add lumped capacitance (e.g. a receiver pin) at a node."""
+        if node not in self._nodes:
+            raise TimingError(f"RC-tree node {node!r} does not exist")
+        if capacitance < 0.0:
+            raise TimingError("capacitance must be non-negative")
+        self._nodes[node].capacitance += capacitance
+
+    # ------------------------------------------------------------------
+    def _path_to_root(self, node: str) -> List[str]:
+        if node not in self._nodes:
+            raise TimingError(f"RC-tree node {node!r} does not exist")
+        path = []
+        cursor: Optional[str] = node
+        while cursor is not None:
+            path.append(cursor)
+            cursor = self._nodes[cursor].parent
+        return path
+
+    def total_capacitance(self) -> float:
+        return sum(n.capacitance for n in self._nodes.values())
+
+    def downstream_capacitance(self, node: str) -> float:
+        """Capacitance at and below ``node`` (used by driver-load models)."""
+        total = self._nodes[node].capacitance
+        for child in self._children[node]:
+            total += self.downstream_capacitance(child)
+        return total
+
+    def elmore(self, sink: str) -> float:
+        """Elmore delay (seconds) from the root to ``sink``.
+
+        Computed as ``sum over path edges of R_edge * C_downstream`` --
+        the standard downstream-capacitance form, equivalent to the
+        shared-resistance formulation.
+        """
+        path = self._path_to_root(sink)
+        delay = 0.0
+        for name in path:
+            node = self._nodes[name]
+            if node.parent is None:
+                continue
+            delay += node.resistance * self.downstream_capacitance(name)
+        return delay
+
+
+def elmore_delay(wire: WireSpec, load: float = 0.0) -> float:
+    """Elmore delay of a single uniform wire driving ``load`` farads.
+
+    For a distributed RC line this is ``R*C/2 + R*C_load`` (the 1/2 is
+    the classic distributed-line factor).
+    """
+    return wire.resistance * (0.5 * wire.capacitance + load)
+
+
+def elmore_slew(wire: WireSpec, load: float = 0.0, *,
+                input_slew: float = 0.0) -> float:
+    """First-order output slew after a wire: quadrature combination of
+    the input slew and the wire's own time constant (the PERI/
+    Bakoglu-style estimate ``sqrt(t_in^2 + (ln9 * T_D)^2)``)."""
+    t_wire = 2.1972245773362196 * elmore_delay(wire, load)  # ln(9)
+    return (input_slew ** 2 + t_wire ** 2) ** 0.5

@@ -1,0 +1,27 @@
+"""Macromodels of gate delay and output transition time.
+
+Two model families, each with a *table* backend (built by
+:mod:`repro.charlib`) and a *simulator* backend (the paper itself used
+HSPICE as the dual-input macromodel in its Section-5 validation):
+
+* **Single-input** (eq. 3.7/3.8): normalized delay ``Delta/tau`` and
+  transition time ``tau_out/tau`` as 1-D functions of the dimensionless
+  drive factor ``u = C_L / (K_n * V_dd * tau)``.
+* **Dual-input** (eq. 3.11/3.12): delay ratio ``Delta2/Delta1`` and
+  transition-time ratio ``tau2/tau1`` as 3-D functions of the normalized
+  temporal parameters ``(tau_i/Delta1, tau_j/Delta1, s_ij/Delta1)`` (and
+  the ``tau1``-normalized analogue for transition time).
+"""
+
+from .base import SingleInputModel, DualInputModel
+from .single import TableSingleInputModel, SimulatorSingleInputModel
+from .dual import TableDualInputModel, SimulatorDualInputModel
+
+__all__ = [
+    "SingleInputModel",
+    "DualInputModel",
+    "TableSingleInputModel",
+    "SimulatorSingleInputModel",
+    "TableDualInputModel",
+    "SimulatorDualInputModel",
+]

@@ -1,0 +1,76 @@
+"""Abstract interfaces of the two macromodel families.
+
+The Section-4 algorithm is written against these interfaces only, so the
+table-backed production models and the simulator-backed oracle models
+(used to reproduce the paper's validation methodology) are freely
+interchangeable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+
+class SingleInputModel(ABC):
+    """Delay and output transition time when one input switches alone.
+
+    Implementations are specific to a (gate, input pin, input direction)
+    triple; the load dependence is carried through the dimensionless
+    drive factor, so ``load`` may differ from the characterization load.
+    """
+
+    #: Input pin this model describes.
+    input_name: str
+    #: Input transition direction ("rise"/"fall").
+    direction: str
+
+    @abstractmethod
+    def delay(self, tau: float, load: Optional[float] = None) -> float:
+        """Propagation delay ``Delta^(1)`` in seconds for input
+        transition time ``tau`` (full-swing seconds) into ``load``
+        farads (``None`` = the gate's characterization load)."""
+
+    @abstractmethod
+    def ttime(self, tau: float, load: Optional[float] = None) -> float:
+        """Output transition time ``tau^(1)`` in seconds (full-swing)."""
+
+
+class DualInputModel(ABC):
+    """The paper's three-argument dual-input proximity macromodel.
+
+    Implementations are specific to an *ordered* pair ``(reference,
+    other)`` of input pins and a shared transition direction.  The
+    reference must be the **dominant** input (its single-input output
+    crossing is earliest); enforcing dominance is the caller's job (see
+    :mod:`repro.core.dominance`).
+    """
+
+    #: Reference (dominant) input pin.
+    reference: str
+    #: The other switching pin.
+    other: str
+    #: Shared input transition direction.
+    direction: str
+
+    @abstractmethod
+    def delay_ratio(self, tau_ref: float, tau_other: float, sep: float, *,
+                    delta1: float, load: Optional[float] = None) -> float:
+        """``Delta^(2) / Delta^(1)`` (eq. 3.11).
+
+        Arguments are *physical* (seconds); ``delta1`` is the reference
+        input's single-input delay used for normalization.  Returns the
+        dimensionless delay ratio.
+        """
+
+    @abstractmethod
+    def ttime_ratio(self, tau_ref: float, tau_other: float, sep: float, *,
+                    tau1: float, delta1: float,
+                    load: Optional[float] = None) -> float:
+        """``tau^(2) / tau^(1)`` (eq. 3.12).
+
+        ``tau1`` is the reference input's single-input output transition
+        time (the ratio's denominator); ``delta1`` its single-input
+        delay, passed so table backends can share the delay model's
+        normalized coordinate system (see :mod:`repro.models.dual`).
+        """

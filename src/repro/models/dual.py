@@ -1,0 +1,176 @@
+"""Dual-input proximity macromodels (paper eq. 3.11 / 3.12).
+
+The delay form is
+
+    Delta^(2)/Delta^(1) = D^(2)( tau_i/Delta1, tau_j/Delta1, s_ij/Delta1 )
+
+with *i* the dominant (reference) input; the transition-time form
+returns ``tau^(2)/tau^(1)``.  The table backend stores rectangular grids
+**in normalized coordinates** -- this is exactly the dimensional-analysis
+collapse, and it is what lets a table built at the characterization load
+serve other loads.
+
+One deliberate deviation from the paper's notation: eq. 3.12 normalizes
+the transition-time model's *arguments* by ``tau^(1)``; we normalize the
+arguments of both tables by ``Delta^(1)`` (the returned ratio is still
+``tau2/tau1``).  Any fixed time scale gives an equally valid
+three-argument reduction, and sharing one coordinate system lets a
+single simulation sweep fill both tables.  DESIGN.md records this.
+
+The simulator backend plays the role HSPICE played in the paper's own
+validation: it answers each query with a two-input transient simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.interpolate import RegularGridInterpolator
+
+from ..errors import ModelError
+from ..waveform import Edge
+from .base import DualInputModel
+
+__all__ = ["TableDualInputModel", "SimulatorDualInputModel"]
+
+
+def _clamped_interpolator(axes, table):
+    """Trilinear interpolation that clamps queries to the grid hull.
+
+    Clamping (rather than extrapolating) is the right behaviour at the
+    grid edges: beyond the proximity window the ratios saturate at 1, and
+    the grids are built to cover the window with margin.
+    """
+    interp = RegularGridInterpolator(
+        axes, table, method="linear", bounds_error=False, fill_value=None,
+    )
+    lows = np.array([axis[0] for axis in axes])
+    highs = np.array([axis[-1] for axis in axes])
+
+    def evaluate(point: np.ndarray) -> float:
+        clamped = np.minimum(np.maximum(point, lows), highs)
+        return float(interp(clamped[None, :])[0])
+
+    return evaluate
+
+
+class TableDualInputModel(DualInputModel):
+    """Trilinear interpolation over one normalized (a1, a2, a3) grid.
+
+    ``axes`` are the ``tau_ref/Delta1``, ``tau_other/Delta1`` and
+    ``sep/Delta1`` axis arrays shared by both tables; ``delay_table``
+    holds ``Delta2/Delta1`` and ``ttime_table`` holds ``tau2/tau1``.
+    """
+
+    def __init__(self, reference: str, other: str, direction: str,
+                 axes: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                 delay_table: np.ndarray, ttime_table: np.ndarray) -> None:
+        self.reference = reference
+        self.other = other
+        self.direction = direction
+        self.axes = tuple(np.asarray(a, dtype=float) for a in axes)
+        self._delay_table = np.asarray(delay_table, dtype=float)
+        self._ttime_table = np.asarray(ttime_table, dtype=float)
+        shape = tuple(len(a) for a in self.axes)
+        for table, label in ((self._delay_table, "delay"), (self._ttime_table, "ttime")):
+            if table.shape != shape:
+                raise ModelError(
+                    f"{label} table shape {table.shape} does not match axes {shape}"
+                )
+        for axis in self.axes:
+            if axis.size < 2 or np.any(np.diff(axis) <= 0):
+                raise ModelError("axes must be strictly increasing with >= 2 points")
+        self._delay_eval = _clamped_interpolator(self.axes, self._delay_table)
+        self._ttime_eval = _clamped_interpolator(self.axes, self._ttime_table)
+
+    def _point(self, tau_ref: float, tau_other: float, sep: float,
+               delta1: float) -> np.ndarray:
+        if delta1 <= 0.0:
+            raise ModelError(f"delta1 must be positive, got {delta1}")
+        return np.array([tau_ref / delta1, tau_other / delta1, sep / delta1])
+
+    def delay_ratio(self, tau_ref: float, tau_other: float, sep: float, *,
+                    delta1: float, load: Optional[float] = None) -> float:
+        return self._delay_eval(self._point(tau_ref, tau_other, sep, delta1))
+
+    def ttime_ratio(self, tau_ref: float, tau_other: float, sep: float, *,
+                    tau1: float, delta1: float,
+                    load: Optional[float] = None) -> float:
+        if tau1 <= 0.0:
+            raise ModelError(f"tau1 must be positive, got {tau1}")
+        return self._ttime_eval(self._point(tau_ref, tau_other, sep, delta1))
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "reference": self.reference,
+            "other": self.other,
+            "direction": self.direction,
+            "axes": [a.tolist() for a in self.axes],
+            "delay_table": self._delay_table.tolist(),
+            "ttime_table": self._ttime_table.tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TableDualInputModel":
+        return cls(
+            payload["reference"], payload["other"], payload["direction"],
+            tuple(np.asarray(a) for a in payload["axes"]),
+            np.asarray(payload["delay_table"]),
+            np.asarray(payload["ttime_table"]),
+        )
+
+
+class SimulatorDualInputModel(DualInputModel):
+    """Answers dual-input queries with two-input transient simulations.
+
+    This reproduces the paper's Section-5 setup verbatim: "We used HSPICE
+    as the macromodel for processing the dual-input case."  Queries are
+    memoized on femtosecond-rounded arguments.
+    """
+
+    def __init__(self, gate, reference: str, other: str, direction: str,
+                 thresholds) -> None:
+        self.gate = gate
+        self.reference = reference
+        self.other = other
+        self.direction = direction
+        self.thresholds = thresholds
+        self._memo: Dict[Tuple[int, int, int, int], Tuple[float, float]] = {}
+
+    def _simulate(self, tau_ref: float, tau_other: float, sep: float,
+                  load: Optional[float]) -> Tuple[float, float]:
+        from ..charlib.simulate import multi_input_response
+
+        cl = self.gate.load if load is None else float(load)
+        key = (
+            round(tau_ref * 1e15), round(tau_other * 1e15),
+            round(sep * 1e15), round(cl * 1e18),
+        )
+        if key not in self._memo:
+            edges = {
+                self.reference: Edge(self.direction, 0.0, tau_ref),
+                self.other: Edge(self.direction, sep, tau_other),
+            }
+            shot = multi_input_response(
+                self.gate, edges, self.thresholds,
+                reference=self.reference, load=cl,
+            )
+            self._memo[key] = (shot.delay, shot.out_ttime)
+        return self._memo[key]
+
+    def delay_ratio(self, tau_ref: float, tau_other: float, sep: float, *,
+                    delta1: float, load: Optional[float] = None) -> float:
+        if delta1 <= 0.0:
+            raise ModelError(f"delta1 must be positive, got {delta1}")
+        delay2, _ = self._simulate(tau_ref, tau_other, sep, load)
+        return delay2 / delta1
+
+    def ttime_ratio(self, tau_ref: float, tau_other: float, sep: float, *,
+                    tau1: float, delta1: float,
+                    load: Optional[float] = None) -> float:
+        if tau1 <= 0.0:
+            raise ModelError(f"tau1 must be positive, got {tau1}")
+        _, ttime2 = self._simulate(tau_ref, tau_other, sep, load)
+        return ttime2 / tau1

@@ -1,0 +1,144 @@
+"""DC operating point and DC sweeps.
+
+The operating point drives Section 2 of the reproduction: VTC families
+are DC sweeps of an input source, solved by continuation (each point
+warm-starts from the previous solution).  The solver escalates through
+the standard SPICE homotopies when plain Newton fails:
+
+1. plain Newton from the supplied (or mid-rail) initial guess,
+2. **gmin stepping** -- solve with a large leak conductance and relax it
+   decade by decade,
+3. **source stepping** -- ramp all sources from zero (where ``x = 0``
+   solves trivially) to full value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .engine import NewtonOptions, newton_solve
+from .netlist import Circuit, CompiledCircuit
+from .results import SweepResult
+
+__all__ = ["OperatingPoint", "solve_dc", "dc_sweep"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A solved DC operating point: node name -> voltage."""
+
+    voltages: Dict[str, float]
+
+    def __getitem__(self, node: str) -> float:
+        return self.voltages[node]
+
+    def as_vector(self, compiled: CompiledCircuit) -> np.ndarray:
+        """The unknown-node voltages in the compiled ordering."""
+        return np.array([self.voltages[name] for name in compiled.unknown_names])
+
+
+def _gmin_stepping(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
+                   options: NewtonOptions, time: float) -> np.ndarray:
+    x = np.array(x0, dtype=float)
+    gmin = 1e-2
+    while gmin >= options.gmin:
+        x = newton_solve(compiled, x, known, options=options, gmin=gmin, time=time)
+        gmin /= 10.0
+    return newton_solve(compiled, x, known, options=options, time=time)
+
+
+def _source_stepping(compiled: CompiledCircuit, known: np.ndarray,
+                     options: NewtonOptions, time: float) -> np.ndarray:
+    x = np.zeros(compiled.n_unknown)
+    for scale in np.linspace(0.1, 1.0, 10):
+        x = newton_solve(
+            compiled, x, known, options=options, time=time,
+            source_scale=float(scale),
+        )
+    return x
+
+
+def solve_dc(circuit: Circuit | CompiledCircuit, *,
+             initial_guess: Optional[Dict[str, float]] = None,
+             time: float = 0.0,
+             options: Optional[NewtonOptions] = None) -> OperatingPoint:
+    """Solve the DC operating point with sources evaluated at ``time``.
+
+    Capacitors are open circuits.  ``initial_guess`` maps node names to
+    starting voltages; unlisted unknowns start mid-range of the known
+    voltages, which works well for CMOS structures.
+    """
+    compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
+    opts = options or NewtonOptions()
+    known = compiled.known_voltages(time)
+    mid = 0.5 * (float(known.max()) + float(known.min()))
+    x0 = np.full(compiled.n_unknown, mid)
+    if initial_guess:
+        for idx, name in enumerate(compiled.unknown_names):
+            if name in initial_guess:
+                x0[idx] = initial_guess[name]
+
+    try:
+        x = newton_solve(compiled, x0, known, options=opts, time=time)
+    except ConvergenceError:
+        try:
+            x = _gmin_stepping(compiled, x0, known, opts, time)
+        except ConvergenceError:
+            x = _source_stepping(compiled, known, opts, time)
+
+    voltages = {name: float(x[idx]) for idx, name in enumerate(compiled.unknown_names)}
+    voltages["0"] = 0.0
+    for kidx, name in enumerate(compiled._known_names[1:], start=1):
+        voltages[name] = float(known[kidx])
+    return OperatingPoint(voltages)
+
+
+def dc_sweep(circuit: Circuit, source: str | Sequence[str],
+             values: Sequence[float] | np.ndarray,
+             *, record: Optional[Iterable[str]] = None,
+             options: Optional[NewtonOptions] = None) -> SweepResult:
+    """Sweep one or more voltage sources together over ``values``.
+
+    Passing several source names drives them in lockstep -- this is how
+    VTCs "when k inputs switch together" (paper Figure 2-1) are
+    extracted.  ``record`` selects which nodes to keep (default: every
+    node).  Each point warm-starts from the previous solution, which
+    tracks the steep transition region of a VTC reliably.
+    """
+    grid = np.asarray(values, dtype=float)
+    if grid.ndim != 1 or grid.size < 2:
+        raise ConvergenceError("dc_sweep requires a 1-D grid of at least 2 points")
+    source_names = [source] if isinstance(source, str) else list(source)
+    if not source_names:
+        raise ConvergenceError("dc_sweep requires at least one source name")
+    nodes = [circuit.source_node(name) for name in source_names]
+
+    opts = options or NewtonOptions()
+    recorded = list(record) if record is not None else None
+    samples: Dict[str, list[float]] = {}
+    guess: Optional[Dict[str, float]] = None
+    originals = {name: circuit._vsources[name] for name in source_names}
+    try:
+        for value in grid:
+            for name in source_names:
+                circuit.replace_vsource(name, float(value))
+            compiled = circuit.compile()
+            op = solve_dc(compiled, initial_guess=guess, options=opts)
+            guess = {name: op[name] for name in compiled.unknown_names}
+            names = recorded if recorded is not None else list(op.voltages)
+            for name in names:
+                samples.setdefault(name, []).append(op.voltages[name])
+    finally:
+        for name, original in originals.items():
+            circuit._vsources[name] = original
+    for node in nodes:
+        samples.setdefault(node, list(grid))
+    return SweepResult(
+        sweep_source=",".join(source_names),
+        sweep_values=grid,
+        voltages={name: np.asarray(vals) for name, vals in samples.items()},
+    )

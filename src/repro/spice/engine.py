@@ -1,0 +1,175 @@
+"""Nonlinear system assembly and the damped Newton solver.
+
+Both analyses reduce each solve to the same shape: find the unknown node
+voltages ``x`` such that KCL holds at every unknown node,
+
+    F_i(x) = sum of currents leaving node i = 0.
+
+DC analysis stamps only resistive elements (plus ``gmin`` leaks);
+transient analysis additionally passes *companion stamps* for the
+capacitors (Norton equivalents of the implicit integration rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .mosfet import mosfet_current
+from .netlist import CompiledCircuit
+
+__all__ = ["NewtonOptions", "CapStamp", "assemble_system", "newton_solve"]
+
+#: Companion-model stamp for one capacitor: current (a -> b) is
+#: ``geq * (va - vb) - ieq``.
+CapStamp = Tuple[int, int, float, float]
+
+
+@dataclass(frozen=True)
+class NewtonOptions:
+    """Knobs of the damped Newton iteration.
+
+    ``abstol`` is the KCL residual tolerance in amperes, ``voltol`` the
+    voltage-update tolerance in volts, ``max_step`` the per-iteration
+    voltage damping limit (SPICE-style limiting), and ``gmin`` the
+    convergence-aid conductance from every unknown node to ground.
+    """
+
+    abstol: float = 1e-9
+    voltol: float = 1e-6
+    max_iterations: int = 60
+    max_step: float = 0.6
+    gmin: float = 1e-12
+
+
+def assemble_system(compiled: CompiledCircuit, x: np.ndarray, known: np.ndarray,
+                    *, gmin: float, time: float = 0.0,
+                    cap_stamps: Optional[Sequence[CapStamp]] = None,
+                    source_scale: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate the KCL residual ``F`` and Jacobian ``J = dF/dx``.
+
+    ``known`` holds the known-node voltages (ground first); it is scaled
+    by ``source_scale`` to support source stepping.  ``cap_stamps`` adds
+    the transient companion models.
+    """
+    n = compiled.n_unknown
+    F = np.zeros(n)
+    J = np.zeros((n, n))
+    if source_scale != 1.0:
+        known = known * source_scale
+
+    def v_of(slot: int) -> float:
+        if slot >= 0:
+            return float(x[slot])
+        return float(known[-slot - 1])
+
+    # gmin leaks to ground stabilize floating regions (e.g. a series
+    # stack whose transistors are all off).
+    F += gmin * x
+    J[np.diag_indices(n)] += gmin
+
+    for a, b, g in compiled.resistors:
+        va, vb = v_of(a), v_of(b)
+        current = g * (va - vb)
+        if a >= 0:
+            F[a] += current
+            J[a, a] += g
+            if b >= 0:
+                J[a, b] -= g
+        if b >= 0:
+            F[b] -= current
+            J[b, b] += g
+            if a >= 0:
+                J[b, a] -= g
+
+    for a, b, fn in compiled.isources:
+        current = fn(time) * source_scale
+        if a >= 0:
+            F[a] += current
+        if b >= 0:
+            F[b] -= current
+
+    for d, g_node, s, params, k in compiled.mosfets:
+        vd, vg, vs = v_of(d), v_of(g_node), v_of(s)
+        i_d, di_dvd, di_dvg, di_dvs = mosfet_current(params, k, vg, vd, vs)
+        # i_d enters the drain terminal from the node -> leaves node d.
+        if d >= 0:
+            F[d] += i_d
+            J[d, d] += di_dvd
+            if g_node >= 0:
+                J[d, g_node] += di_dvg
+            if s >= 0:
+                J[d, s] += di_dvs
+        if s >= 0:
+            F[s] -= i_d
+            J[s, s] -= di_dvs
+            if d >= 0:
+                J[s, d] -= di_dvd
+            if g_node >= 0:
+                J[s, g_node] -= di_dvg
+
+    if cap_stamps is not None:
+        for a, b, geq, ieq in cap_stamps:
+            va, vb = v_of(a), v_of(b)
+            current = geq * (va - vb) - ieq
+            if a >= 0:
+                F[a] += current
+                J[a, a] += geq
+                if b >= 0:
+                    J[a, b] -= geq
+            if b >= 0:
+                F[b] -= current
+                J[b, b] += geq
+                if a >= 0:
+                    J[b, a] -= geq
+
+    return F, J
+
+
+def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
+                 *, options: NewtonOptions, gmin: Optional[float] = None,
+                 time: float = 0.0,
+                 cap_stamps: Optional[Sequence[CapStamp]] = None,
+                 source_scale: float = 1.0) -> np.ndarray:
+    """Damped Newton-Raphson solve of the KCL system.
+
+    Raises :class:`~repro.errors.ConvergenceError` when the iteration
+    fails; callers (gmin stepping, transient step halving) catch it and
+    retry on an easier problem.
+    """
+    x = np.array(x0, dtype=float)
+    effective_gmin = options.gmin if gmin is None else gmin
+    last_residual = np.inf
+    for iteration in range(1, options.max_iterations + 1):
+        F, J = assemble_system(
+            compiled, x, known, gmin=effective_gmin, time=time,
+            cap_stamps=cap_stamps, source_scale=source_scale,
+        )
+        residual = float(np.max(np.abs(F)))
+        try:
+            dx = np.linalg.solve(J, -F)
+        except np.linalg.LinAlgError:
+            # Singular Jacobian: nudge with a stronger diagonal and retry.
+            J = J + np.eye(compiled.n_unknown) * max(effective_gmin, 1e-9)
+            try:
+                dx = np.linalg.solve(J, -F)
+            except np.linalg.LinAlgError:
+                raise ConvergenceError(
+                    "singular Jacobian during Newton iteration",
+                    iterations=iteration, residual=residual,
+                ) from None
+        step = float(np.max(np.abs(dx)))
+        if step > options.max_step:
+            dx *= options.max_step / step
+        x += dx
+        if step < options.voltol and residual < options.abstol:
+            return x
+        last_residual = residual
+    raise ConvergenceError(
+        f"Newton failed to converge in {options.max_iterations} iterations "
+        f"(residual {last_residual:.3e} A)",
+        iterations=options.max_iterations, residual=last_residual,
+    )

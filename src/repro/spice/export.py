@@ -1,0 +1,136 @@
+"""SPICE-deck export of :class:`~repro.spice.Circuit` netlists.
+
+Writes a standard ``.sp`` deck (HSPICE/ngspice-compatible syntax) so
+users with access to a production simulator can cross-validate this
+library's built-in engine on the exact same circuits -- the closest a
+reproduction can get to the paper's original HSPICE runs.
+
+Covered elements: Level-1 MOSFETs (with generated ``.MODEL`` cards),
+resistors, capacitors, DC and PWL voltage sources, DC current sources,
+and a ``.TRAN`` line when a stop time is given.  Alpha-power-law devices
+have no standard-SPICE equivalent; they export as Level-1 cards with a
+warning comment (set ``strict=True`` to raise instead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import NetlistError
+from ..tech import MosfetParams
+from ..units import parse_quantity
+from ..waveform import Pwl
+from .netlist import Circuit
+
+__all__ = ["to_spice", "write_spice"]
+
+
+def _fmt(value: float) -> str:
+    """SPICE-friendly number formatting (plain exponent notation)."""
+    return f"{value:.6g}"
+
+
+def _node(name: str) -> str:
+    """SPICE node token: ground maps to 0; dots are legal in most
+    dialects but we normalize to underscores for maximum portability."""
+    if Circuit.is_ground(name):
+        return "0"
+    return name.replace(".", "_")
+
+
+def _source_card(name: str, node: str, spec, *, strict: bool) -> str:
+    if isinstance(spec, Pwl):
+        pairs = " ".join(
+            f"{_fmt(float(t))} {_fmt(float(v))}"
+            for t, v in zip(spec.times, spec.values)
+        )
+        return f"V{name} {_node(node)} 0 PWL({pairs})"
+    if callable(spec):
+        if strict:
+            raise NetlistError(
+                f"source {name!r} is a Python callable; it has no SPICE form"
+            )
+        return f"* V{name}: python-callable source omitted"
+    level = parse_quantity(spec, unit="V")
+    return f"V{name} {_node(node)} 0 DC {_fmt(level)}"
+
+
+def _model_cards(circuit: Circuit, *, strict: bool) -> Dict[MosfetParams, str]:
+    """One ``.MODEL`` card name per distinct device-parameter set."""
+    models: Dict[MosfetParams, str] = {}
+    counters = {"nmos": 0, "pmos": 0}
+    for mosfet in circuit.mosfets:
+        params = mosfet.params
+        if params in models:
+            continue
+        if params.model == "alpha" and strict:
+            raise NetlistError(
+                "alpha-power-law devices have no standard SPICE model; "
+                "export with strict=False to approximate with LEVEL=1"
+            )
+        counters[params.polarity] += 1
+        models[params] = f"{params.polarity}{counters[params.polarity]}"
+    return models
+
+
+def to_spice(circuit: Circuit, *, t_stop: Optional[float | str] = None,
+             t_step: Optional[float | str] = None,
+             strict: bool = False) -> str:
+    """Render the circuit as a SPICE deck string."""
+    lines: List[str] = [f"* {circuit.name} -- exported by repro"]
+
+    models = _model_cards(circuit, strict=strict)
+    for params, model_name in models.items():
+        if params.model == "alpha":
+            lines.append(
+                f"* WARNING: {model_name} approximates an alpha-power "
+                f"device (alpha={params.alpha}) with LEVEL=1"
+            )
+        lines.append(
+            f".MODEL {model_name} {params.polarity.upper()} (LEVEL=1 "
+            f"VTO={_fmt(params.vt0)} KP={_fmt(params.kp)} "
+            f"LAMBDA={_fmt(params.lam)})"
+        )
+
+    for mosfet in circuit.mosfets:
+        lines.append(
+            f"M{mosfet.name.replace('.', '_')} "
+            f"{_node(mosfet.drain)} {_node(mosfet.gate)} "
+            f"{_node(mosfet.source)} {_node(mosfet.bulk)} "
+            f"{models[mosfet.params]} W={_fmt(mosfet.width)} "
+            f"L={_fmt(mosfet.length)}"
+        )
+    for r in circuit._resistors:
+        lines.append(
+            f"R{r.name.replace('.', '_')} {_node(r.a)} {_node(r.b)} "
+            f"{_fmt(r.resistance)}"
+        )
+    for c in circuit._capacitors:
+        lines.append(
+            f"C{c.name.replace('.', '_')} {_node(c.a)} {_node(c.b)} "
+            f"{_fmt(c.capacitance)}"
+        )
+    for name in circuit.vsource_names:
+        src = circuit._vsources[name]
+        lines.append(_source_card(name.replace(".", "_"), src.node, src.spec,
+                                  strict=strict))
+    for i in circuit._isources:
+        lines.append(
+            f"I{i.name.replace('.', '_')} {_node(i.a)} {_node(i.b)} "
+            f"DC {_fmt(i.value(0.0))}"
+        )
+
+    if t_stop is not None:
+        stop = parse_quantity(t_stop, unit="s")
+        step = (parse_quantity(t_step, unit="s") if t_step is not None
+                else stop / 1000.0)
+        lines.append(f".TRAN {_fmt(step)} {_fmt(stop)}")
+    lines.append(".END")
+    return "\n".join(lines) + "\n"
+
+
+def write_spice(circuit: Circuit, path, **kwargs) -> None:
+    """Write :func:`to_spice` output to ``path``."""
+    deck = to_spice(circuit, **kwargs)
+    with open(path, "w") as handle:
+        handle.write(deck)

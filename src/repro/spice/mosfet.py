@@ -1,0 +1,173 @@
+"""Level-1 (Shichman-Hodges) MOSFET evaluation.
+
+The model is the classic square-law card with channel-length modulation:
+
+* cutoff   (``v_ov <= 0``):        ``i_ds = 0``
+* triode   (``0 < v_ds < v_ov``):  ``i_ds = K (2 v_ov v_ds - v_ds^2)(1 + lam v_ds)``
+* saturation (``v_ds >= v_ov``):   ``i_ds = K v_ov^2 (1 + lam v_ds)``
+
+with ``K = (kp/2)(W/L)`` -- exactly the *strength* parameter the paper's
+macromodels are expressed in.  The device is symmetric: for ``v_ds < 0``
+drain and source are swapped internally.  PMOS devices are evaluated by
+polarity reflection.  Current and its first derivative are continuous at
+the triode/saturation boundary; the only derivative kink is at
+``v_ov = 0``, which the damped Newton solver handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tech import MosfetParams
+
+__all__ = ["nmos_like_current", "mosfet_current", "MosfetInstance"]
+
+
+def nmos_like_current(k: float, vt: float, lam: float,
+                      vgs: float, vds: float) -> tuple[float, float, float]:
+    """Square-law current for an NMOS-convention device.
+
+    Returns ``(ids, gm, gds)`` where ``ids`` flows drain -> source,
+    ``gm = d ids / d vgs`` and ``gds = d ids / d vds``.  Handles
+    ``vds < 0`` by source/drain symmetry.
+    """
+    if vds < 0.0:
+        # Swap drain and source: I(vgs, vds) = -I'(vgs - vds, -vds).
+        ids, gm_s, gds_s = nmos_like_current(k, vt, lam, vgs - vds, -vds)
+        # d/dvgs [-I'(vgs-vds, -vds)] = -gm_s
+        # d/dvds [-I'(vgs-vds, -vds)] = gm_s + gds_s
+        return -ids, -gm_s, gm_s + gds_s
+
+    vov = vgs - vt
+    if vov <= 0.0:
+        return 0.0, 0.0, 0.0
+    clm = 1.0 + lam * vds
+    if vds < vov:
+        # Triode region.
+        core = 2.0 * vov * vds - vds * vds
+        ids = k * core * clm
+        gm = 2.0 * k * vds * clm
+        gds = k * (2.0 * vov - 2.0 * vds) * clm + k * core * lam
+    else:
+        # Saturation.
+        core = vov * vov
+        ids = k * core * clm
+        gm = 2.0 * k * vov * clm
+        gds = k * core * lam
+    return ids, gm, gds
+
+
+def alpha_power_current(k: float, vt: float, lam: float, alpha: float,
+                        vgs: float, vds: float) -> tuple[float, float, float]:
+    """Sakurai-Newton alpha-power-law current (NMOS convention).
+
+    * saturation (``vds >= vdsat``): ``i = K v_ov^alpha (1 + lam vds)``
+    * linear (``vds < vdsat``):      ``i = i_sat0 (2u - u^2)(1 + lam vds)``
+      with ``u = vds / vdsat`` and ``vdsat = v_ov^(alpha/2)`` (volts;
+      the Sakurai VD0 with unit coefficient, which reduces exactly to
+      the square law at ``alpha = 2``).
+
+    Current and first derivatives are continuous at the region boundary;
+    returns ``(ids, gm, gds)`` like :func:`nmos_like_current`.
+    """
+    if vds < 0.0:
+        ids, gm_s, gds_s = alpha_power_current(k, vt, lam, alpha,
+                                               vgs - vds, -vds)
+        return -ids, -gm_s, gm_s + gds_s
+
+    vov = vgs - vt
+    if vov <= 0.0:
+        return 0.0, 0.0, 0.0
+    clm = 1.0 + lam * vds
+    i_sat0 = k * vov ** alpha
+    vdsat = vov ** (0.5 * alpha)
+    if vds >= vdsat:
+        ids = i_sat0 * clm
+        gm = alpha * k * vov ** (alpha - 1.0) * clm
+        gds = i_sat0 * lam
+        return ids, gm, gds
+    u = vds / vdsat
+    core = 2.0 * u - u * u
+    ids = i_sat0 * core * clm
+    # d core/d vgs through u's vdsat dependence collapses neatly:
+    # gm = alpha K vov^(alpha-1) u (see DESIGN notes; equals the square
+    # law's 2 K vds at alpha = 2).
+    gm = alpha * k * vov ** (alpha - 1.0) * u * clm
+    gds = i_sat0 * ((2.0 - 2.0 * u) / vdsat * clm + core * lam)
+    return ids, gm, gds
+
+
+def channel_current(params: MosfetParams, k: float, vgs: float,
+                    vds: float) -> tuple[float, float, float]:
+    """Dispatch to the configured channel model (NMOS convention)."""
+    if params.model == "alpha":
+        return alpha_power_current(k, abs(params.vt0), params.lam,
+                                   params.alpha, vgs, vds)
+    return nmos_like_current(k, abs(params.vt0), params.lam, vgs, vds)
+
+
+def mosfet_current(params: MosfetParams, k: float,
+                   vg: float, vd: float, vs: float) -> tuple[float, float, float, float]:
+    """Terminal current of an N- or P-MOSFET.
+
+    Returns ``(i_d, di_d/dvd, di_d/dvg, di_d/dvs)`` where ``i_d`` is the
+    current flowing *into* the drain terminal (and out of the source; the
+    gate draws none).  ``k`` is the paper-convention strength K.
+    """
+    if params.is_nmos:
+        ids, gm, gds = channel_current(params, k, vg - vs, vd - vs)
+        return ids, gds, gm, -(gm + gds)
+    # PMOS: reflect voltages.  i_d(PMOS) = -I_nmos_like(vsg - |vt|, vsd)
+    # evaluated with vgs' = -(vg - vs), vds' = -(vd - vs).
+    ids, gm, gds = channel_current(params, k, -(vg - vs), -(vd - vs))
+    i_d = -ids
+    # Chain rule through the sign flips:
+    #   d i_d / d vg = -gm * d vgs'/d vg = -gm * (-1) = gm  -> negated once more
+    di_dvg = gm
+    di_dvd = gds
+    di_dvs = -(gm + gds)
+    return i_d, di_dvd, di_dvg, di_dvs
+
+
+@dataclass(frozen=True)
+class MosfetInstance:
+    """A MOSFET placed in a circuit.
+
+    Terminals are node names; ``width``/``length`` are metres.  The bulk
+    terminal only anchors the parasitic junction capacitances (the
+    Level-1 card has no body effect), so it is typically ground for NMOS
+    and the supply node for PMOS.
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    bulk: str
+    params: MosfetParams
+    width: float
+    length: float
+
+    @property
+    def k(self) -> float:
+        """Strength K = (kp/2)(W/L) in A/V^2."""
+        return self.params.strength(self.width, self.length)
+
+    def parasitic_caps(self) -> list[tuple[str, str, str, float]]:
+        """Linear parasitic capacitors implied by the geometry.
+
+        Returns ``(cap_name, node_a, node_b, farads)`` tuples: gate-source
+        and gate-drain overlap plus drain/source junction capacitance to
+        bulk.  Zero-valued entries are omitted.
+        """
+        caps = []
+        w = self.width
+        p = self.params
+        if p.cgs_per_width > 0.0:
+            caps.append((f"{self.name}.cgs", self.gate, self.source, p.cgs_per_width * w))
+        if p.cgd_per_width > 0.0:
+            caps.append((f"{self.name}.cgd", self.gate, self.drain, p.cgd_per_width * w))
+        if p.cj_per_width > 0.0:
+            caps.append((f"{self.name}.cdb", self.drain, self.bulk, p.cj_per_width * w))
+            caps.append((f"{self.name}.csb", self.source, self.bulk, p.cj_per_width * w))
+        return caps

@@ -1,0 +1,321 @@
+"""Circuit netlist construction and compilation.
+
+A :class:`Circuit` is built imperatively (``add_mosfet``,
+``add_capacitor``, ``add_vsource``...) and then *compiled* into a
+:class:`CompiledCircuit`: a flat, index-based description that the DC and
+transient engines evaluate.  Compilation partitions nodes into
+
+* **known** nodes -- ground and every source-driven node, whose voltage
+  is a function of time, and
+* **unknown** nodes -- everything else, solved by KCL.
+
+Restricting voltage sources to node-to-ground keeps the formulation
+purely nodal; gate characterization never needs floating sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import NetlistError
+from ..tech import MosfetParams
+from ..units import parse_quantity
+from ..waveform import Pwl
+from .mosfet import MosfetInstance
+
+__all__ = ["GROUND_NAMES", "Circuit", "CompiledCircuit"]
+
+#: Node names treated as the global reference (0 V).
+GROUND_NAMES = frozenset({"0", "gnd", "gnd!", "vss", "ground"})
+
+SourceValue = Union[float, str, Pwl, Callable[[float], float]]
+
+
+@dataclass(frozen=True)
+class _Resistor:
+    name: str
+    a: str
+    b: str
+    resistance: float
+
+
+@dataclass(frozen=True)
+class _Capacitor:
+    name: str
+    a: str
+    b: str
+    capacitance: float
+
+
+@dataclass(frozen=True)
+class _CurrentSource:
+    """Current ``value`` flows from node ``a`` into node ``b``."""
+
+    name: str
+    a: str
+    b: str
+    value: Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class _VoltageSource:
+    """Grounded voltage source driving ``node`` to ``value(t)`` volts.
+
+    ``spec`` retains the original user-facing description (a number, a
+    :class:`~repro.waveform.Pwl`, or a callable) so exporters can write
+    it back out; the engines only use ``value``/``breakpoints``.
+    """
+
+    name: str
+    node: str
+    value: Callable[[float], float]
+    breakpoints: Tuple[float, ...]
+    spec: SourceValue = 0.0
+
+
+def _as_time_function(value: SourceValue, unit: str = "V") -> tuple[Callable[[float], float], Tuple[float, ...]]:
+    """Normalize a source specification to ``(fn(t), breakpoints)``."""
+    if isinstance(value, Pwl):
+        wf = value
+        return (lambda t: float(wf(t))), tuple(float(x) for x in wf.times)
+    if callable(value):
+        return value, ()
+    level = parse_quantity(value, unit=unit)
+    return (lambda t: level), ()
+
+
+class Circuit:
+    """A mutable netlist of MOSFETs, passives and sources."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._resistors: List[_Resistor] = []
+        self._capacitors: List[_Capacitor] = []
+        self._isources: List[_CurrentSource] = []
+        self._vsources: Dict[str, _VoltageSource] = {}
+        self._mosfets: List[MosfetInstance] = []
+        self._element_names: set[str] = set()
+        self._nodes: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_ground(node: str) -> bool:
+        return node.lower() in GROUND_NAMES
+
+    def _register(self, name: str, *nodes: str) -> None:
+        if not name:
+            raise NetlistError("element name must be non-empty")
+        if name in self._element_names:
+            raise NetlistError(f"duplicate element name {name!r}")
+        self._element_names.add(name)
+        for node in nodes:
+            if not node:
+                raise NetlistError(f"element {name!r} has an empty node name")
+            self._nodes.add(node)
+
+    def add_resistor(self, name: str, a: str, b: str, resistance: float | str) -> None:
+        """Connect a linear resistor between nodes ``a`` and ``b``."""
+        r = parse_quantity(resistance, unit="Ohm")
+        if r <= 0.0:
+            raise NetlistError(f"resistor {name!r} must have positive resistance")
+        self._register(name, a, b)
+        self._resistors.append(_Resistor(name, a, b, r))
+
+    def add_capacitor(self, name: str, a: str, b: str, capacitance: float | str) -> None:
+        """Connect a linear capacitor between nodes ``a`` and ``b``."""
+        c = parse_quantity(capacitance, unit="F")
+        if c < 0.0:
+            raise NetlistError(f"capacitor {name!r} must have non-negative capacitance")
+        self._register(name, a, b)
+        if c > 0.0:
+            self._capacitors.append(_Capacitor(name, a, b, c))
+
+    def add_isource(self, name: str, a: str, b: str, value: SourceValue) -> None:
+        """A current source pushing ``value`` amperes from ``a`` into ``b``."""
+        fn, _ = _as_time_function(value, unit="A")
+        self._register(name, a, b)
+        self._isources.append(_CurrentSource(name, a, b, fn))
+
+    def add_vsource(self, name: str, node: str, value: SourceValue) -> None:
+        """Drive ``node`` to ``value`` volts (DC number, PWL, or callable).
+
+        Sources are node-to-ground by construction; driving the same node
+        twice is an error.
+        """
+        if self.is_ground(node):
+            raise NetlistError(f"source {name!r} drives the ground node")
+        for src in self._vsources.values():
+            if src.node == node:
+                raise NetlistError(f"node {node!r} is already driven by {src.name!r}")
+        fn, breakpoints = _as_time_function(value, unit="V")
+        self._register(name, node)
+        self._vsources[name] = _VoltageSource(name, node, fn, breakpoints, value)
+
+    def add_mosfet(self, name: str, drain: str, gate: str, source: str, bulk: str,
+                   params: MosfetParams, width: float | str, length: float | str,
+                   *, with_parasitics: bool = True) -> MosfetInstance:
+        """Place a MOSFET; parasitic caps are added automatically by default."""
+        w = parse_quantity(width, unit="m")
+        l_ = parse_quantity(length, unit="m")
+        inst = MosfetInstance(name, drain, gate, source, bulk, params, w, l_)
+        self._register(name, drain, gate, source, bulk)
+        self._mosfets.append(inst)
+        if with_parasitics:
+            for cap_name, a, b, c in inst.parasitic_caps():
+                if a != b:
+                    self.add_capacitor(cap_name, a, b, c)
+        return inst
+
+    def replace_vsource(self, name: str, value: SourceValue) -> None:
+        """Re-drive an existing source with a new value/waveform."""
+        if name not in self._vsources:
+            raise NetlistError(f"no voltage source named {name!r}")
+        old = self._vsources[name]
+        fn, breakpoints = _as_time_function(value, unit="V")
+        self._vsources[name] = _VoltageSource(name, old.node, fn, breakpoints, value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    @property
+    def mosfets(self) -> tuple[MosfetInstance, ...]:
+        return tuple(self._mosfets)
+
+    @property
+    def vsource_names(self) -> tuple[str, ...]:
+        return tuple(self._vsources)
+
+    def source_node(self, name: str) -> str:
+        if name not in self._vsources:
+            raise NetlistError(f"no voltage source named {name!r}")
+        return self._vsources[name].node
+
+    def driven_nodes(self) -> frozenset[str]:
+        return frozenset(src.node for src in self._vsources.values())
+
+    def unknown_nodes(self) -> list[str]:
+        """Nodes the solver must determine, in deterministic order."""
+        driven = self.driven_nodes()
+        return sorted(
+            node for node in self._nodes
+            if not self.is_ground(node) and node not in driven
+        )
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> "CompiledCircuit":
+        """Freeze the netlist into the flat form the engines evaluate."""
+        return CompiledCircuit(self)
+
+
+class CompiledCircuit:
+    """Index-based view of a :class:`Circuit` for the numerical engines.
+
+    Node slots are encoded as integers: slot ``>= 0`` indexes the unknown
+    vector; slot ``< 0`` indexes the known-voltage array as ``-slot - 1``
+    (known voltages are ground plus source-driven nodes, refreshed per
+    time point).
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.unknown_names = circuit.unknown_nodes()
+        self.n_unknown = len(self.unknown_names)
+        if self.n_unknown == 0:
+            raise NetlistError("circuit has no unknown nodes to solve for")
+
+        # Known nodes: slot 0 reserved for ground, then each driven node.
+        self._known_names: List[str] = ["0"]
+        self._known_fns: List[Callable[[float], float]] = [lambda t: 0.0]
+        breakpoints: set[float] = set()
+        self._source_known_index: Dict[str, int] = {}
+        for src in circuit._vsources.values():
+            self._source_known_index[src.name] = len(self._known_names)
+            self._known_names.append(src.node)
+            self._known_fns.append(src.value)
+            breakpoints.update(src.breakpoints)
+        self.breakpoints: Tuple[float, ...] = tuple(sorted(breakpoints))
+
+        slot: Dict[str, int] = {}
+        for idx, name in enumerate(self.unknown_names):
+            slot[name] = idx
+        for kidx, name in enumerate(self._known_names):
+            slot.setdefault(name, -kidx - 1)
+        for g in GROUND_NAMES:
+            slot.setdefault(g, -1)
+
+        def node_slot(name: str) -> int:
+            if Circuit.is_ground(name):
+                return -1
+            try:
+                return slot[name]
+            except KeyError:  # pragma: no cover - _register guarantees presence
+                raise NetlistError(f"unknown node {name!r}") from None
+
+        self.resistors = [
+            (node_slot(r.a), node_slot(r.b), 1.0 / r.resistance)
+            for r in circuit._resistors
+        ]
+        self.capacitors = [
+            (node_slot(c.a), node_slot(c.b), c.capacitance)
+            for c in circuit._capacitors
+        ]
+        self.isources = [
+            (node_slot(s.a), node_slot(s.b), s.value) for s in circuit._isources
+        ]
+        self.mosfets = [
+            (node_slot(m.drain), node_slot(m.gate), node_slot(m.source),
+             m.params, m.k)
+            for m in circuit._mosfets
+        ]
+        self.mosfet_instances = list(circuit._mosfets)
+
+        # Total capacitance anchored at each unknown node: used by the
+        # transient engine to sanity-check that every unknown node has a
+        # path to reactive storage (otherwise dv/dt is undefined for the
+        # integrator and the node is purely resistive -- allowed, but the
+        # engine must know).
+        cap_at = np.zeros(self.n_unknown)
+        for a, b, c in self.capacitors:
+            if a >= 0:
+                cap_at[a] += c
+            if b >= 0:
+                cap_at[b] += c
+        self.cap_at_unknown = cap_at
+
+    # ------------------------------------------------------------------
+    def known_voltages(self, t: float) -> np.ndarray:
+        """Voltages of the known nodes (ground first) at time ``t``."""
+        return np.array([fn(t) for fn in self._known_fns], dtype=float)
+
+    def voltage_of(self, slot_index: int, x: np.ndarray, known: np.ndarray) -> float:
+        """Dereference a node slot against (unknown, known) voltage arrays."""
+        if slot_index >= 0:
+            return float(x[slot_index])
+        return float(known[-slot_index - 1])
+
+    def known_name(self, slot_index: int) -> str:
+        return self._known_names[-slot_index - 1]
+
+    def node_voltage_series(self, name: str, times: np.ndarray,
+                            x_series: np.ndarray) -> np.ndarray:
+        """Voltage samples of node ``name`` over a solved time series."""
+        if Circuit.is_ground(name):
+            return np.zeros_like(times)
+        if name in self.unknown_names:
+            return x_series[:, self.unknown_names.index(name)]
+        for kidx, kname in enumerate(self._known_names):
+            if kname == name:
+                fn = self._known_fns[kidx]
+                return np.array([fn(float(t)) for t in times])
+        raise NetlistError(f"node {name!r} not present in circuit")

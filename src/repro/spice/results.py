@@ -1,0 +1,79 @@
+"""Result containers for DC sweeps and transient analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..waveform import Pwl
+
+__all__ = ["SweepResult", "TransientResult"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of a DC sweep.
+
+    ``sweep_values`` is the swept source voltage grid; ``voltages`` maps
+    node name -> array of solved voltages over the grid.
+    """
+
+    sweep_source: str
+    sweep_values: np.ndarray
+    voltages: Dict[str, np.ndarray]
+
+    def node(self, name: str) -> np.ndarray:
+        try:
+            return self.voltages[name]
+        except KeyError:
+            raise MeasurementError(f"sweep did not record node {name!r}") from None
+
+    def transfer_curve(self, output: str) -> Pwl:
+        """The output-vs-input curve as a PWL 'waveform' (x axis = Vin).
+
+        A VTC can be non-monotonic in exotic circuits, but for the CMOS
+        gates this library builds, Vout is a function of the swept input,
+        so reusing :class:`Pwl` (which requires increasing x) is safe.
+        """
+        return Pwl(self.sweep_values, self.node(output))
+
+
+class TransientResult:
+    """Solved node waveforms of a transient analysis."""
+
+    def __init__(self, times: np.ndarray, waveforms: Dict[str, np.ndarray],
+                 *, rejected_steps: int = 0, newton_iterations: int = 0) -> None:
+        self.times = np.asarray(times, dtype=float)
+        self._samples = {name: np.asarray(v, dtype=float) for name, v in waveforms.items()}
+        self.rejected_steps = rejected_steps
+        self.newton_iterations = newton_iterations
+
+    @property
+    def node_names(self) -> List[str]:
+        return sorted(self._samples)
+
+    def samples(self, name: str) -> np.ndarray:
+        try:
+            return self._samples[name]
+        except KeyError:
+            raise MeasurementError(
+                f"transient result has no node {name!r}; "
+                f"recorded: {', '.join(self.node_names)}"
+            ) from None
+
+    def node(self, name: str) -> Pwl:
+        """The waveform of one node as a :class:`Pwl`."""
+        return Pwl(self.times, self.samples(name))
+
+    @property
+    def t_stop(self) -> float:
+        return float(self.times[-1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransientResult({len(self.times)} points to "
+            f"{self.t_stop:.3e}s, nodes={self.node_names})"
+        )

@@ -1,0 +1,213 @@
+"""Adaptive-timestep transient analysis.
+
+The integrator implements the two classic implicit companion models:
+
+* **Backward Euler** -- ``i_C = (C/h)(v_n - v_{n-1})``; L-stable, used
+  for the first step and immediately after source breakpoints (where
+  trapezoidal integration would ring).
+* **Trapezoidal** -- ``i_C = (2C/h)(v_n - v_{n-1}) - i_{n-1}``;
+  second-order, used everywhere else.
+
+Step control is voltage-budget based, which suits gate characterization:
+a step is rejected when any unknown node moves more than ``dv_reject``
+volts; accepted steps grow or shrink the next step to target
+``dv_target``.  Source PWL corners are hard breakpoints so that input
+ramps start and end exactly on grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..units import parse_quantity
+from .dc import solve_dc
+from .engine import CapStamp, NewtonOptions, newton_solve
+from .netlist import Circuit, CompiledCircuit
+from .results import TransientResult
+
+__all__ = ["TransientOptions", "transient"]
+
+
+@dataclass(frozen=True)
+class TransientOptions:
+    """Integration control knobs.
+
+    ``dv_target``/``dv_reject`` are the per-step voltage budgets driving
+    step-size adaptation; ``h_min_ratio`` expresses the minimum step as a
+    fraction of ``t_stop``.
+    """
+
+    h_initial_ratio: float = 1e-4
+    h_max_ratio: float = 5e-3
+    h_min_ratio: float = 1e-9
+    dv_target: float = 0.06
+    dv_reject: float = 0.25
+    grow_factor: float = 1.5
+    shrink_factor: float = 0.5
+    method: str = "trap"
+    newton: NewtonOptions = NewtonOptions()
+
+    def __post_init__(self) -> None:
+        if self.method not in ("trap", "be"):
+            raise ConvergenceError(f"unknown integration method {self.method!r}")
+        if not 0.0 < self.dv_target < self.dv_reject:
+            raise ConvergenceError("need 0 < dv_target < dv_reject")
+
+
+def _cap_voltage(compiled: CompiledCircuit, a: int, b: int,
+                 x: np.ndarray, known: np.ndarray) -> float:
+    return compiled.voltage_of(a, x, known) - compiled.voltage_of(b, x, known)
+
+
+def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
+              t_start: float = 0.0,
+              record: Optional[List[str]] = None,
+              initial_op: Optional[Dict[str, float]] = None,
+              options: Optional[TransientOptions] = None) -> TransientResult:
+    """Integrate the circuit from a DC operating point at ``t_start``.
+
+    ``record`` limits which nodes end up in the result (default: all
+    unknown and source-driven nodes).  ``initial_op`` optionally seeds
+    the operating-point solve (useful to pick a desired initial logic
+    state when the circuit is bistable).
+    """
+    compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
+    opts = options or TransientOptions()
+    t_end = parse_quantity(t_stop, unit="s")
+    if t_end <= t_start:
+        raise ConvergenceError(f"t_stop ({t_end}) must exceed t_start ({t_start})")
+    span = t_end - t_start
+
+    h_max = span * opts.h_max_ratio
+    h_min = max(span * opts.h_min_ratio, 1e-18)
+    h = span * opts.h_initial_ratio
+
+    breakpoints = sorted(
+        {t for t in compiled.breakpoints if t_start < t < t_end} | {t_end}
+    )
+
+    # Initial condition: DC operating point with sources frozen at t_start.
+    op = solve_dc(compiled, initial_guess=initial_op, time=t_start,
+                  options=opts.newton)
+    x = op.as_vector(compiled)
+    known = compiled.known_voltages(t_start)
+
+    # Per-capacitor history for the trapezoidal rule: previous branch
+    # voltage and previous branch current (zero at the DC point).
+    cap_v_prev = np.array(
+        [_cap_voltage(compiled, a, b, x, known) for a, b, _ in compiled.capacitors]
+    )
+    cap_i_prev = np.zeros(len(compiled.capacitors))
+
+    times = [t_start]
+    series = [x.copy()]
+    t = t_start
+    rejected = 0
+    newton_total = 0
+    force_be = True  # first step: backward Euler
+    next_bp_idx = 0
+
+    while t < t_end - h_min:
+        # Snap tolerance h_min: a breakpoint within one minimum step of t
+        # counts as reached (floating-point stepping can land a hair
+        # short of a corner, leaving an un-steppable residual otherwise).
+        while next_bp_idx < len(breakpoints) and breakpoints[next_bp_idx] <= t + h_min:
+            next_bp_idx += 1
+        next_bp = breakpoints[next_bp_idx] if next_bp_idx < len(breakpoints) else t_end
+        h = min(h, h_max, t_end - t)
+        h_unclamped = h
+        hit_breakpoint = False
+        if t + h >= next_bp - h_min:
+            h = next_bp - t
+            hit_breakpoint = True
+
+        accepted = False
+        retry_with_be = False
+        while not accepted:
+            if h < h_min:
+                raise ConvergenceError(
+                    f"transient step size underflow at t={t:.4e}s "
+                    f"(h={h:.3e} after {rejected} rejections)"
+                )
+            t_new = t + h
+            known_new = compiled.known_voltages(t_new)
+            # Retries after a Newton failure fall back to backward Euler:
+            # trapezoidal's current history can drive the iteration into
+            # a corner near sharp source breakpoints.
+            use_be = force_be or retry_with_be or opts.method == "be"
+            stamps: List[CapStamp] = []
+            for idx, (a, b, c) in enumerate(compiled.capacitors):
+                if use_be:
+                    geq = c / h
+                    ieq = geq * cap_v_prev[idx]
+                else:
+                    geq = 2.0 * c / h
+                    ieq = geq * cap_v_prev[idx] + cap_i_prev[idx]
+                stamps.append((a, b, geq, ieq))
+            try:
+                x_new = newton_solve(
+                    compiled, x, known_new, options=opts.newton,
+                    time=t_new, cap_stamps=stamps,
+                )
+            except ConvergenceError:
+                h *= opts.shrink_factor
+                rejected += 1
+                hit_breakpoint = False
+                retry_with_be = True
+                continue
+
+            dv = float(np.max(np.abs(x_new - x))) if compiled.n_unknown else 0.0
+            if dv > opts.dv_reject:
+                h *= opts.shrink_factor
+                rejected += 1
+                hit_breakpoint = False
+                continue
+            accepted = True
+
+        # Update capacitor history using the companion relations.
+        for idx, (a, b, c) in enumerate(compiled.capacitors):
+            v_new = _cap_voltage(compiled, a, b, x_new, known_new)
+            if use_be:
+                i_new = (c / h) * (v_new - cap_v_prev[idx])
+            else:
+                i_new = (2.0 * c / h) * (v_new - cap_v_prev[idx]) - cap_i_prev[idx]
+            cap_v_prev[idx] = v_new
+            cap_i_prev[idx] = i_new
+
+        t = t_new
+        x = x_new
+        times.append(t)
+        series.append(x.copy())
+        force_be = hit_breakpoint  # damp the ringing right after a corner
+        if hit_breakpoint:
+            # Do not let a tiny breakpoint-alignment step depress the
+            # step size going forward.
+            h = h_unclamped
+
+        # Step-size adaptation toward the voltage budget.
+        dv = float(np.max(np.abs(series[-1] - series[-2]))) if len(series) > 1 else 0.0
+        if dv < 0.25 * opts.dv_target:
+            h *= opts.grow_factor
+        elif dv > opts.dv_target:
+            h *= max(opts.dv_target / dv, opts.shrink_factor)
+
+    time_array = np.asarray(times)
+    x_series = np.asarray(series)
+    names = record
+    if names is None:
+        names = list(compiled.unknown_names)
+        names.extend(
+            compiled.known_name(-k - 1) for k in range(1, len(compiled._known_names))
+        )
+    waveforms = {
+        name: compiled.node_voltage_series(name, time_array, x_series)
+        for name in names
+    }
+    return TransientResult(
+        time_array, waveforms,
+        rejected_steps=rejected, newton_iterations=newton_total,
+    )

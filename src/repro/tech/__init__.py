@@ -1,0 +1,21 @@
+"""Technology description: process parameters and device geometries.
+
+The paper characterizes a 3-input CMOS NAND gate in a 0.8 um-class
+process simulated with HSPICE.  We describe the process with Level-1
+(Shichman-Hodges) parameters, which capture every effect the paper's
+models depend on: drive-strength ratios, threshold voltages, series-stack
+resistance and parasitic capacitance.
+"""
+
+from .process import MosfetParams, Process, Sizing
+from .presets import default_process, fast_process, submicron_process, PROCESSES
+
+__all__ = [
+    "MosfetParams",
+    "Process",
+    "Sizing",
+    "default_process",
+    "fast_process",
+    "submicron_process",
+    "PROCESSES",
+]

@@ -1,0 +1,140 @@
+"""Built-in process presets.
+
+``default_process()`` is a synthetic 0.8 um-class CMOS process chosen to
+land in the same regime as the paper's testbed: Vdd = 5 V, |Vt| around
+0.7-0.8 V, NMOS roughly 2.5x stronger than PMOS per width, gate delays of
+tens to hundreds of picoseconds into a 100 fF load.  The exact numbers do
+not matter for reproduction (the paper's own numbers are unpublished);
+what matters is that V_il / V_ih / V_m of the resulting VTCs sit in the
+same range as the paper's Figure 2-1(c) table.
+"""
+
+from __future__ import annotations
+
+from .process import MosfetParams, Process, Sizing
+
+__all__ = ["default_process", "fast_process", "slow_process", "submicron_process", "PROCESSES"]
+
+
+def default_process() -> Process:
+    """The 0.8 um-like process used by all paper-reproduction experiments."""
+    nmos = MosfetParams(
+        polarity="nmos",
+        vt0=0.7,
+        kp=60e-6,        # mu_n * Cox  [A/V^2]
+        lam=0.05,
+        cgs_per_width=0.35e-9,   # F/m  (~0.35 fF/um)
+        cgd_per_width=0.25e-9,
+        cj_per_width=0.6e-9,
+    )
+    pmos = MosfetParams(
+        polarity="pmos",
+        vt0=-0.8,
+        kp=25e-6,        # mu_p * Cox
+        lam=0.06,
+        cgs_per_width=0.35e-9,
+        cgd_per_width=0.25e-9,
+        cj_per_width=0.6e-9,
+    )
+    # Reference inverter: 4 um NMOS, 8 um PMOS, 0.8 um channels.
+    sizing = Sizing(wn=4e-6, wp=8e-6, length=0.8e-6)
+    return Process(name="generic-0.8um", vdd=5.0, nmos=nmos, pmos=pmos, sizing=sizing)
+
+
+def fast_process() -> Process:
+    """A smaller/faster synthetic process (0.35 um-like, 3.3 V).
+
+    Used by tests to show the macromodels are not tied to one process.
+    """
+    nmos = MosfetParams(
+        polarity="nmos",
+        vt0=0.55,
+        kp=170e-6,
+        lam=0.08,
+        cgs_per_width=0.4e-9,
+        cgd_per_width=0.3e-9,
+        cj_per_width=0.7e-9,
+    )
+    pmos = MosfetParams(
+        polarity="pmos",
+        vt0=-0.6,
+        kp=60e-6,
+        lam=0.1,
+        cgs_per_width=0.4e-9,
+        cgd_per_width=0.3e-9,
+        cj_per_width=0.7e-9,
+    )
+    sizing = Sizing(wn=2e-6, wp=5e-6, length=0.35e-6)
+    return Process(name="generic-0.35um", vdd=3.3, nmos=nmos, pmos=pmos, sizing=sizing)
+
+
+def slow_process() -> Process:
+    """A long-channel, high-voltage process (2 um-like, 5 V) for contrast."""
+    nmos = MosfetParams(
+        polarity="nmos",
+        vt0=0.9,
+        kp=40e-6,
+        lam=0.02,
+        cgs_per_width=0.5e-9,
+        cgd_per_width=0.35e-9,
+        cj_per_width=0.9e-9,
+    )
+    pmos = MosfetParams(
+        polarity="pmos",
+        vt0=-0.9,
+        kp=15e-6,
+        lam=0.03,
+        cgs_per_width=0.5e-9,
+        cgd_per_width=0.35e-9,
+        cj_per_width=0.9e-9,
+    )
+    sizing = Sizing(wn=6e-6, wp=14e-6, length=2e-6)
+    return Process(name="generic-2um", vdd=5.0, nmos=nmos, pmos=pmos, sizing=sizing)
+
+
+def submicron_process() -> Process:
+    """A velocity-saturated process using the alpha-power-law model.
+
+    Same geometry/supply regime as :func:`fast_process` but with the
+    Sakurai-Newton channel model at alpha = 1.3 -- the model the paper's
+    reference [14] proposes for short channels.  Used to show the
+    proximity machinery is not tied to the square-law device.
+    """
+    nmos = MosfetParams(
+        polarity="nmos",
+        vt0=0.55,
+        kp=170e-6,
+        lam=0.08,
+        cgs_per_width=0.4e-9,
+        cgd_per_width=0.3e-9,
+        cj_per_width=0.7e-9,
+        model="alpha",
+        alpha=1.3,
+    )
+    pmos = MosfetParams(
+        polarity="pmos",
+        vt0=-0.6,
+        kp=60e-6,
+        lam=0.1,
+        cgs_per_width=0.4e-9,
+        cgd_per_width=0.3e-9,
+        cj_per_width=0.7e-9,
+        model="alpha",
+        alpha=1.4,
+    )
+    sizing = Sizing(wn=2e-6, wp=5e-6, length=0.35e-6)
+    return Process(name="alpha-0.35um", vdd=3.3, nmos=nmos, pmos=pmos,
+                   sizing=sizing)
+
+
+#: Registry used by the CLI (`repro ... --process NAME`).
+PROCESSES = {
+    "default": default_process,
+    "generic-0.8um": default_process,
+    "fast": fast_process,
+    "generic-0.35um": fast_process,
+    "slow": slow_process,
+    "generic-2um": slow_process,
+    "submicron": submicron_process,
+    "alpha-0.35um": submicron_process,
+}

@@ -1,0 +1,201 @@
+"""Process and device-parameter dataclasses.
+
+The transistor *strength* used throughout the paper is
+
+    K = (1/2) * mu * Cox * (W / L)                                 [A/V^2]
+
+(footnote 1 of the paper).  :class:`MosfetParams` carries the per-unit
+process numbers (``kp = mu * Cox``); :meth:`MosfetParams.strength`
+computes K for a given geometry.  :class:`Process` bundles NMOS and PMOS
+parameters with the supply voltage and default geometries, and is the
+single object the rest of the library passes around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..errors import NetlistError
+from ..units import parse_quantity
+
+__all__ = ["MosfetParams", "Sizing", "Process"]
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """MOSFET model card: Level-1 or alpha-power law.
+
+    Parameters
+    ----------
+    polarity:
+        ``"nmos"`` or ``"pmos"``.
+    vt0:
+        Zero-bias threshold voltage in volts.  Positive for NMOS,
+        negative for PMOS (SPICE convention).
+    kp:
+        Transconductance parameter ``mu * Cox`` in A/V^2.
+    lam:
+        Channel-length modulation coefficient (1/V).
+    cgs_per_width / cgd_per_width:
+        Gate-source and gate-drain overlap capacitance per metre of
+        channel width (F/m).  The gate-drain term produces the Miller
+        coupling responsible for the small output bumps visible in
+        simulated proximity waveforms.
+    cj_per_width:
+        Lumped source/drain junction capacitance per metre of width
+        (F/m), treated as bias-independent.
+    model:
+        ``"level1"`` (Shichman-Hodges square law, the default) or
+        ``"alpha"`` (Sakurai-Newton alpha-power law, the paper's
+        reference [14], for velocity-saturated short channels).
+    alpha:
+        Velocity-saturation index for ``model="alpha"``; 2.0 reproduces
+        the square law exactly, ~1.3 is typical for submicron devices.
+    """
+
+    polarity: str
+    vt0: float
+    kp: float
+    lam: float = 0.0
+    cgs_per_width: float = 0.0
+    cgd_per_width: float = 0.0
+    cj_per_width: float = 0.0
+    model: str = "level1"
+    alpha: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise NetlistError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+        if self.kp <= 0.0:
+            raise NetlistError(f"kp must be positive, got {self.kp}")
+        if self.polarity == "nmos" and self.vt0 <= 0.0:
+            raise NetlistError(f"NMOS vt0 must be positive, got {self.vt0}")
+        if self.polarity == "pmos" and self.vt0 >= 0.0:
+            raise NetlistError(f"PMOS vt0 must be negative, got {self.vt0}")
+        if self.lam < 0.0:
+            raise NetlistError(f"lambda must be non-negative, got {self.lam}")
+        if self.model not in ("level1", "alpha"):
+            raise NetlistError(f"model must be 'level1' or 'alpha', got {self.model!r}")
+        if not 1.0 <= self.alpha <= 2.0:
+            raise NetlistError(f"alpha must lie in [1, 2], got {self.alpha}")
+
+    @property
+    def is_nmos(self) -> bool:
+        return self.polarity == "nmos"
+
+    def strength(self, width: float, length: float) -> float:
+        """Paper-convention strength ``K = kp/2 * W/L`` in A/V^2."""
+        if width <= 0.0 or length <= 0.0:
+            raise NetlistError(
+                f"transistor geometry must be positive (W={width}, L={length})"
+            )
+        return 0.5 * self.kp * width / length
+
+
+@dataclass(frozen=True)
+class Sizing:
+    """Default transistor geometry for a gate family.
+
+    Widths/lengths are metres.  ``wn``/``wp`` are the widths of NMOS and
+    PMOS devices in a *reference inverter*; gate builders may scale them
+    (e.g. widen series NMOS stacks).
+    """
+
+    wn: float
+    wp: float
+    length: float
+
+    def __post_init__(self) -> None:
+        for name in ("wn", "wp", "length"):
+            if getattr(self, name) <= 0.0:
+                raise NetlistError(f"Sizing.{name} must be positive")
+
+    def scaled(self, n_factor: float = 1.0, p_factor: float = 1.0) -> "Sizing":
+        """Return a copy with NMOS/PMOS widths multiplied by the factors."""
+        if n_factor <= 0.0 or p_factor <= 0.0:
+            raise NetlistError("sizing scale factors must be positive")
+        return replace(self, wn=self.wn * n_factor, wp=self.wp * p_factor)
+
+
+@dataclass(frozen=True)
+class Process:
+    """A complete technology description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable process name, used in cache keys.
+    vdd:
+        Supply voltage (V).
+    nmos / pmos:
+        Level-1 model cards.
+    sizing:
+        Default reference-inverter geometry.
+    temperature:
+        Informational only (the Level-1 card is pre-baked at temperature).
+    """
+
+    name: str
+    vdd: float
+    nmos: MosfetParams
+    pmos: MosfetParams
+    sizing: Sizing
+    temperature: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise NetlistError(f"vdd must be positive, got {self.vdd}")
+        if not self.nmos.is_nmos:
+            raise NetlistError("Process.nmos must be an NMOS model card")
+        if self.pmos.is_nmos:
+            raise NetlistError("Process.pmos must be a PMOS model card")
+        if self.nmos.vt0 >= self.vdd:
+            raise NetlistError("NMOS threshold above the supply: gate can never turn on")
+        if -self.pmos.vt0 >= self.vdd:
+            raise NetlistError("PMOS threshold magnitude above the supply")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def kn(self, width: float | None = None, length: float | None = None) -> float:
+        """NMOS strength K_n for the given (default) geometry."""
+        return self.nmos.strength(width or self.sizing.wn, length or self.sizing.length)
+
+    def kp_strength(self, width: float | None = None, length: float | None = None) -> float:
+        """PMOS strength K_p for the given (default) geometry."""
+        return self.pmos.strength(width or self.sizing.wp, length or self.sizing.length)
+
+    def beta_ratio(self) -> float:
+        """Pull-up to pull-down strength ratio K_p / K_n of the reference inverter."""
+        return self.kp_strength() / self.kn()
+
+    def cache_key(self) -> Dict[str, float | str]:
+        """Stable scalar mapping identifying this process for cache hashing."""
+        return {
+            "name": self.name,
+            "vdd": self.vdd,
+            "n_vt0": self.nmos.vt0,
+            "n_kp": self.nmos.kp,
+            "n_lam": self.nmos.lam,
+            "n_model": self.nmos.model,
+            "n_alpha": self.nmos.alpha,
+            "n_cgs": self.nmos.cgs_per_width,
+            "n_cgd": self.nmos.cgd_per_width,
+            "n_cj": self.nmos.cj_per_width,
+            "p_vt0": self.pmos.vt0,
+            "p_kp": self.pmos.kp,
+            "p_lam": self.pmos.lam,
+            "p_model": self.pmos.model,
+            "p_alpha": self.pmos.alpha,
+            "p_cgs": self.pmos.cgs_per_width,
+            "p_cgd": self.pmos.cgd_per_width,
+            "p_cj": self.pmos.cj_per_width,
+            "wn": self.sizing.wn,
+            "wp": self.sizing.wp,
+            "length": self.sizing.length,
+        }
+
+    def with_vdd(self, vdd: float | str) -> "Process":
+        """Return a copy of the process at a different supply voltage."""
+        return replace(self, vdd=parse_quantity(vdd, unit="V"))

@@ -1,0 +1,34 @@
+"""Proximity-aware gate-level timing analysis.
+
+This is the deployment path the paper motivates: a static timing
+analyzer whose per-gate delay comes from the Section-4 proximity
+algorithm instead of the classic one-switching-input-at-a-time model.
+
+* :class:`~repro.timing.netlist.TimingNetlist` -- combinational gate
+  graphs over named nets.
+* :class:`~repro.timing.sta.ProximitySta` /
+  :class:`~repro.timing.sta.ClassicSta` -- event propagation with
+  proximity-aware or classic per-gate delays.
+* :func:`~repro.timing.flatten.flatten_to_circuit` -- transistor-level
+  flattening of a whole netlist for ground-truth transient simulation.
+"""
+
+from .netlist import GateInstance, TimingNetlist
+from .sta import ClassicSta, ProximitySta, StaResult, NetEvent
+from .flatten import flatten_to_circuit, simulate_netlist
+from .eventsim import EventSimulator, EventSimResult, FilteredGlitch, NetWaveform
+
+__all__ = [
+    "GateInstance",
+    "TimingNetlist",
+    "ClassicSta",
+    "ProximitySta",
+    "StaResult",
+    "NetEvent",
+    "flatten_to_circuit",
+    "simulate_netlist",
+    "EventSimulator",
+    "EventSimResult",
+    "FilteredGlitch",
+    "NetWaveform",
+]

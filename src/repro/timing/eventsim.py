@@ -1,0 +1,280 @@
+"""Event-driven, waveform-level timing simulation with inertial filtering.
+
+The STA in :mod:`repro.timing.sta` propagates a single transition per
+net.  This module handles *trains* of transitions -- the regime where
+the paper's Section 6 matters: opposite transitions arriving close
+together produce runt pulses that a real gate swallows (inertial
+delay), and a timing tool that propagates them anyway reports phantom
+switching.
+
+How a gate is evaluated
+-----------------------
+Input nets carry :class:`NetWaveform` objects (an initial logic level
+plus time-ordered transitions).  Walking the merged input-event list in
+time order, every time the gate's Boolean output flips, the simulator
+
+1. forms a *cluster*: the causing input edge plus, for every other
+   switching pin, its latest edge of the same direction (the Section-4
+   algorithm's own proximity windows decide whether those actually
+   contribute) -- **plus a look-ahead**: future same-direction edges
+   that land before the predicted output crossing join the cluster,
+   iterated to a fixpoint, because an input arriving mid-transition
+   still reshapes the output (the proximity effect itself);
+2. asks the :class:`~repro.core.DelayCalculator` for the cluster's
+   proximity-aware delay and output slew;
+3. emits the output edge at ``t_ref + delay``.
+
+A final pass applies **inertial filtering**: consecutive
+opposite-direction output edges closer than the gate's minimum pulse
+width annihilate, and the dropped pulse is recorded in
+:attr:`EventSimResult.filtered_glitches` (the Section-6 observable).
+The default minimum-pulse threshold is ``pulse_fraction`` of the
+leading edge's output slew -- a heuristic calibrated against
+:func:`repro.inertial.minimum_pulse_width`; pass ``minimum_pulse`` for a
+measured value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import TimingError
+from ..interconnect import elmore_delay, elmore_slew
+from ..waveform import Edge, FALL, RISE
+from .netlist import GateInstance, TimingNetlist
+
+__all__ = ["NetWaveform", "FilteredGlitch", "EventSimResult", "EventSimulator"]
+
+
+@dataclass(frozen=True)
+class NetWaveform:
+    """A logic waveform: initial level plus time-ordered transitions.
+
+    Edges must strictly increase in time and alternate in direction
+    consistently with ``initial`` (a high net falls first).
+    """
+
+    initial: bool
+    edges: Tuple[Edge, ...] = ()
+
+    def __post_init__(self) -> None:
+        level = self.initial
+        last_t = float("-inf")
+        for edge in self.edges:
+            if edge.t_cross <= last_t:
+                raise TimingError("net waveform edges must strictly increase in time")
+            expected = FALL if level else RISE
+            if edge.direction != expected:
+                raise TimingError(
+                    f"edge at {edge.t_cross:g}s goes {edge.direction} but the "
+                    f"net is {'high' if level else 'low'}"
+                )
+            level = not level
+            last_t = edge.t_cross
+        object.__setattr__(self, "edges", tuple(self.edges))
+
+    def level_at(self, t: float) -> bool:
+        """Logic level just after time ``t``."""
+        level = self.initial
+        for edge in self.edges:
+            if edge.t_cross <= t:
+                level = not level
+            else:
+                break
+        return level
+
+    @property
+    def final_level(self) -> bool:
+        return self.initial ^ (len(self.edges) % 2 == 1)
+
+    def describe(self) -> str:
+        parts = ["1" if self.initial else "0"]
+        parts.extend(e.describe() for e in self.edges)
+        return " -> ".join(parts)
+
+
+@dataclass(frozen=True)
+class FilteredGlitch:
+    """A runt pulse swallowed by inertial filtering."""
+
+    instance: str
+    net: str
+    t_start: float
+    width: float
+    direction: str  # direction of the leading (dropped) edge
+
+
+@dataclass
+class EventSimResult:
+    """Waveforms on every reached net plus the filtering report."""
+
+    waveforms: Dict[str, NetWaveform] = field(default_factory=dict)
+    filtered_glitches: List[FilteredGlitch] = field(default_factory=list)
+
+    def waveform(self, net: str) -> NetWaveform:
+        try:
+            return self.waveforms[net]
+        except KeyError:
+            raise TimingError(f"no waveform computed for net {net!r}") from None
+
+    def transition_count(self, net: str) -> int:
+        return len(self.waveform(net).edges)
+
+
+class EventSimulator:
+    """Waveform-level event simulation over a :class:`TimingNetlist`.
+
+    Parameters
+    ----------
+    netlist:
+        The combinational design.
+    minimum_pulse:
+        Absolute inertial threshold in seconds, applied to every gate
+        output.  ``None`` (default) uses ``pulse_fraction`` of the
+        leading output edge's slew instead.
+    pulse_fraction:
+        Heuristic threshold factor (default 0.6: for the default
+        process's NAND3 this lands within ~10% of the measured
+        :func:`repro.inertial.minimum_pulse_width`).
+    """
+
+    def __init__(self, netlist: TimingNetlist, *,
+                 minimum_pulse: Optional[float] = None,
+                 pulse_fraction: float = 0.6) -> None:
+        if pulse_fraction <= 0.0:
+            raise TimingError("pulse_fraction must be positive")
+        self.netlist = netlist
+        self.minimum_pulse = minimum_pulse
+        self.pulse_fraction = pulse_fraction
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: Mapping[str, NetWaveform]) -> EventSimResult:
+        """Propagate the input waveforms through the whole netlist."""
+        for net in self.netlist.primary_inputs:
+            if net not in inputs:
+                raise TimingError(f"primary input {net!r} has no waveform")
+        for net in inputs:
+            if net not in self.netlist.primary_inputs:
+                raise TimingError(f"{net!r} is not a primary input")
+
+        result = EventSimResult(waveforms=dict(inputs))
+        for instance in self.netlist.topological_order():
+            self._evaluate(instance, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, instance: GateInstance, result: EventSimResult) -> None:
+        gate = instance.gate
+        calc = instance.calculator
+        pin_waves: Dict[str, NetWaveform] = {}
+        for pin, net in instance.pin_nets.items():
+            wave = result.waveform(net)
+            wire = self.netlist.wire(net)
+            if wire is not None and wave.edges:
+                # Wire-annotated net: Elmore delay + slew degradation at
+                # the receiver, matching the STA's treatment.
+                wave = NetWaveform(wave.initial, tuple(
+                    Edge(e.direction, e.t_cross + elmore_delay(wire),
+                         elmore_slew(wire, input_slew=e.tau))
+                    for e in wave.edges
+                ))
+            pin_waves[pin] = wave
+        out_wire = self.netlist.wire(instance.output_net)
+        load = (gate.load + out_wire.capacitance
+                if out_wire is not None else None)
+
+        state = {pin: wf.initial for pin, wf in pin_waves.items()}
+        out_level = gate.logic_output(state)
+        initial_out = out_level
+
+        # Merged input events in time order; per-pin edge history for
+        # cluster formation.
+        events: List[Tuple[float, str, Edge]] = []
+        for pin, wf in pin_waves.items():
+            for edge in wf.edges:
+                events.append((edge.t_cross, pin, edge))
+        events.sort(key=lambda item: (item[0], item[1]))
+
+        last_edge_of: Dict[str, Edge] = {}
+        out_edges: List[Edge] = []
+        for index, (_, pin, edge) in enumerate(events):
+            state[pin] = not state[pin]
+            last_edge_of[pin] = edge
+            new_out = gate.logic_output(state)
+            if new_out == out_level:
+                continue
+            cluster = self._cluster(pin, edge, last_edge_of)
+            explain = calc.explain(cluster, load=load)
+            t_out = cluster[explain.reference].t_cross + explain.delay
+            # Look-ahead: future same-direction edges arriving before the
+            # predicted output crossing join the cluster (fixpoint).
+            for _ in range(8):
+                grew = False
+                for _, pin2, edge2 in events[index + 1:]:
+                    if edge2.t_cross >= t_out:
+                        break
+                    if pin2 in cluster or edge2.direction != edge.direction:
+                        continue
+                    cluster[pin2] = edge2
+                    grew = True
+                if not grew:
+                    break
+                explain = calc.explain(cluster, load=load)
+                t_out = cluster[explain.reference].t_cross + explain.delay
+            direction = RISE if new_out else FALL
+            out_edges.append(Edge(direction, t_out, explain.ttime))
+            out_level = new_out
+
+        out_edges, glitches = self._filter(instance, out_edges)
+        result.filtered_glitches.extend(glitches)
+        result.waveforms[instance.output_net] = NetWaveform(
+            initial=initial_out, edges=tuple(out_edges),
+        )
+
+    def _cluster(self, causing_pin: str, causing_edge: Edge,
+                 last_edge_of: Dict[str, Edge]) -> Dict[str, Edge]:
+        """The causing edge plus same-direction latest edges of other
+        pins; the Section-4 windows prune non-contributors downstream."""
+        cluster = {causing_pin: causing_edge}
+        for pin, edge in last_edge_of.items():
+            if pin == causing_pin:
+                continue
+            if edge.direction == causing_edge.direction:
+                cluster[pin] = edge
+        return cluster
+
+    def _threshold(self, leading: Edge) -> float:
+        if self.minimum_pulse is not None:
+            return self.minimum_pulse
+        return self.pulse_fraction * leading.tau
+
+    def _filter(self, instance: GateInstance,
+                edges: List[Edge]) -> Tuple[List[Edge], List[FilteredGlitch]]:
+        """Drop runt pulses and enforce time ordering.
+
+        Works like a SPICE-style inertial element: scan forward; when
+        two consecutive (necessarily opposite) edges are closer than the
+        minimum pulse width -- or out of order entirely -- they
+        annihilate.  Removal can make the neighbours adjacent, so the
+        scan backs up one step after each annihilation.
+        """
+        kept: List[Edge] = []
+        glitches: List[FilteredGlitch] = []
+        for edge in edges:
+            kept.append(edge)
+            while len(kept) >= 2:
+                first, second = kept[-2], kept[-1]
+                width = second.t_cross - first.t_cross
+                if width >= self._threshold(first):
+                    break
+                glitches.append(FilteredGlitch(
+                    instance=instance.name,
+                    net=instance.output_net,
+                    t_start=first.t_cross,
+                    width=max(width, 0.0),
+                    direction=first.direction,
+                ))
+                kept.pop()
+                kept.pop()
+        return kept, glitches

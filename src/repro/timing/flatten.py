@@ -1,0 +1,126 @@
+"""Transistor-level flattening of a timing netlist.
+
+Ground truth for the STA comparison benchmark: the whole gate network is
+emitted into one :class:`~repro.spice.Circuit` (shared nets, per-instance
+internal nodes), primary inputs become PWL sources, and every gate
+output carries an explicit load capacitor equal to the load its library
+was characterized at (characterized loads are assumed to include the
+fanout they drive; the actual fanout gate capacitance is small against
+the 100 fF default and is also present in the flat circuit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import TimingError
+from ..interconnect import emit_wire
+from ..spice import Circuit, transient
+from ..spice.transient import TransientOptions
+from ..spice.results import TransientResult
+from ..units import parse_quantity
+from ..waveform import Edge, Pwl, Thresholds
+from .netlist import TimingNetlist
+
+__all__ = ["flatten_to_circuit", "simulate_netlist"]
+
+
+def _net_node(net: str) -> str:
+    """Circuit node name for a timing net (namespaced to avoid clashes
+    with per-instance internal nodes)."""
+    return f"n.{net}"
+
+
+def flatten_to_circuit(netlist: TimingNetlist,
+                       input_waveforms: Mapping[str, Pwl]) -> Tuple[Circuit, Dict[str, str]]:
+    """Emit every instance into one circuit.
+
+    ``input_waveforms`` supplies a waveform (or DC level via a constant
+    PWL) for *every* primary input.  Returns the circuit and the
+    net -> node-name mapping.
+    """
+    instances = netlist.topological_order()
+    if not instances:
+        raise TimingError("cannot flatten an empty netlist")
+    missing = [n for n in netlist.primary_inputs if n not in input_waveforms]
+    if missing:
+        raise TimingError(f"no waveform for primary inputs {missing!r}")
+
+    process = instances[0].gate.process
+    for inst in instances:
+        if inst.gate.process is not process and inst.gate.process != process:
+            raise TimingError("all instances must share one process (one Vdd rail)")
+
+    circuit = Circuit(netlist.name)
+    circuit.add_vsource("vvdd", "vdd", process.vdd)
+    node_of = {net: _net_node(net) for net in netlist.nets()}
+    for net, wf in input_waveforms.items():
+        if net not in netlist.primary_inputs:
+            raise TimingError(f"{net!r} is not a primary input")
+        circuit.add_vsource(f"v.{net}", node_of[net], wf)
+
+    # Nets with wire annotations get a distinct far-end node that the
+    # receivers attach to; the driver and its characterized load stay at
+    # the near end, mirroring what the STA's Elmore annotation assumes.
+    receiver_node = dict(node_of)
+    for net in netlist.nets():
+        wire = netlist.wire(net)
+        if wire is None:
+            continue
+        far = f"{node_of[net]}.far"
+        emit_wire(circuit, f"wire.{net}", node_of[net], far, wire)
+        receiver_node[net] = far
+
+    for inst in instances:
+        nets = {pin: receiver_node[net] for pin, net in inst.pin_nets.items()}
+        nets[inst.gate.output] = node_of[inst.output_net]
+        inst.gate.instantiate_into(circuit, inst.name, nets)
+        circuit.add_capacitor(
+            f"{inst.name}.cload", node_of[inst.output_net], "0", inst.gate.load,
+        )
+    return circuit, node_of
+
+
+def simulate_netlist(netlist: TimingNetlist,
+                     input_edges: Mapping[str, Edge],
+                     thresholds: Thresholds, *,
+                     static_levels: Optional[Mapping[str, bool]] = None,
+                     t_stop: Optional[float | str] = None,
+                     options: Optional[TransientOptions] = None,
+                     ) -> Tuple[TransientResult, Dict[str, str]]:
+    """Transient-simulate the flattened netlist.
+
+    ``input_edges`` drives switching primary inputs; other primary
+    inputs need a logic level in ``static_levels`` (``True`` = Vdd).
+    ``t_stop`` defaults to the last input edge plus a per-stage settle
+    allowance.
+    """
+    vdd = netlist.topological_order()[0].gate.process.vdd
+    waveforms: Dict[str, Pwl] = {}
+    margin = 100e-12
+    shift = 0.0
+    for net, edge in input_edges.items():
+        pwl = edge.to_pwl(thresholds)
+        shift = max(shift, margin - pwl.t_start)
+    for net, edge in input_edges.items():
+        waveforms[net] = edge.shifted(shift).to_pwl(thresholds)
+    static_levels = dict(static_levels or {})
+    for net in netlist.primary_inputs:
+        if net in waveforms:
+            continue
+        if net not in static_levels:
+            raise TimingError(
+                f"primary input {net!r} needs an edge or a static level"
+            )
+        level = vdd if static_levels[net] else 0.0
+        waveforms[net] = Pwl([0.0, 1e-12], [level, level])
+
+    circuit, node_of = flatten_to_circuit(netlist, waveforms)
+    if t_stop is None:
+        last_edge_end = max(wf.t_end for wf in waveforms.values())
+        depth = len(netlist.topological_order())
+        stop = last_edge_end + 2e-9 * max(depth, 1)
+    else:
+        stop = parse_quantity(t_stop, unit="s") + shift
+    result = transient(circuit, stop, options=options)
+    return result, node_of

@@ -1,0 +1,214 @@
+"""Engineering-notation quantity parsing and formatting.
+
+The EDA world writes quantities as ``500ps``, ``100f``, ``4.2u`` or
+``2MEG`` (SPICE style).  This module converts between such strings and
+floats in SI base units, and formats floats back into readable
+engineering notation for reports.
+
+Parsing rules
+-------------
+* A quantity is ``<number><prefix?><unit?>``, e.g. ``"1.2ns"``,
+  ``"50p"``, ``"3.3V"``, ``"0.18um"``.
+* SI prefixes (case-sensitive where ambiguous): ``a f p n u m k x/meg
+  g t`` -- SPICE tradition maps ``u`` to micro and accepts ``MEG`` for
+  1e6 because ``m`` already means milli.  ``M`` alone is treated as
+  SPICE mega only when spelled ``MEG``; a lone ``m``/``M`` is milli,
+  matching SPICE's case-insensitive behaviour.
+* The trailing unit (``s``, ``V``, ``F``, ``A``, ``Hz``, ``m``, ``Ohm``)
+  is validated when the caller supplies ``unit=...`` and otherwise
+  ignored.
+
+>>> parse_quantity("500ps")
+5e-10
+>>> parse_quantity("100f", unit="F")
+1e-13
+>>> format_quantity(5e-10, "s")
+'500ps'
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Optional
+
+from .errors import UnitError
+
+__all__ = [
+    "parse_quantity",
+    "format_quantity",
+    "seconds",
+    "volts",
+    "farads",
+    "amps",
+]
+
+#: Multipliers for SPICE/SI engineering prefixes.  Keys are lower-case;
+#: the parser lower-cases its input first (SPICE is case-insensitive).
+_PREFIXES = {
+    "a": 1e-18,
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "µ": 1e-6,  # micro sign
+    "m": 1e-3,
+    "k": 1e3,
+    "meg": 1e6,
+    "x": 1e6,  # SPICE alias for MEG
+    "g": 1e9,
+    "t": 1e12,
+}
+
+#: Units we recognise (lower-cased).  Maps alias -> canonical unit.
+_UNITS = {
+    "s": "s",
+    "sec": "s",
+    "v": "V",
+    "f": "F",
+    "a": "A",
+    "hz": "Hz",
+    "m": "m",
+    "ohm": "Ohm",
+    "ohms": "Ohm",
+    "%": "%",
+}
+
+_NUMBER_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Zµ%]*)\s*$"
+)
+
+# Suffix interpretations, tried in order: (prefix, unit) pairs.  Built
+# lazily because the table is small and the logic is subtle enough to
+# keep in one place.
+
+
+def _split_suffix(suffix: str) -> tuple[float, Optional[str]]:
+    """Interpret the alphabetic tail of a quantity string.
+
+    Returns ``(multiplier, canonical_unit_or_None)``.
+
+    The tail may be empty (plain number), a bare prefix (``"p"``), a bare
+    unit (``"V"``), or prefix+unit (``"ps"``, ``"uF"``, ``"megohm"``).
+    Letters that are both prefix and unit (``f``, ``m``, ``a``) resolve
+    as prefixes, per SPICE convention: ``100f`` is always 100 femto.
+    """
+    if not suffix:
+        return 1.0, None
+    low = suffix.lower()
+
+    # MEG special-case first -- it would otherwise parse as milli + "eg".
+    if low.startswith("meg"):
+        rest = low[3:]
+        if not rest:
+            return _PREFIXES["meg"], None
+        if rest in _UNITS:
+            return _PREFIXES["meg"], _UNITS[rest]
+        raise UnitError(f"unknown unit {rest!r} in quantity suffix {suffix!r}")
+
+    # Prefix first (SPICE convention: the scale letter always wins, so
+    # "100f" is 100 femto even when farads are expected; write "100fF"
+    # for clarity -- never a bare "F" meaning farad).
+    head, rest = low[0], low[1:]
+    if head in _PREFIXES and (rest == "" or rest in _UNITS):
+        return _PREFIXES[head], _UNITS[rest] if rest else None
+
+    # Unit-only suffix ("V", "Hz", "ohm", "s").
+    if low in _UNITS:
+        return 1.0, _UNITS[low]
+
+    raise UnitError(f"cannot interpret quantity suffix {suffix!r}")
+
+
+def parse_quantity(text: str | float | int, unit: Optional[str] = None) -> float:
+    """Parse ``text`` into a float in SI base units.
+
+    ``text`` may already be a number, in which case it is returned
+    unchanged (convenient for APIs that accept either).  When ``unit`` is
+    given (canonical spelling, e.g. ``"s"``, ``"F"``) a mismatching
+    explicit unit raises :class:`~repro.errors.UnitError`.
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return float(text)
+    if not isinstance(text, str):
+        raise UnitError(f"cannot parse quantity of type {type(text).__name__}")
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise UnitError(f"malformed quantity {text!r}")
+    value = float(match.group(1))
+    multiplier, found_unit = _split_suffix(match.group(2))
+    if unit is not None and found_unit is not None and found_unit != unit:
+        raise UnitError(
+            f"quantity {text!r} has unit {found_unit!r}, expected {unit!r}"
+        )
+    return value * multiplier
+
+
+#: Formatting prefixes from large to small, chosen so that the mantissa
+#: lands in [1, 1000).
+_FORMAT_STEPS = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "MEG"),  # SPICE-safe: a lone "M" would re-parse as milli
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+def format_quantity(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` in engineering notation, e.g. ``format_quantity(5e-10, 's') == '500ps'``.
+
+    ``digits`` bounds the number of significant digits; trailing zeros and
+    a trailing decimal point are stripped.
+    """
+    if not math.isfinite(value):
+        return f"{value}{unit}"
+    if value == 0.0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _FORMAT_STEPS:
+        if magnitude >= scale * (1 - 1e-12):
+            mantissa = value / scale
+            break
+    else:
+        scale, prefix = _FORMAT_STEPS[-1]
+        mantissa = value / scale
+    text = f"{mantissa:.{digits}g}"
+    # Avoid scientific notation leaking through for mantissas in
+    # [100, 1000) with few significant digits: round to the requested
+    # significant figures and print positionally.
+    if "e" in text or "E" in text:
+        exponent = math.floor(math.log10(abs(mantissa)))
+        factor = 10.0 ** (digits - 1 - exponent)
+        rounded = round(mantissa * factor) / factor
+        decimals = max(digits - 1 - exponent, 0)
+        text = f"{rounded:.{decimals}f}"
+        if "." in text:
+            text = text.rstrip("0").rstrip(".")
+    return f"{text}{prefix}{unit}"
+
+
+def seconds(text: str | float) -> float:
+    """Parse a time quantity (``'500ps'`` -> ``5e-10``)."""
+    return parse_quantity(text, unit="s")
+
+
+def volts(text: str | float) -> float:
+    """Parse a voltage quantity (``'3.3V'`` -> ``3.3``)."""
+    return parse_quantity(text, unit="V")
+
+
+def farads(text: str | float) -> float:
+    """Parse a capacitance quantity (``'100f'`` -> ``1e-13``)."""
+    return parse_quantity(text, unit="F")
+
+
+def amps(text: str | float) -> float:
+    """Parse a current quantity (``'10uA'`` -> ``1e-5``)."""
+    return parse_quantity(text, unit="A")

@@ -1,0 +1,20 @@
+"""VTC families and delay-threshold selection (paper Section 2).
+
+An n-input gate has ``2^n - 1`` voltage transfer curves, one per
+non-empty subset of inputs switching together (the remaining inputs held
+at sensitizing levels).  Delay thresholds must be chosen so delay stays
+positive for *every* input configuration; the paper's rule -- adopted
+here -- is the **minimum V_il and maximum V_ih over the whole family**.
+"""
+
+from .extract import extract_vtc, vtc_family
+from .thresholds import VtcCurve, analyze_vtc, select_thresholds, threshold_table
+
+__all__ = [
+    "extract_vtc",
+    "vtc_family",
+    "VtcCurve",
+    "analyze_vtc",
+    "select_thresholds",
+    "threshold_table",
+]

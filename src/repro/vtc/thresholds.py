@@ -1,0 +1,135 @@
+"""VTC analysis: V_il / V_ih / V_m extraction and threshold selection.
+
+Definitions follow the paper (and Hodges & Jackson): ``V_il`` and
+``V_ih`` are the input voltages where the VTC slope equals -1, and
+``V_m`` is the switching threshold where ``V_out = V_in``.  For a static
+CMOS gate the VTC is monotonically decreasing, so the slope dips below
+-1 once and recovers once: the first -1 crossing is ``V_il``, the last
+is ``V_ih``, and ``V_il < V_m < V_ih`` always holds on a sane curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..waveform import Thresholds
+
+__all__ = ["VtcCurve", "analyze_vtc", "select_thresholds", "threshold_table"]
+
+
+@dataclass(frozen=True)
+class VtcCurve:
+    """One member of a gate's VTC family.
+
+    ``switching`` names the inputs swept together; ``vin``/``vout`` are
+    the curve samples; ``vil``, ``vih`` and ``vm`` are the analyzed
+    thresholds.
+    """
+
+    switching: Tuple[str, ...]
+    vin: np.ndarray
+    vout: np.ndarray
+    vil: float
+    vih: float
+    vm: float
+
+    @property
+    def label(self) -> str:
+        """Compact subset label, e.g. ``"ab"`` for inputs a and b."""
+        return "".join(self.switching)
+
+    def gain_at(self, vin: float) -> float:
+        """Numerical VTC slope at ``vin`` (central difference)."""
+        return float(np.interp(vin, self.vin, np.gradient(self.vout, self.vin)))
+
+
+def _slope_crossings(vin: np.ndarray, slope: np.ndarray, level: float) -> List[float]:
+    """Input voltages where the slope curve crosses ``level`` (linear
+    interpolation between samples)."""
+    hits: List[float] = []
+    for i in range(len(vin) - 1):
+        s0, s1 = slope[i] - level, slope[i + 1] - level
+        if s0 == 0.0:
+            hits.append(float(vin[i]))
+        elif s0 * s1 < 0.0:
+            frac = s0 / (s0 - s1)
+            hits.append(float(vin[i] + frac * (vin[i + 1] - vin[i])))
+    if slope[-1] == level:
+        hits.append(float(vin[-1]))
+    return hits
+
+
+def analyze_vtc(vin: Sequence[float] | np.ndarray, vout: Sequence[float] | np.ndarray,
+                switching: Sequence[str] = ()) -> VtcCurve:
+    """Analyze a sampled VTC into a :class:`VtcCurve`.
+
+    Raises :class:`~repro.errors.MeasurementError` when the curve has no
+    unity-gain points or no ``V_out = V_in`` crossing (i.e. it is not a
+    CMOS-like inverting transfer curve).
+    """
+    x = np.asarray(vin, dtype=float)
+    y = np.asarray(vout, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape or x.size < 5:
+        raise MeasurementError("VTC analysis needs matching 1-D arrays (>= 5 points)")
+    if not np.all(np.diff(x) > 0):
+        raise MeasurementError("VTC input grid must be strictly increasing")
+
+    slope = np.gradient(y, x)
+    crossings = _slope_crossings(x, slope, -1.0)
+    if len(crossings) < 2:
+        raise MeasurementError(
+            "VTC slope never passes through -1 twice; curve is not an "
+            "inverting CMOS transfer curve (or the sweep is too coarse)"
+        )
+    vil, vih = crossings[0], crossings[-1]
+
+    # V_m: vout - vin changes sign exactly once on a monotone curve.
+    diff = y - x
+    vm = None
+    for i in range(len(x) - 1):
+        if diff[i] == 0.0:
+            vm = float(x[i])
+            break
+        if diff[i] * diff[i + 1] < 0.0:
+            frac = diff[i] / (diff[i] - diff[i + 1])
+            vm = float(x[i] + frac * (x[i + 1] - x[i]))
+            break
+    if vm is None:
+        raise MeasurementError("VTC has no V_out = V_in crossing")
+
+    return VtcCurve(tuple(switching), x, y, vil=vil, vih=vih, vm=vm)
+
+
+def select_thresholds(family: Iterable[VtcCurve], vdd: float) -> Thresholds:
+    """The paper's Section-2 rule: min V_il and max V_ih over the family.
+
+    This guarantees ``V_il < V_m < V_ih`` for the V_m of *any* family
+    member, hence positive delay regardless of which inputs switch and
+    how far apart they are.  The returned ``vm`` is the median switching
+    threshold, recorded for diagnostics only.
+    """
+    curves = list(family)
+    if not curves:
+        raise MeasurementError("cannot select thresholds from an empty VTC family")
+    vil = min(curve.vil for curve in curves)
+    vih = max(curve.vih for curve in curves)
+    vm = float(np.median([curve.vm for curve in curves]))
+    return Thresholds(vil=vil, vih=vih, vdd=vdd, vm=vm)
+
+
+def threshold_table(family: Iterable[VtcCurve]) -> List[dict]:
+    """Rows of the paper's Figure 2-1(c) table: one dict per VTC with the
+    subset label and its V_il / V_m / V_ih."""
+    rows = []
+    for curve in sorted(family, key=lambda c: (len(c.switching), c.label)):
+        rows.append({
+            "switching": curve.label,
+            "vil": round(curve.vil, 4),
+            "vm": round(curve.vm, 4),
+            "vih": round(curve.vih, 4),
+        })
+    return rows

@@ -1,0 +1,45 @@
+"""Piecewise-linear waveforms and timing measurements.
+
+The paper drives gates with piecewise-linear (PWL) inputs "in order to
+precisely control the separations and rise times of the inputs"
+(Section 5) and measures delays, transition times and separations at the
+``V_il`` / ``V_ih`` thresholds selected in Section 2.  This package
+provides the :class:`Pwl` waveform type, ramp builders with exact
+threshold-crossing placement, and the measurement conventions.
+"""
+
+from .pwl import Pwl, ramp, step, ramp_crossing_at
+from .edges import Edge, RISE, FALL, opposite, normalize_direction
+from .synthesis import edge_to_waveform, events_to_waveform
+from .measure import (
+    Thresholds,
+    timing_threshold,
+    crossing_time,
+    crossing_times,
+    transition_time,
+    gate_delay,
+    separation,
+    extremum_voltage,
+)
+
+__all__ = [
+    "Pwl",
+    "ramp",
+    "step",
+    "ramp_crossing_at",
+    "Edge",
+    "RISE",
+    "FALL",
+    "opposite",
+    "normalize_direction",
+    "Thresholds",
+    "timing_threshold",
+    "crossing_time",
+    "crossing_times",
+    "transition_time",
+    "gate_delay",
+    "separation",
+    "extremum_voltage",
+    "edge_to_waveform",
+    "events_to_waveform",
+]

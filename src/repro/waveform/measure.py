@@ -1,0 +1,203 @@
+"""Timing measurements with the paper's threshold conventions.
+
+Section 2 of the paper fixes the measurement rules this module
+implements:
+
+* A transition is **timed at its onset threshold**: ``V_il`` when rising,
+  ``V_ih`` when falling.  This single rule covers the paper's three uses:
+
+  - *input threshold* for delay ("V_il (V_ih) for the input threshold ...
+    in case of rising (falling) inputs"),
+  - *output threshold* for delay ("V_ih (V_il) for the output threshold"
+    -- the falling output produced by a rising input is timed at
+    ``V_ih``, i.e. its own onset),
+  - *separations* ("we measure separation between two inputs by using
+    V_ih for falling inputs and V_il for rising inputs").
+
+* **Transition times** are measured between ``V_il`` and ``V_ih``
+  ("these two thresholds also provide a logical choice for measuring
+  input and output transition times") and, by default, rescaled to an
+  equivalent full-swing time so they are commensurable with the
+  full-swing ramp times used to specify inputs.
+
+* For a multi-input gate, ``V_il`` is the minimum and ``V_ih`` the
+  maximum over the gate's whole VTC family, which guarantees positive
+  delay for any input configuration (the paper's central Section-2
+  result).  Computing that family lives in :mod:`repro.vtc`; this module
+  only consumes the resulting :class:`Thresholds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MeasurementError
+from ..units import format_quantity, parse_quantity
+from .edges import FALL, RISE, normalize_direction
+from .pwl import Pwl
+
+__all__ = [
+    "Thresholds",
+    "timing_threshold",
+    "crossing_time",
+    "crossing_times",
+    "transition_time",
+    "gate_delay",
+    "separation",
+    "extremum_voltage",
+]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """The measurement thresholds of a gate.
+
+    ``vil`` and ``vih`` are the delay-measurement thresholds chosen by
+    the Section-2 rule (min ``V_il`` / max ``V_ih`` over the VTC family);
+    ``vdd`` is the supply.  ``vm`` optionally records a representative
+    switching threshold for diagnostics.
+    """
+
+    vil: float
+    vih: float
+    vdd: float
+    vm: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.vil < self.vih < self.vdd:
+            raise MeasurementError(
+                f"thresholds must satisfy 0 < vil < vih < vdd, got "
+                f"vil={self.vil}, vih={self.vih}, vdd={self.vdd}"
+            )
+        if self.vm is not None and not self.vil <= self.vm <= self.vih:
+            raise MeasurementError(
+                f"vm={self.vm} must lie within [vil, vih]=[{self.vil}, {self.vih}]"
+            )
+
+    @property
+    def swing(self) -> float:
+        """The measured swing ``vih - vil``."""
+        return self.vih - self.vil
+
+    def full_swing_factor(self) -> float:
+        """Multiplier converting a vil->vih time into a full-swing time."""
+        return self.vdd / self.swing
+
+    def describe(self) -> str:
+        vm = "" if self.vm is None else f", vm={self.vm:.3g}V"
+        return f"Thresholds(vil={self.vil:.3g}V, vih={self.vih:.3g}V{vm}, vdd={self.vdd:.3g}V)"
+
+
+def timing_threshold(direction: str, thresholds: Thresholds) -> float:
+    """The onset threshold for a transition: ``vil`` rising, ``vih`` falling."""
+    return thresholds.vil if normalize_direction(direction) == RISE else thresholds.vih
+
+
+def crossing_times(waveform: Pwl, level: float, direction: str | None = None) -> list[float]:
+    """All crossing times of ``level`` (thin wrapper over :meth:`Pwl.crossings`)."""
+    return waveform.crossings(level, direction)
+
+
+def crossing_time(waveform: Pwl, level: float, direction: str | None = None,
+                  occurrence: str = "first") -> float:
+    """A single crossing time; ``occurrence`` is ``"first"`` or ``"last"``."""
+    if occurrence == "first":
+        return waveform.first_crossing(level, direction)
+    if occurrence == "last":
+        return waveform.last_crossing(level, direction)
+    raise MeasurementError(f"occurrence must be 'first' or 'last', got {occurrence!r}")
+
+
+def transition_time(waveform: Pwl, direction: str, thresholds: Thresholds,
+                    *, scale_to_full_swing: bool = True,
+                    occurrence: str = "last") -> float:
+    """Transition time between ``vil`` and ``vih``.
+
+    For a rising transition this is the time from the *last* upward
+    ``vil`` crossing's matching segment to the subsequent ``vih``
+    crossing (``occurrence="last"`` tolerates glitches before the final
+    transition; pass ``"first"`` to measure the first excursion).
+
+    With ``scale_to_full_swing=True`` (default) the vil->vih time is
+    multiplied by ``vdd / (vih - vil)`` so that it is directly comparable
+    to the full-swing ramp times used for inputs.
+    """
+    direction = normalize_direction(direction)
+    if direction == RISE:
+        t_lo_hits = waveform.crossings(thresholds.vil, RISE)
+        if not t_lo_hits:
+            raise MeasurementError("no rising vil crossing: transition never started")
+        t_lo = t_lo_hits[-1] if occurrence == "last" else t_lo_hits[0]
+        hi_hits = [t for t in waveform.crossings(thresholds.vih, RISE) if t >= t_lo]
+        if not hi_hits:
+            raise MeasurementError("rising transition never reached vih (incomplete)")
+        t_hi = hi_hits[0]
+        span = t_hi - t_lo
+    else:
+        t_hi_hits = waveform.crossings(thresholds.vih, FALL)
+        if not t_hi_hits:
+            raise MeasurementError("no falling vih crossing: transition never started")
+        t_hi = t_hi_hits[-1] if occurrence == "last" else t_hi_hits[0]
+        lo_hits = [t for t in waveform.crossings(thresholds.vil, FALL) if t >= t_hi]
+        if not lo_hits:
+            raise MeasurementError("falling transition never reached vil (incomplete)")
+        t_lo = lo_hits[0]
+        span = t_lo - t_hi
+    if scale_to_full_swing:
+        span *= thresholds.full_swing_factor()
+    return span
+
+
+def gate_delay(input_wf: Pwl, input_direction: str,
+               output_wf: Pwl, output_direction: str,
+               thresholds: Thresholds, *,
+               input_occurrence: str = "first",
+               output_occurrence: str = "last") -> float:
+    """Propagation delay under the paper's convention.
+
+    The input is timed at its onset threshold; the output is timed at its
+    own onset threshold (``V_ih`` when falling, ``V_il`` when rising),
+    which is the paper's "V_ih (V_il) for the output threshold in case of
+    rising (falling) inputs" rule.  ``output_occurrence="last"`` measures
+    the final, completed transition (robust to proximity glitches).
+    """
+    in_level = timing_threshold(input_direction, thresholds)
+    out_level = timing_threshold(output_direction, thresholds)
+    t_in = crossing_time(input_wf, in_level, input_direction, input_occurrence)
+    t_out = crossing_time(output_wf, out_level, output_direction, output_occurrence)
+    return t_out - t_in
+
+
+def separation(first_wf: Pwl, first_direction: str,
+               second_wf: Pwl, second_direction: str,
+               thresholds: Thresholds) -> float:
+    """Separation ``s_12`` between two input transitions.
+
+    Each input is timed at its onset threshold; positive means the second
+    input switches later (matching ``s_ij`` measured from input *i*).
+    """
+    t1 = crossing_time(first_wf, timing_threshold(first_direction, thresholds),
+                       first_direction, "first")
+    t2 = crossing_time(second_wf, timing_threshold(second_direction, thresholds),
+                       second_direction, "first")
+    return t2 - t1
+
+
+def extremum_voltage(waveform: Pwl, *, kind: str, t0: float | str | None = None,
+                     t1: float | str | None = None) -> float:
+    """Minimum or maximum voltage, optionally restricted to a window.
+
+    Section 6 of the paper models the *minimum output voltage* of a glitch
+    as a function of input separation; this helper performs that
+    measurement on simulated waveforms.
+    """
+    wf = waveform
+    if t0 is not None or t1 is not None:
+        start = waveform.t_start if t0 is None else parse_quantity(t0, unit="s")
+        end = waveform.t_end if t1 is None else parse_quantity(t1, unit="s")
+        wf = waveform.windowed(start, end)
+    if kind == "min":
+        return wf.min()
+    if kind == "max":
+        return wf.max()
+    raise MeasurementError(f"kind must be 'min' or 'max', got {kind!r}")

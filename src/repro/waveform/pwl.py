@@ -1,0 +1,271 @@
+"""The :class:`Pwl` piecewise-linear waveform type.
+
+A :class:`Pwl` is an immutable sampled signal ``v(t)`` defined by
+breakpoints ``(t_k, v_k)`` with strictly increasing times, linearly
+interpolated between breakpoints and held constant beyond the ends.  It
+is used both for *inputs* (ideal ramps built by :func:`ramp`) and for
+*outputs* (dense samples captured from transient simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..units import parse_quantity
+
+__all__ = ["Pwl", "ramp", "step", "ramp_crossing_at"]
+
+
+class Pwl:
+    """An immutable piecewise-linear waveform.
+
+    Parameters
+    ----------
+    times, values:
+        Breakpoint arrays of equal length (>= 1).  ``times`` must be
+        strictly increasing.  Values before ``times[0]`` and after
+        ``times[-1]`` are held at the first/last breakpoint value.
+    """
+
+    __slots__ = ("_t", "_v")
+
+    def __init__(self, times: Iterable[float], values: Iterable[float]) -> None:
+        t = np.asarray(list(times) if not isinstance(times, np.ndarray) else times,
+                       dtype=float)
+        v = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                       dtype=float)
+        if t.ndim != 1 or v.ndim != 1:
+            raise MeasurementError("Pwl breakpoints must be one-dimensional")
+        if t.size != v.size:
+            raise MeasurementError(
+                f"Pwl times ({t.size}) and values ({v.size}) differ in length"
+            )
+        if t.size == 0:
+            raise MeasurementError("Pwl requires at least one breakpoint")
+        if t.size > 1 and not np.all(np.diff(t) > 0.0):
+            raise MeasurementError("Pwl breakpoint times must be strictly increasing")
+        if not (np.all(np.isfinite(t)) and np.all(np.isfinite(v))):
+            raise MeasurementError("Pwl breakpoints must be finite")
+        self._t = t
+        self._v = v
+        self._t.setflags(write=False)
+        self._v.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Breakpoint times (read-only view)."""
+        return self._t
+
+    @property
+    def values(self) -> np.ndarray:
+        """Breakpoint values (read-only view)."""
+        return self._v
+
+    @property
+    def t_start(self) -> float:
+        return float(self._t[0])
+
+    @property
+    def t_end(self) -> float:
+        return float(self._t[-1])
+
+    def __len__(self) -> int:
+        return int(self._t.size)
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the waveform at time(s) ``t`` (clamped extrapolation)."""
+        out = np.interp(np.asarray(t, dtype=float), self._t, self._v)
+        if np.isscalar(t) or (isinstance(t, np.ndarray) and t.ndim == 0):
+            return float(out)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pwl):
+            return NotImplemented
+        return (
+            self._t.shape == other._t.shape
+            and bool(np.array_equal(self._t, other._t))
+            and bool(np.array_equal(self._v, other._v))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._t.tobytes(), self._v.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pwl({len(self)} points, t in [{self.t_start:.3e}, {self.t_end:.3e}])"
+
+    # ------------------------------------------------------------------
+    # Derived values
+    # ------------------------------------------------------------------
+    def min(self) -> float:
+        """Minimum breakpoint value (exact for a PWL signal)."""
+        return float(self._v.min())
+
+    def max(self) -> float:
+        """Maximum breakpoint value (exact for a PWL signal)."""
+        return float(self._v.max())
+
+    def initial_value(self) -> float:
+        return float(self._v[0])
+
+    def final_value(self) -> float:
+        return float(self._v[-1])
+
+    def derivative_between(self, t0: float, t1: float) -> float:
+        """Average slope over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise MeasurementError("derivative_between requires t1 > t0")
+        return (self(t1) - self(t0)) / (t1 - t0)
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new Pwl instances)
+    # ------------------------------------------------------------------
+    def shifted(self, dt: float | str) -> "Pwl":
+        """Translate in time by ``dt`` (seconds or a quantity string)."""
+        delta = parse_quantity(dt, unit="s")
+        return Pwl(self._t + delta, self._v)
+
+    def scaled(self, gain: float, offset: float = 0.0) -> "Pwl":
+        """Return ``gain * v(t) + offset``."""
+        return Pwl(self._t, gain * self._v + offset)
+
+    def clipped(self, lo: float, hi: float) -> "Pwl":
+        """Clamp values into ``[lo, hi]`` (breakpoints only; adequate for
+        rail clamping of simulated waveforms)."""
+        if hi < lo:
+            raise MeasurementError("clipped() requires hi >= lo")
+        return Pwl(self._t, np.clip(self._v, lo, hi))
+
+    def windowed(self, t0: float, t1: float) -> "Pwl":
+        """Restrict to ``[t0, t1]``, inserting interpolated endpoints."""
+        if t1 <= t0:
+            raise MeasurementError("windowed() requires t1 > t0")
+        inside = (self._t > t0) & (self._t < t1)
+        t = np.concatenate(([t0], self._t[inside], [t1]))
+        v = np.concatenate(([self(t0)], self._v[inside], [self(t1)]))
+        return Pwl(t, v)
+
+    def resampled(self, times: Sequence[float]) -> "Pwl":
+        """Resample onto an explicit strictly-increasing time grid."""
+        grid = np.asarray(times, dtype=float)
+        return Pwl(grid, self(grid))
+
+    # ------------------------------------------------------------------
+    # Crossings
+    # ------------------------------------------------------------------
+    def crossings(self, level: float, direction: str | None = None) -> list[float]:
+        """All times at which the waveform crosses ``level``.
+
+        ``direction`` may be ``"rise"``, ``"fall"`` or ``None`` (both).
+        A crossing is detected per linear segment; exact-touch points
+        (segment endpoint equal to ``level``) count as crossings when the
+        signal actually passes through the level.  Times are returned in
+        increasing order.
+        """
+        from .edges import normalize_direction
+
+        want = None if direction is None else normalize_direction(direction)
+        t, v = self._t, self._v
+        if t.size < 2:
+            return []
+        dv = v[1:] - v[:-1]
+        lo = v[:-1] - level
+        hi = v[1:] - level
+        hits: list[float] = []
+        rising = (lo < 0.0) & (hi >= 0.0)
+        falling = (lo > 0.0) & (hi <= 0.0)
+        if want in (None, "rise"):
+            for idx in np.nonzero(rising)[0]:
+                frac = (level - v[idx]) / dv[idx]
+                hits.append(float(t[idx] + frac * (t[idx + 1] - t[idx])))
+        if want in (None, "fall"):
+            for idx in np.nonzero(falling)[0]:
+                frac = (level - v[idx]) / dv[idx]
+                hits.append(float(t[idx] + frac * (t[idx + 1] - t[idx])))
+        hits.sort()
+        return hits
+
+    def first_crossing(self, level: float, direction: str | None = None) -> float:
+        """First crossing time, raising :class:`MeasurementError` if none."""
+        hits = self.crossings(level, direction)
+        if not hits:
+            raise MeasurementError(
+                f"waveform never crosses {level:.4g} "
+                f"({'any direction' if direction is None else direction})"
+            )
+        return hits[0]
+
+    def last_crossing(self, level: float, direction: str | None = None) -> float:
+        """Last crossing time, raising :class:`MeasurementError` if none."""
+        hits = self.crossings(level, direction)
+        if not hits:
+            raise MeasurementError(
+                f"waveform never crosses {level:.4g} "
+                f"({'any direction' if direction is None else direction})"
+            )
+        return hits[-1]
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def ramp(t_start: float | str, v0: float, v1: float, tau: float | str,
+         *, t_end: float | None = None) -> Pwl:
+    """A flat-ramp-flat waveform.
+
+    Holds ``v0`` until ``t_start``, ramps linearly to ``v1`` over ``tau``
+    seconds, then holds ``v1`` (until ``t_end`` if given, which merely
+    appends a final breakpoint for plotting convenience).
+    """
+    t0 = parse_quantity(t_start, unit="s")
+    width = parse_quantity(tau, unit="s")
+    if width <= 0.0:
+        raise MeasurementError(f"ramp transition time must be positive, got {width}")
+    # Constant extrapolation beyond the ends makes the two transition
+    # breakpoints sufficient; the flat head/tail are implicit.
+    times = [t0, t0 + width]
+    values = [v0, v1]
+    if t_end is not None:
+        end = parse_quantity(t_end, unit="s")
+        if end > times[-1]:
+            times.append(end)
+            values.append(v1)
+    return Pwl(times, values)
+
+
+def step(t_step: float | str, v0: float, v1: float, *, tau: float | str = 1e-13) -> Pwl:
+    """A near-ideal step: a ramp with a very small transition time.
+
+    True discontinuities break the strictly-increasing-time invariant, so
+    a step is represented by a 0.1 fs ramp -- far below any delay this
+    library resolves.
+    """
+    return ramp(t_step, v0, v1, tau)
+
+
+def ramp_crossing_at(t_cross: float | str, level: float, *, v0: float, v1: float,
+                     tau: float | str, t_end: float | None = None) -> Pwl:
+    """A ramp positioned so that it crosses ``level`` exactly at ``t_cross``.
+
+    This is how edges with paper-convention arrival times (measured at
+    ``V_il``/``V_ih``) are lowered to concrete stimuli.
+    """
+    t_at = parse_quantity(t_cross, unit="s")
+    width = parse_quantity(tau, unit="s")
+    if width <= 0.0:
+        raise MeasurementError(f"ramp transition time must be positive, got {width}")
+    if (v1 - v0) == 0.0:
+        raise MeasurementError("ramp_crossing_at requires v0 != v1")
+    frac = (level - v0) / (v1 - v0)
+    if not 0.0 <= frac <= 1.0:
+        raise MeasurementError(
+            f"threshold {level:.4g} lies outside the ramp range [{v0:.4g}, {v1:.4g}]"
+        )
+    t_start = t_at - frac * width
+    return ramp(t_start, v0, v1, width, t_end=t_end)

@@ -1,0 +1,122 @@
+"""Synthesizing concrete output waveforms from timing quantities.
+
+The macromodels produce two numbers per transition -- delay and output
+transition time.  For plotting, for chaining into measurement code, or
+for handing to an external tool, it is often useful to lower those back
+into a concrete waveform.  :func:`edge_to_waveform` builds the
+saturated-ramp approximation of a single transition;
+:func:`events_to_waveform` stitches a whole
+:class:`~repro.timing.eventsim.NetWaveform`-style edge train into one
+PWL, which is also how the event simulator's results become plottable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .edges import Edge, FALL
+from .measure import Thresholds
+from .pwl import Pwl
+
+__all__ = ["edge_to_waveform", "events_to_waveform"]
+
+
+def edge_to_waveform(edge: Edge, thresholds: Thresholds, *,
+                     t_end: Optional[float] = None) -> Pwl:
+    """The saturated-ramp waveform of one edge (full swing, linear).
+
+    This is exactly :meth:`repro.waveform.Edge.to_pwl`, re-exported here
+    for symmetry with :func:`events_to_waveform`.
+    """
+    return edge.to_pwl(thresholds, t_end=t_end)
+
+
+def events_to_waveform(initial_high: bool, edges: Sequence[Edge],
+                       thresholds: Thresholds, *,
+                       t_start: Optional[float] = None,
+                       t_end: Optional[float] = None) -> Pwl:
+    """Stitch an alternating edge train into one PWL waveform.
+
+    Each edge becomes a linear ramp positioned by its onset-threshold
+    crossing (the library's timing convention); overlapping consecutive
+    ramps are resolved by clipping the earlier ramp at the point where
+    the next one takes over (a saturated-ramp approximation of a runt).
+
+    Raises :class:`~repro.errors.MeasurementError` if the edges are not
+    time-ordered or do not alternate with the initial level.
+    """
+    vdd = thresholds.vdd
+    level = initial_high
+    prev_t = float("-inf")
+    start_v = vdd if initial_high else 0.0
+    if not edges:
+        t0 = 0.0 if t_start is None else t_start
+        t1 = t0 + 1e-12 if t_end is None else max(t_end, t0 + 1e-12)
+        return Pwl([t0, t1], [start_v, start_v])
+
+    # Each ramp as (t0, t1, v0, v1); validate ordering/alternation.
+    ramps: list[tuple[float, float, float, float]] = []
+    for edge in edges:
+        expected = FALL if level else "rise"
+        if edge.direction != expected:
+            raise MeasurementError(
+                f"edge at {edge.t_cross:g}s does not alternate with the "
+                f"running level"
+            )
+        if edge.t_cross <= prev_t:
+            raise MeasurementError("edges must be strictly time-ordered")
+        pwl = edge.to_pwl(thresholds)
+        ramps.append((float(pwl.times[0]), float(pwl.times[-1]),
+                      float(pwl.values[0]), float(pwl.values[-1])))
+        prev_t = edge.t_cross
+        level = not level
+
+    times: list[float] = [ramps[0][0], ramps[0][1]]
+    values: list[float] = [ramps[0][2], ramps[0][3]]
+    for t0, t1, v0, v1 in ramps[1:]:
+        if t0 > times[-1]:
+            times.extend((t0, t1))
+            values.extend((v0, v1))
+            continue
+        # Overlap: the new ramp starts before the previous one finished.
+        # Follow the previous ramp's line until it meets the new ramp's
+        # line (the saturated-runt crossover), then follow the new ramp.
+        pt0, pt1 = times[-2], times[-1]
+        pv0, pv1 = values[-2], values[-1]
+        prev_slope = (pv1 - pv0) / (pt1 - pt0)
+        new_slope = (v1 - v0) / (t1 - t0)
+        denominator = prev_slope - new_slope
+        if denominator == 0.0:
+            t_x = t0
+        else:
+            # v_prev(t) = pv0 + prev_slope (t - pt0);
+            # v_new(t)  = v0 + new_slope (t - t0).
+            t_x = (v0 - pv0 + prev_slope * pt0 - new_slope * t0) / denominator
+        t_x = min(max(t_x, max(pt0, t0)), min(pt1, t1))
+        v_x = pv0 + prev_slope * (t_x - pt0)
+        # Truncate the previous ramp at the crossover.
+        times[-1] = t_x
+        values[-1] = v_x
+        if t1 > t_x:
+            times.append(t1)
+            values.append(v1)
+
+    # De-duplicate any coincident breakpoints introduced by truncation.
+    clean_t: list[float] = []
+    clean_v: list[float] = []
+    for t, v in zip(times, values):
+        if clean_t and t <= clean_t[-1]:
+            t = clean_t[-1] + 1e-16
+        clean_t.append(t)
+        clean_v.append(v)
+
+    if t_start is not None and t_start < clean_t[0]:
+        clean_t.insert(0, t_start)
+        clean_v.insert(0, start_v)
+    if t_end is not None and t_end > clean_t[-1]:
+        clean_t.append(t_end)
+        clean_v.append(clean_v[-1])
+    return Pwl(clean_t, clean_v)

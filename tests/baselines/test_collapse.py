@@ -1,0 +1,155 @@
+"""Series/parallel collapsing and the equivalent-inverter baseline."""
+
+import pytest
+
+from repro.baselines import CollapsedInverterBaseline, collapse_strengths
+from repro.baselines.collapse import equivalent_inverter_gate, onset_input
+from repro.errors import ModelError
+from repro.gates import Leaf, Parallel, Series
+from repro.waveform import Edge, FALL, RISE
+
+
+class TestCollapseStrengths:
+    STRENGTHS = {"a": 2.0, "b": 2.0, "c": 4.0}
+
+    def test_series(self):
+        tree = Series(Leaf("a"), Leaf("b"))
+        k = collapse_strengths(tree, self.STRENGTHS, {"a": True, "b": True})
+        assert k == pytest.approx(1.0)  # 1/(1/2 + 1/2)
+
+    def test_parallel(self):
+        tree = Parallel(Leaf("a"), Leaf("c"))
+        k = collapse_strengths(tree, self.STRENGTHS, {"a": True, "c": True})
+        assert k == pytest.approx(6.0)
+
+    def test_nonconducting_leaf_zero(self):
+        tree = Parallel(Leaf("a"), Leaf("b"))
+        k = collapse_strengths(tree, self.STRENGTHS, {"a": True, "b": False})
+        assert k == pytest.approx(2.0)
+
+    def test_series_with_open_is_zero(self):
+        tree = Series(Leaf("a"), Leaf("b"))
+        k = collapse_strengths(tree, self.STRENGTHS, {"a": True, "b": False})
+        assert k == 0.0
+
+    def test_nested(self):
+        tree = Parallel(Series(Leaf("a"), Leaf("b")), Leaf("c"))
+        k = collapse_strengths(tree, self.STRENGTHS,
+                               {"a": True, "b": True, "c": True})
+        assert k == pytest.approx(1.0 + 4.0)
+
+    def test_nonpositive_strength_rejected(self):
+        with pytest.raises(ModelError):
+            collapse_strengths(Leaf("a"), {"a": 0.0}, {"a": True})
+
+
+class TestOnsetInput:
+    def test_parallel_onset_is_earliest(self):
+        tree = Parallel(Leaf("a"), Leaf("b"))
+        assert onset_input(tree, {}, ["b", "a"]) == "b"
+
+    def test_series_onset_is_latest(self):
+        tree = Series(Leaf("a"), Leaf("b"))
+        assert onset_input(tree, {}, ["b", "a"]) == "a"
+
+    def test_stable_conduction_counts(self):
+        tree = Series(Leaf("a"), Leaf("b"))
+        assert onset_input(tree, {"b": True}, ["a"]) == "a"
+
+    def test_never_conducts_raises(self):
+        tree = Series(Leaf("a"), Leaf("b"))
+        with pytest.raises(ModelError):
+            onset_input(tree, {"b": False}, ["a"])
+
+
+class TestEquivalentInverter:
+    def test_nand3_falling_inputs(self, nand3):
+        """Two falling inputs: pull-up = 2 parallel PMOS; pull-down = the
+        full 3-stack of (widened) NMOS."""
+        inv = equivalent_inverter_gate(nand3, ("a", "b"), FALL)
+        kp_expected = nand3.strength_p("a") + nand3.strength_p("b")
+        kn_expected = 1.0 / sum(
+            1.0 / nand3.strength_n(x) for x in ("a", "b", "c"))
+        assert inv.strength_p("a") == pytest.approx(kp_expected, rel=1e-6)
+        assert inv.strength_n("a") == pytest.approx(kn_expected, rel=1e-6)
+
+    def test_rising_inputs(self, nand3):
+        inv = equivalent_inverter_gate(nand3, ("a", "b", "c"), RISE)
+        kn_expected = 1.0 / sum(
+            1.0 / nand3.strength_n(x) for x in ("a", "b", "c"))
+        assert inv.strength_n("a") == pytest.approx(kn_expected, rel=1e-6)
+
+    def test_single_rising_input_cannot_drive_nand(self, nand3):
+        """One rising input of a NAND cannot conduct the stack alone...
+        but the sensitizing levels hold the others high, so the stack
+        does conduct; verify a NOR's parallel pull-up instead."""
+        inv = equivalent_inverter_gate(nand3, ("a",), RISE)
+        assert inv.strength_n("a") > 0
+
+
+class TestBaselineEstimator:
+    def test_bad_policy_rejected(self, nand3, thresholds):
+        with pytest.raises(ModelError):
+            CollapsedInverterBaseline(nand3, thresholds,
+                                      waveform_policy="psychic")
+
+    def test_empty_edges_rejected(self, nand3, thresholds):
+        baseline = CollapsedInverterBaseline(nand3, thresholds)
+        with pytest.raises(ModelError):
+            baseline.estimate({})
+
+    def test_mixed_directions_rejected(self, nand3, thresholds):
+        baseline = CollapsedInverterBaseline(nand3, thresholds)
+        with pytest.raises(ModelError):
+            baseline.estimate({
+                "a": Edge(FALL, 0.0, 1e-10),
+                "b": Edge(RISE, 0.0, 1e-10),
+            })
+
+    def test_estimate_is_deterministic_and_memoized(self, nand3, thresholds):
+        import time
+        baseline = CollapsedInverterBaseline(nand3, thresholds)
+        edges = {
+            "a": Edge(FALL, 0.0, 400e-12),
+            "b": Edge(FALL, 100e-12, 200e-12),
+        }
+        first = baseline.estimate(edges)
+        t0 = time.time()
+        second = baseline.estimate(edges)
+        assert time.time() - t0 < 0.02
+        assert first.output_crossing == pytest.approx(second.output_crossing)
+
+    def test_extreme_policy_picks_onset_edge(self, nand3, thresholds):
+        baseline = CollapsedInverterBaseline(nand3, thresholds,
+                                             waveform_policy="extreme")
+        edges = {
+            "a": Edge(FALL, 300e-12, 400e-12),
+            "b": Edge(FALL, 0.0, 200e-12),
+        }
+        est = baseline.estimate(edges)
+        # Falling NAND inputs -> parallel pull-up -> earliest edge (b).
+        assert est.equivalent_edge.t_cross == pytest.approx(0.0)
+
+    def test_weighted_policy_averages(self, nand3, thresholds):
+        baseline = CollapsedInverterBaseline(nand3, thresholds,
+                                             waveform_policy="weighted")
+        edges = {
+            "a": Edge(FALL, 0.0, 400e-12),
+            "b": Edge(FALL, 200e-12, 200e-12),
+        }
+        est = baseline.estimate(edges)
+        assert 0.0 < est.equivalent_edge.t_cross < 200e-12
+
+    def test_in_right_ballpark(self, nand3, thresholds, calculator):
+        """The baseline is crude but must produce a positive delay of
+        the right order of magnitude for a benign configuration."""
+        edges = {
+            "a": Edge(FALL, 0.0, 300e-12),
+            "b": Edge(FALL, 0.0, 300e-12),
+            "c": Edge(FALL, 0.0, 300e-12),
+        }
+        baseline = CollapsedInverterBaseline(nand3, thresholds)
+        est = baseline.estimate(edges)
+        ours = calculator.explain(edges)
+        ref_edge = edges[ours.reference]
+        assert 0.0 < est.delay_from(ref_edge) < 5 * ours.delay

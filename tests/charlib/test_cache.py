@@ -1,0 +1,86 @@
+"""The characterization cache: keys, hits, corruption, disabling."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.charlib.cache import CharacterizationCache
+from repro.errors import CharacterizationError
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CharacterizationCache(tmp_path)
+
+
+class TestBasics:
+    def test_miss_then_hit(self, cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42}
+
+        key = {"gate": "nand3", "tau": 1e-10}
+        assert cache.get_or_compute("single", key, compute) == {"value": 42}
+        assert cache.get_or_compute("single", key, compute) == {"value": 42}
+        assert len(calls) == 1
+
+    def test_different_keys_different_entries(self, cache):
+        cache.store("k", {"x": 1}, {"v": 1})
+        cache.store("k", {"x": 2}, {"v": 2})
+        assert cache.load("k", {"x": 1}) == {"v": 1}
+        assert cache.load("k", {"x": 2}) == {"v": 2}
+
+    def test_kind_separates_namespaces(self, cache):
+        cache.store("single", {"x": 1}, {"v": "s"})
+        assert cache.load("dual", {"x": 1}) is None
+
+    def test_key_order_irrelevant(self, cache):
+        cache.store("k", {"a": 1, "b": 2}, {"v": 9})
+        assert cache.load("k", {"b": 2, "a": 1}) == {"v": 9}
+
+    def test_numpy_values_in_keys_and_payloads(self, cache):
+        key = {"tau": np.float64(1e-10), "grid": np.array([1.0, 2.0])}
+        cache.store("k", key, {"table": np.array([1.0, 2.0])})
+        loaded = cache.load("k", key)
+        assert loaded == {"table": [1.0, 2.0]}
+
+    def test_unserializable_key_raises(self, cache):
+        with pytest.raises(CharacterizationError):
+            cache.load("k", {"fn": object()})
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_miss(self, cache, tmp_path):
+        key = {"x": 1}
+        cache.store("k", key, {"v": 1})
+        (path,) = list(tmp_path.glob("k-*.json"))
+        path.write_text("{ not json")
+        assert cache.load("k", key) is None
+        # get_or_compute recovers by recomputing and rewriting.
+        assert cache.get_or_compute("k", key, lambda: {"v": 2}) == {"v": 2}
+        assert cache.load("k", key) == {"v": 2}
+
+    def test_atomic_write_leaves_no_tmp(self, cache, tmp_path):
+        cache.store("k", {"x": 1}, {"v": 1})
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_disabled_by_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        cache = CharacterizationCache()
+        assert not cache.enabled
+        calls = []
+        cache.get_or_compute("k", {"x": 1}, lambda: calls.append(1) or {"v": 1})
+        cache.get_or_compute("k", {"x": 1}, lambda: calls.append(1) or {"v": 1})
+        assert len(calls) == 2
+
+    def test_env_directory(self, monkeypatch, tmp_path):
+        target = tmp_path / "envcache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        cache = CharacterizationCache()
+        cache.store("k", {"x": 1}, {"v": 1})
+        assert target.exists()
+        assert list(target.glob("k-*.json"))

@@ -1,0 +1,111 @@
+"""Dual-input characterization (eq. 3.11/3.12 tables)."""
+
+import numpy as np
+import pytest
+
+from repro.charlib import CharacterizationCache, DualInputGrid
+from repro.charlib.dual import characterize_dual_input
+from repro.charlib.simulate import multi_input_response, single_input_response
+from repro.errors import CharacterizationError
+from repro.waveform import Edge, FALL
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.gates import Gate
+    from repro.tech import default_process
+    from repro.charlib.library import cached_thresholds
+
+    gate = Gate.nand(3, default_process(), load=100e-15)
+    return gate, cached_thresholds(gate)
+
+
+@pytest.fixture(scope="module")
+def tmp_cache(tmp_path_factory):
+    return CharacterizationCache(tmp_path_factory.mktemp("dualcache"))
+
+
+@pytest.fixture(scope="module")
+def model(env, tmp_cache):
+    gate, thresholds = env
+    return characterize_dual_input(
+        gate, "a", "b", FALL, thresholds,
+        grid=DualInputGrid.fast(), cache=tmp_cache,
+    )
+
+
+class TestGrid:
+    def test_validation(self):
+        with pytest.raises(CharacterizationError):
+            DualInputGrid(tau_refs=(1e-10,))
+        with pytest.raises(CharacterizationError):
+            DualInputGrid(a2=(1.0, 0.5))  # not increasing
+        with pytest.raises(CharacterizationError):
+            DualInputGrid(a3=(0.0,))
+
+    def test_point_count(self):
+        grid = DualInputGrid.fast()
+        assert grid.n_points == len(grid.tau_refs) * len(grid.a2) * len(grid.a3)
+
+
+class TestCharacterization:
+    def test_same_pin_rejected(self, env, tmp_cache):
+        gate, thresholds = env
+        with pytest.raises(CharacterizationError):
+            characterize_dual_input(gate, "a", "a", FALL, thresholds,
+                                    cache=tmp_cache)
+
+    def test_unknown_pin_rejected(self, env, tmp_cache):
+        gate, thresholds = env
+        with pytest.raises(CharacterizationError):
+            characterize_dual_input(gate, "a", "x", FALL, thresholds,
+                                    cache=tmp_cache)
+
+    def test_far_separation_ratio_is_one(self, model, env):
+        """Beyond the proximity window the dual model must return the
+        single-input delay (ratio 1)."""
+        gate, thresholds = env
+        tau = 400e-12
+        single = single_input_response(gate, "a", FALL, tau, thresholds)
+        ratio = model.delay_ratio(tau, 200e-12, sep=1.2 * single.delay,
+                                  delta1=single.delay)
+        assert ratio == pytest.approx(1.0, abs=0.06)
+
+    def test_close_separation_speeds_up(self, model, env):
+        gate, thresholds = env
+        tau = 400e-12
+        single = single_input_response(gate, "a", FALL, tau, thresholds)
+        ratio = model.delay_ratio(tau, 200e-12, sep=0.0, delta1=single.delay)
+        assert ratio < 0.95
+
+    def test_interpolation_against_simulation(self, model, env):
+        """Query an off-grid point and compare with a fresh simulation."""
+        gate, thresholds = env
+        tau_ref, tau_other, sep = 350e-12, 260e-12, 40e-12
+        single = single_input_response(gate, "a", FALL, tau_ref, thresholds)
+        edges = {
+            "a": Edge(FALL, 0.0, tau_ref),
+            "b": Edge(FALL, sep, tau_other),
+        }
+        shot = multi_input_response(gate, edges, thresholds, reference="a")
+        predicted = model.delay_ratio(tau_ref, tau_other, sep,
+                                      delta1=single.delay) * single.delay
+        assert predicted == pytest.approx(shot.delay, rel=0.12)
+
+    def test_ttime_ratio_positive(self, model, env):
+        gate, thresholds = env
+        tau = 400e-12
+        single = single_input_response(gate, "a", FALL, tau, thresholds)
+        ratio = model.ttime_ratio(tau, 200e-12, sep=0.0,
+                                  tau1=single.out_ttime, delta1=single.delay)
+        assert 0.0 < ratio <= 1.2
+
+    def test_cache_hit_is_fast(self, env, tmp_cache):
+        import time
+        gate, thresholds = env
+        t0 = time.time()
+        characterize_dual_input(
+            gate, "a", "b", FALL, thresholds,
+            grid=DualInputGrid.fast(), cache=tmp_cache,
+        )
+        assert time.time() - t0 < 0.5

@@ -1,0 +1,94 @@
+"""Liberty (NLDM) export."""
+
+import pytest
+
+from repro.charlib import (
+    DualInputGrid,
+    GateLibrary,
+    SingleInputGrid,
+    to_liberty,
+    write_liberty,
+)
+from repro.errors import CharacterizationError
+
+
+@pytest.fixture(scope="module")
+def table_library(nand2_m):
+    return GateLibrary.characterize(
+        nand2_m, mode="table",
+        single_grid=SingleInputGrid.fast(),
+        dual_grid=DualInputGrid.fast(),
+        pairs="reference",
+    )
+
+
+@pytest.fixture(scope="module")
+def nand2_m():
+    from repro.gates import Gate
+    from repro.tech import default_process
+    return Gate.nand(2, default_process(), load=100e-15)
+
+
+@pytest.fixture(scope="module")
+def lib_text(table_library):
+    return to_liberty(table_library)
+
+
+class TestStructure:
+    def test_header(self, lib_text):
+        assert lib_text.startswith("library (repro_lib)")
+        assert 'time_unit : "1ns";' in lib_text
+        assert "lu_table_template" in lib_text
+
+    def test_cell_and_pins(self, lib_text):
+        assert "cell (nand2)" in lib_text
+        assert "pin (A)" in lib_text and "pin (B)" in lib_text
+        assert "pin (Z)" in lib_text
+
+    def test_logic_function(self, lib_text):
+        assert 'function : "!(A*B)"' in lib_text
+
+    def test_timing_arcs_per_input(self, lib_text):
+        assert lib_text.count('related_pin : "A"') == 1
+        assert lib_text.count('related_pin : "B"') == 1
+        assert "negative_unate" in lib_text
+        for kw in ("cell_rise", "cell_fall", "rise_transition",
+                   "fall_transition"):
+            assert lib_text.count(kw) >= 2
+
+    def test_input_capacitance_positive(self, lib_text):
+        for line in lib_text.splitlines():
+            if "capacitance :" in line and "load" not in line:
+                value = float(line.split(":")[1].strip(" ;"))
+                assert value > 0.0
+
+
+class TestValues:
+    def test_delay_values_match_model(self, table_library, lib_text):
+        """Spot-check one NLDM cell against the model it was sampled
+        from: slowest slew, largest load, input A falling (cell_rise)."""
+        model = table_library.single("a", "fall")
+        expected_ns = model.delay(2000e-12, 200e-15) * 1e9
+        assert f"{expected_ns:.5f}" in lib_text
+
+    def test_monotone_in_load(self, table_library):
+        text = to_liberty(table_library, slews=[300e-12],
+                          loads=[50e-15, 100e-15, 200e-15])
+        # The single cell_rise row must increase along the load axis.
+        lines = text.splitlines()
+        idx = next(i for i, l in enumerate(lines) if "cell_rise" in l)
+        row = next(l for l in lines[idx:] if l.strip().startswith('"'))
+        values = [float(v) for v in row.strip().strip('"\\ ').strip('"').split(",")]
+        assert values[0] < values[1] < values[2]
+
+
+class TestErrorsAndIo:
+    def test_oracle_library_rejected(self, oracle_library):
+        with pytest.raises(CharacterizationError):
+            to_liberty(oracle_library)
+
+    def test_write_liberty(self, table_library, tmp_path):
+        path = tmp_path / "nand2.lib"
+        write_liberty(table_library, path, library_name="mylib")
+        text = path.read_text()
+        assert text.startswith("library (mylib)")

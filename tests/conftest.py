@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Heavy artifacts (thresholds, characterized libraries) are session-scoped
+and go through the on-disk characterization cache (``.repro_cache/`` by
+default), so the first run pays for the simulations and later runs are
+fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Gate, default_process
+from repro.charlib import GateLibrary
+from repro.charlib.library import cached_thresholds
+from repro.core import DelayCalculator
+
+
+@pytest.fixture(scope="session")
+def process():
+    return default_process()
+
+
+@pytest.fixture(scope="session")
+def nand3(process):
+    return Gate.nand(3, process, load=100e-15)
+
+
+@pytest.fixture(scope="session")
+def nand2(process):
+    return Gate.nand(2, process, load=100e-15)
+
+
+@pytest.fixture(scope="session")
+def nor2(process):
+    return Gate.nor(2, process, load=100e-15)
+
+
+@pytest.fixture(scope="session")
+def inverter(process):
+    return Gate.inverter(process, load=100e-15)
+
+
+@pytest.fixture(scope="session")
+def thresholds(nand3):
+    return cached_thresholds(nand3)
+
+
+@pytest.fixture(scope="session")
+def oracle_library(nand3):
+    return GateLibrary.characterize(nand3, mode="oracle")
+
+
+@pytest.fixture(scope="session")
+def calculator(oracle_library):
+    return DelayCalculator(oracle_library)

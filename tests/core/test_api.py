@@ -1,0 +1,134 @@
+"""DelayCalculator end-to-end behaviour against the simulator."""
+
+import pytest
+
+from repro.charlib.simulate import multi_input_response
+from repro.core import CorrectionPolicy, DelayCalculator
+from repro.errors import ModelError
+from repro.waveform import Edge, FALL, RISE
+
+
+class TestSingleInputApi:
+    def test_single_delay_quantity_strings(self, calculator):
+        d = calculator.single_delay("a", "fall", "500ps")
+        assert d == pytest.approx(
+            calculator.single_delay("a", FALL, 500e-12))
+
+    def test_unknown_input_rejected(self, calculator):
+        with pytest.raises(ModelError):
+            calculator.explain({"x": Edge(FALL, 0.0, 1e-10)})
+
+
+class TestProximityBehaviour:
+    def test_reduces_to_single_input_at_large_separation(self, calculator):
+        edges = {
+            "a": Edge(FALL, 0.0, 400e-12),
+            "b": Edge(FALL, 5e-9, 400e-12),
+        }
+        result = calculator.explain(edges)
+        assert result.reference == "a"
+        assert result.delay == pytest.approx(
+            calculator.single_delay("a", FALL, 400e-12), rel=1e-6)
+
+    def test_close_inputs_reduce_delay(self, calculator):
+        lone = calculator.single_delay("b", FALL, 400e-12)
+        edges = {
+            "a": Edge(FALL, 0.0, 400e-12),
+            "b": Edge(FALL, 0.0, 400e-12),
+        }
+        assert calculator.delay(edges) < lone
+
+    def test_positive_delay_guarantee(self, calculator):
+        """Section-2 property at algorithm level: random-ish configs all
+        produce positive delay and transition time."""
+        import random
+        rng = random.Random(5)
+        for _ in range(8):
+            edges = {
+                name: Edge(FALL, rng.uniform(-5e-10, 5e-10),
+                           rng.uniform(5e-11, 2e-9))
+                for name in "abc"
+            }
+            result = calculator.explain(edges)
+            assert result.delay > 0.0
+            assert result.ttime > 0.0
+
+    def test_matches_full_simulation_two_inputs(self, calculator, nand3,
+                                                thresholds):
+        """Oracle mode + two switching inputs: the model IS the dual
+        simulation, so the match is exact."""
+        edges = {
+            "a": Edge(FALL, 0.0, 500e-12),
+            "b": Edge(FALL, 120e-12, 100e-12),
+        }
+        result = calculator.explain(edges)
+        shot = multi_input_response(nand3, edges, thresholds,
+                                    reference=result.reference)
+        assert result.raw_delay == pytest.approx(shot.delay, rel=1e-9)
+
+    def test_three_inputs_close_to_simulation(self, calculator, nand3,
+                                              thresholds):
+        edges = {
+            "a": Edge(FALL, 0.0, 500e-12),
+            "b": Edge(FALL, 100e-12, 200e-12),
+            "c": Edge(FALL, -150e-12, 800e-12),
+        }
+        result = calculator.explain(edges)
+        shot = multi_input_response(nand3, edges, thresholds,
+                                    reference=result.reference)
+        assert result.delay == pytest.approx(shot.delay, rel=0.10)
+        assert result.ttime == pytest.approx(shot.out_ttime, rel=0.20)
+
+    def test_rising_inputs_supported(self, calculator, nand3, thresholds):
+        edges = {
+            "a": Edge(RISE, 0.0, 300e-12),
+            "b": Edge(RISE, 50e-12, 300e-12),
+        }
+        result = calculator.explain(edges)
+        shot = multi_input_response(nand3, edges, thresholds,
+                                    reference=result.reference)
+        assert result.raw_delay == pytest.approx(shot.delay, rel=1e-9)
+
+    def test_output_crossing_time(self, calculator):
+        edges = {
+            "a": Edge(FALL, 1e-9, 400e-12),
+            "b": Edge(FALL, 1.05e-9, 300e-12),
+        }
+        result = calculator.explain(edges)
+        expected = edges[result.reference].t_cross + result.delay
+        assert calculator.output_crossing_time(edges) == pytest.approx(expected)
+
+
+class TestStepError:
+    def test_memoized(self, oracle_library):
+        import time
+        calc = DelayCalculator(oracle_library)
+        calc.step_error(FALL)
+        t0 = time.time()
+        calc.step_error(FALL)
+        assert time.time() - t0 < 0.01
+
+    def test_correction_exact_on_step_case(self, oracle_library):
+        """By construction, the corrected delay equals the simulated
+        delay when all inputs get the calibration step simultaneously."""
+        from repro.core.dominance import order_by_dominance
+
+        calc = DelayCalculator(oracle_library,
+                               correction=CorrectionPolicy.PAPER)
+        gate = calc.gate
+        edges = {name: Edge(FALL, 0.0, calc.step_tau) for name in gate.inputs}
+        result = calc.explain(edges)
+        shot = multi_input_response(gate, edges, calc.thresholds,
+                                    reference=result.reference)
+        assert result.delay == pytest.approx(shot.delay, rel=1e-6)
+
+    def test_policies_differ_only_in_correction(self, oracle_library):
+        edges = {
+            "a": Edge(FALL, 0.0, 100e-12),
+            "b": Edge(FALL, 10e-12, 100e-12),
+            "c": Edge(FALL, 20e-12, 100e-12),
+        }
+        off = DelayCalculator(oracle_library, correction="off").explain(edges)
+        paper = DelayCalculator(oracle_library, correction="paper").explain(edges)
+        assert off.raw_delay == pytest.approx(paper.raw_delay, rel=1e-12)
+        assert off.delay_correction == 0.0

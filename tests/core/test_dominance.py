@@ -1,0 +1,98 @@
+"""Dominant-input identification (paper Section 3)."""
+
+import pytest
+
+from repro.core import alone_crossing, dominance_crossover, order_by_dominance
+from repro.errors import ModelError
+from repro.waveform import Edge, FALL
+
+
+class TestAloneCrossing:
+    def test_sum(self):
+        edge = Edge(FALL, 1e-10, 2e-10)
+        assert alone_crossing(edge, 3e-10) == pytest.approx(4e-10)
+
+
+class TestOrdering:
+    def test_paper_scenario_late_fast_input_dominates(self):
+        """Figure 3-2: slow 'a' arrives first, fast 'b' a little later;
+        b's alone-output crossing is earlier, so b is dominant."""
+        edges = {
+            "a": Edge(FALL, 0.0, 500e-12),
+            "b": Edge(FALL, 50e-12, 100e-12),
+        }
+        delta1 = {"a": 300e-12, "b": 120e-12}
+        # b crosses at 50+120=170ps < a at 0+300=300ps.
+        assert order_by_dominance(edges, delta1) == ["b", "a"]
+
+    def test_crossover_flips_dominance(self):
+        delta1 = {"a": 300e-12, "b": 120e-12}
+        crossover = dominance_crossover(delta1["a"], delta1["b"])
+        assert crossover == pytest.approx(180e-12)
+        for sep, expected in ((170e-12, "b"), (190e-12, "a")):
+            edges = {
+                "a": Edge(FALL, 0.0, 500e-12),
+                "b": Edge(FALL, sep, 100e-12),
+            }
+            assert order_by_dominance(edges, delta1)[0] == expected
+
+    def test_ties_break_by_arrival_then_name(self):
+        edges = {
+            "a": Edge(FALL, 10e-12, 100e-12),
+            "b": Edge(FALL, 0.0, 100e-12),
+        }
+        delta1 = {"a": 100e-12, "b": 110e-12}  # same alone crossing
+        assert order_by_dominance(edges, delta1) == ["b", "a"]
+
+        edges_same = {
+            "a": Edge(FALL, 0.0, 100e-12),
+            "b": Edge(FALL, 0.0, 100e-12),
+        }
+        delta1_same = {"a": 100e-12, "b": 100e-12}
+        assert order_by_dominance(edges_same, delta1_same) == ["a", "b"]
+
+    def test_three_inputs_sorted(self):
+        edges = {
+            "a": Edge(FALL, 0.0, 100e-12),
+            "b": Edge(FALL, -100e-12, 100e-12),
+            "c": Edge(FALL, 200e-12, 100e-12),
+        }
+        delta1 = {"a": 250e-12, "b": 260e-12, "c": 240e-12}
+        # crossings: a=250, b=160, c=440.
+        assert order_by_dominance(edges, delta1) == ["b", "a", "c"]
+
+    def test_missing_delta_raises(self):
+        edges = {"a": Edge(FALL, 0.0, 1e-10)}
+        with pytest.raises(ModelError):
+            order_by_dominance(edges, {})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            order_by_dominance({}, {})
+
+
+class TestAgainstSimulation:
+    def test_dominant_input_predicts_output_crossing(self, nand3, thresholds,
+                                                     oracle_library):
+        """The dominant input's alone-crossing approximates the real
+        two-input output crossing better than the other input's."""
+        from repro.charlib.simulate import multi_input_response
+
+        tau_a, tau_b, sep = 500e-12, 100e-12, 50e-12
+        edges = {
+            "a": Edge(FALL, 0.0, tau_a),
+            "b": Edge(FALL, sep, tau_b),
+        }
+        delta1 = {
+            name: oracle_library.single(name, FALL).delay(edge.tau)
+            for name, edge in edges.items()
+        }
+        order = order_by_dominance(edges, delta1)
+        dominant = order[0]
+        shot = multi_input_response(nand3, edges, thresholds,
+                                    reference=dominant)
+        t_out = edges[dominant].t_cross + shot.delay
+        d_dom = abs(t_out - alone_crossing(edges[dominant], delta1[dominant]))
+        other = order[1]
+        d_other = abs(t_out - alone_crossing(edges[other], delta1[other]))
+        assert d_dom <= d_other

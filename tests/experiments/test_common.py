@@ -1,0 +1,45 @@
+"""Shared experiment fixtures: memoization and identity."""
+
+import pytest
+
+from repro.experiments.common import (
+    paper_calculator,
+    paper_gate,
+    paper_library,
+    paper_thresholds,
+)
+
+
+class TestMemoization:
+    def test_gate_identity(self):
+        assert paper_gate() is paper_gate()
+
+    def test_gate_distinguishes_load(self):
+        assert paper_gate(load=100e-15) is not paper_gate(load=50e-15)
+
+    def test_library_identity(self):
+        assert paper_library(mode="oracle") is paper_library(mode="oracle")
+
+    def test_library_distinguishes_char_kwargs(self):
+        base = paper_library(mode="oracle")
+        # Different characterize kwargs -> different library object.
+        other = paper_library(mode="oracle", directions=("fall",))
+        assert base is not other
+
+    def test_calculator_forwards_kwargs(self):
+        calc = paper_calculator(correction="off")
+        assert calc.correction.value == "off"
+
+
+class TestDefaults:
+    def test_testbench_is_nand3(self):
+        gate = paper_gate()
+        assert gate.name == "nand3"
+        assert gate.inputs == ("a", "b", "c")
+        assert gate.load == pytest.approx(100e-15)
+
+    def test_thresholds_consistent_with_library(self):
+        thr = paper_thresholds()
+        lib = paper_library(mode="oracle")
+        assert lib.thresholds.vil == pytest.approx(thr.vil)
+        assert lib.thresholds.vih == pytest.approx(thr.vih)

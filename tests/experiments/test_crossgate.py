@@ -1,0 +1,40 @@
+"""A4 cross-gate generality experiment."""
+
+import pytest
+
+from repro.experiments import crossgate
+from repro.waveform import FALL, RISE
+
+
+@pytest.fixture(scope="module")
+def result():
+    return crossgate.run(n_configs=4, seed=77,
+                         gates=("nor3", "aoi21"))
+
+
+class TestCrossGate:
+    def test_labels_cover_gates_and_directions(self, result):
+        assert set(result.delay_errors) == {
+            "nor3/fall", "nor3/rise", "aoi21/fall", "aoi21/rise",
+        }
+
+    def test_nor3_within_table51_regime(self, result):
+        """In-window NOR3 validation holds Table-5-1-quality errors in
+        both directions."""
+        for direction in (FALL, RISE):
+            assert result.worst_delay_error(f"nor3/{direction}") < 12.0
+
+    def test_aoi21_same_branch_pair_exact(self, result):
+        """Two same-branch pins + oracle dual model: exact by
+        construction."""
+        for direction in (FALL, RISE):
+            assert result.worst_delay_error(f"aoi21/{direction}") < 0.5
+
+    def test_rows_and_summary(self, result):
+        rows = result.rows()
+        assert len(rows) == 8  # 4 labels x (delay, ttime)
+        assert "Cross-gate" in result.summary()
+
+    def test_positive_delays_everywhere(self, result):
+        for errors in result.delay_errors.values():
+            assert all(abs(e) < 100.0 for e in errors)

@@ -1,0 +1,195 @@
+"""Experiment harness smoke + shape checks (small sweep sizes).
+
+Each experiment runs with reduced parameters and its *qualitative*
+claims -- the "reproduction shape" documented in DESIGN.md -- are
+asserted: monotonicity, crossovers, error magnitudes, orderings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    baselines_exp,
+    fig1_2,
+    fig2_1,
+    fig3_3,
+    fig4_2,
+    fig5_1,
+    fig6_1,
+    table5_1,
+    timing_exp,
+)
+from repro.waveform import FALL, RISE
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def falling(self):
+        seps = [s * 1e-12 for s in (-100, 0, 100, 250, 400, 700)]
+        return fig1_2.run(direction=FALL, separations=seps)
+
+    def test_delay_reduces_at_close_separation(self, falling):
+        assert falling.proximity_gain() > 0.2  # paper: "significant"
+
+    def test_delay_saturates_beyond_window(self, falling):
+        assert falling.delays[-1] == pytest.approx(
+            max(falling.delays), rel=0.02)
+
+    def test_ttime_also_reduced(self, falling):
+        assert min(falling.ttimes) < 0.9 * max(falling.ttimes)
+
+    def test_rising_direction_panel(self):
+        seps = [s * 1e-12 for s in (0, 300, 600)]
+        rising = fig1_2.run(direction=RISE, separations=seps)
+        # (c): delay increasing with separation for rising inputs.
+        assert rising.delays[0] < rising.delays[-1]
+
+    def test_summary_and_rows(self, falling):
+        assert "Figure 1-2" in falling.summary()
+        assert len(falling.rows()) == 6
+
+
+class TestFig21:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_1.run()
+
+    def test_family_size(self, result):
+        assert len(result.family) == 7
+
+    def test_selection_sources(self, result):
+        assert result.min_vil_curve().label == "c"
+        assert result.max_vih_curve().label == "abc"
+
+    def test_selected_in_paper_ballpark(self, result):
+        """Not a number-for-number match (different process), but the
+        same corner of the design space: Vil ~1.3V, Vih ~3.4V at 5V."""
+        assert result.selected.vil == pytest.approx(1.25, abs=0.4)
+        assert result.selected.vih == pytest.approx(3.37, abs=0.4)
+
+    def test_summary(self, result):
+        assert "selected" in result.summary()
+
+
+class TestFig33:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_3.run(tau_bs=(100e-12,), points_per_curve=7)
+
+    def test_crossover_produces_discontinuity(self, result):
+        curve = result.curves[0]
+        assert curve.discontinuity() > 20e-12
+
+    def test_reference_changes_at_crossover(self, result):
+        curve = result.curves[0]
+        refs = set(curve.references)
+        assert refs == {"a", "b"}
+
+    def test_model_tracks_simulation(self, result):
+        curve = result.curves[0]
+        errors = [abs(row["err_pct"]) for row in curve.rows()]
+        assert np.median(errors) < 5.0
+
+
+class TestFig42:
+    def test_full_model_explodes(self):
+        result = fig4_2.run(fan_ins=(2, 3, 4), grid=8)
+        rows = result.rows()
+        assert rows[0]["full_entries"] < rows[0]["all_pairs_entries"] * 2
+        assert rows[2]["full_over_shared"] > 1000
+
+    def test_counts_formula(self):
+        row = fig4_2.model_counts(3, 4)
+        assert row.full_entries == 3 * 4 ** 5
+        assert row.all_pairs_entries == 3 * 4 + 6 * 64
+        assert row.shared_entries == 3 * 4 + 3 * 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fig4_2.model_counts(1, 8)
+        with pytest.raises(ValueError):
+            fig4_2.model_counts(3, 1)
+
+
+class TestTable51:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table5_1.run(n_configs=10, seed=1996)
+
+    def test_error_statistics_in_paper_regime(self, result):
+        rows = {r["quantity"]: r for r in result.rows()}
+        delay = rows["delay"]
+        assert abs(delay["mean_err_pct"]) < 5.0
+        assert delay["std_pct"] < 6.0
+        rise = rows["rise_time"]
+        assert abs(rise["mean_err_pct"]) < 10.0
+
+    def test_case_records_complete(self, result):
+        assert len(result.cases) == 10
+        case = result.cases[0]
+        assert case.sim_delay > 0 and case.model_delay > 0
+        assert set(case.taus) == {"a", "b", "c"}
+
+    def test_deterministic_seeding(self):
+        a = table5_1.random_cases(3, seed=7)
+        b = table5_1.random_cases(3, seed=7)
+        assert a == b
+        c = table5_1.random_cases(3, seed=8)
+        assert a != c
+
+    def test_summary_mentions_paper(self, result):
+        assert "paper" in result.summary()
+
+
+class TestFig51:
+    def test_histograms_cover_population(self):
+        validation = table5_1.run(n_configs=8, seed=3)
+        hist = fig5_1.run(validation=validation)
+        assert sum(hist.delay_histogram().values()) == 8
+        assert sum(hist.ttime_histogram().values()) == 8
+        assert "Figure 5-1" in hist.summary()
+
+
+class TestFig61:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_1.run(
+            tau_rises=(100e-12,),
+            separations=[s * 1e-12 for s in (-200, 0, 250, 500, 900)],
+        )
+
+    def test_vmin_monotone_decreasing(self, result):
+        vmins = result.curves[0].vmins
+        assert all(b < a + 1e-6 for a, b in zip(vmins, vmins[1:]))
+
+    def test_blocked_region_near_vdd(self, result):
+        assert result.curves[0].vmins[0] > 4.5
+
+    def test_min_separation_found(self, result):
+        min_sep = result.curves[0].min_valid_separation
+        assert min_sep is not None
+        assert 0.0 < min_sep < 900e-12
+
+
+class TestBaselinesAblations:
+    def test_ours_beats_collapsed_inverters(self):
+        result = baselines_exp.run(n_configs=5, seed=2)
+        ours = result.worst_abs_error("proximity (ours)")
+        assert ours < result.worst_abs_error("collapsed extreme [8]")
+        assert ours < result.worst_abs_error("collapsed weighted [13]")
+
+    def test_ablation_harmonic_beats_additive(self):
+        result = ablations.run(n_configs=5, seed=11, variants={
+            "default (paper corr, harmonic, dominance)": {},
+            "ttime=additive": {"ttime_composition": "additive"},
+        })
+        assert result.rms("default (paper corr, harmonic, dominance)",
+                          "ttime") <= result.rms("ttime=additive", "ttime")
+
+
+class TestTimingExp:
+    def test_proximity_sta_tracks_flat_sim(self):
+        result = timing_exp.run(n_scenarios=1, seed=3)
+        assert result.rms_error("proximity") < 10.0
+        assert result.rms_error("classic") > result.rms_error("proximity")

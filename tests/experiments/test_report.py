@@ -1,0 +1,76 @@
+"""Report formatting helpers."""
+
+import pytest
+
+from repro.experiments.report import (
+    ascii_histogram,
+    format_table,
+    series_plot,
+    stat_row,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_order(self):
+        rows = [
+            {"name": "a", "value": 1.5},
+            {"name": "bb", "value": 22.25},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "22.25" in lines[3]
+
+    def test_explicit_columns(self):
+        rows = [{"x": 1, "y": 2}]
+        text = format_table(rows, columns=["y", "x"])
+        assert text.splitlines()[0].startswith("y")
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_bool_rendering(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        values = [-1.0, 0.5, 0.7, 2.2]
+        text = ascii_histogram(values, bin_width=1.0)
+        total = sum(
+            int(line.split(")")[1].split()[0])
+            for line in text.splitlines() if ")" in line
+        )
+        assert total == 4
+
+    def test_empty(self):
+        assert ascii_histogram([], bin_width=1.0) == "(no samples)"
+
+    def test_label(self):
+        assert "delay" in ascii_histogram([1.0], bin_width=1.0, label="delay")
+
+
+class TestSeriesPlot:
+    def test_contains_markers_and_ranges(self):
+        text = series_plot([0, 1, 2], {"s1": [1, 2, 3], "s2": [3, 2, 1]},
+                           x_label="t", y_label="v")
+        assert "o=s1" in text and "x=s2" in text
+        assert "t: 0" in text
+
+    def test_degenerate_ranges(self):
+        text = series_plot([1, 1], {"s": [2, 2]})
+        assert "|" in text
+
+
+class TestStatRow:
+    def test_statistics(self):
+        row = stat_row("delay", [1.0, -1.0, 3.0])
+        assert row["quantity"] == "delay"
+        assert row["mean_err_pct"] == pytest.approx(1.0)
+        assert row["max_err_pct"] == 3.0
+        assert row["min_err_pct"] == -1.0

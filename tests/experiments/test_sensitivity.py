@@ -1,0 +1,29 @@
+"""A6 load-transfer experiment."""
+
+import pytest
+
+from repro.experiments import sensitivity
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sensitivity.run(n_taus=3, n_proximity=3)
+
+
+class TestSensitivity:
+    def test_labels(self, result):
+        assert "x0.6 single cpar" in result.errors
+        assert "x1.8 proximity" in result.errors
+
+    def test_cpar_beats_raw_drive_factor(self, result):
+        for factor in ("x0.6", "x1.8"):
+            assert result.rms(f"{factor} single cpar") < \
+                result.rms(f"{factor} single no-cpar")
+
+    def test_proximity_transfer_reasonable(self, result):
+        assert result.rms("x0.6 proximity") < 8.0
+
+    def test_rows_have_stats(self, result):
+        for row in result.rows():
+            assert row["rms_pct"] >= 0.0
+            assert row["worst_pct"] >= row["rms_pct"] - 1e-9

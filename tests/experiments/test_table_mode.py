@@ -1,0 +1,50 @@
+"""A5: table-mode validation path (uses the characterization cache, so
+this is fast after the first run of the repo's test/bench suite)."""
+
+import pytest
+
+from repro.experiments import table5_1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table5_1.run(
+        n_configs=8, seed=1996, mode="table",
+        characterize_kwargs={"directions": ("fall",), "pairs": "all"},
+    )
+
+
+class TestTableMode:
+    def test_mode_recorded(self, result):
+        assert result.mode == "table"
+
+    def test_paper_envelope(self, result):
+        rows = {r["quantity"]: r for r in result.rows()}
+        assert abs(rows["delay"]["mean_err_pct"]) < 5.0
+        assert rows["delay"]["std_pct"] < 7.0
+        assert rows["delay"]["max_err_pct"] < 15.0
+        assert rows["delay"]["min_err_pct"] > -15.0
+
+    def test_positive_outputs(self, result):
+        for case in result.cases:
+            assert case.model_delay > 0.0
+            assert case.model_ttime > 0.0
+
+
+class TestEffectiveParasitic:
+    def test_c_par_fitted_with_multiple_loads(self):
+        from repro.experiments.common import paper_library
+        lib = paper_library(mode="table", directions=("fall",), pairs="all")
+        model = lib.single("a", "fall")
+        # For the default NAND3 the fitted parasitic is tens of fF.
+        assert 1e-14 < model.c_par < 1.5e-13
+
+    def test_c_par_zero_single_load(self, nand2, thresholds):
+        from repro.charlib import SingleInputGrid
+        from repro.charlib.single import characterize_single_input
+        from repro.charlib.library import cached_thresholds
+        thr = cached_thresholds(nand2)
+        model = characterize_single_input(
+            nand2, "a", "fall", thr, grid=SingleInputGrid.fast(),
+        )
+        assert model.c_par == 0.0

@@ -1,0 +1,89 @@
+"""Complex-cell coverage: OAI21, AOI22 and custom topologies end-to-end."""
+
+import itertools
+
+import pytest
+
+from repro.charlib.library import cached_thresholds
+from repro.charlib.simulate import single_input_response
+from repro.gates import Gate, Leaf, Parallel, Series
+from repro.spice import solve_dc
+from repro.tech import default_process
+
+
+@pytest.fixture(scope="module")
+def process():
+    return default_process()
+
+
+class TestAoi22(object):
+    def test_truth_table(self, process):
+        gate = Gate.aoi22(process)
+        for bits in itertools.product((True, False), repeat=4):
+            a, b, c, d = bits
+            expected = not ((a and b) or (c and d))
+            assignment = dict(zip("abcd", bits))
+            assert gate.logic_output(assignment) == expected
+
+    def test_dc_spot_checks(self, process):
+        gate = Gate.aoi22(process, load=60e-15)
+        cases = [
+            ((5.0, 5.0, 0.0, 0.0), 0.0),   # ab branch conducts -> low
+            ((0.0, 5.0, 0.0, 5.0), 5.0),   # neither branch -> high
+            ((0.0, 0.0, 5.0, 5.0), 0.0),   # cd branch -> low
+        ]
+        for levels, expected in cases:
+            stim = dict(zip("abcd", levels))
+            op = solve_dc(gate.build(stim, switching=list("abcd")))
+            assert op["z"] == pytest.approx(expected, abs=0.05), levels
+
+
+class TestCustomTopology:
+    def test_three_level_tree(self, process):
+        """A deliberately gnarly pull-down: ((a.b)|(c.d)).e"""
+        pd = Series(
+            Parallel(Series(Leaf("a"), Leaf("b")), Series(Leaf("c"), Leaf("d"))),
+            Leaf("e"),
+        )
+        gate = Gate("gnarly", pd, process, load=60e-15)
+        assert gate.n_inputs == 5
+        # Logic: z = not(((a&b)|(c&d)) & e)
+        assert gate.logic_output(dict(a=1, b=1, c=0, d=0, e=1)) is False
+        assert gate.logic_output(dict(a=1, b=1, c=0, d=0, e=0)) is True
+        # Depths: a/b sit on a 2-series path nested in a 2-series outer.
+        assert gate.nmos_width("e") > process.sizing.wn
+
+    def test_custom_gate_simulates(self, process):
+        pd = Series(Parallel(Leaf("a"), Leaf("b")), Leaf("c"))  # OAI21
+        gate = Gate("my_oai", pd, process, load=60e-15)
+        thr = cached_thresholds(gate)
+        shot = single_input_response(gate, "c", "rise", 300e-12, thr)
+        assert shot.delay > 0.0
+        assert shot.output.final_value() == pytest.approx(0.0, abs=0.1)
+
+    def test_oai21_vs_factory(self, process):
+        factory = Gate.oai21(process)
+        manual = Gate("oai21", Series(Parallel(Leaf("a"), Leaf("b")),
+                                      Leaf("c")), process)
+        assert factory.cache_key()["topology"] == \
+            manual.cache_key()["topology"]
+
+
+class TestDualNetworkComplementarity:
+    @pytest.mark.parametrize("builder", [
+        lambda p: Gate.nand(4, p),
+        lambda p: Gate.nor(4, p),
+        lambda p: Gate.aoi21(p),
+        lambda p: Gate.oai21(p),
+        lambda p: Gate.aoi22(p),
+    ])
+    def test_rail_connectivity_everywhere(self, process, builder):
+        """For every input assignment the output sits at a rail in DC --
+        i.e. exactly one of the two networks conducts (no floating, no
+        crowbar state)."""
+        gate = builder(process)
+        for bits in itertools.product((0.0, 5.0), repeat=gate.n_inputs):
+            stim = dict(zip(gate.inputs, bits))
+            op = solve_dc(gate.build(stim, switching=list(gate.inputs)))
+            z = op["z"]
+            assert min(abs(z - 0.0), abs(z - 5.0)) < 0.06, (bits, z)

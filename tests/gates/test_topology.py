@@ -1,0 +1,117 @@
+"""Series/parallel network expressions: duality, logic, depths."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.gates import Leaf, Parallel, Series, conducts, dual, leaves, series_depths
+from repro.gates.topology import describe
+
+
+def random_network(draw_names, depth=0):
+    """Hypothesis strategy for random series/parallel trees."""
+    leaf = st.builds(Leaf, st.sampled_from(draw_names))
+    if depth >= 3:
+        return leaf
+    sub = st.deferred(lambda: random_network(draw_names, depth + 1))
+    return st.one_of(
+        leaf,
+        st.builds(lambda cs: Series(*cs), st.lists(sub, min_size=1, max_size=3)),
+        st.builds(lambda cs: Parallel(*cs), st.lists(sub, min_size=1, max_size=3)),
+    )
+
+
+class TestConstruction:
+    def test_leaf_requires_name(self):
+        with pytest.raises(NetlistError):
+            Leaf("")
+
+    def test_composites_require_children(self):
+        with pytest.raises(NetlistError):
+            Series()
+
+    def test_rejects_non_network_children(self):
+        with pytest.raises(NetlistError):
+            Series("a")  # type: ignore[arg-type]
+
+    def test_flattening(self):
+        assert Series(Series(Leaf("a"), Leaf("b")), Leaf("c")) == \
+            Series(Leaf("a"), Leaf("b"), Leaf("c"))
+        assert Parallel(Parallel(Leaf("a")), Leaf("b")) == \
+            Parallel(Leaf("a"), Leaf("b"))
+
+    def test_no_cross_flattening(self):
+        nested = Series(Parallel(Leaf("a"), Leaf("b")), Leaf("c"))
+        assert len(nested.children) == 2
+
+    def test_equality_and_hash(self):
+        a = Series(Leaf("a"), Leaf("b"))
+        b = Series(Leaf("a"), Leaf("b"))
+        assert a == b and hash(a) == hash(b)
+        assert a != Parallel(Leaf("a"), Leaf("b"))
+
+
+class TestDual:
+    def test_nand_to_parallel(self):
+        pd = Series(Leaf("a"), Leaf("b"), Leaf("c"))
+        assert dual(pd) == Parallel(Leaf("a"), Leaf("b"), Leaf("c"))
+
+    def test_aoi(self):
+        pd = Parallel(Series(Leaf("a"), Leaf("b")), Leaf("c"))
+        assert dual(pd) == Series(Parallel(Leaf("a"), Leaf("b")), Leaf("c"))
+
+    def test_involution(self):
+        pd = Series(Parallel(Leaf("a"), Leaf("b")), Leaf("c"))
+        assert dual(dual(pd)) == pd
+
+    @given(random_network(["a", "b", "c", "d"]))
+    def test_de_morgan_complementarity(self, tree):
+        """The fundamental CMOS property: for every input assignment,
+        dual(T) with inverted inputs conducts iff T does not."""
+        names = sorted(set(leaves(tree)))
+        pu = dual(tree)
+        for bits in itertools.product((True, False), repeat=len(names)):
+            assignment = dict(zip(names, bits))
+            inverted = {k: not v for k, v in assignment.items()}
+            assert conducts(pu, inverted) == (not conducts(tree, assignment))
+
+
+class TestLogic:
+    def test_series_is_and(self):
+        tree = Series(Leaf("a"), Leaf("b"))
+        assert conducts(tree, {"a": True, "b": True})
+        assert not conducts(tree, {"a": True, "b": False})
+
+    def test_parallel_is_or(self):
+        tree = Parallel(Leaf("a"), Leaf("b"))
+        assert conducts(tree, {"a": False, "b": True})
+        assert not conducts(tree, {"a": False, "b": False})
+
+    def test_missing_assignment_raises(self):
+        with pytest.raises(NetlistError):
+            conducts(Leaf("a"), {})
+
+
+class TestDepthsAndNames:
+    def test_leaves_order(self):
+        tree = Series(Leaf("a"), Parallel(Leaf("b"), Leaf("c")), Leaf("a"))
+        assert leaves(tree) == ["a", "b", "c", "a"]
+
+    def test_series_depths_nand3(self):
+        tree = Series(Leaf("a"), Leaf("b"), Leaf("c"))
+        assert series_depths(tree) == {"a": 3, "b": 3, "c": 3}
+
+    def test_series_depths_parallel(self):
+        tree = Parallel(Leaf("a"), Leaf("b"))
+        assert series_depths(tree) == {"a": 1, "b": 1}
+
+    def test_series_depths_aoi21(self):
+        tree = Parallel(Series(Leaf("a"), Leaf("b")), Leaf("c"))
+        assert series_depths(tree) == {"a": 2, "b": 2, "c": 1}
+
+    def test_describe_canonical(self):
+        tree = Parallel(Series(Leaf("a"), Leaf("b")), Leaf("c"))
+        assert describe(tree) == "((a.b)|c)"
+        assert describe(Leaf("x")) == "x"

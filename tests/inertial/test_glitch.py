@@ -1,0 +1,141 @@
+"""Glitch measurement and macromodels (paper Section 6)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.inertial import (
+    GlitchGrid,
+    SimulatorGlitchModel,
+    TableGlitchModel,
+    characterize_glitch,
+    glitch_response,
+    pulse_response,
+)
+from repro.inertial.glitch import _causing_direction
+from repro.charlib.cache import CharacterizationCache
+from repro.gates import Gate
+from repro.waveform import FALL, RISE
+
+
+class TestCausingDirection:
+    def test_nand_causing_rises(self, nand3):
+        assert _causing_direction(nand3, "b", "a") == RISE
+
+    def test_nor_causing_falls(self, nor2):
+        assert _causing_direction(nor2, "b", "a") == FALL
+
+
+class TestGlitchResponse:
+    def test_blocked_when_close(self, nand3, thresholds):
+        shot = glitch_response(
+            nand3, "b", "a", tau_causing=100e-12, tau_blocking=500e-12,
+            sep=0.0, thresholds=thresholds)
+        assert not shot.completed
+        assert shot.extremum > thresholds.vil
+
+    def test_completes_when_separated(self, nand3, thresholds):
+        shot = glitch_response(
+            nand3, "b", "a", tau_causing=100e-12, tau_blocking=500e-12,
+            sep=800e-12, thresholds=thresholds)
+        assert shot.completed
+        assert shot.extremum < thresholds.vil
+
+    def test_monotone_in_separation(self, nand3, thresholds):
+        """Figure 6-1(b): vmin decreases as the blocker arrives later."""
+        vmins = [
+            glitch_response(
+                nand3, "b", "a", tau_causing=100e-12, tau_blocking=500e-12,
+                sep=sep, thresholds=thresholds).extremum
+            for sep in (-100e-12, 150e-12, 400e-12, 800e-12)
+        ]
+        assert all(v2 < v1 for v1, v2 in zip(vmins, vmins[1:]))
+
+    def test_slower_causing_needs_more_separation(self, nand3, thresholds):
+        """At a fixed mid-range separation a slower causing edge leaves a
+        shallower glitch (the paper's three-curve family ordering)."""
+        fast = glitch_response(
+            nand3, "b", "a", tau_causing=100e-12, tau_blocking=500e-12,
+            sep=300e-12, thresholds=thresholds).extremum
+        slow = glitch_response(
+            nand3, "b", "a", tau_causing=1000e-12, tau_blocking=500e-12,
+            sep=300e-12, thresholds=thresholds).extremum
+        assert slow > fast
+
+    def test_same_pin_rejected(self, nand3, thresholds):
+        with pytest.raises(MeasurementError):
+            glitch_response(nand3, "a", "a", tau_causing=1e-10,
+                            tau_blocking=1e-10, sep=0.0,
+                            thresholds=thresholds)
+
+    def test_unknown_pin_rejected(self, nand3, thresholds):
+        with pytest.raises(MeasurementError):
+            glitch_response(nand3, "x", "a", tau_causing=1e-10,
+                            tau_blocking=1e-10, sep=0.0,
+                            thresholds=thresholds)
+
+
+class TestPulseResponse:
+    def test_wide_pulse_completes(self, nand3, thresholds):
+        shot = pulse_response(
+            nand3, "b", width=2e-9, tau_first=100e-12, tau_second=100e-12,
+            first_direction=RISE, thresholds=thresholds)
+        assert shot.completed
+
+    def test_narrow_pulse_filtered(self, nand3, thresholds):
+        shot = pulse_response(
+            nand3, "b", width=210e-12, tau_first=100e-12, tau_second=100e-12,
+            first_direction=RISE, thresholds=thresholds)
+        assert not shot.completed
+
+    def test_overlapping_edges_rejected(self, nand3, thresholds):
+        with pytest.raises(MeasurementError):
+            pulse_response(
+                nand3, "b", width=50e-12, tau_first=200e-12,
+                tau_second=200e-12, first_direction=RISE,
+                thresholds=thresholds)
+
+    def test_nonpositive_width_rejected(self, nand3, thresholds):
+        with pytest.raises(MeasurementError):
+            pulse_response(
+                nand3, "b", width=0.0, tau_first=1e-10, tau_second=1e-10,
+                first_direction=RISE, thresholds=thresholds)
+
+
+class TestModels:
+    def test_simulator_model_matches_response(self, nand3, thresholds):
+        model = SimulatorGlitchModel(nand3, "b", "a", thresholds)
+        direct = glitch_response(
+            nand3, "b", "a", tau_causing=100e-12, tau_blocking=500e-12,
+            sep=250e-12, thresholds=thresholds)
+        assert model.extremum(100e-12, 500e-12, 250e-12) == pytest.approx(
+            direct.extremum, rel=1e-9)
+
+    def test_table_model_characterization(self, nand3, thresholds,
+                                          tmp_path_factory):
+        cache = CharacterizationCache(tmp_path_factory.mktemp("glitch"))
+        grid = GlitchGrid(
+            tau_causings=(100e-12, 800e-12),
+            a2=(1.0, 4.0),
+            a3=(-1.0, 0.0, 1.0, 2.5, 4.0),
+        )
+        model = characterize_glitch(nand3, "b", "a", thresholds,
+                                    grid=grid, cache=cache)
+        assert isinstance(model, TableGlitchModel)
+        single_delay = 1.3e-10  # approximate Delta1 of 'b' at 100ps
+        near = model.extremum(100e-12, 500e-12, 0.0, delta1=single_delay)
+        far = model.extremum(100e-12, 500e-12, 5e-10, delta1=single_delay)
+        assert near > far  # blocked glitch stays high
+
+    def test_table_payload_roundtrip(self, nand3, thresholds,
+                                     tmp_path_factory):
+        cache = CharacterizationCache(tmp_path_factory.mktemp("glitch2"))
+        grid = GlitchGrid(
+            tau_causings=(100e-12, 800e-12),
+            a2=(1.0, 4.0),
+            a3=(-1.0, 0.0, 1.0, 2.5),
+        )
+        model = characterize_glitch(nand3, "b", "a", thresholds,
+                                    grid=grid, cache=cache)
+        clone = TableGlitchModel.from_payload(model.to_payload())
+        assert clone.extremum(1e-10, 5e-10, 0.0, delta1=1.3e-10) == \
+            pytest.approx(model.extremum(1e-10, 5e-10, 0.0, delta1=1.3e-10))

@@ -1,0 +1,63 @@
+"""Minimum-separation / minimum-pulse-width solvers."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.inertial import SimulatorGlitchModel, minimum_separation
+from repro.inertial.minsep import bisect_threshold, minimum_pulse_width
+from repro.waveform import RISE
+
+
+class TestBisect:
+    def test_increasing(self):
+        root = bisect_threshold(lambda x: x * x, 4.0, lo=0.0, hi=10.0,
+                                increasing=True, tol=1e-9)
+        assert root == pytest.approx(2.0, abs=1e-6)
+
+    def test_decreasing(self):
+        root = bisect_threshold(lambda x: 10.0 - x, 4.0, lo=0.0, hi=10.0,
+                                increasing=False, tol=1e-9)
+        assert root == pytest.approx(6.0, abs=1e-6)
+
+    def test_unbracketed_raises(self):
+        with pytest.raises(MeasurementError):
+            bisect_threshold(lambda x: x, 100.0, lo=0.0, hi=1.0,
+                             increasing=True)
+        with pytest.raises(MeasurementError):
+            bisect_threshold(lambda x: x, -1.0, lo=0.0, hi=1.0,
+                             increasing=True)
+
+
+class TestMinimumSeparation:
+    @pytest.fixture(scope="class")
+    def model(self, nand3, thresholds):
+        return SimulatorGlitchModel(nand3, "b", "a", thresholds)
+
+    def test_solution_is_on_threshold(self, model, nand3, thresholds):
+        min_sep = minimum_separation(model, 100e-12, 500e-12, thresholds)
+        v_at = model.extremum(100e-12, 500e-12, min_sep)
+        assert v_at == pytest.approx(thresholds.vil, abs=0.05)
+
+    def test_separating_more_completes(self, model, nand3, thresholds):
+        min_sep = minimum_separation(model, 100e-12, 500e-12, thresholds)
+        assert model.extremum(100e-12, 500e-12, min_sep + 200e-12) < \
+            thresholds.vil
+
+    def test_slower_causing_edge_needs_more_separation(self, model,
+                                                       thresholds):
+        fast = minimum_separation(model, 100e-12, 500e-12, thresholds)
+        slow = minimum_separation(model, 1000e-12, 500e-12, thresholds)
+        assert slow > fast
+
+
+class TestMinimumPulseWidth:
+    def test_value_and_filtering(self, nand3, thresholds):
+        from repro.inertial.glitch import pulse_response
+        width = minimum_pulse_width(
+            nand3, "b", tau_first=100e-12, tau_second=100e-12,
+            first_direction=RISE, thresholds=thresholds)
+        assert width > 0.0
+        wide = pulse_response(
+            nand3, "b", width=width + 100e-12, tau_first=100e-12,
+            tau_second=100e-12, first_direction=RISE, thresholds=thresholds)
+        assert wide.completed

@@ -1,0 +1,99 @@
+"""Elmore delay over RC trees."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.interconnect import RcTree, WireSpec, elmore_delay, elmore_slew
+
+
+class TestElmoreFormulas:
+    def test_single_wire(self):
+        wire = WireSpec(length=1e-3, r_per_m=1e5, c_per_m=1e-10)
+        # R=100, C=100fF: R*C/2 = 5ps.
+        assert elmore_delay(wire) == pytest.approx(5e-12)
+
+    def test_with_load(self):
+        wire = WireSpec(length=1e-3, r_per_m=1e5, c_per_m=1e-10)
+        assert elmore_delay(wire, load=1e-13) == pytest.approx(
+            100.0 * (0.5e-13 + 1e-13))
+
+    def test_slew_quadrature(self):
+        wire = WireSpec(length=1e-3, r_per_m=1e5, c_per_m=1e-10)
+        pure = elmore_slew(wire)
+        with_input = elmore_slew(wire, input_slew=1e-10)
+        assert with_input > pure
+        assert with_input == pytest.approx(
+            (pure ** 2 + (1e-10) ** 2) ** 0.5)
+
+    def test_zero_wire_slew_passthrough(self):
+        wire = WireSpec(length=1e-6, r_per_m=0.0, c_per_m=0.0)
+        assert elmore_slew(wire, input_slew=2e-10) == pytest.approx(2e-10)
+
+
+class TestRcTree:
+    def build_ladder(self):
+        """root -R1- n1 -R2- n2, caps at both."""
+        tree = RcTree("root")
+        tree.add_node("n1", "root", resistance=100.0, capacitance=1e-13)
+        tree.add_node("n2", "n1", resistance=200.0, capacitance=2e-13)
+        return tree
+
+    def test_ladder_elmore(self):
+        tree = self.build_ladder()
+        # T(n2) = R1*(C1+C2) + R2*C2.
+        expected = 100.0 * 3e-13 + 200.0 * 2e-13
+        assert tree.elmore("n2") == pytest.approx(expected)
+
+    def test_near_sink(self):
+        tree = self.build_ladder()
+        expected = 100.0 * 3e-13
+        assert tree.elmore("n1") == pytest.approx(expected)
+
+    def test_branching(self):
+        """A fork: side branch capacitance loads the shared resistance
+        but not the branch-specific one."""
+        tree = RcTree("root")
+        tree.add_node("trunk", "root", resistance=100.0, capacitance=0.0)
+        tree.add_node("left", "trunk", resistance=50.0, capacitance=1e-13)
+        tree.add_node("right", "trunk", resistance=80.0, capacitance=2e-13)
+        t_left = tree.elmore("left")
+        assert t_left == pytest.approx(100.0 * 3e-13 + 50.0 * 1e-13)
+        t_right = tree.elmore("right")
+        assert t_right == pytest.approx(100.0 * 3e-13 + 80.0 * 2e-13)
+
+    def test_add_wire_segments(self):
+        tree = RcTree("root")
+        wire = WireSpec(length=1e-3, r_per_m=1e5, c_per_m=1e-10)
+        end = tree.add_wire("sink", "root", wire, segments=10)
+        assert end == "sink"
+        # With many segments the lumped ladder approaches the
+        # distributed-line Elmore R*C/2.
+        assert tree.elmore("sink") == pytest.approx(
+            elmore_delay(wire), rel=0.1)
+
+    def test_add_cap(self):
+        tree = self.build_ladder()
+        tree.add_cap("n2", 1e-13)
+        expected = 100.0 * 4e-13 + 200.0 * 3e-13
+        assert tree.elmore("n2") == pytest.approx(expected)
+
+    def test_total_and_downstream(self):
+        tree = self.build_ladder()
+        assert tree.total_capacitance() == pytest.approx(3e-13)
+        assert tree.downstream_capacitance("n1") == pytest.approx(3e-13)
+        assert tree.downstream_capacitance("n2") == pytest.approx(2e-13)
+
+    def test_validation(self):
+        tree = self.build_ladder()
+        with pytest.raises(TimingError):
+            tree.add_node("n1", "root", resistance=1.0, capacitance=0.0)
+        with pytest.raises(TimingError):
+            tree.add_node("n3", "ghost", resistance=1.0, capacitance=0.0)
+        with pytest.raises(TimingError):
+            tree.add_node("n3", "root", resistance=-1.0, capacitance=0.0)
+        with pytest.raises(TimingError):
+            tree.elmore("ghost")
+        with pytest.raises(TimingError):
+            tree.add_cap("ghost", 1e-15)
+        with pytest.raises(TimingError):
+            tree.add_cap("n1", -1e-15)

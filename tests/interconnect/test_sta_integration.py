@@ -1,0 +1,48 @@
+"""Wire-annotated classic STA and multi-fanout loading behaviour."""
+
+import pytest
+
+from repro.interconnect import WireSpec, elmore_delay
+from repro.timing import ClassicSta, ProximitySta, TimingNetlist
+from repro.waveform import Edge, FALL
+
+
+@pytest.fixture
+def fanout_netlist(calculator):
+    """One driver fanning out to two receivers through a wired net."""
+    net = TimingNetlist("fanout")
+    for name in ("i0", "i1", "i2", "i3", "i4", "i5", "i6"):
+        net.add_input(name)
+    net.add_gate("drv", calculator, {"a": "i0", "b": "i1", "c": "i2"}, "w")
+    net.add_gate("rx1", calculator, {"a": "w", "b": "i3", "c": "i4"}, "o1")
+    net.add_gate("rx2", calculator, {"a": "w", "b": "i5", "c": "i6"}, "o2")
+    return net
+
+
+class TestClassicStaWithWires:
+    def test_wire_slows_classic_arrivals_too(self, fanout_netlist):
+        events = {"i0": Edge(FALL, 0.0, 300e-12)}
+        bare = ClassicSta(fanout_netlist).analyze(events)
+        fanout_netlist.set_wire("w", WireSpec(length=2e-3, r_per_m=1e5,
+                                              c_per_m=1e-10))
+        wired = ClassicSta(fanout_netlist).analyze(events)
+        wire = fanout_netlist.wire("w")
+        assert wired.arrival("o1") > bare.arrival("o1") + \
+            0.8 * elmore_delay(wire)
+
+    def test_both_receivers_see_the_wire(self, fanout_netlist):
+        fanout_netlist.set_wire("w", WireSpec(length=2e-3))
+        events = {"i0": Edge(FALL, 0.0, 300e-12)}
+        result = ProximitySta(fanout_netlist).analyze(events)
+        assert result.arrival("o1") == pytest.approx(result.arrival("o2"),
+                                                     rel=1e-9)
+
+    def test_wire_degraded_slew_reaches_receivers(self, fanout_netlist):
+        events = {"i0": Edge(FALL, 0.0, 100e-12)}
+        bare = ProximitySta(fanout_netlist).analyze(events)
+        fanout_netlist.set_wire("w", WireSpec(length=4e-3, r_per_m=2e5,
+                                              c_per_m=2e-10))
+        wired = ProximitySta(fanout_netlist).analyze(events)
+        # Downstream slew grows because the receiver gate was fed a
+        # degraded edge (and its driver carries the wire load).
+        assert wired.slew("o1") > bare.slew("o1")

@@ -1,0 +1,78 @@
+"""Wire specs, pi models and circuit emission."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.interconnect import WireSpec, emit_wire, pi_model
+from repro.spice import Circuit, transient
+from repro.waveform import Pwl
+
+
+class TestWireSpec:
+    def test_totals(self):
+        wire = WireSpec(length=1e-3, r_per_m=7e4, c_per_m=2e-10)
+        assert wire.resistance == pytest.approx(70.0)
+        assert wire.capacitance == pytest.approx(2e-13)
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            WireSpec(length=0.0)
+        with pytest.raises(NetlistError):
+            WireSpec(length=1e-3, r_per_m=-1.0)
+
+    def test_scaled(self):
+        wire = WireSpec(length=1e-3).scaled(2.0)
+        assert wire.length == pytest.approx(2e-3)
+        with pytest.raises(NetlistError):
+            wire.scaled(0.0)
+
+    def test_pi_model_splits_capacitance(self):
+        wire = WireSpec(length=1e-3, r_per_m=1e5, c_per_m=1e-10)
+        c1, r, c2 = pi_model(wire)
+        assert c1 == pytest.approx(c2)
+        assert c1 + c2 == pytest.approx(wire.capacitance)
+        assert r == pytest.approx(wire.resistance)
+
+
+class TestEmitWire:
+    def make_driven_wire(self, segments):
+        ckt = Circuit()
+        step = Pwl([1e-10, 1.05e-10], [0.0, 5.0])
+        ckt.add_vsource("vin", "near", step)
+        wire = WireSpec(length=2e-3, r_per_m=1e5, c_per_m=2.5e-10)
+        emit_wire(ckt, "w", "near", "far", wire, segments=segments)
+        ckt.add_capacitor("cl", "far", "0", 5e-14)
+        return ckt, wire
+
+    def test_internal_node_count(self):
+        ckt, _ = self.make_driven_wire(segments=4)
+        compiled = ckt.compile()
+        internal = [n for n in compiled.unknown_names if n.startswith("w.")]
+        assert len(internal) == 3
+
+    def test_far_end_settles_to_source(self):
+        ckt, _ = self.make_driven_wire(segments=3)
+        result = transient(ckt, 20e-9)
+        assert result.node("far").final_value() == pytest.approx(5.0, abs=0.05)
+
+    def test_delay_close_to_elmore(self):
+        """The simulated 50% crossing at the far end lands within ~35%
+        of the Elmore estimate (Elmore upper-bounds RC-tree delay)."""
+        from repro.interconnect import elmore_delay
+
+        ckt, wire = self.make_driven_wire(segments=5)
+        result = transient(ckt, 20e-9)
+        far = result.node("far")
+        t50 = far.first_crossing(2.5, "rise") - 1.05e-10
+        estimate = elmore_delay(wire, load=5e-14)
+        assert t50 <= estimate * 1.05
+        assert t50 >= estimate * 0.4
+
+    def test_validation(self):
+        ckt = Circuit()
+        wire = WireSpec(length=1e-3)
+        with pytest.raises(NetlistError):
+            emit_wire(ckt, "w", "a", "a", wire)
+        with pytest.raises(NetlistError):
+            emit_wire(ckt, "w", "a", "b", wire, segments=0)

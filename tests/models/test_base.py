@@ -1,0 +1,46 @@
+"""Macromodel interface contracts."""
+
+import pytest
+
+from repro.models import (
+    DualInputModel,
+    SimulatorDualInputModel,
+    SimulatorSingleInputModel,
+    SingleInputModel,
+    TableDualInputModel,
+    TableSingleInputModel,
+)
+
+
+class TestAbstractness:
+    def test_single_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            SingleInputModel()  # type: ignore[abstract]
+
+    def test_dual_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            DualInputModel()  # type: ignore[abstract]
+
+    def test_implementations_registered(self):
+        assert issubclass(TableSingleInputModel, SingleInputModel)
+        assert issubclass(SimulatorSingleInputModel, SingleInputModel)
+        assert issubclass(TableDualInputModel, DualInputModel)
+        assert issubclass(SimulatorDualInputModel, DualInputModel)
+
+
+class TestInterchangeability:
+    def test_oracle_and_table_agree_on_grid_points(self, nand3, thresholds,
+                                                   oracle_library):
+        """At a characterized grid point the table model reproduces the
+        oracle (both are the same simulation, modulo interpolation of
+        exactly-hit nodes)."""
+        from repro.charlib import SingleInputGrid
+        from repro.charlib.single import characterize_single_input
+
+        grid = SingleInputGrid.fast()
+        table = characterize_single_input(nand3, "a", "fall", thresholds,
+                                          grid=grid)
+        oracle = oracle_library.single("a", "fall")
+        tau = grid.taus[2]
+        assert table.delay(tau) == pytest.approx(oracle.delay(tau), rel=0.02)
+        assert table.ttime(tau) == pytest.approx(oracle.ttime(tau), rel=0.05)

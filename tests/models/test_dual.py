@@ -1,0 +1,96 @@
+"""Dual-input macromodel backends."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import SimulatorDualInputModel, TableDualInputModel
+from repro.waveform import Edge, FALL
+
+
+def make_table():
+    """A synthetic proximity surface: ratio 1 at large separation,
+    dipping toward 0.5 at sep = 0, independent of the tau axes."""
+    a1 = np.array([0.5, 1.0, 2.0, 4.0])
+    a2 = np.array([0.25, 1.0, 4.0])
+    a3 = np.array([-2.0, -1.0, 0.0, 0.5, 1.0, 1.5])
+    ratio_of_sep = np.array([0.55, 0.5, 0.5, 0.75, 1.0, 1.0])
+    delay = np.broadcast_to(ratio_of_sep, (4, 3, 6)).copy()
+    ttime = 0.9 * delay
+    return TableDualInputModel("a", "b", FALL, (a1, a2, a3), delay, ttime)
+
+
+class TestTableModel:
+    def test_normalized_lookup(self):
+        model = make_table()
+        delta1 = 2e-10
+        # sep = 0.5 * delta1 -> a3 = 0.5 -> ratio 0.75.
+        ratio = model.delay_ratio(2e-10, 2e-10, 1e-10, delta1=delta1)
+        assert ratio == pytest.approx(0.75, abs=0.02)
+
+    def test_interpolation_between_grid_points(self):
+        model = make_table()
+        delta1 = 2e-10
+        ratio = model.delay_ratio(2e-10, 2e-10, 0.25 * delta1, delta1=delta1)
+        assert 0.5 < ratio < 0.75
+
+    def test_clamping_beyond_grid(self):
+        model = make_table()
+        delta1 = 2e-10
+        far = model.delay_ratio(2e-10, 2e-10, 10 * delta1, delta1=delta1)
+        assert far == pytest.approx(1.0)
+        early = model.delay_ratio(2e-10, 2e-10, -10 * delta1, delta1=delta1)
+        assert early == pytest.approx(0.55)
+
+    def test_ttime_uses_same_coordinates(self):
+        model = make_table()
+        delta1, tau1 = 2e-10, 3e-10
+        ratio = model.ttime_ratio(2e-10, 2e-10, 1e-10, tau1=tau1, delta1=delta1)
+        assert ratio == pytest.approx(0.9 * 0.75, abs=0.02)
+
+    def test_validation(self):
+        a1 = np.array([0.5, 1.0])
+        a2 = np.array([0.25, 1.0])
+        a3 = np.array([0.0, 1.0])
+        good = np.ones((2, 2, 2))
+        with pytest.raises(ModelError):
+            TableDualInputModel("a", "b", FALL, (a1, a2, a3),
+                                np.ones((2, 2, 3)), good)
+        with pytest.raises(ModelError):
+            TableDualInputModel("a", "b", FALL,
+                                (np.array([1.0, 0.5]), a2, a3), good, good)
+
+    def test_query_validation(self):
+        model = make_table()
+        with pytest.raises(ModelError):
+            model.delay_ratio(1e-10, 1e-10, 0.0, delta1=0.0)
+        with pytest.raises(ModelError):
+            model.ttime_ratio(1e-10, 1e-10, 0.0, tau1=-1.0, delta1=1e-10)
+
+    def test_payload_roundtrip(self):
+        model = make_table()
+        clone = TableDualInputModel.from_payload(model.to_payload())
+        args = (2e-10, 1.5e-10, 0.3e-10)
+        assert clone.delay_ratio(*args, delta1=2e-10) == pytest.approx(
+            model.delay_ratio(*args, delta1=2e-10))
+        assert clone.reference == "a" and clone.other == "b"
+
+
+class TestSimulatorModel:
+    def test_matches_direct_simulation(self, nand3, thresholds):
+        from repro.charlib.simulate import multi_input_response, \
+            single_input_response
+        model = SimulatorDualInputModel(nand3, "a", "b", FALL, thresholds)
+        tau_ref, tau_other, sep = 400e-12, 150e-12, 50e-12
+        single = single_input_response(nand3, "a", FALL, tau_ref, thresholds)
+        edges = {"a": Edge(FALL, 0.0, tau_ref), "b": Edge(FALL, sep, tau_other)}
+        shot = multi_input_response(nand3, edges, thresholds, reference="a")
+        ratio = model.delay_ratio(tau_ref, tau_other, sep, delta1=single.delay)
+        assert ratio * single.delay == pytest.approx(shot.delay, rel=1e-9)
+
+    def test_requires_positive_normalizers(self, nand3, thresholds):
+        model = SimulatorDualInputModel(nand3, "a", "b", FALL, thresholds)
+        with pytest.raises(ModelError):
+            model.delay_ratio(1e-10, 1e-10, 0.0, delta1=-1.0)
+        with pytest.raises(ModelError):
+            model.ttime_ratio(1e-10, 1e-10, 0.0, tau1=0.0, delta1=1e-10)

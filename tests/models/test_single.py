@@ -1,0 +1,92 @@
+"""Single-input macromodel backends."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import SimulatorSingleInputModel, TableSingleInputModel
+from repro.waveform import FALL
+
+
+def make_table(k_drive=1e-3, vdd=5.0, char_load=1e-13):
+    """A synthetic but physically-shaped normalized delay curve:
+    Delta/tau grows with the drive factor u."""
+    u = np.geomspace(0.01, 10.0, 12)
+    delay_norm = 0.2 + 1.5 * u ** 0.8
+    ttime_norm = 0.4 + 2.0 * u ** 0.8
+    return TableSingleInputModel(
+        "a", FALL, u, delay_norm, ttime_norm,
+        k_drive=k_drive, vdd=vdd, char_load=char_load,
+    )
+
+
+class TestTableModel:
+    def test_interpolates_grid_points(self):
+        model = make_table()
+        # Pick a tau that lands exactly on a grid u.
+        u_target = 0.1
+        tau = model.char_load / (model.k_drive * model.vdd * u_target)
+        expected = (0.2 + 1.5 * u_target ** 0.8) * tau
+        assert model.delay(tau) == pytest.approx(expected, rel=0.02)
+
+    def test_load_scaling(self):
+        model = make_table()
+        tau = 1e-10
+        # Doubling load doubles u; normalized delay grows.
+        assert model.delay(tau, load=2e-13) > model.delay(tau, load=1e-13)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TableSingleInputModel("a", FALL, np.array([1.0]),
+                                  np.array([1.0]), np.array([1.0]),
+                                  k_drive=1.0, vdd=5.0, char_load=1e-13)
+        with pytest.raises(ModelError):
+            TableSingleInputModel("a", FALL, np.array([1.0, 1.0]),
+                                  np.array([1.0, 2.0]), np.array([1.0, 2.0]),
+                                  k_drive=1.0, vdd=5.0, char_load=1e-13)
+        with pytest.raises(ModelError):
+            TableSingleInputModel("a", FALL, np.array([-1.0, 1.0]),
+                                  np.array([1.0, 2.0]), np.array([1.0, 2.0]),
+                                  k_drive=1.0, vdd=5.0, char_load=1e-13)
+
+    def test_query_validation(self):
+        model = make_table()
+        with pytest.raises(ModelError):
+            model.delay(0.0)
+        with pytest.raises(ModelError):
+            model.delay(1e-10, load=-1.0)
+
+    def test_payload_roundtrip(self):
+        model = make_table()
+        clone = TableSingleInputModel.from_payload(model.to_payload())
+        tau = 3.3e-10
+        assert clone.delay(tau) == pytest.approx(model.delay(tau), rel=1e-12)
+        assert clone.ttime(tau) == pytest.approx(model.ttime(tau), rel=1e-12)
+        assert clone.input_name == "a"
+
+    def test_unsorted_samples_accepted(self):
+        u = np.array([1.0, 0.1, 10.0])
+        model = TableSingleInputModel(
+            "a", FALL, u, 0.2 + u, 0.4 + u,
+            k_drive=1e-3, vdd=5.0, char_load=1e-13,
+        )
+        assert model.drive_factor(1e-10) > 0
+
+
+class TestSimulatorModel:
+    def test_matches_direct_simulation(self, nand3, thresholds):
+        from repro.charlib.simulate import single_input_response
+        model = SimulatorSingleInputModel(nand3, "a", FALL, thresholds)
+        tau = 321e-12
+        shot = single_input_response(nand3, "a", FALL, tau, thresholds)
+        assert model.delay(tau) == pytest.approx(shot.delay, rel=1e-9)
+        assert model.ttime(tau) == pytest.approx(shot.out_ttime, rel=1e-9)
+
+    def test_memoization(self, nand3, thresholds):
+        import time
+        model = SimulatorSingleInputModel(nand3, "b", FALL, thresholds)
+        model.delay(222e-12)
+        t0 = time.time()
+        for _ in range(50):
+            model.delay(222e-12)
+        assert time.time() - t0 < 0.05

@@ -1,0 +1,93 @@
+"""SPICE-deck export."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import Circuit, to_spice, write_spice
+from repro.tech import default_process, submicron_process
+from repro.waveform import Pwl, ramp
+
+
+@pytest.fixture
+def inverter_circuit():
+    proc = default_process()
+    ckt = Circuit("inv")
+    ckt.add_vsource("vdd", "vdd", proc.vdd)
+    ckt.add_vsource("in", "a", ramp(1e-9, 0.0, 5.0, 2e-10))
+    ckt.add_mosfet("mn", "z", "a", "0", "0", proc.nmos, 4e-6, 0.8e-6)
+    ckt.add_mosfet("mp", "z", "a", "vdd", "vdd", proc.pmos, 8e-6, 0.8e-6)
+    ckt.add_capacitor("cl", "z", "0", 1e-13)
+    return ckt
+
+
+class TestToSpice:
+    def test_structure(self, inverter_circuit):
+        deck = to_spice(inverter_circuit, t_stop=5e-9)
+        assert deck.startswith("* inv")
+        assert ".MODEL nmos1 NMOS (LEVEL=1" in deck
+        assert ".MODEL pmos1 PMOS (LEVEL=1" in deck
+        assert "Mmn z a 0 0 nmos1 W=4e-06 L=8e-07" in deck
+        assert "Vvdd vdd 0 DC 5" in deck
+        assert "PWL(" in deck
+        assert ".TRAN" in deck
+        assert deck.rstrip().endswith(".END")
+
+    def test_model_cards_deduplicated(self, inverter_circuit):
+        proc = default_process()
+        inverter_circuit.add_mosfet("mn2", "z2", "a", "0", "0",
+                                    proc.nmos, 4e-6, 0.8e-6)
+        inverter_circuit.add_capacitor("cl2", "z2", "0", 1e-14)
+        deck = to_spice(inverter_circuit)
+        assert deck.count(".MODEL nmos1") == 1
+
+    def test_parasitic_caps_exported(self, inverter_circuit):
+        deck = to_spice(inverter_circuit)
+        assert "Cmn_cgd" in deck  # dots normalized to underscores
+
+    def test_ground_aliases_map_to_zero(self):
+        ckt = Circuit()
+        ckt.add_vsource("v1", "in", 1.0)
+        ckt.add_resistor("r1", "in", "gnd", 1e3)
+        deck = to_spice(ckt)
+        assert "Rr1 in 0 1000" in deck
+
+    def test_pwl_values_roundtrip(self, inverter_circuit):
+        deck = to_spice(inverter_circuit)
+        line = next(l for l in deck.splitlines() if l.startswith("Vin"))
+        assert "1e-09 0" in line and "1.2e-09 5" in line
+
+    def test_alpha_model_warns_or_raises(self):
+        proc = submicron_process()
+        ckt = Circuit()
+        ckt.add_vsource("vdd", "vdd", proc.vdd)
+        ckt.add_mosfet("mn", "z", "vdd", "0", "0", proc.nmos, 2e-6, 0.35e-6)
+        ckt.add_capacitor("cl", "z", "0", 1e-14)
+        deck = to_spice(ckt)
+        assert "WARNING" in deck and "alpha" in deck
+        with pytest.raises(NetlistError):
+            to_spice(ckt, strict=True)
+
+    def test_callable_source_omitted_or_raises(self):
+        ckt = Circuit()
+        ckt.add_vsource("v1", "in", lambda t: 1.0)
+        ckt.add_resistor("r1", "in", "0", 1e3)
+        deck = to_spice(ckt)
+        assert "python-callable source omitted" in deck
+        with pytest.raises(NetlistError):
+            to_spice(ckt, strict=True)
+
+    def test_gate_build_exports(self):
+        from repro.gates import Gate
+        gate = Gate.nand(3, default_process())
+        circuit = gate.build({"a": ramp(1e-9, 5.0, 0.0, 3e-10)})
+        deck = to_spice(circuit, t_stop="6ns")
+        assert deck.count("NMOS") == 1
+        assert deck.count("Mmn") == 3  # three pull-down devices
+
+
+class TestWriteSpice:
+    def test_writes_file(self, inverter_circuit, tmp_path):
+        path = tmp_path / "inv.sp"
+        write_spice(inverter_circuit, path, t_stop=1e-9)
+        text = path.read_text()
+        assert ".END" in text

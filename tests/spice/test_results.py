@@ -1,0 +1,58 @@
+"""Result containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.spice.results import SweepResult, TransientResult
+
+
+class TestSweepResult:
+    def make(self):
+        grid = np.linspace(0.0, 5.0, 6)
+        return SweepResult(
+            sweep_source="vin",
+            sweep_values=grid,
+            voltages={"z": 5.0 - grid, "vin": grid},
+        )
+
+    def test_node_access(self):
+        sweep = self.make()
+        assert sweep.node("z")[0] == pytest.approx(5.0)
+        with pytest.raises(MeasurementError):
+            sweep.node("ghost")
+
+    def test_transfer_curve_interpolates(self):
+        curve = self.make().transfer_curve("z")
+        assert curve(2.5) == pytest.approx(2.5)
+
+
+class TestTransientResult:
+    def make(self):
+        t = np.linspace(0.0, 1e-9, 5)
+        return TransientResult(
+            t, {"z": np.linspace(0.0, 5.0, 5)},
+            rejected_steps=2, newton_iterations=17,
+        )
+
+    def test_node_waveform(self):
+        result = self.make()
+        wf = result.node("z")
+        assert wf(0.5e-9) == pytest.approx(2.5)
+        assert result.t_stop == pytest.approx(1e-9)
+
+    def test_missing_node_lists_available(self):
+        result = self.make()
+        with pytest.raises(MeasurementError) as excinfo:
+            result.node("q")
+        assert "z" in str(excinfo.value)
+
+    def test_counters_kept(self):
+        result = self.make()
+        assert result.rejected_steps == 2
+        assert result.newton_iterations == 17
+
+    def test_node_names_sorted(self):
+        t = np.array([0.0, 1.0])
+        result = TransientResult(t, {"b": t, "a": t})
+        assert result.node_names == ["a", "b"]

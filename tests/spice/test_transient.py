@@ -1,0 +1,162 @@
+"""Transient integration against analytic RC responses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.spice import Circuit, transient
+from repro.spice.transient import TransientOptions
+from repro.tech import default_process
+from repro.waveform import Pwl, ramp
+
+
+def rc_circuit(r=1e3, c=1e-12, source=5.0) -> Circuit:
+    ckt = Circuit()
+    ckt.add_vsource("v1", "in", source)
+    ckt.add_resistor("r1", "in", "out", r)
+    ckt.add_capacitor("c1", "out", "0", c)
+    return ckt
+
+
+class TestRcAnalytic:
+    def test_step_charge(self):
+        """RC step response matches v(t) = V (1 - exp(-t/RC))."""
+        r, c = 1e3, 1e-12
+        step = Pwl([1e-10, 1.01e-10], [0.0, 5.0])
+        ckt = rc_circuit(r, c, step)
+        result = transient(ckt, 6e-9)
+        out = result.node("out")
+        for t in (0.5e-9, 1e-9, 2e-9, 4e-9):
+            analytic = 5.0 * (1.0 - np.exp(-(t - 1.01e-10) / (r * c)))
+            assert out(t) == pytest.approx(analytic, abs=0.03)
+
+    def test_initial_condition_from_dc(self):
+        """Output starts at the DC solution (source value, cap charged)."""
+        result = transient(rc_circuit(source=3.0), 1e-9)
+        assert result.node("out").initial_value() == pytest.approx(3.0, abs=1e-3)
+
+    def test_ramp_tracking(self):
+        """For slow ramps the RC output tracks the input with lag ~RC."""
+        r, c = 1e3, 1e-13  # RC = 0.1ns
+        wf = ramp(1e-9, 0.0, 5.0, 5e-9)
+        result = transient(rc_circuit(r, c, wf), 10e-9)
+        out = result.node("out")
+        mid = out(3.5e-9)
+        vin_mid = wf(3.5e-9 - r * c)
+        assert mid == pytest.approx(vin_mid, abs=0.1)
+
+    def test_methods_agree(self):
+        wf = ramp(0.5e-9, 0.0, 5.0, 1e-9)
+        res_trap = transient(rc_circuit(source=wf), 5e-9,
+                             options=TransientOptions(method="trap"))
+        res_be = transient(rc_circuit(source=wf), 5e-9,
+                           options=TransientOptions(method="be"))
+        t_grid = np.linspace(0, 5e-9, 50)
+        v_trap = res_trap.node("out")(t_grid)
+        v_be = res_be.node("out")(t_grid)
+        assert np.max(np.abs(v_trap - v_be)) < 0.1
+
+    def test_coupled_capacitor_divider(self):
+        """A floating cap between two nodes: step couples through the
+        capacitive divider c1/(c1+c2)."""
+        ckt = Circuit()
+        step = Pwl([1e-10, 1.05e-10], [0.0, 4.0])
+        ckt.add_vsource("v1", "in", step)
+        ckt.add_capacitor("c1", "in", "mid", 2e-12)
+        ckt.add_capacitor("c2", "mid", "0", 2e-12)
+        ckt.add_resistor("rleak", "mid", "0", 1e9)  # slow discharge
+        result = transient(ckt, 3e-10)
+        # Right after the step: v_mid ~ 4 * c1/(c1+c2) = 2.
+        assert result.node("mid")(1.5e-10) == pytest.approx(2.0, abs=0.1)
+
+
+class TestEngineBehaviour:
+    def test_breakpoints_hit_exactly(self):
+        wf = Pwl([1e-9, 1.5e-9], [0.0, 5.0])
+        result = transient(rc_circuit(source=wf), 4e-9)
+        assert np.any(np.isclose(result.times, 1e-9, atol=1e-15))
+        assert np.any(np.isclose(result.times, 1.5e-9, atol=1e-15))
+
+    def test_record_subset(self):
+        result = transient(rc_circuit(), 1e-9, record=["out"])
+        assert result.node_names == ["out"]
+        from repro.errors import MeasurementError
+        with pytest.raises(MeasurementError):
+            result.node("in")
+
+    def test_rejects_bad_tstop(self):
+        with pytest.raises(ConvergenceError):
+            transient(rc_circuit(), 0.0)
+
+    def test_rejects_bad_method(self):
+        with pytest.raises(ConvergenceError):
+            TransientOptions(method="rk4")
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConvergenceError):
+            TransientOptions(dv_target=0.5, dv_reject=0.2)
+
+    def test_quantity_string_tstop(self):
+        result = transient(rc_circuit(), "2ns")
+        assert result.t_stop == pytest.approx(2e-9)
+
+
+class TestInverterTransient:
+    def test_inverter_switches(self):
+        proc = default_process()
+        ckt = Circuit()
+        ckt.add_vsource("vvdd", "vdd", proc.vdd)
+        ckt.add_vsource("vin", "in", ramp(1e-9, 0.0, proc.vdd, 0.3e-9))
+        ckt.add_mosfet("mn", "out", "in", "0", "0", proc.nmos, 4e-6, 0.8e-6)
+        ckt.add_mosfet("mp", "out", "in", "vdd", "vdd", proc.pmos, 8e-6, 0.8e-6)
+        ckt.add_capacitor("cl", "out", "0", 1e-13)
+        result = transient(ckt, 5e-9)
+        out = result.node("out")
+        assert out.initial_value() == pytest.approx(proc.vdd, abs=0.02)
+        assert out.final_value() == pytest.approx(0.0, abs=0.02)
+        # Monotone-ish fall: output after the edge below 10% Vdd.
+        assert out(4e-9) < 0.5
+
+    def test_charge_conservation_flat_input(self):
+        """Nothing switches: every node stays at its DC value."""
+        proc = default_process()
+        ckt = Circuit()
+        ckt.add_vsource("vvdd", "vdd", proc.vdd)
+        ckt.add_vsource("vin", "in", 0.0)
+        ckt.add_mosfet("mn", "out", "in", "0", "0", proc.nmos, 4e-6, 0.8e-6)
+        ckt.add_mosfet("mp", "out", "in", "vdd", "vdd", proc.pmos, 8e-6, 0.8e-6)
+        ckt.add_capacitor("cl", "out", "0", 1e-13)
+        result = transient(ckt, 3e-9)
+        out = result.node("out").values
+        assert np.max(np.abs(out - out[0])) < 1e-3
+
+
+class TestBreakpointRobustness:
+    def test_breakpoint_landing_regression(self):
+        """Regression: a step landing a few attoseconds short of a PWL
+        corner must not underflow the step size (the corner is snapped
+        within h_min).  Exact ramp times from a failing characterization
+        point."""
+        from repro.gates import Gate
+        from repro.waveform import Pwl
+
+        proc = default_process()
+        gate = Gate.nand(3, proc, load=100e-15)
+        # Reconstructed stimuli of the original failure (irrational ramp
+        # times from a geomspace grid).
+        a_ramp = Pwl([4.0067604560380076e-10, 7.169038116206387e-10], [5.0, 0.0])
+        c_ramp = Pwl([4.999999999999997e-11, 1.536596909458366e-10], [5.0, 0.0])
+        circuit = gate.build({"a": a_ramp, "c": c_ramp}, switching=["a", "c"])
+        result = transient(circuit, 3.3e-9)
+        z = result.node("z")
+        assert z.final_value() == pytest.approx(5.0, abs=0.05)
+
+    def test_many_irrational_breakpoints(self):
+        """Stress: a source with many closely spaced irrational corners
+        integrates cleanly."""
+        import numpy as np
+        times = np.cumsum(np.geomspace(1e-12, 3e-10, 24)) + 1e-10
+        values = [(5.0 if i % 2 else 0.0) for i in range(24)]
+        wf = Pwl(times, values)
+        result = transient(rc_circuit(1e3, 5e-14, wf), float(times[-1]) + 2e-9)
+        assert len(result.times) > 50

@@ -1,0 +1,104 @@
+"""Process and device-parameter validation."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.tech import MosfetParams, Process, Sizing, default_process
+from repro.tech.presets import PROCESSES, fast_process, slow_process
+
+
+class TestMosfetParams:
+    def test_strength_matches_paper_definition(self):
+        params = MosfetParams("nmos", vt0=0.7, kp=60e-6)
+        # K = (1/2) mu Cox W/L
+        assert params.strength(4e-6, 0.8e-6) == pytest.approx(0.5 * 60e-6 * 5.0)
+
+    def test_polarity_validation(self):
+        with pytest.raises(NetlistError):
+            MosfetParams("cmos", vt0=0.7, kp=60e-6)
+
+    def test_nmos_needs_positive_vt(self):
+        with pytest.raises(NetlistError):
+            MosfetParams("nmos", vt0=-0.7, kp=60e-6)
+
+    def test_pmos_needs_negative_vt(self):
+        with pytest.raises(NetlistError):
+            MosfetParams("pmos", vt0=0.7, kp=25e-6)
+
+    def test_kp_positive(self):
+        with pytest.raises(NetlistError):
+            MosfetParams("nmos", vt0=0.7, kp=0.0)
+
+    def test_lambda_nonnegative(self):
+        with pytest.raises(NetlistError):
+            MosfetParams("nmos", vt0=0.7, kp=60e-6, lam=-0.1)
+
+    def test_strength_rejects_bad_geometry(self):
+        params = MosfetParams("nmos", vt0=0.7, kp=60e-6)
+        with pytest.raises(NetlistError):
+            params.strength(0.0, 1e-6)
+        with pytest.raises(NetlistError):
+            params.strength(1e-6, -1e-6)
+
+
+class TestSizing:
+    def test_positive_required(self):
+        with pytest.raises(NetlistError):
+            Sizing(wn=0.0, wp=1e-6, length=1e-6)
+
+    def test_scaled(self):
+        sizing = Sizing(wn=2e-6, wp=4e-6, length=1e-6).scaled(2.0, 1.5)
+        assert sizing.wn == pytest.approx(4e-6)
+        assert sizing.wp == pytest.approx(6e-6)
+        assert sizing.length == pytest.approx(1e-6)
+
+    def test_scaled_rejects_nonpositive(self):
+        sizing = Sizing(wn=2e-6, wp=4e-6, length=1e-6)
+        with pytest.raises(NetlistError):
+            sizing.scaled(0.0, 1.0)
+
+
+class TestProcess:
+    def test_default_is_consistent(self):
+        proc = default_process()
+        assert proc.vdd == 5.0
+        assert proc.nmos.is_nmos
+        assert not proc.pmos.is_nmos
+        # NMOS stronger per-width than PMOS, standard CMOS.
+        assert proc.nmos.kp > proc.pmos.kp
+
+    def test_beta_ratio_near_unity_for_default(self):
+        # Default sizing compensates mobility with 2x PMOS width.
+        proc = default_process()
+        assert 0.5 < proc.beta_ratio() < 1.5
+
+    def test_cache_key_is_scalar_mapping(self):
+        key = default_process().cache_key()
+        assert all(isinstance(v, (int, float, str)) for v in key.values())
+        assert key["vdd"] == 5.0
+
+    def test_cache_key_distinguishes_processes(self):
+        assert default_process().cache_key() != fast_process().cache_key()
+
+    def test_with_vdd(self):
+        proc = default_process().with_vdd("4.5V")
+        assert proc.vdd == pytest.approx(4.5)
+        assert proc.nmos == default_process().nmos
+
+    def test_threshold_above_supply_rejected(self):
+        proc = default_process()
+        with pytest.raises(NetlistError):
+            proc.with_vdd(0.5)
+
+    def test_mismatched_polarity_rejected(self):
+        proc = default_process()
+        with pytest.raises(NetlistError):
+            Process("bad", 5.0, proc.pmos, proc.pmos, proc.sizing)
+        with pytest.raises(NetlistError):
+            Process("bad", 5.0, proc.nmos, proc.nmos, proc.sizing)
+
+    def test_presets_registry(self):
+        for name, factory in PROCESSES.items():
+            proc = factory()
+            assert proc.vdd > 0
+        assert slow_process().sizing.length > default_process().sizing.length

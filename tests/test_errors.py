@@ -1,0 +1,51 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CharacterizationError,
+    ConvergenceError,
+    MeasurementError,
+    ModelError,
+    NetlistError,
+    ReproError,
+    TimingError,
+    UnitError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        UnitError, NetlistError, ConvergenceError, MeasurementError,
+        CharacterizationError, ModelError, TimingError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_value_errors_catchable_as_value_error(self):
+        for exc_type in (UnitError, NetlistError, MeasurementError,
+                         ModelError, TimingError):
+            assert issubclass(exc_type, ValueError)
+
+    def test_runtime_errors(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+        assert issubclass(CharacterizationError, RuntimeError)
+
+    def test_single_except_catches_library_failures(self):
+        with pytest.raises(ReproError):
+            raise ConvergenceError("solver died")
+        with pytest.raises(ReproError):
+            raise UnitError("bad quantity")
+
+
+class TestConvergenceErrorPayload:
+    def test_diagnostics_attached(self):
+        exc = ConvergenceError("no luck", iterations=42, residual=1e-3)
+        assert exc.iterations == 42
+        assert exc.residual == pytest.approx(1e-3)
+        assert "no luck" in str(exc)
+
+    def test_defaults(self):
+        exc = ConvergenceError("plain")
+        assert exc.iterations is None
+        assert exc.residual is None

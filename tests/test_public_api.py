@@ -1,0 +1,63 @@
+"""Public-API surface: everything advertised imports and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("name", [
+        n for n in dir(repro)
+        if not n.startswith("_") and n in getattr(repro, "__all__", [])
+    ])
+    def test_public_objects_documented(self, name):
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+class TestSubpackages:
+    PACKAGES = [
+        "repro.tech", "repro.spice", "repro.waveform", "repro.gates",
+        "repro.vtc", "repro.charlib", "repro.models", "repro.core",
+        "repro.inertial", "repro.baselines", "repro.timing",
+        "repro.interconnect", "repro.experiments",
+    ]
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_importable_with_docstring_and_all(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__) > 40
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_exported_callables_documented(self, package):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+class TestCliEntryPoint:
+    def test_module_runnable(self):
+        import subprocess
+        import sys
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "experiment" in proc.stdout

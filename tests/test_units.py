@@ -1,0 +1,123 @@
+"""Unit parsing and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units import (
+    amps,
+    farads,
+    format_quantity,
+    parse_quantity,
+    seconds,
+    volts,
+)
+
+
+class TestParseQuantity:
+    @pytest.mark.parametrize("text,expected", [
+        ("500ps", 5e-10),
+        ("1.2ns", 1.2e-9),
+        ("100f", 1e-13),
+        ("100fF", 1e-13),
+        ("50pF", 5e-11),
+        ("3.3V", 3.3),
+        ("3.3v", 3.3),
+        ("0.8um", 0.8e-6),
+        ("2MEG", 2e6),
+        ("2MEGohm", 2e6),
+        ("4.7k", 4.7e3),
+        ("1m", 1e-3),
+        ("10uA", 1e-5),
+        ("1x", 1e6),
+        ("7", 7.0),
+        ("-2.5e-3", -2.5e-3),
+        ("+3p", 3e-12),
+        (".5n", 0.5e-9),
+        ("1e3", 1000.0),
+        ("2GHz", 2e9),
+        ("100a", 1e-16),
+        ("1T", 1e12),
+    ])
+    def test_values(self, text, expected):
+        assert parse_quantity(text) == pytest.approx(expected, rel=1e-12)
+
+    def test_numbers_pass_through(self):
+        assert parse_quantity(3.5) == 3.5
+        assert parse_quantity(2) == 2.0
+
+    def test_spice_prefix_beats_unit_letter(self):
+        # "100f" must be femto even when farads are expected -- the bug
+        # class that motivated this rule produced a 100 F load.
+        assert parse_quantity("100f", unit="F") == pytest.approx(1e-13)
+        assert parse_quantity("1m", unit="s") == pytest.approx(1e-3)
+
+    def test_unit_validation_accepts_matching(self):
+        assert parse_quantity("5ns", unit="s") == pytest.approx(5e-9)
+
+    def test_unit_validation_rejects_mismatch(self):
+        with pytest.raises(UnitError):
+            parse_quantity("5V", unit="s")
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1.2.3", "5 5", "1q", "nan"])
+    def test_malformed(self, bad):
+        with pytest.raises(UnitError):
+            parse_quantity(bad)
+
+    def test_whitespace_tolerated(self):
+        assert parse_quantity("  500 ps ".replace(" ps", "ps")) == pytest.approx(5e-10)
+
+    def test_none_rejected(self):
+        with pytest.raises(UnitError):
+            parse_quantity(None)  # type: ignore[arg-type]
+
+    def test_bool_rejected_as_number(self):
+        # bools are ints in Python; we refuse them to catch bugs.
+        with pytest.raises(UnitError):
+            parse_quantity(True)  # type: ignore[arg-type]
+
+
+class TestConvenienceParsers:
+    def test_seconds(self):
+        assert seconds("2ns") == pytest.approx(2e-9)
+
+    def test_volts(self):
+        assert volts("1.8V") == pytest.approx(1.8)
+
+    def test_farads(self):
+        assert farads("100f") == pytest.approx(1e-13)
+
+    def test_amps(self):
+        assert amps("3mA") == pytest.approx(3e-3)
+
+
+class TestFormatQuantity:
+    @pytest.mark.parametrize("value,unit,expected", [
+        (5e-10, "s", "500ps"),
+        (1e-13, "F", "100fF"),
+        (0.0, "s", "0s"),
+        (1.0, "V", "1V"),
+        (2.5e3, "Ohm", "2.5kOhm"),
+        (-3e-9, "s", "-3ns"),
+    ])
+    def test_values(self, value, unit, expected):
+        assert format_quantity(value, unit) == expected
+
+    def test_non_finite(self):
+        assert "inf" in format_quantity(math.inf, "s")
+        assert "nan" in format_quantity(math.nan, "s")
+
+    def test_digits(self):
+        assert format_quantity(123.456e-12, "s", digits=2) == "120ps"
+
+    @given(st.floats(min_value=1e-17, max_value=1e13))
+    def test_roundtrip_positive(self, value):
+        text = format_quantity(value, "s", digits=12)
+        assert parse_quantity(text, unit="s") == pytest.approx(value, rel=1e-9)
+
+    @given(st.floats(min_value=-1e12, max_value=-1e-15))
+    def test_roundtrip_negative(self, value):
+        text = format_quantity(value, "s", digits=12)
+        assert parse_quantity(text, unit="s") == pytest.approx(value, rel=1e-9)

@@ -1,0 +1,226 @@
+"""Event-driven waveform-level simulation with inertial filtering."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.timing import EventSimulator, NetWaveform, TimingNetlist
+from repro.waveform import Edge, FALL, RISE
+
+
+@pytest.fixture
+def single_gate(calculator):
+    net = TimingNetlist("one")
+    for name in ("i0", "i1", "i2"):
+        net.add_input(name)
+    net.add_gate("g1", calculator, {"a": "i0", "b": "i1", "c": "i2"}, "out")
+    return net
+
+
+def wf(initial, *edges):
+    return NetWaveform(initial=initial, edges=tuple(edges))
+
+
+class TestNetWaveform:
+    def test_levels(self):
+        w = wf(True, Edge(FALL, 1e-9, 1e-10), Edge(RISE, 2e-9, 1e-10))
+        assert w.level_at(0.5e-9) is True
+        assert w.level_at(1.5e-9) is False
+        assert w.level_at(3e-9) is True
+        assert w.final_level is True
+
+    def test_direction_consistency_enforced(self):
+        with pytest.raises(TimingError):
+            wf(True, Edge(RISE, 1e-9, 1e-10))
+        with pytest.raises(TimingError):
+            wf(False, Edge(RISE, 1e-9, 1e-10), Edge(RISE, 2e-9, 1e-10))
+
+    def test_time_ordering_enforced(self):
+        with pytest.raises(TimingError):
+            wf(True, Edge(FALL, 2e-9, 1e-10), Edge(RISE, 1e-9, 1e-10))
+
+    def test_describe(self):
+        text = wf(True, Edge(FALL, 1e-9, 1e-10)).describe()
+        assert text.startswith("1")
+        assert "fall" in text
+
+
+class TestSingleGate:
+    def test_static_inputs_static_output(self, single_gate):
+        sim = EventSimulator(single_gate)
+        result = sim.run({
+            "i0": wf(True), "i1": wf(True), "i2": wf(True),
+        })
+        out = result.waveform("out")
+        assert out.initial is False      # NAND(1,1,1)=0
+        assert out.edges == ()
+
+    def test_single_transition_matches_sta_delay(self, single_gate,
+                                                 calculator):
+        sim = EventSimulator(single_gate)
+        result = sim.run({
+            "i0": wf(True, Edge(FALL, 1e-9, 300e-12)),
+            "i1": wf(True),
+            "i2": wf(True),
+        })
+        out = result.waveform("out")
+        assert out.initial is False
+        assert len(out.edges) == 1
+        (edge,) = out.edges
+        assert edge.direction == RISE
+        expected = 1e-9 + calculator.single_delay("a", FALL, 300e-12)
+        assert edge.t_cross == pytest.approx(expected, rel=1e-6)
+
+    def test_proximity_cluster_speeds_output(self, single_gate, calculator):
+        """Two near-simultaneous falls -> one output rise, earlier than
+        the single-input prediction."""
+        sim = EventSimulator(single_gate)
+        result = sim.run({
+            "i0": wf(True, Edge(FALL, 1e-9, 300e-12)),
+            "i1": wf(True, Edge(FALL, 1.02e-9, 300e-12)),
+            "i2": wf(True),
+        })
+        out = result.waveform("out")
+        assert len(out.edges) == 1
+        lone = 1e-9 + calculator.single_delay("a", FALL, 300e-12)
+        assert out.edges[0].t_cross < lone
+
+    def test_full_pulse_propagates(self, single_gate):
+        """A wide input pulse produces a wide output pulse."""
+        sim = EventSimulator(single_gate)
+        result = sim.run({
+            "i0": wf(True,
+                     Edge(FALL, 1e-9, 100e-12),
+                     Edge(RISE, 3e-9, 100e-12)),
+            "i1": wf(True),
+            "i2": wf(True),
+        })
+        out = result.waveform("out")
+        assert [e.direction for e in out.edges] == [RISE, FALL]
+        assert result.filtered_glitches == []
+
+    def test_runt_pulse_filtered(self, single_gate):
+        """A pulse narrower than the inertial threshold is swallowed and
+        reported (Section 6's phenomenon at the event level)."""
+        sim = EventSimulator(single_gate)
+        result = sim.run({
+            "i0": wf(True,
+                     Edge(FALL, 1.0e-9, 100e-12),
+                     Edge(RISE, 1.05e-9, 100e-12)),
+            "i1": wf(True),
+            "i2": wf(True),
+        })
+        out = result.waveform("out")
+        assert out.edges == ()
+        assert len(result.filtered_glitches) == 1
+        glitch = result.filtered_glitches[0]
+        assert glitch.instance == "g1"
+        assert glitch.net == "out"
+        assert glitch.width < 200e-12
+
+    def test_explicit_minimum_pulse(self, single_gate):
+        sim_loose = EventSimulator(single_gate, minimum_pulse=1e-15)
+        result = sim_loose.run({
+            "i0": wf(True,
+                     Edge(FALL, 1.0e-9, 100e-12),
+                     Edge(RISE, 1.05e-9, 100e-12)),
+            "i1": wf(True),
+            "i2": wf(True),
+        })
+        # With a (physically silly) femtosecond threshold the pulse
+        # survives.
+        assert len(result.waveform("out").edges) == 2
+
+    def test_validation(self, single_gate):
+        sim = EventSimulator(single_gate)
+        with pytest.raises(TimingError):
+            sim.run({"i0": wf(True)})  # missing inputs
+        with pytest.raises(TimingError):
+            sim.run({
+                "i0": wf(True), "i1": wf(True), "i2": wf(True),
+                "bogus": wf(False),
+            })
+        with pytest.raises(TimingError):
+            EventSimulator(single_gate, pulse_fraction=0.0)
+
+
+class TestChain:
+    @pytest.fixture
+    def chain(self, calculator):
+        net = TimingNetlist("chain")
+        for name in ("i0", "i1", "i2", "i3", "i4"):
+            net.add_input(name)
+        net.add_gate("g1", calculator, {"a": "i0", "b": "i1", "c": "i2"}, "w1")
+        net.add_gate("g2", calculator, {"a": "w1", "b": "i3", "c": "i4"}, "out")
+        return net
+
+    def test_propagation_through_two_levels(self, chain):
+        sim = EventSimulator(chain)
+        result = sim.run({
+            "i0": wf(True, Edge(FALL, 1e-9, 300e-12)),
+            "i1": wf(True), "i2": wf(True),
+            "i3": wf(True), "i4": wf(True),
+        })
+        w1 = result.waveform("w1")
+        out = result.waveform("out")
+        assert [e.direction for e in w1.edges] == [RISE]
+        assert [e.direction for e in out.edges] == [FALL]
+        assert out.edges[0].t_cross > w1.edges[0].t_cross
+
+    def test_glitch_absorbed_before_next_stage(self, chain):
+        """A runt at w1 never reaches g2."""
+        sim = EventSimulator(chain)
+        result = sim.run({
+            "i0": wf(True,
+                     Edge(FALL, 1.0e-9, 100e-12),
+                     Edge(RISE, 1.04e-9, 100e-12)),
+            "i1": wf(True), "i2": wf(True),
+            "i3": wf(True), "i4": wf(True),
+        })
+        assert result.waveform("w1").edges == ()
+        assert result.waveform("out").edges == ()
+        assert any(g.instance == "g1" for g in result.filtered_glitches)
+
+    def test_transition_counts(self, chain):
+        sim = EventSimulator(chain)
+        result = sim.run({
+            "i0": wf(True,
+                     Edge(FALL, 1e-9, 200e-12),
+                     Edge(RISE, 4e-9, 200e-12),
+                     Edge(FALL, 8e-9, 200e-12)),
+            "i1": wf(True), "i2": wf(True),
+            "i3": wf(True), "i4": wf(True),
+        })
+        assert result.transition_count("w1") == 3
+        assert result.transition_count("out") == 3
+
+
+class TestWiredEventSim:
+    def test_wire_delays_events(self, single_gate, calculator):
+        """A wire on the output net adds load; a wire on an input net
+        shifts arrivals -- both must move the output event later."""
+        from repro.interconnect import WireSpec
+        from repro.timing import EventSimulator, NetWaveform, TimingNetlist
+
+        def build(with_wire):
+            net = TimingNetlist("w")
+            for name in ("i0", "i1", "i2"):
+                net.add_input(name)
+            net.add_gate("g1", calculator,
+                         {"a": "i0", "b": "i1", "c": "i2"}, "mid")
+            net.add_gate("g2", calculator,
+                         {"a": "mid", "b": "i1", "c": "i2"}, "out")
+            if with_wire:
+                net.set_wire("mid", WireSpec(length=3e-3, r_per_m=1e5,
+                                             c_per_m=1.5e-10))
+            return net
+
+        inputs = {
+            "i0": NetWaveform(True, (Edge(FALL, 1e-9, 200e-12),)),
+            "i1": NetWaveform(True),
+            "i2": NetWaveform(True),
+        }
+        bare = EventSimulator(build(False)).run(inputs)
+        wired = EventSimulator(build(True)).run(inputs)
+        t_bare = bare.waveform("out").edges[0].t_cross
+        t_wired = wired.waveform("out").edges[0].t_cross
+        assert t_wired > t_bare + 10e-12

@@ -1,0 +1,33 @@
+"""Cross-validation of the event simulator's inertial heuristic against
+the Section-6 measured minimum pulse width."""
+
+import pytest
+
+from repro.inertial import minimum_pulse_width
+from repro.waveform import RISE
+
+
+class TestPulseFractionHeuristic:
+    def test_heuristic_within_factor_two_of_measured(self, nand3, thresholds,
+                                                     calculator):
+        """The default 0.6 x output-slew threshold approximates the
+        simulated minimum pulse width for fast input edges."""
+        measured = minimum_pulse_width(
+            nand3, "b", tau_first="100ps", tau_second="100ps",
+            first_direction=RISE, thresholds=thresholds,
+        )
+        # The event simulator's heuristic threshold for the same edge:
+        # 0.6 * output slew of the first transition.
+        out_slew = calculator.single_ttime("b", RISE, 100e-12)
+        heuristic = 0.6 * out_slew
+        assert heuristic == pytest.approx(measured, rel=1.0)
+        assert 0.3 * measured < heuristic < 3.0 * measured
+
+    def test_measured_width_exceeds_input_taus(self, nand3, thresholds):
+        """Sanity: the gate cannot pass pulses much shorter than its own
+        response; the minimum width exceeds the input edge times."""
+        measured = minimum_pulse_width(
+            nand3, "b", tau_first="100ps", tau_second="100ps",
+            first_direction=RISE, thresholds=thresholds,
+        )
+        assert measured > 200e-12

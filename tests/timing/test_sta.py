@@ -1,0 +1,100 @@
+"""Proximity and classic STA behaviour."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.timing import ClassicSta, ProximitySta, TimingNetlist
+from repro.waveform import Edge, FALL, RISE
+
+
+@pytest.fixture
+def chain(calculator):
+    """g1 feeds g2.a; both NAND3."""
+    net = TimingNetlist("chain")
+    for name in ("i0", "i1", "i2", "i3", "i4"):
+        net.add_input(name)
+    net.add_gate("g1", calculator, {"a": "i0", "b": "i1", "c": "i2"}, "w1")
+    net.add_gate("g2", calculator, {"a": "w1", "b": "i3", "c": "i4"}, "out")
+    return net
+
+
+def falling_inputs(*nets, skew=50e-12, tau=300e-12):
+    return {net: Edge(FALL, i * skew, tau) for i, net in enumerate(nets)}
+
+
+class TestPropagation:
+    def test_single_switching_input_matches_single_model(self, chain,
+                                                         calculator):
+        events = {"i0": Edge(FALL, 0.0, 300e-12)}
+        result = ProximitySta(chain).analyze(events)
+        expected = calculator.single_delay("a", FALL, 300e-12)
+        assert result.arrival("w1") == pytest.approx(expected, rel=1e-6)
+        # w1 rises -> g2 output falls.
+        assert result.events["out"].direction == FALL
+
+    def test_proximity_faster_than_classic_on_close_inputs(self, chain):
+        events = falling_inputs("i0", "i1", "i2", skew=30e-12)
+        prox = ProximitySta(chain).analyze(events)
+        classic = ClassicSta(chain).analyze(events)
+        assert prox.arrival("w1") < classic.arrival("w1")
+
+    def test_agree_when_one_input_switches(self, chain):
+        events = {"i1": Edge(FALL, 0.0, 500e-12)}
+        prox = ProximitySta(chain).analyze(events)
+        classic = ClassicSta(chain).analyze(events)
+        assert prox.arrival("out") == pytest.approx(classic.arrival("out"),
+                                                    rel=1e-6)
+
+    def test_unreached_nets_have_no_event(self, chain):
+        result = ProximitySta(chain).analyze(
+            {"i3": Edge(FALL, 0.0, 300e-12)})
+        # g1 never switches; g2 sees only i3.
+        with pytest.raises(TimingError):
+            result.arrival("w1")
+        assert result.arrival("out") > 0.0
+
+    def test_slew_propagates(self, chain):
+        events = falling_inputs("i0", "i1", "i2")
+        result = ProximitySta(chain).analyze(events)
+        assert result.slew("w1") > 0.0
+        assert result.slew("out") > 0.0
+
+    def test_non_primary_input_event_rejected(self, chain):
+        with pytest.raises(TimingError):
+            ProximitySta(chain).analyze({"w1": Edge(FALL, 0.0, 1e-10)})
+
+    def test_gate_results_recorded(self, chain):
+        events = falling_inputs("i0", "i1", "i2", skew=20e-12)
+        result = ProximitySta(chain).analyze(events)
+        assert "g1" in result.gate_results
+        g1 = result.gate_results["g1"]
+        assert len(g1.merged_inputs) >= 2
+
+
+class TestGlitchWarnings:
+    def test_opposite_directions_warn(self, chain):
+        events = {
+            "i0": Edge(FALL, 0.0, 300e-12),
+            "i1": Edge(RISE, 20e-12, 300e-12),
+        }
+        result = ProximitySta(chain).analyze(events)
+        assert result.glitch_warnings
+        assert "g1" in result.glitch_warnings[0]
+        # The settling transition still propagates.
+        assert result.arrival("w1") > 0.0
+
+    def test_same_direction_no_warning(self, chain):
+        events = falling_inputs("i0", "i1")
+        result = ProximitySta(chain).analyze(events)
+        assert result.glitch_warnings == []
+
+
+class TestClassicSta:
+    def test_worst_arrival_wins(self, chain, calculator):
+        events = {
+            "i0": Edge(FALL, 0.0, 300e-12),
+            "i1": Edge(FALL, 400e-12, 300e-12),
+        }
+        result = ClassicSta(chain).analyze(events)
+        d_b = calculator.single_delay("b", FALL, 300e-12)
+        assert result.arrival("w1") == pytest.approx(400e-12 + d_b, rel=1e-6)

@@ -1,0 +1,107 @@
+"""VTC analysis on synthetic and simulated curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.vtc import analyze_vtc, select_thresholds, threshold_table
+from repro.vtc.thresholds import VtcCurve
+
+
+def synthetic_vtc(vdd=5.0, vm=2.5, steepness=4.0, n=401):
+    """A smooth inverter-like tanh curve with known geometry."""
+    vin = np.linspace(0.0, vdd, n)
+    vout = vdd / 2.0 * (1.0 - np.tanh(steepness * (vin - vm)))
+    return vin, vout
+
+
+class TestAnalyzeVtc:
+    def test_thresholds_ordered(self):
+        vin, vout = synthetic_vtc()
+        curve = analyze_vtc(vin, vout, ("a",))
+        assert 0.0 < curve.vil < curve.vm < curve.vih < 5.0
+
+    def test_vm_matches_construction(self):
+        vin, vout = synthetic_vtc(vm=2.2)
+        curve = analyze_vtc(vin, vout)
+        # v_out = v_in crossing of the tanh curve is near (not exactly at)
+        # the tanh center; just bracket it.
+        assert curve.vm == pytest.approx(2.2, abs=0.3)
+
+    def test_steeper_curve_narrows_transition(self):
+        vin1, vout1 = synthetic_vtc(steepness=2.0)
+        vin2, vout2 = synthetic_vtc(steepness=8.0)
+        wide = analyze_vtc(vin1, vout1)
+        narrow = analyze_vtc(vin2, vout2)
+        assert (narrow.vih - narrow.vil) < (wide.vih - wide.vil)
+
+    def test_unity_gain_points(self):
+        vin, vout = synthetic_vtc()
+        curve = analyze_vtc(vin, vout)
+        assert curve.gain_at(curve.vil) == pytest.approx(-1.0, abs=0.08)
+        assert curve.gain_at(curve.vih) == pytest.approx(-1.0, abs=0.08)
+
+    def test_rejects_flat_curve(self):
+        vin = np.linspace(0, 5, 50)
+        with pytest.raises(MeasurementError):
+            analyze_vtc(vin, np.full_like(vin, 2.5))
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(MeasurementError):
+            analyze_vtc([0, 1, 2, 3, 4], [0, 1])
+
+    def test_rejects_unsorted_grid(self):
+        with pytest.raises(MeasurementError):
+            analyze_vtc([0, 2, 1, 3, 4], [5, 4, 3, 2, 1])
+
+    def test_rejects_non_crossing_curve(self):
+        # Monotone decreasing but always above v_in=v_out? Not possible
+        # for a 0..vdd sweep ending at 0 -- use a curve that never has
+        # slope -1 instead.
+        vin = np.linspace(0, 5, 100)
+        vout = 5.0 - 0.5 * vin  # constant slope -0.5
+        with pytest.raises(MeasurementError):
+            analyze_vtc(vin, vout)
+
+    def test_label(self):
+        vin, vout = synthetic_vtc()
+        assert analyze_vtc(vin, vout, ("a", "b")).label == "ab"
+
+
+class TestSelection:
+    def make_curve(self, vil, vih, vm, label):
+        vin, vout = synthetic_vtc()
+        return VtcCurve((label,), vin, vout, vil=vil, vih=vih, vm=vm)
+
+    def test_min_vil_max_vih(self):
+        family = [
+            self.make_curve(1.2, 2.5, 2.0, "a"),
+            self.make_curve(2.0, 3.4, 2.8, "b"),
+        ]
+        thr = select_thresholds(family, vdd=5.0)
+        assert thr.vil == pytest.approx(1.2)
+        assert thr.vih == pytest.approx(3.4)
+
+    def test_guarantee_property(self):
+        """The selected band contains every family member's V_m."""
+        family = [
+            self.make_curve(1.2, 2.5, 2.0, "a"),
+            self.make_curve(2.0, 3.4, 2.8, "b"),
+            self.make_curve(1.5, 3.0, 2.4, "c"),
+        ]
+        thr = select_thresholds(family, vdd=5.0)
+        for curve in family:
+            assert thr.vil < curve.vm < thr.vih
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(MeasurementError):
+            select_thresholds([], vdd=5.0)
+
+    def test_table_ordering(self):
+        family = [
+            self.make_curve(2.0, 3.4, 2.8, "b"),
+            self.make_curve(1.2, 2.5, 2.0, "a"),
+        ]
+        rows = threshold_table(family)
+        assert [r["switching"] for r in rows] == ["a", "b"]
+        assert set(rows[0]) == {"switching", "vil", "vm", "vih"}

@@ -1,0 +1,144 @@
+"""Measurement conventions: thresholds, delays, transition times."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MeasurementError
+from repro.waveform import (
+    FALL,
+    RISE,
+    Pwl,
+    Thresholds,
+    extremum_voltage,
+    gate_delay,
+    ramp,
+    ramp_crossing_at,
+    separation,
+    timing_threshold,
+    transition_time,
+)
+
+
+@pytest.fixture
+def thr():
+    return Thresholds(vil=1.3, vih=3.5, vdd=5.0, vm=2.5)
+
+
+class TestThresholds:
+    def test_valid(self, thr):
+        assert thr.swing == pytest.approx(2.2)
+        assert thr.full_swing_factor() == pytest.approx(5.0 / 2.2)
+
+    @pytest.mark.parametrize("vil,vih,vdd", [
+        (3.5, 1.3, 5.0),   # inverted
+        (0.0, 3.5, 5.0),   # vil at rail
+        (1.3, 5.0, 5.0),   # vih at rail
+        (1.3, 3.5, 3.0),   # vih above vdd
+    ])
+    def test_invalid_ordering(self, vil, vih, vdd):
+        with pytest.raises(MeasurementError):
+            Thresholds(vil=vil, vih=vih, vdd=vdd)
+
+    def test_vm_outside_band_rejected(self):
+        with pytest.raises(MeasurementError):
+            Thresholds(vil=1.3, vih=3.5, vdd=5.0, vm=0.5)
+
+    def test_describe(self, thr):
+        assert "1.3" in thr.describe()
+
+    def test_onset_threshold_rule(self, thr):
+        # One rule covers inputs, outputs and separations (Section 2).
+        assert timing_threshold(RISE, thr) == thr.vil
+        assert timing_threshold(FALL, thr) == thr.vih
+
+
+class TestTransitionTime:
+    def test_rising_full_swing_scaling(self, thr):
+        wf = ramp(0.0, 0.0, 5.0, 1e-9)
+        # vil->vih takes (3.5-1.3)/5 ns; scaled back to full swing = 1ns.
+        assert transition_time(wf, RISE, thr) == pytest.approx(1e-9, rel=1e-9)
+
+    def test_rising_unscaled(self, thr):
+        wf = ramp(0.0, 0.0, 5.0, 1e-9)
+        expected = (3.5 - 1.3) / 5.0 * 1e-9
+        assert transition_time(wf, RISE, thr, scale_to_full_swing=False) == \
+            pytest.approx(expected, rel=1e-9)
+
+    def test_falling(self, thr):
+        wf = ramp(0.0, 5.0, 0.0, 2e-9)
+        assert transition_time(wf, FALL, thr) == pytest.approx(2e-9, rel=1e-9)
+
+    def test_incomplete_transition_raises(self, thr):
+        wf = Pwl([0.0, 1e-9], [0.0, 2.0])  # never reaches vih
+        with pytest.raises(MeasurementError):
+            transition_time(wf, RISE, thr)
+
+    def test_never_started_raises(self, thr):
+        wf = Pwl([0.0, 1e-9], [0.0, 0.5])
+        with pytest.raises(MeasurementError):
+            transition_time(wf, RISE, thr)
+
+    def test_glitch_then_final_transition_uses_last(self, thr):
+        # Dip below vih and recover, then a real falling transition.
+        wf = Pwl(
+            [0.0, 1.0e-9, 1.2e-9, 1.4e-9, 3.0e-9, 4.0e-9],
+            [5.0, 3.0, 5.0, 5.0, 5.0, 0.0],
+        )
+        measured = transition_time(wf, FALL, thr)
+        slope_time = (3.5 - 1.3) / 5.0 * 1e-9  # final 5->0 ramp is 1ns
+        assert measured == pytest.approx(slope_time * thr.full_swing_factor(),
+                                         rel=1e-6)
+
+
+class TestGateDelay:
+    def test_inverting_rising_input(self, thr):
+        vin = ramp_crossing_at(1e-9, thr.vil, v0=0.0, v1=5.0, tau=200e-12)
+        vout = ramp_crossing_at(1.4e-9, thr.vih, v0=5.0, v1=0.0, tau=300e-12)
+        delay = gate_delay(vin, RISE, vout, FALL, thr)
+        assert delay == pytest.approx(0.4e-9, rel=1e-9)
+
+    def test_inverting_falling_input(self, thr):
+        vin = ramp_crossing_at(2e-9, thr.vih, v0=5.0, v1=0.0, tau=200e-12)
+        vout = ramp_crossing_at(2.25e-9, thr.vil, v0=0.0, v1=5.0, tau=300e-12)
+        delay = gate_delay(vin, FALL, vout, RISE, thr)
+        assert delay == pytest.approx(0.25e-9, rel=1e-9)
+
+    @given(tau=st.floats(min_value=50e-12, max_value=5e-9))
+    def test_positive_for_any_input_slew_when_output_fixed(self, tau):
+        """The Section-2 property: with onset thresholds, delay stays
+        positive no matter how slow the input, as long as the output
+        transition begins after the input crosses its onset threshold."""
+        thr = Thresholds(vil=1.3, vih=3.5, vdd=5.0)
+        vin = ramp_crossing_at(1e-9, thr.vil, v0=0.0, v1=5.0, tau=tau)
+        # Output starts falling only once the input reaches Vm > vil.
+        t_vm = vin.first_crossing(2.5, RISE)
+        vout = ramp(t_vm, 5.0, 0.0, 100e-12)
+        assert gate_delay(vin, RISE, vout, FALL, thr) > 0.0
+
+
+class TestSeparation:
+    def test_same_direction(self, thr):
+        a = ramp_crossing_at(1e-9, thr.vih, v0=5.0, v1=0.0, tau=200e-12)
+        b = ramp_crossing_at(1.3e-9, thr.vih, v0=5.0, v1=0.0, tau=500e-12)
+        assert separation(a, FALL, b, FALL, thr) == pytest.approx(0.3e-9, rel=1e-9)
+
+    def test_opposite_direction_uses_each_onset(self, thr):
+        a = ramp_crossing_at(1e-9, thr.vih, v0=5.0, v1=0.0, tau=200e-12)
+        b = ramp_crossing_at(0.6e-9, thr.vil, v0=0.0, v1=5.0, tau=200e-12)
+        assert separation(a, FALL, b, RISE, thr) == pytest.approx(-0.4e-9, rel=1e-9)
+
+
+class TestExtremumVoltage:
+    def test_min_and_max(self):
+        wf = Pwl([0.0, 1.0, 2.0], [5.0, 1.0, 4.0])
+        assert extremum_voltage(wf, kind="min") == 1.0
+        assert extremum_voltage(wf, kind="max") == 5.0
+
+    def test_windowed(self):
+        wf = Pwl([0.0, 1.0, 2.0], [5.0, 1.0, 4.0])
+        assert extremum_voltage(wf, kind="max", t0=0.9, t1=2.0) == pytest.approx(4.0)
+
+    def test_bad_kind(self):
+        wf = Pwl([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(MeasurementError):
+            extremum_voltage(wf, kind="median")

@@ -1,0 +1,92 @@
+"""Waveform synthesis from timing quantities."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.waveform import (
+    Edge,
+    FALL,
+    RISE,
+    Thresholds,
+    edge_to_waveform,
+    events_to_waveform,
+    transition_time,
+)
+
+
+@pytest.fixture
+def thr():
+    return Thresholds(vil=1.3, vih=3.5, vdd=5.0)
+
+
+class TestEdgeToWaveform:
+    def test_crossing_honoured(self, thr):
+        wf = edge_to_waveform(Edge(RISE, 2e-9, 400e-12), thr)
+        assert wf.first_crossing(thr.vil, RISE) == pytest.approx(2e-9, rel=1e-9)
+
+    def test_transition_time_roundtrip(self, thr):
+        """Measuring the synthesized ramp recovers the edge's tau."""
+        tau = 600e-12
+        wf = edge_to_waveform(Edge(FALL, 1e-9, tau), thr)
+        assert transition_time(wf, FALL, thr) == pytest.approx(tau, rel=1e-9)
+
+
+class TestEventsToWaveform:
+    def test_static(self, thr):
+        wf = events_to_waveform(True, [], thr, t_start=0.0, t_end=1e-9)
+        assert wf(0.5e-9) == pytest.approx(5.0)
+
+    def test_single_fall(self, thr):
+        wf = events_to_waveform(True, [Edge(FALL, 1e-9, 200e-12)], thr)
+        assert wf.initial_value() == pytest.approx(5.0)
+        assert wf.final_value() == pytest.approx(0.0)
+        assert wf.first_crossing(thr.vih, FALL) == pytest.approx(1e-9, rel=1e-9)
+
+    def test_pulse(self, thr):
+        wf = events_to_waveform(True, [
+            Edge(FALL, 1e-9, 200e-12),
+            Edge(RISE, 3e-9, 300e-12),
+        ], thr, t_end=5e-9)
+        assert wf(2e-9) == pytest.approx(0.0, abs=0.01)
+        assert wf.final_value() == pytest.approx(5.0)
+
+    def test_runt_clips_partially(self, thr):
+        """Overlapping ramps produce a partial-swing runt, not a crash."""
+        wf = events_to_waveform(True, [
+            Edge(FALL, 1e-9, 800e-12),
+            Edge(RISE, 1.05e-9, 800e-12),
+        ], thr, t_end=4e-9)
+        assert 0.0 < wf.min() < 5.0
+        assert wf.final_value() == pytest.approx(5.0, abs=0.01)
+
+    def test_rejects_non_alternating(self, thr):
+        with pytest.raises(MeasurementError):
+            events_to_waveform(True, [Edge(RISE, 1e-9, 1e-10)], thr)
+
+    def test_rejects_unordered(self, thr):
+        with pytest.raises(MeasurementError):
+            events_to_waveform(True, [
+                Edge(FALL, 2e-9, 1e-10),
+                Edge(RISE, 1e-9, 1e-10),
+            ], thr)
+
+    def test_eventsim_output_renders(self, thr, calculator):
+        """End-to-end: render an event-simulator net waveform."""
+        from repro.timing import EventSimulator, NetWaveform, TimingNetlist
+
+        net = TimingNetlist("render")
+        for name in ("i0", "i1", "i2"):
+            net.add_input(name)
+        net.add_gate("g1", calculator, {"a": "i0", "b": "i1", "c": "i2"}, "out")
+        sim = EventSimulator(net)
+        result = sim.run({
+            "i0": NetWaveform(True, (Edge(FALL, 1e-9, 200e-12),
+                                     Edge(RISE, 4e-9, 200e-12))),
+            "i1": NetWaveform(True),
+            "i2": NetWaveform(True),
+        })
+        out = result.waveform("out")
+        rendered = events_to_waveform(out.initial, list(out.edges),
+                                      calculator.thresholds, t_end=8e-9)
+        assert rendered.initial_value() == pytest.approx(0.0, abs=0.01)
+        assert rendered.max() == pytest.approx(5.0, abs=0.01)
