@@ -1,0 +1,44 @@
+"""Parallel characterization engine: speedup and determinism.
+
+Runs the Table 5-1 validation workload serial and with a 4-worker
+process pool.  The determinism contract is asserted unconditionally:
+every error list and every case must be bit-identical between the two
+runs.  The speedup assertion only applies on machines that actually
+have the cores (``os.cpu_count() >= 4``) -- on smaller boxes the pool
+degenerates to time-sliced processes and the test only checks equality.
+"""
+
+import os
+import time
+
+from repro.experiments import table5_1
+
+from conftest import scaled
+
+
+def test_parallel_validation_speedup_and_determinism(benchmark):
+    n_configs = scaled(30, minimum=8)
+    seed = 1996
+
+    t0 = time.perf_counter()
+    serial = table5_1.run(n_configs=n_configs, seed=seed, workers=0)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: table5_1.run(n_configs=n_configs, seed=seed, workers=4),
+        rounds=1, iterations=1,
+    )
+    parallel_s = time.perf_counter() - t0
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"\nserial {serial_s:.2f}s, 4 workers {parallel_s:.2f}s "
+          f"-> {speedup:.2f}x on {os.cpu_count()} cores")
+
+    # Determinism: the worker count never changes a single bit.
+    assert serial.delay_errors == parallel.delay_errors
+    assert serial.ttime_errors == parallel.ttime_errors
+    assert serial.cases == parallel.cases
+
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0

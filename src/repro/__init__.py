@@ -27,6 +27,7 @@ from .errors import (
     UnitError,
 )
 from .units import format_quantity, parse_quantity
+from .parallel import parallel_map, resolve_workers
 from .tech import MosfetParams, Process, Sizing, default_process, fast_process
 from .waveform import (
     Edge,
@@ -60,6 +61,8 @@ __all__ = [
     "MeasurementError", "CharacterizationError", "ModelError", "TimingError",
     # units
     "parse_quantity", "format_quantity",
+    # parallel execution
+    "parallel_map", "resolve_workers",
     # tech
     "MosfetParams", "Process", "Sizing", "default_process", "fast_process",
     # waveform

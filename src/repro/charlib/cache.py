@@ -21,12 +21,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
 from ..errors import CharacterizationError
 
-__all__ = ["CharacterizationCache", "default_cache"]
+__all__ = ["CharacterizationCache", "default_cache", "reset_default_cache"]
 
 #: Bump when the stored schema of any characterization artifact changes.
 SCHEMA_VERSION = 3
@@ -98,10 +99,23 @@ class CharacterizationCache:
         if self._dir is None:
             return
         path = self._path(kind, key)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle, default=_jsonify)
-        os.replace(tmp, path)
+        # Stage in a *unique* per-writer temp file (a fixed name lets two
+        # concurrent writers of the same key interleave into one
+        # half-written file); the final rename is atomic, so whichever
+        # writer replaces last wins with a complete entry.
+        fd, tmp = tempfile.mkstemp(
+            dir=self._dir, prefix=f"{path.stem}-", suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, default=_jsonify)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def get_or_compute(self, kind: str, key: Dict[str, Any],
                        compute: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
@@ -115,11 +129,27 @@ class CharacterizationCache:
 
 
 _DEFAULT: Optional[CharacterizationCache] = None
+_DEFAULT_ORIGIN: Optional[str] = None
 
 
 def default_cache() -> CharacterizationCache:
-    """The process-wide cache instance (honours ``REPRO_CACHE_DIR``)."""
-    global _DEFAULT
-    if _DEFAULT is None:
+    """The process-wide cache instance (honours ``REPRO_CACHE_DIR``).
+
+    The instance is memoized together with the ``REPRO_CACHE_DIR`` value
+    it was resolved from; when the environment variable changes (test
+    isolation, per-worker redirection) the next call re-resolves instead
+    of returning the stale instance.
+    """
+    global _DEFAULT, _DEFAULT_ORIGIN
+    origin = os.environ.get("REPRO_CACHE_DIR", "")
+    if _DEFAULT is None or origin != _DEFAULT_ORIGIN:
         _DEFAULT = CharacterizationCache()
+        _DEFAULT_ORIGIN = origin
     return _DEFAULT
+
+
+def reset_default_cache() -> None:
+    """Forget the memoized default cache; the next call re-resolves."""
+    global _DEFAULT, _DEFAULT_ORIGIN
+    _DEFAULT = None
+    _DEFAULT_ORIGIN = None

@@ -23,6 +23,7 @@ import numpy as np
 from ..errors import CharacterizationError
 from ..gates import Gate
 from ..models.dual import TableDualInputModel
+from ..parallel import parallel_map
 from ..waveform import Edge, Thresholds, normalize_direction
 from .cache import CharacterizationCache, default_cache
 from .simulate import multi_input_response, single_input_response
@@ -75,11 +76,27 @@ class DualInputGrid:
         return len(self.tau_refs) * len(self.a2) * len(self.a3)
 
 
+def _single_ref_task(task) -> Tuple[float, float]:
+    """Worker: the single-input response for one reference tau."""
+    gate, reference, direction, tau_ref, thresholds = task
+    single = single_input_response(gate, reference, direction, tau_ref,
+                                   thresholds)
+    return single.delay, single.out_ttime
+
+
+def _grid_point_task(task) -> Tuple[float, float]:
+    """Worker: one two-input transient of the characterization grid."""
+    gate, reference, edges, thresholds = task
+    shot = multi_input_response(gate, edges, thresholds, reference=reference)
+    return shot.delay, shot.out_ttime
+
+
 def characterize_dual_input(
     gate: Gate, reference: str, other: str, direction: str,
     thresholds: Thresholds, *,
     grid: Optional[DualInputGrid] = None,
     cache: Optional[CharacterizationCache] = None,
+    workers: Optional[int] = None,
 ) -> TableDualInputModel:
     """Build the dual-input proximity table for an ordered input pair.
 
@@ -88,6 +105,11 @@ def characterize_dual_input(
     strictly increasing in ``tau_ref`` for CMOS gates (delay grows
     sublinearly with input slew); a violation raises, as it would break
     interpolation.
+
+    ``workers`` fans the grid's independent transients over a process
+    pool (see :mod:`repro.parallel`); grid points are merged back in
+    sweep order, so the resulting table is bit-identical to a serial
+    run.
     """
     direction = normalize_direction(direction)
     if reference == other:
@@ -108,31 +130,45 @@ def characterize_dual_input(
     }
 
     def compute() -> dict:
+        # Stage 1: the per-tau_ref single-input responses (the grid's
+        # normalization constants), themselves independent transients.
+        singles = parallel_map(
+            _single_ref_task,
+            [(gate, reference, direction, tau_ref, thresholds)
+             for tau_ref in grid.tau_refs],
+            workers=workers,
+        )
         a1_axis = []
-        delay_table = np.empty((len(grid.tau_refs), len(grid.a2), len(grid.a3)))
-        ttime_table = np.empty_like(delay_table)
-        for i, tau_ref in enumerate(grid.tau_refs):
-            single = single_input_response(
-                gate, reference, direction, tau_ref, thresholds,
-            )
-            delta1, tau1 = single.delay, single.out_ttime
+        for tau_ref, (delta1, tau1) in zip(grid.tau_refs, singles):
             if delta1 <= 0 or tau1 <= 0:
                 raise CharacterizationError(
                     f"non-positive single-input response at tau={tau_ref:g}s "
                     f"(delay={delta1:g}, ttime={tau1:g})"
                 )
             a1_axis.append(tau_ref / delta1)
-            for j, a2 in enumerate(grid.a2):
-                for k, a3 in enumerate(grid.a3):
+
+        # Stage 2: every grid point is one independent two-input
+        # transient; fan out and merge back in sweep order.
+        tasks = []
+        for tau_ref, (delta1, _tau1) in zip(grid.tau_refs, singles):
+            for a2 in grid.a2:
+                for a3 in grid.a3:
                     edges = {
                         reference: Edge(direction, 0.0, tau_ref),
                         other: Edge(direction, a3 * delta1, a2 * delta1),
                     }
-                    shot = multi_input_response(
-                        gate, edges, thresholds, reference=reference,
-                    )
-                    delay_table[i, j, k] = shot.delay / delta1
-                    ttime_table[i, j, k] = shot.out_ttime / tau1
+                    tasks.append((gate, reference, edges, thresholds))
+        shots = parallel_map(_grid_point_task, tasks, workers=workers)
+
+        delay_table = np.empty((len(grid.tau_refs), len(grid.a2), len(grid.a3)))
+        ttime_table = np.empty_like(delay_table)
+        flat = iter(shots)
+        for i, (delta1, tau1) in enumerate(singles):
+            for j in range(len(grid.a2)):
+                for k in range(len(grid.a3)):
+                    delay, ttime = next(flat)
+                    delay_table[i, j, k] = delay / delta1
+                    ttime_table[i, j, k] = ttime / tau1
         if np.any(np.diff(a1_axis) <= 0):
             raise CharacterizationError(
                 "tau_ref/Delta1 axis is not increasing; widen the tau_refs "

@@ -153,6 +153,7 @@ class GateLibrary:
         pairs: str | Iterable[Tuple[str, str]] = "reference",
         thresholds: Optional[Thresholds] = None,
         cache: Optional[CharacterizationCache] = None,
+        workers: Optional[int] = None,
     ) -> "GateLibrary":
         """Characterize ``gate`` into a ready-to-use library.
 
@@ -162,6 +163,10 @@ class GateLibrary:
         with a neighbour -- the paper's practical choice), or an explicit
         iterable of ``(reference, other)`` tuples.  Oracle mode always
         covers all pairs (simulator models are free).
+
+        ``workers`` parallelizes the table-mode characterization sweeps
+        over a process pool (default: serial; see :mod:`repro.parallel`).
+        Tables are deterministic regardless of the worker count.
         """
         cache = cache or default_cache()
         thr = thresholds or cached_thresholds(gate, cache=cache)
@@ -192,12 +197,13 @@ class GateLibrary:
             for direction in dirs:
                 singles[(name, direction)] = characterize_single_input(
                     gate, name, direction, thr, grid=single_grid, cache=cache,
+                    workers=workers,
                 )
         for ref, other in cls._select_pairs(inputs, pairs):
             for direction in dirs:
                 duals[(ref, other, direction)] = characterize_dual_input(
                     gate, ref, other, direction, thr,
-                    grid=dual_grid, cache=cache,
+                    grid=dual_grid, cache=cache, workers=workers,
                 )
         return cls(gate, thr, singles, duals, mode="table")
 

@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import CharacterizationError
 from ..gates import Gate
 from ..models.single import TableSingleInputModel
+from ..parallel import parallel_map
 from ..units import parse_quantity
 from ..waveform import RISE, Thresholds, normalize_direction
 from .cache import CharacterizationCache, default_cache
@@ -78,15 +79,27 @@ def drive_strength(gate: Gate, input_name: str, direction: str) -> float:
     return gate.strength_p(input_name)
 
 
+def _sample_task(task):
+    """Worker: one (load, tau) sweep sample, normalized by tau."""
+    gate, input_name, direction, tau, thresholds, load = task
+    shot = single_input_response(
+        gate, input_name, direction, tau, thresholds, load=load,
+    )
+    return shot.delay / tau, shot.out_ttime / tau
+
+
 def characterize_single_input(
     gate: Gate, input_name: str, direction: str, thresholds: Thresholds, *,
     grid: Optional[SingleInputGrid] = None,
     cache: Optional[CharacterizationCache] = None,
+    workers: Optional[int] = None,
 ) -> TableSingleInputModel:
     """Build the single-input macromodel table for one pin and direction.
 
     Results are cached on the full (process, gate, thresholds, grid)
-    content key.
+    content key.  ``workers`` fans the independent (load, tau) sweep
+    points over a process pool; samples merge back in sweep order, so
+    the table is bit-identical to a serial run.
     """
     direction = normalize_direction(direction)
     if input_name not in gate.inputs:
@@ -104,15 +117,18 @@ def characterize_single_input(
 
     def compute() -> dict:
         k_drive = drive_strength(gate, input_name, direction)
-        samples = []  # (load, tau, delay_norm, ttime_norm)
-        for factor in grid.load_factors:
-            load = gate.load * factor
-            for tau in grid.taus:
-                shot = single_input_response(
-                    gate, input_name, direction, tau, thresholds, load=load,
-                )
-                samples.append((load, tau, shot.delay / tau,
-                                shot.out_ttime / tau))
+        points = [(gate.load * factor, tau)
+                  for factor in grid.load_factors for tau in grid.taus]
+        shots = parallel_map(
+            _sample_task,
+            [(gate, input_name, direction, tau, thresholds, load)
+             for load, tau in points],
+            workers=workers,
+        )
+        samples = [  # (load, tau, delay_norm, ttime_norm)
+            (load, tau, delay_norm, ttime_norm)
+            for (load, tau), (delay_norm, ttime_norm) in zip(points, shots)
+        ]
         c_par = _fit_effective_parasitic(
             samples, k_drive, gate.process.vdd,
         ) if len(grid.load_factors) > 1 else 0.0

@@ -55,6 +55,14 @@ def _add_gate_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--load", default="100f", help="output load (e.g. 100f)")
 
 
+def _add_workers_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for independent simulations "
+             "(default: REPRO_WORKERS env var, else serial; -1 = all "
+             "cores; results are identical for any worker count)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -76,12 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_char = sub.add_parser("characterize", help="build + save a table library")
     _add_gate_options(p_char)
+    _add_workers_option(p_char)
     p_char.add_argument("--output", required=True, help="JSON file to write")
     p_char.add_argument("--fast", action="store_true",
                         help="use the small demo grids")
 
     p_val = sub.add_parser("validate", help="Table 5-1 validation run")
     _add_gate_options(p_val)
+    _add_workers_option(p_val)
     p_val.add_argument("--configs", type=int, default=100)
     p_val.add_argument("--seed", type=int, default=1996)
 
@@ -91,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         "a1", "a2", "a3", "a4"))
     p_exp.add_argument("--quick", action="store_true",
                        help="reduced sweep sizes for a fast look")
+    _add_workers_option(p_exp)
 
     p_glitch = sub.add_parser("glitch", help="Section-6 inertial delay")
     _add_gate_options(p_glitch)
@@ -158,7 +169,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     if args.fast:
         kwargs["single_grid"] = SingleInputGrid.fast()
         kwargs["dual_grid"] = DualInputGrid.fast()
-    library = GateLibrary.characterize(gate, mode="table", **kwargs)
+    library = GateLibrary.characterize(gate, mode="table",
+                                       workers=args.workers, **kwargs)
     library.save(args.output)
     print(f"wrote {args.output}: thresholds {library.thresholds.describe()}, "
           f"{len(library.single_keys)} single + {len(library.dual_keys)} dual models")
@@ -170,7 +182,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     process = PROCESSES[args.process]()
     result = table5_1.run(process, n_configs=args.configs, seed=args.seed,
-                          load=parse_quantity(args.load, unit="F"))
+                          load=parse_quantity(args.load, unit="F"),
+                          workers=args.workers)
     print(result.summary())
     return 0
 
@@ -192,7 +205,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(ex.fig4_2.run().summary())
     elif args.id in ("e6", "e7"):
         n = 15 if quick else 100
-        validation = ex.table5_1.run(n_configs=n)
+        validation = ex.table5_1.run(n_configs=n, workers=args.workers)
         if args.id == "e6":
             print(validation.summary())
         else:
@@ -202,13 +215,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                   "separations": [s * 1e-12 for s in range(-200, 1101, 260)]} if quick else {}
         print(ex.fig6_1.run(**kwargs).summary())
     elif args.id == "a1":
-        print(ex.baselines_exp.run(n_configs=8 if quick else 30).summary())
+        print(ex.baselines_exp.run(n_configs=8 if quick else 30,
+                                   workers=args.workers).summary())
     elif args.id == "a2":
-        print(ex.ablations.run(n_configs=6 if quick else 25).summary())
+        print(ex.ablations.run(n_configs=6 if quick else 25,
+                               workers=args.workers).summary())
     elif args.id == "a3":
         print(ex.timing_exp.run(n_scenarios=2 if quick else 4).summary())
     elif args.id == "a4":
-        print(ex.crossgate.run(n_configs=3 if quick else 10).summary())
+        print(ex.crossgate.run(n_configs=3 if quick else 10,
+                               workers=args.workers).summary())
     return 0
 
 

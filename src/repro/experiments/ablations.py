@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core import DelayCalculator
+from ..parallel import parallel_map
 from ..tech import Process
 from ..waveform import Edge, FALL
 from ..charlib.simulate import multi_input_response
@@ -74,12 +75,42 @@ class AblationResult:
         return float(np.sqrt(np.mean(np.asarray(errors) ** 2)))
 
 
+def _case_task(task) -> Dict[str, tuple[float, float]]:
+    """Worker: every variant on one random configuration, as
+    variant -> (delay error %, ttime error %)."""
+    calcs, gate, thresholds, direction, config = task
+    taus = config["taus"]
+    seps = config["seps"]
+    edges = {
+        "a": Edge(direction, 0.0, taus["a"]),
+        "b": Edge(direction, seps["ab"], taus["b"]),
+        "c": Edge(direction, seps["ac"], taus["c"]),
+    }
+    errors: Dict[str, tuple[float, float]] = {}
+    shots: Dict[str, object] = {}
+    for name, calc in calcs.items():
+        result = calc.explain(edges)
+        # Ground truth must be measured from each variant's own
+        # reference input (arrival ordering may pick another one).
+        if result.reference not in shots:
+            shots[result.reference] = multi_input_response(
+                gate, edges, thresholds, reference=result.reference,
+            )
+        shot = shots[result.reference]
+        errors[name] = (
+            (result.delay - shot.delay) / shot.delay * 100.0,
+            (result.ttime - shot.out_ttime) / shot.out_ttime * 100.0,
+        )
+    return errors
+
+
 def run(process: Optional[Process] = None, *,
         n_configs: int = 25,
         seed: int = 404,
         direction: str = FALL,
         load: float = 100e-15,
-        variants: Optional[Dict[str, Dict[str, object]]] = None) -> AblationResult:
+        variants: Optional[Dict[str, Dict[str, object]]] = None,
+        workers: Optional[int] = None) -> AblationResult:
     gate = paper_gate(process, load=load)
     thresholds = paper_thresholds(process, load=load)
     library = paper_library(process, mode="oracle", load=load)
@@ -91,28 +122,16 @@ def run(process: Optional[Process] = None, *,
     delay_errors: Dict[str, List[float]] = {name: [] for name in calcs}
     ttime_errors: Dict[str, List[float]] = {name: [] for name in calcs}
 
-    for config in random_cases(n_configs, seed):
-        taus = config["taus"]
-        seps = config["seps"]
-        edges = {
-            "a": Edge(direction, 0.0, taus["a"]),
-            "b": Edge(direction, seps["ab"], taus["b"]),
-            "c": Edge(direction, seps["ac"], taus["c"]),
-        }
-        shots: Dict[str, object] = {}
-        for name, calc in calcs.items():
-            result = calc.explain(edges)
-            # Ground truth must be measured from each variant's own
-            # reference input (arrival ordering may pick another one).
-            if result.reference not in shots:
-                shots[result.reference] = multi_input_response(
-                    gate, edges, thresholds, reference=result.reference,
-                )
-            shot = shots[result.reference]
-            delay_errors[name].append(
-                (result.delay - shot.delay) / shot.delay * 100.0)
-            ttime_errors[name].append(
-                (result.ttime - shot.out_ttime) / shot.out_ttime * 100.0)
+    outcomes = parallel_map(
+        _case_task,
+        [(calcs, gate, thresholds, direction, config)
+         for config in random_cases(n_configs, seed)],
+        workers=workers,
+    )
+    for errors in outcomes:
+        for name, (delay_err, ttime_err) in errors.items():
+            delay_errors[name].append(delay_err)
+            ttime_errors[name].append(ttime_err)
     return AblationResult(
         delay_errors=delay_errors, ttime_errors=ttime_errors,
         n_configs=n_configs,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..baselines import CollapsedInverterBaseline
+from ..parallel import parallel_map
 from ..tech import Process
 from ..waveform import Edge, FALL
 from ..charlib.simulate import multi_input_response
@@ -55,11 +56,44 @@ class BaselineComparison:
         return max(abs(e) for e in self.delay_errors[method])
 
 
+def _case_task(task) -> Dict[str, tuple[float, float]]:
+    """Worker: every method on one random configuration, as
+    method -> (delay error %, ttime error %)."""
+    calc, methods, gate, thresholds, direction, config = task
+    taus = config["taus"]
+    seps = config["seps"]
+    edges = {
+        "a": Edge(direction, 0.0, taus["a"]),
+        "b": Edge(direction, seps["ab"], taus["b"]),
+        "c": Edge(direction, seps["ac"], taus["c"]),
+    }
+    ours = calc.explain(edges)
+    ref_edge = edges[ours.reference]
+    shot = multi_input_response(gate, edges, thresholds,
+                                reference=ours.reference)
+    errors = {
+        "proximity (ours)": (
+            (ours.delay - shot.delay) / shot.delay * 100.0,
+            (ours.ttime - shot.out_ttime) / shot.out_ttime * 100.0,
+        ),
+    }
+    for name, baseline in methods.items():
+        if baseline is None:
+            continue
+        estimate = baseline.estimate(edges)
+        errors[name] = (
+            (estimate.delay_from(ref_edge) - shot.delay) / shot.delay * 100.0,
+            (estimate.ttime - shot.out_ttime) / shot.out_ttime * 100.0,
+        )
+    return errors
+
+
 def run(process: Optional[Process] = None, *,
         n_configs: int = 30,
         seed: int = 1996,
         direction: str = FALL,
-        load: float = 100e-15) -> BaselineComparison:
+        load: float = 100e-15,
+        workers: Optional[int] = None) -> BaselineComparison:
     gate = paper_gate(process, load=load)
     thresholds = paper_thresholds(process, load=load)
     calc = paper_calculator(process, mode="oracle", load=load)
@@ -73,30 +107,16 @@ def run(process: Optional[Process] = None, *,
     delay_errors: Dict[str, List[float]] = {m: [] for m in methods}
     ttime_errors: Dict[str, List[float]] = {m: [] for m in methods}
 
-    for config in random_cases(n_configs, seed):
-        taus = config["taus"]
-        seps = config["seps"]
-        edges = {
-            "a": Edge(direction, 0.0, taus["a"]),
-            "b": Edge(direction, seps["ab"], taus["b"]),
-            "c": Edge(direction, seps["ac"], taus["c"]),
-        }
-        ours = calc.explain(edges)
-        ref_edge = edges[ours.reference]
-        shot = multi_input_response(gate, edges, thresholds,
-                                    reference=ours.reference)
-        delay_errors["proximity (ours)"].append(
-            (ours.delay - shot.delay) / shot.delay * 100.0)
-        ttime_errors["proximity (ours)"].append(
-            (ours.ttime - shot.out_ttime) / shot.out_ttime * 100.0)
-        for name, baseline in methods.items():
-            if baseline is None:
-                continue
-            estimate = baseline.estimate(edges)
-            delay_errors[name].append(
-                (estimate.delay_from(ref_edge) - shot.delay) / shot.delay * 100.0)
-            ttime_errors[name].append(
-                (estimate.ttime - shot.out_ttime) / shot.out_ttime * 100.0)
+    outcomes = parallel_map(
+        _case_task,
+        [(calc, methods, gate, thresholds, direction, config)
+         for config in random_cases(n_configs, seed)],
+        workers=workers,
+    )
+    for errors in outcomes:
+        for name, (delay_err, ttime_err) in errors.items():
+            delay_errors[name].append(delay_err)
+            ttime_errors[name].append(ttime_err)
     return BaselineComparison(
         delay_errors=delay_errors, ttime_errors=ttime_errors,
         n_configs=n_configs,

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 from ..core import DelayCalculator
 from ..core.algorithm import CorrectionPolicy
+from ..parallel import parallel_map
 from ..tech import Process
 from ..waveform import Edge, FALL
 from ..charlib.simulate import multi_input_response
@@ -122,6 +123,28 @@ def random_cases(n_configs: int, seed: int, *,
     return cases
 
 
+def _evaluate_case(task) -> ValidationCase:
+    """Worker: one random configuration -- model prediction vs. full
+    three-input transient simulation."""
+    calc, gate, thresholds, direction, config = task
+    taus = config["taus"]
+    seps = config["seps"]
+    edges = {
+        "a": Edge(direction, 0.0, taus["a"]),
+        "b": Edge(direction, seps["ab"], taus["b"]),
+        "c": Edge(direction, seps["ac"], taus["c"]),
+    }
+    model = calc.explain(edges)
+    shot = multi_input_response(
+        gate, edges, thresholds, reference=model.reference,
+    )
+    return ValidationCase(
+        taus=dict(taus), seps=dict(seps), reference=model.reference,
+        model_delay=model.delay, model_ttime=model.ttime,
+        sim_delay=shot.delay, sim_ttime=shot.out_ttime,
+    )
+
+
 def run(process: Optional[Process] = None, *,
         n_configs: int = 100,
         seed: int = 1996,
@@ -130,12 +153,16 @@ def run(process: Optional[Process] = None, *,
         correction: CorrectionPolicy | str = CorrectionPolicy.PAPER,
         load: float = 100e-15,
         characterize_kwargs: Optional[dict] = None,
-        calculator: Optional[DelayCalculator] = None) -> Table51Result:
+        calculator: Optional[DelayCalculator] = None,
+        workers: Optional[int] = None) -> Table51Result:
     """Run the full validation and return the error statistics.
 
     ``mode="table"`` evaluates the *deployable* interpolation-table
     models instead of the simulator oracle; ``characterize_kwargs``
     tunes the table grids (see :class:`~repro.charlib.DualInputGrid`).
+    ``workers`` fans the independent configurations over a process pool
+    (see :mod:`repro.parallel`); cases merge back in generation order,
+    so the statistics are bit-identical to a serial run.
     """
     gate = paper_gate(process, load=load)
     thresholds = paper_thresholds(process, load=load)
@@ -143,24 +170,12 @@ def run(process: Optional[Process] = None, *,
         process, mode=mode, load=load, correction=correction,
         characterize_kwargs=characterize_kwargs,
     )
-    results: List[ValidationCase] = []
-    for config in random_cases(n_configs, seed):
-        taus = config["taus"]
-        seps = config["seps"]
-        edges = {
-            "a": Edge(direction, 0.0, taus["a"]),
-            "b": Edge(direction, seps["ab"], taus["b"]),
-            "c": Edge(direction, seps["ac"], taus["c"]),
-        }
-        model = calc.explain(edges)
-        shot = multi_input_response(
-            gate, edges, thresholds, reference=model.reference,
-        )
-        results.append(ValidationCase(
-            taus=dict(taus), seps=dict(seps), reference=model.reference,
-            model_delay=model.delay, model_ttime=model.ttime,
-            sim_delay=shot.delay, sim_ttime=shot.out_ttime,
-        ))
+    results: List[ValidationCase] = parallel_map(
+        _evaluate_case,
+        [(calc, gate, thresholds, direction, config)
+         for config in random_cases(n_configs, seed)],
+        workers=workers,
+    )
     return Table51Result(
         cases=results, direction=direction, mode=mode,
         correction=str(CorrectionPolicy(correction).value),

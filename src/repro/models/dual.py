@@ -23,12 +23,13 @@ validation: it answers each query with a two-input transient simulation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.interpolate import RegularGridInterpolator
 
 from ..errors import ModelError
+from ..parallel import parallel_map
 from ..waveform import Edge
 from .base import DualInputModel
 
@@ -102,6 +103,20 @@ class TableDualInputModel(DualInputModel):
         return self._ttime_eval(self._point(tau_ref, tau_other, sep, delta1))
 
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # The clamped-interpolator closures are not picklable; drop them
+        # and rebuild on unpickling (process-pool tasks ship models).
+        state = dict(self.__dict__)
+        state.pop("_delay_eval", None)
+        state.pop("_ttime_eval", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._delay_eval = _clamped_interpolator(self.axes, self._delay_table)
+        self._ttime_eval = _clamped_interpolator(self.axes, self._ttime_table)
+
+    # ------------------------------------------------------------------
     def to_payload(self) -> dict:
         return {
             "reference": self.reference,
@@ -122,12 +137,29 @@ class TableDualInputModel(DualInputModel):
         )
 
 
+def _oracle_query_task(task) -> Tuple[float, float]:
+    """Worker: one memoizable oracle query as a two-input transient."""
+    from ..charlib.simulate import multi_input_response
+
+    gate, reference, other, direction, thresholds, tau_ref, tau_other, \
+        sep, cl = task
+    edges = {
+        reference: Edge(direction, 0.0, tau_ref),
+        other: Edge(direction, sep, tau_other),
+    }
+    shot = multi_input_response(
+        gate, edges, thresholds, reference=reference, load=cl,
+    )
+    return shot.delay, shot.out_ttime
+
+
 class SimulatorDualInputModel(DualInputModel):
     """Answers dual-input queries with two-input transient simulations.
 
     This reproduces the paper's Section-5 setup verbatim: "We used HSPICE
     as the macromodel for processing the dual-input case."  Queries are
-    memoized on femtosecond-rounded arguments.
+    memoized on femtosecond-rounded arguments; :meth:`prefetch` fills
+    the memo for a batch of queries in parallel.
     """
 
     def __init__(self, gate, reference: str, other: str, direction: str,
@@ -139,26 +171,55 @@ class SimulatorDualInputModel(DualInputModel):
         self.thresholds = thresholds
         self._memo: Dict[Tuple[int, int, int, int], Tuple[float, float]] = {}
 
-    def _simulate(self, tau_ref: float, tau_other: float, sep: float,
-                  load: Optional[float]) -> Tuple[float, float]:
-        from ..charlib.simulate import multi_input_response
-
-        cl = self.gate.load if load is None else float(load)
-        key = (
+    def _key(self, tau_ref: float, tau_other: float, sep: float,
+             cl: float) -> Tuple[int, int, int, int]:
+        return (
             round(tau_ref * 1e15), round(tau_other * 1e15),
             round(sep * 1e15), round(cl * 1e18),
         )
+
+    def _task(self, tau_ref: float, tau_other: float, sep: float,
+              cl: float) -> tuple:
+        return (self.gate, self.reference, self.other, self.direction,
+                self.thresholds, tau_ref, tau_other, sep, cl)
+
+    def _simulate(self, tau_ref: float, tau_other: float, sep: float,
+                  load: Optional[float]) -> Tuple[float, float]:
+        cl = self.gate.load if load is None else float(load)
+        key = self._key(tau_ref, tau_other, sep, cl)
         if key not in self._memo:
-            edges = {
-                self.reference: Edge(self.direction, 0.0, tau_ref),
-                self.other: Edge(self.direction, sep, tau_other),
-            }
-            shot = multi_input_response(
-                self.gate, edges, self.thresholds,
-                reference=self.reference, load=cl,
+            self._memo[key] = _oracle_query_task(
+                self._task(tau_ref, tau_other, sep, cl)
             )
-            self._memo[key] = (shot.delay, shot.out_ttime)
         return self._memo[key]
+
+    def prefetch(self, queries: Sequence[Sequence[float]], *,
+                 workers: Optional[int] = None) -> int:
+        """Run a batch of oracle queries, filling the memo in parallel.
+
+        Each query is ``(tau_ref, tau_other, sep)`` or
+        ``(tau_ref, tau_other, sep, load)``; duplicates (after the
+        memo's femtosecond rounding) and already-memoized entries are
+        simulated once.  Results land in the memo in query order, so
+        later :meth:`delay_ratio` / :meth:`ttime_ratio` calls are pure
+        lookups with values identical to on-demand simulation.  Returns
+        the number of fresh simulations performed.
+        """
+        pending: list[tuple] = []
+        keys: list[Tuple[int, int, int, int]] = []
+        seen = set(self._memo)
+        for query in queries:
+            tau_ref, tau_other, sep = (float(v) for v in query[:3])
+            cl = self.gate.load if len(query) < 4 else float(query[3])
+            key = self._key(tau_ref, tau_other, sep, cl)
+            if key in seen:
+                continue
+            seen.add(key)
+            keys.append(key)
+            pending.append(self._task(tau_ref, tau_other, sep, cl))
+        results = parallel_map(_oracle_query_task, pending, workers=workers)
+        self._memo.update(zip(keys, results))
+        return len(pending)
 
     def delay_ratio(self, tau_ref: float, tau_other: float, sep: float, *,
                     delta1: float, load: Optional[float] = None) -> float:

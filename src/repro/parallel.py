@@ -1,0 +1,85 @@
+"""Process-pool fan-out for the embarrassingly parallel hot paths.
+
+Characterization sweeps, oracle prefetches and experiment populations
+are all lists of independent transient simulations; this module gives
+them one shared execution primitive, :func:`parallel_map`, built on
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Design rules, enforced here so every call site inherits them:
+
+* **Serial by default.**  The worker count resolves from an explicit
+  argument first, then the ``REPRO_WORKERS`` environment variable, then
+  ``0`` (serial, in-process).  Unless the caller opts in, behavior --
+  including cache population order -- is exactly the pre-parallel code
+  path.
+* **Deterministic merge.**  Results always come back in input order
+  regardless of completion order, so a parallel run produces tables
+  bit-identical to a serial run of the same work list.
+* **Picklable tasks.**  Worker functions must be module-level and their
+  arguments picklable; every call site in :mod:`repro` ships plain
+  dataclasses (gates, edges, thresholds) that satisfy this.
+
+Worker processes inherit the environment, so ``REPRO_CACHE_DIR``
+redirection applies to them too; concurrent cache writes are safe
+because :meth:`repro.charlib.cache.CharacterizationCache.store` stages
+each write in a unique per-writer temp file before its atomic rename.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from .errors import ReproError
+
+__all__ = ["WORKERS_ENV_VAR", "resolve_workers", "parallel_map"]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count for a parallelizable call.
+
+    Resolution order: the explicit ``workers`` argument, then the
+    ``REPRO_WORKERS`` environment variable, then ``0``.  ``0`` and ``1``
+    both mean serial in-process execution; a negative count means "all
+    cores" (:func:`os.cpu_count`).
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not env:
+            return 0
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ReproError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
+                 workers: Optional[int] = None,
+                 chunksize: int = 1) -> List[R]:
+    """Map ``fn`` over ``items``, returning results in input order.
+
+    With a resolved worker count of 0 or 1 (the default), this is a
+    plain in-process loop -- same objects, same call order, no pickling.
+    Otherwise the items fan out over a process pool; ``fn`` must then be
+    a module-level function and every item picklable.  Worker exceptions
+    propagate to the caller either way.
+    """
+    items = list(items)
+    count = resolve_workers(workers)
+    if count <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(count, len(items))) as pool:
+        return list(pool.map(fn, items, chunksize=max(1, chunksize)))

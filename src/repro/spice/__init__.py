@@ -22,6 +22,7 @@ systems tiny and dense.
 
 from .netlist import Circuit
 from .mosfet import mosfet_current, MosfetInstance
+from .engine import NewtonOptions, NewtonStats
 from .dc import solve_dc, dc_sweep, OperatingPoint
 from .transient import transient, TransientOptions
 from .results import SweepResult, TransientResult
@@ -31,6 +32,8 @@ __all__ = [
     "Circuit",
     "MosfetInstance",
     "mosfet_current",
+    "NewtonOptions",
+    "NewtonStats",
     "solve_dc",
     "dc_sweep",
     "OperatingPoint",

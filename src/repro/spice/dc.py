@@ -20,7 +20,7 @@ from typing import Dict, Iterable, Optional, Sequence
 import numpy as np
 
 from ..errors import ConvergenceError
-from .engine import NewtonOptions, newton_solve
+from .engine import NewtonOptions, NewtonStats, newton_solve
 from .netlist import Circuit, CompiledCircuit
 from .results import SweepResult
 
@@ -42,22 +42,26 @@ class OperatingPoint:
 
 
 def _gmin_stepping(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
-                   options: NewtonOptions, time: float) -> np.ndarray:
+                   options: NewtonOptions, time: float,
+                   stats: Optional[NewtonStats] = None) -> np.ndarray:
     x = np.array(x0, dtype=float)
     gmin = 1e-2
     while gmin >= options.gmin:
-        x = newton_solve(compiled, x, known, options=options, gmin=gmin, time=time)
+        x = newton_solve(compiled, x, known, options=options, gmin=gmin,
+                         time=time, stats=stats)
         gmin /= 10.0
-    return newton_solve(compiled, x, known, options=options, time=time)
+    return newton_solve(compiled, x, known, options=options, time=time,
+                        stats=stats)
 
 
 def _source_stepping(compiled: CompiledCircuit, known: np.ndarray,
-                     options: NewtonOptions, time: float) -> np.ndarray:
+                     options: NewtonOptions, time: float,
+                     stats: Optional[NewtonStats] = None) -> np.ndarray:
     x = np.zeros(compiled.n_unknown)
     for scale in np.linspace(0.1, 1.0, 10):
         x = newton_solve(
             compiled, x, known, options=options, time=time,
-            source_scale=float(scale),
+            source_scale=float(scale), stats=stats,
         )
     return x
 
@@ -65,12 +69,15 @@ def _source_stepping(compiled: CompiledCircuit, known: np.ndarray,
 def solve_dc(circuit: Circuit | CompiledCircuit, *,
              initial_guess: Optional[Dict[str, float]] = None,
              time: float = 0.0,
-             options: Optional[NewtonOptions] = None) -> OperatingPoint:
+             options: Optional[NewtonOptions] = None,
+             stats: Optional[NewtonStats] = None) -> OperatingPoint:
     """Solve the DC operating point with sources evaluated at ``time``.
 
     Capacitors are open circuits.  ``initial_guess`` maps node names to
     starting voltages; unlisted unknowns start mid-range of the known
-    voltages, which works well for CMOS structures.
+    voltages, which works well for CMOS structures.  ``stats``
+    accumulates Newton iterations across every attempted solve,
+    homotopy fallbacks included.
     """
     compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
     opts = options or NewtonOptions()
@@ -83,12 +90,13 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
                 x0[idx] = initial_guess[name]
 
     try:
-        x = newton_solve(compiled, x0, known, options=opts, time=time)
+        x = newton_solve(compiled, x0, known, options=opts, time=time,
+                         stats=stats)
     except ConvergenceError:
         try:
-            x = _gmin_stepping(compiled, x0, known, opts, time)
+            x = _gmin_stepping(compiled, x0, known, opts, time, stats)
         except ConvergenceError:
-            x = _source_stepping(compiled, known, opts, time)
+            x = _source_stepping(compiled, known, opts, time, stats)
 
     voltages = {name: float(x[idx]) for idx, name in enumerate(compiled.unknown_names)}
     voltages["0"] = 0.0

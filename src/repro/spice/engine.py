@@ -21,7 +21,8 @@ from ..errors import ConvergenceError
 from .mosfet import mosfet_current
 from .netlist import CompiledCircuit
 
-__all__ = ["NewtonOptions", "CapStamp", "assemble_system", "newton_solve"]
+__all__ = ["NewtonOptions", "NewtonStats", "CapStamp", "assemble_system",
+           "newton_solve"]
 
 #: Companion-model stamp for one capacitor: current (a -> b) is
 #: ``geq * (va - vb) - ieq``.
@@ -43,6 +44,28 @@ class NewtonOptions:
     max_iterations: int = 60
     max_step: float = 0.6
     gmin: float = 1e-12
+
+
+@dataclass
+class NewtonStats:
+    """Mutable accumulator for Newton-iteration accounting.
+
+    :func:`newton_solve` adds every iteration it performs -- converged
+    or not -- so callers that retry after a
+    :class:`~repro.errors.ConvergenceError` (gmin stepping, transient
+    step halving) still account for the rejected work.
+    """
+
+    iterations: int = 0
+    solves: int = 0
+    failures: int = 0
+
+    def record(self, iterations: int, *, converged: bool) -> None:
+        self.iterations += iterations
+        if converged:
+            self.solves += 1
+        else:
+            self.failures += 1
 
 
 def assemble_system(compiled: CompiledCircuit, x: np.ndarray, known: np.ndarray,
@@ -133,12 +156,15 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                  *, options: NewtonOptions, gmin: Optional[float] = None,
                  time: float = 0.0,
                  cap_stamps: Optional[Sequence[CapStamp]] = None,
-                 source_scale: float = 1.0) -> np.ndarray:
+                 source_scale: float = 1.0,
+                 stats: Optional[NewtonStats] = None) -> np.ndarray:
     """Damped Newton-Raphson solve of the KCL system.
 
     Raises :class:`~repro.errors.ConvergenceError` when the iteration
     fails; callers (gmin stepping, transient step halving) catch it and
-    retry on an easier problem.
+    retry on an easier problem.  ``stats``, when given, accumulates the
+    iteration count of this solve whether it converges or not (the
+    raised error also carries its count in ``iterations``).
     """
     x = np.array(x0, dtype=float)
     effective_gmin = options.gmin if gmin is None else gmin
@@ -157,6 +183,8 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
             try:
                 dx = np.linalg.solve(J, -F)
             except np.linalg.LinAlgError:
+                if stats is not None:
+                    stats.record(iteration, converged=False)
                 raise ConvergenceError(
                     "singular Jacobian during Newton iteration",
                     iterations=iteration, residual=residual,
@@ -166,8 +194,12 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
             dx *= options.max_step / step
         x += dx
         if step < options.voltol and residual < options.abstol:
+            if stats is not None:
+                stats.record(iteration, converged=True)
             return x
         last_residual = residual
+    if stats is not None:
+        stats.record(options.max_iterations, converged=False)
     raise ConvergenceError(
         f"Newton failed to converge in {options.max_iterations} iterations "
         f"(residual {last_residual:.3e} A)",

@@ -25,7 +25,7 @@ import numpy as np
 from ..errors import ConvergenceError
 from ..units import parse_quantity
 from .dc import solve_dc
-from .engine import CapStamp, NewtonOptions, newton_solve
+from .engine import CapStamp, NewtonOptions, NewtonStats, newton_solve
 from .netlist import Circuit, CompiledCircuit
 from .results import TransientResult
 
@@ -91,8 +91,11 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
     )
 
     # Initial condition: DC operating point with sources frozen at t_start.
+    # ``stats`` accumulates Newton iterations over the whole analysis:
+    # the DC solve plus every accepted *and* rejected timestep.
+    stats = NewtonStats()
     op = solve_dc(compiled, initial_guess=initial_op, time=t_start,
-                  options=opts.newton)
+                  options=opts.newton, stats=stats)
     x = op.as_vector(compiled)
     known = compiled.known_voltages(t_start)
 
@@ -107,7 +110,6 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
     series = [x.copy()]
     t = t_start
     rejected = 0
-    newton_total = 0
     force_be = True  # first step: backward Euler
     next_bp_idx = 0
 
@@ -151,7 +153,7 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
             try:
                 x_new = newton_solve(
                     compiled, x, known_new, options=opts.newton,
-                    time=t_new, cap_stamps=stamps,
+                    time=t_new, cap_stamps=stamps, stats=stats,
                 )
             except ConvergenceError:
                 h *= opts.shrink_factor
@@ -209,5 +211,5 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
     }
     return TransientResult(
         time_array, waveforms,
-        rejected_steps=rejected, newton_iterations=newton_total,
+        rejected_steps=rejected, newton_iterations=stats.iterations,
     )

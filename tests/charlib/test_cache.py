@@ -84,3 +84,70 @@ class TestRobustness:
         cache.store("k", {"x": 1}, {"v": 1})
         assert target.exists()
         assert list(target.glob("k-*.json"))
+
+
+class TestConcurrency:
+    def test_concurrent_stores_of_same_key(self, cache, tmp_path):
+        """Regression: the old fixed ``.tmp`` staging name let two
+        concurrent writers interleave into one half-written temp file.
+        Hammer one key from many threads; the surviving entry must be a
+        complete payload from *some* writer and no temp litter remains."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        key = {"gate": "nand3", "grid": "fast"}
+        payloads = [{"writer": i, "table": list(range(200))} for i in range(8)]
+
+        def write(payload):
+            for _ in range(25):
+                cache.store("dual", key, payload)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(write, payloads))
+
+        loaded = cache.load("dual", key)
+        assert loaded is not None
+        assert loaded in payloads
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_store_failure_cleans_up_temp(self, cache, tmp_path):
+        with pytest.raises(TypeError):
+            cache.store("k", {"x": 1}, {"bad": object()})
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestDefaultCache:
+    def test_reresolves_on_env_change(self, monkeypatch, tmp_path):
+        """Regression: the memoized instance used to ignore later
+        ``REPRO_CACHE_DIR`` changes, breaking test isolation."""
+        from repro.charlib.cache import default_cache, reset_default_cache
+
+        reset_default_cache()
+        try:
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "one"))
+            first = default_cache()
+            assert first.directory == tmp_path / "one"
+            assert default_cache() is first  # stable while env unchanged
+
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "two"))
+            second = default_cache()
+            assert second is not first
+            assert second.directory == tmp_path / "two"
+
+            monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+            assert not default_cache().enabled
+        finally:
+            reset_default_cache()
+
+    def test_reset_hook(self, monkeypatch, tmp_path):
+        from repro.charlib.cache import default_cache, reset_default_cache
+
+        reset_default_cache()
+        try:
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+            first = default_cache()
+            reset_default_cache()
+            second = default_cache()
+            assert second is not first
+            assert second.directory == first.directory
+        finally:
+            reset_default_cache()

@@ -1,0 +1,98 @@
+"""Parallel-vs-serial equivalence of the characterization hot paths.
+
+The contract of :mod:`repro.parallel` is that a worker count never
+changes results: characterization tables, oracle memos and experiment
+statistics must be *bit-identical* between ``workers=0`` (serial) and a
+real process-pool fan-out.  Each test here computes the same artifact
+both ways into independent cache directories and compares exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.charlib.cache import CharacterizationCache
+from repro.charlib.dual import DualInputGrid, characterize_dual_input
+from repro.charlib.single import SingleInputGrid, characterize_single_input
+
+
+@pytest.fixture
+def tiny_dual_grid():
+    return DualInputGrid(
+        tau_refs=(100e-12, 800e-12), a2=(0.5, 2.0), a3=(-1.0, 0.5),
+    )
+
+
+class TestCharacterizationEquivalence:
+    def test_dual_table_bit_identical(self, nand2, thresholds, tiny_dual_grid,
+                                      tmp_path):
+        serial = characterize_dual_input(
+            nand2, "a", "b", "fall", thresholds, grid=tiny_dual_grid,
+            cache=CharacterizationCache(tmp_path / "serial"), workers=0,
+        )
+        parallel = characterize_dual_input(
+            nand2, "a", "b", "fall", thresholds, grid=tiny_dual_grid,
+            cache=CharacterizationCache(tmp_path / "parallel"), workers=2,
+        )
+        for axis_s, axis_p in zip(serial.axes, parallel.axes):
+            assert np.array_equal(axis_s, axis_p)
+        assert np.array_equal(serial._delay_table, parallel._delay_table)
+        assert np.array_equal(serial._ttime_table, parallel._ttime_table)
+
+    def test_single_table_bit_identical(self, nand2, thresholds, tmp_path):
+        grid = SingleInputGrid(taus=(100e-12, 500e-12, 1500e-12),
+                               load_factors=(1.0,))
+        serial = characterize_single_input(
+            nand2, "a", "fall", thresholds, grid=grid,
+            cache=CharacterizationCache(tmp_path / "serial"), workers=0,
+        )
+        parallel = characterize_single_input(
+            nand2, "a", "fall", thresholds, grid=grid,
+            cache=CharacterizationCache(tmp_path / "parallel"), workers=2,
+        )
+        assert np.array_equal(serial._u, parallel._u)
+        assert np.array_equal(serial._d, parallel._d)
+        assert np.array_equal(serial._t, parallel._t)
+
+
+class TestOraclePrefetch:
+    def test_prefetch_fills_memo_identically(self, nand3, thresholds):
+        from repro.models.dual import SimulatorDualInputModel
+
+        queries = [
+            (200e-12, 300e-12, 50e-12),
+            (400e-12, 200e-12, -100e-12),
+            (200e-12, 300e-12, 50e-12),  # duplicate: one sim only
+        ]
+        prefetched = SimulatorDualInputModel(nand3, "a", "b", "fall",
+                                             thresholds)
+        fresh = prefetched.prefetch(queries, workers=2)
+        assert fresh == 2
+        assert len(prefetched._memo) == 2
+        # A second prefetch of the same batch is a no-op.
+        assert prefetched.prefetch(queries, workers=2) == 0
+
+        on_demand = SimulatorDualInputModel(nand3, "a", "b", "fall",
+                                            thresholds)
+        for tau_ref, tau_other, sep in queries:
+            assert (prefetched.delay_ratio(tau_ref, tau_other, sep,
+                                           delta1=1e-10)
+                    == on_demand.delay_ratio(tau_ref, tau_other, sep,
+                                             delta1=1e-10))
+            assert (prefetched.ttime_ratio(tau_ref, tau_other, sep,
+                                           tau1=1e-10, delta1=1e-10)
+                    == on_demand.ttime_ratio(tau_ref, tau_other, sep,
+                                             tau1=1e-10, delta1=1e-10))
+        # The prefetched model never simulated on demand.
+        assert len(prefetched._memo) == 2
+
+
+class TestExperimentEquivalence:
+    def test_table5_1_population_bit_identical(self):
+        from repro.experiments import table5_1
+
+        serial = table5_1.run(n_configs=3, seed=123, workers=0)
+        parallel = table5_1.run(n_configs=3, seed=123, workers=2)
+        assert serial.delay_errors == parallel.delay_errors
+        assert serial.ttime_errors == parallel.ttime_errors
+        for case_s, case_p in zip(serial.cases, parallel.cases):
+            assert case_s == case_p

@@ -115,3 +115,37 @@ class TestNewton:
         x = newton_solve(compiled, x0, known, options=NewtonOptions())
         z = compiled.unknown_names.index("z")
         assert x[z] == pytest.approx(0.0, abs=0.05)
+
+
+class TestNewtonStats:
+    def test_stats_accumulate_on_success(self):
+        from repro.spice.engine import NewtonStats
+
+        compiled = divider()
+        known = compiled.known_voltages(0.0)
+        stats = NewtonStats()
+        newton_solve(compiled, np.array([0.0]), known,
+                     options=NewtonOptions(), stats=stats)
+        assert stats.iterations >= 1
+        assert stats.solves == 1
+        assert stats.failures == 0
+        first = stats.iterations
+        # A second solve keeps accumulating into the same object.
+        newton_solve(compiled, np.array([0.0]), known,
+                     options=NewtonOptions(), stats=stats)
+        assert stats.iterations == 2 * first
+        assert stats.solves == 2
+
+    def test_stats_accumulate_on_failure(self):
+        from repro.spice.engine import NewtonStats
+
+        compiled = divider()
+        known = compiled.known_voltages(0.0)
+        stats = NewtonStats()
+        opts = NewtonOptions(max_step=1e-4, max_iterations=3)
+        with pytest.raises(ConvergenceError):
+            newton_solve(compiled, np.array([5.0]), known, options=opts,
+                         stats=stats)
+        assert stats.iterations == 3
+        assert stats.failures == 1
+        assert stats.solves == 0

@@ -160,3 +160,38 @@ class TestBreakpointRobustness:
         wf = Pwl(times, values)
         result = transient(rc_circuit(1e3, 5e-14, wf), float(times[-1]) + 2e-9)
         assert len(result.times) > 50
+
+
+class TestNewtonAccounting:
+    """Regression: ``newton_iterations`` used to be dead (always 0)."""
+
+    def test_newton_iterations_nonzero(self):
+        """Any converged transient performed at least one Newton
+        iteration per accepted step (plus the DC solve)."""
+        result = transient(rc_circuit(), 2e-9)
+        assert result.newton_iterations > 0
+        assert result.newton_iterations >= len(result.times) - 1
+
+    def test_rejected_steps_counted_in_iterations(self):
+        """A waveform violent enough to force step rejections must
+        accumulate the rejected solves' iterations too."""
+        wf = Pwl([1e-10, 1.001e-10], [0.0, 5.0])  # near-step edge
+        tight = TransientOptions(dv_target=0.02, dv_reject=0.08)
+        loose = TransientOptions()
+        res_tight = transient(rc_circuit(1e3, 1e-12, wf), 4e-9, options=tight)
+        res_loose = transient(rc_circuit(1e3, 1e-12, wf), 4e-9, options=loose)
+        assert res_tight.newton_iterations > 0
+        # Tighter budgets mean more (and more often rejected) steps,
+        # which must show up in the accounting.
+        assert res_tight.newton_iterations > res_loose.newton_iterations
+
+    def test_gate_transient_reports_iterations(self):
+        proc = default_process()
+        ckt = Circuit()
+        ckt.add_vsource("vvdd", "vdd", proc.vdd)
+        ckt.add_vsource("vin", "in", ramp(1e-9, 0.0, proc.vdd, 0.3e-9))
+        ckt.add_mosfet("mn", "out", "in", "0", "0", proc.nmos, 4e-6, 0.8e-6)
+        ckt.add_mosfet("mp", "out", "in", "vdd", "vdd", proc.pmos, 8e-6, 0.8e-6)
+        ckt.add_capacitor("cl", "out", "0", 1e-13)
+        result = transient(ckt, 5e-9)
+        assert result.newton_iterations > len(result.times)
