@@ -23,11 +23,13 @@ from .errors import (
     ModelError,
     NetlistError,
     ReproError,
+    TaskError,
     TimingError,
     UnitError,
 )
 from .units import format_quantity, parse_quantity
-from .parallel import parallel_map, resolve_workers
+from .parallel import TaskFailure, parallel_map, resolve_timeout, resolve_workers
+from .resilience import FaultInjection, HealthReport, RetryPolicy
 from .tech import MosfetParams, Process, Sizing, default_process, fast_process
 from .waveform import (
     Edge,
@@ -59,10 +61,13 @@ __all__ = [
     # errors
     "ReproError", "UnitError", "NetlistError", "ConvergenceError",
     "MeasurementError", "CharacterizationError", "ModelError", "TimingError",
+    "TaskError",
     # units
     "parse_quantity", "format_quantity",
     # parallel execution
-    "parallel_map", "resolve_workers",
+    "parallel_map", "resolve_workers", "resolve_timeout", "TaskFailure",
+    # resilience
+    "RetryPolicy", "FaultInjection", "HealthReport",
     # tech
     "MosfetParams", "Process", "Sizing", "default_process", "fast_process",
     # waveform

@@ -14,23 +14,45 @@ The cache directory is resolved, in order, from:
 3. ``.repro_cache/`` under the current working directory.
 
 Set ``REPRO_CACHE_DIR=off`` to disable caching entirely.
+
+A cache entry is never trusted blindly: an entry that fails to parse is
+**quarantined** (renamed to ``<name>.corrupt`` for post-mortem, with a
+logged warning) and treated as a miss, and :meth:`get_or_compute`
+validates that a hit actually carries the keys its ``kind`` requires
+(:data:`REQUIRED_PAYLOAD_KEYS`) before returning it -- a stale or
+hand-edited payload falls through to a recompute instead of crashing an
+analysis downstream.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from ..errors import CharacterizationError
+from ..resilience import faults
 
-__all__ = ["CharacterizationCache", "default_cache", "reset_default_cache"]
+__all__ = ["CharacterizationCache", "default_cache", "reset_default_cache",
+           "REQUIRED_PAYLOAD_KEYS"]
+
+_log = logging.getLogger(__name__)
 
 #: Bump when the stored schema of any characterization artifact changes.
 SCHEMA_VERSION = 3
+
+#: Keys a payload of each kind must carry to count as a cache hit.
+#: Kinds not listed here are accepted as-is (forward compatibility for
+#: new artifact kinds that have not declared a contract yet).
+REQUIRED_PAYLOAD_KEYS: Dict[str, Sequence[str]] = {
+    "single": ("u", "delay_norm", "ttime_norm", "k_drive"),
+    "dual": ("a1", "a2", "a3", "delay_table", "ttime_table"),
+    "vtc": ("curves",),
+}
 
 
 def _canonical_hash(key: Dict[str, Any]) -> str:
@@ -82,7 +104,13 @@ class CharacterizationCache:
         return self._dir / f"{kind}-{digest}.json"
 
     def load(self, kind: str, key: Dict[str, Any]) -> Optional[Dict[str, Any]]:
-        """Fetch a cached payload, or ``None`` on miss/corruption."""
+        """Fetch a cached payload, or ``None`` on miss/corruption.
+
+        An entry that fails to parse is quarantined: renamed to
+        ``<name>.corrupt`` (atomically, keeping the most recent corpse
+        for post-mortem) with a logged warning, then treated as a miss
+        so the caller recomputes and rewrites it.
+        """
         if self._dir is None:
             return None
         path = self._path(kind, key)
@@ -91,8 +119,19 @@ class CharacterizationCache:
         try:
             with open(path) as handle:
                 return json.load(handle)
-        except (json.JSONDecodeError, OSError):
-            # A corrupt entry is a miss; it will be rewritten.
+        except json.JSONDecodeError as exc:
+            quarantine = path.with_suffix(".corrupt")
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                quarantine = path  # rename failed; report the original
+            _log.warning(
+                "quarantined corrupt cache entry %s -> %s (%s); recomputing",
+                path.name, quarantine.name, exc,
+            )
+            return None
+        except OSError:
+            # Unreadable (permissions, races): a miss, but nothing to move.
             return None
 
     def store(self, kind: str, key: Dict[str, Any], payload: Dict[str, Any]) -> None:
@@ -116,13 +155,32 @@ class CharacterizationCache:
             except OSError:
                 pass
             raise
+        faults.corrupt_after_store(kind, path)
 
     def get_or_compute(self, kind: str, key: Dict[str, Any],
-                       compute: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
-        """The main entry point: load on hit, else compute and store."""
+                       compute: Callable[[], Dict[str, Any]],
+                       *, required: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """The main entry point: load on hit, else compute and store.
+
+        A hit must be a JSON object carrying every key its ``kind``
+        requires (``required`` argument, else
+        :data:`REQUIRED_PAYLOAD_KEYS`); a payload that does not -- a
+        stale schema, a hand-edited file, a torn write that still parses
+        -- is logged and falls through to a recompute, exactly like a
+        miss.
+        """
+        if required is None:
+            required = REQUIRED_PAYLOAD_KEYS.get(kind, ())
         cached = self.load(kind, key)
         if cached is not None:
-            return cached
+            if isinstance(cached, dict) and all(k in cached for k in required):
+                return cached
+            missing = [k for k in required
+                       if not isinstance(cached, dict) or k not in cached]
+            _log.warning(
+                "cached %s payload is invalid (missing %s); recomputing",
+                kind, ", ".join(missing) or "expected structure",
+            )
         payload = compute()
         self.store(kind, key, payload)
         return payload

@@ -24,6 +24,9 @@ from ..errors import CharacterizationError
 from ..gates import Gate
 from ..models.dual import TableDualInputModel
 from ..parallel import parallel_map
+from ..resilience import faults
+from ..resilience.health import FailedPoint, HealthReport, neighbor_fill
+from ..resilience.runtime import resilient_map, resolve_resume
 from ..waveform import Edge, Thresholds, normalize_direction
 from .cache import CharacterizationCache, default_cache
 from .simulate import multi_input_response, single_input_response
@@ -86,7 +89,8 @@ def _single_ref_task(task) -> Tuple[float, float]:
 
 def _grid_point_task(task) -> Tuple[float, float]:
     """Worker: one two-input transient of the characterization grid."""
-    gate, reference, edges, thresholds = task
+    index, gate, reference, edges, thresholds = task
+    faults.fire_point("dual", index)
     shot = multi_input_response(gate, edges, thresholds, reference=reference)
     return shot.delay, shot.out_ttime
 
@@ -110,6 +114,17 @@ def characterize_dual_input(
     pool (see :mod:`repro.parallel`); grid points are merged back in
     sweep order, so the resulting table is bit-identical to a serial
     run.
+
+    A grid point whose transient fails (convergence loss past the retry
+    ladder, crashed worker, task timeout) becomes a NaN cell: the loss
+    is recorded in the payload's ``failed_points`` and the model's
+    :class:`HealthReport` (``model.health``), and the interpolation
+    tables are repaired by :func:`neighbor_fill` before the model is
+    built -- surviving cells are untouched.  Completed points are
+    journaled, so ``--resume`` (``REPRO_RESUME=1``) recomputes only the
+    missing ones.  (The per-``tau_ref`` single-input stage still fails
+    hard: it defines the grid's normalization, so nothing downstream is
+    meaningful without it.)
     """
     direction = normalize_direction(direction)
     if reference == other:
@@ -150,6 +165,7 @@ def characterize_dual_input(
         # Stage 2: every grid point is one independent two-input
         # transient; fan out and merge back in sweep order.
         tasks = []
+        coords = []
         for tau_ref, (delta1, _tau1) in zip(grid.tau_refs, singles):
             for a2 in grid.a2:
                 for a3 in grid.a3:
@@ -157,8 +173,28 @@ def characterize_dual_input(
                         reference: Edge(direction, 0.0, tau_ref),
                         other: Edge(direction, a3 * delta1, a2 * delta1),
                     }
-                    tasks.append((gate, reference, edges, thresholds))
-        shots = parallel_map(_grid_point_task, tasks, workers=workers)
+                    tasks.append((len(tasks), gate, reference, edges,
+                                  thresholds))
+                    coords.append({"tau_ref": tau_ref, "a2": a2, "a3": a3})
+        shots, task_failures = resilient_map(
+            _grid_point_task, tasks,
+            journal_kind="dual", journal_key=key,
+            directory=cache.directory, workers=workers, decode=tuple,
+        )
+        failed = []
+        for failure in task_failures:
+            shots[failure.index] = (float("nan"), float("nan"))
+            failed.append({
+                "index": failure.index, "kind": failure.kind,
+                "message": failure.message,
+                "coords": coords[failure.index],
+            })
+        if len(failed) == len(tasks):
+            raise CharacterizationError(
+                f"dual-input sweep for {gate.name!r} "
+                f"({reference}->{other}/{direction}) lost all "
+                f"{len(tasks)} grid points"
+            )
 
         delay_table = np.empty((len(grid.tau_refs), len(grid.a2), len(grid.a3)))
         ttime_table = np.empty_like(delay_table)
@@ -180,16 +216,36 @@ def characterize_dual_input(
             "a3": list(grid.a3),
             "delay_table": delay_table.tolist(),
             "ttime_table": ttime_table.tolist(),
+            "failed_points": failed,
         }
 
     payload = cache.get_or_compute("dual", key, compute)
+    if payload.get("failed_points") and resolve_resume():
+        # A degraded cached sweep + --resume: the journal still holds
+        # every completed point, so only the failed cells recompute.
+        payload = compute()
+        cache.store("dual", key, payload)
+
     axes = (
         np.asarray(payload["a1"]),
         np.asarray(payload["a2"]),
         np.asarray(payload["a3"]),
     )
-    return TableDualInputModel(
-        reference, other, direction, axes,
-        np.asarray(payload["delay_table"]),
-        np.asarray(payload["ttime_table"]),
+    delay_table = np.asarray(payload["delay_table"], dtype=float)
+    ttime_table = np.asarray(payload["ttime_table"], dtype=float)
+    delay_table, filled_d = neighbor_fill(delay_table)
+    ttime_table, filled_t = neighbor_fill(ttime_table)
+    model = TableDualInputModel(
+        reference, other, direction, axes, delay_table, ttime_table,
     )
+    model.health = HealthReport(
+        label=f"dual {gate.name}:{reference}->{other}/{direction}",
+        total_points=grid.n_points,
+        failed=tuple(
+            FailedPoint(index=int(f["index"]), kind=f["kind"],
+                        message=f["message"], coords=dict(f["coords"]))
+            for f in payload.get("failed_points", ())
+        ),
+        filled=filled_d + filled_t,
+    )
+    return model

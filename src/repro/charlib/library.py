@@ -37,6 +37,7 @@ from ..models import (
     TableDualInputModel,
     TableSingleInputModel,
 )
+from ..resilience import HealthReport
 from ..vtc import select_thresholds, vtc_family
 from ..vtc.thresholds import VtcCurve, analyze_vtc
 from ..waveform import FALL, RISE, Thresholds, normalize_direction
@@ -139,6 +140,36 @@ class GateLibrary:
     @property
     def dual_keys(self) -> List[Tuple[str, str, str]]:
         return sorted(self._duals)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health_reports(self) -> List[HealthReport]:
+        """The per-sweep :class:`~repro.resilience.HealthReport` s.
+
+        One report per table-backed model that carries one (degraded or
+        clean); oracle models and models loaded from pre-resilience
+        payloads contribute nothing.
+        """
+        reports = []
+        for key in self.single_keys:
+            model = self._singles[key]
+            if getattr(model, "health", None) is not None:
+                reports.append(model.health)
+        for key in self.dual_keys:
+            model = self._duals[key]
+            if getattr(model, "health", None) is not None:
+                reports.append(model.health)
+        return reports
+
+    @property
+    def healthy(self) -> bool:
+        """True when no characterization sweep lost a grid point."""
+        return all(report.ok for report in self.health_reports())
+
+    def health_summary(self) -> str:
+        """A printable summary of every sweep's outcome (CLI uses this)."""
+        return HealthReport.summarize(self.health_reports())
 
     # ------------------------------------------------------------------
     # Characterization

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
-from ..errors import MeasurementError
+from ..errors import ConvergenceError, MeasurementError
 from ..gates import Gate
 from ..spice import transient
 from ..units import parse_quantity
@@ -115,7 +115,8 @@ def multi_input_response(gate: Gate, edges: Mapping[str, Edge],
                          thresholds: Thresholds, *,
                          reference: Optional[str] = None,
                          load: Optional[float | str] = None,
-                         max_retries: int = 3) -> MultiShot:
+                         max_retries: int = 3,
+                         retry=None) -> MultiShot:
     """Simulate the gate with the given edges and measure the response.
 
     All edges must share one direction (the proximity case); opposite
@@ -130,6 +131,12 @@ def multi_input_response(gate: Gate, edges: Mapping[str, Edge],
     set.  The transient window is sized from
     :func:`estimate_settle_time` and doubled on incomplete measurements,
     up to ``max_retries`` times.
+
+    ``retry`` is forwarded to :func:`repro.spice.transient` as its
+    solver retry ladder (see :class:`~repro.resilience.RetryPolicy`); a
+    solve that exhausts the ladder re-raises its
+    :class:`~repro.errors.ConvergenceError` enriched with which gate and
+    edges were being measured, so a health report can name the point.
     """
     if not edges:
         raise MeasurementError("multi_input_response needs at least one edge")
@@ -151,7 +158,18 @@ def multi_input_response(gate: Gate, edges: Mapping[str, Edge],
     last_error: Optional[MeasurementError] = None
     for attempt in range(max_retries):
         t_stop = last_end + settle * (2.0 ** attempt)
-        result = transient(circuit, t_stop, record=[gate.output])
+        try:
+            result = transient(circuit, t_stop, record=[gate.output],
+                               retry=retry)
+        except ConvergenceError as exc:
+            edges_text = ", ".join(
+                f"{name}:{edge.direction}@tau={edge.tau:g}s"
+                for name, edge in edges.items()
+            )
+            raise ConvergenceError(
+                f"simulation of {gate.name!r} ({edges_text}) failed: {exc}",
+                iterations=exc.iterations, residual=exc.residual,
+            ) from exc
         output = result.node(gate.output)
         try:
             delay = gate_delay(
@@ -179,16 +197,20 @@ def multi_input_response(gate: Gate, edges: Mapping[str, Edge],
 
 def single_input_response(gate: Gate, input_name: str, direction: str,
                           tau: float | str, thresholds: Thresholds, *,
-                          load: Optional[float | str] = None) -> SingleShot:
+                          load: Optional[float | str] = None,
+                          retry=None) -> SingleShot:
     """Simulate one switching input (others sensitizing) and measure.
 
     The edge's threshold crossing is placed at a comfortable margin after
     t=0; the reported delay/transition time are position-independent.
+    ``retry`` forwards the solver retry ladder, as in
+    :func:`multi_input_response`.
     """
     tau_s = parse_quantity(tau, unit="s")
     edge = Edge(direction, t_cross=0.0, tau=tau_s)
     shot = multi_input_response(
         gate, {input_name: edge}, thresholds, reference=input_name, load=load,
+        retry=retry,
     )
     cl = gate.load if load is None else parse_quantity(load, unit="F")
     return SingleShot(

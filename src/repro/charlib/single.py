@@ -26,7 +26,9 @@ import numpy as np
 from ..errors import CharacterizationError
 from ..gates import Gate
 from ..models.single import TableSingleInputModel
-from ..parallel import parallel_map
+from ..resilience import faults
+from ..resilience.health import FailedPoint, HealthReport
+from ..resilience.runtime import resilient_map, resolve_resume
 from ..units import parse_quantity
 from ..waveform import RISE, Thresholds, normalize_direction
 from .cache import CharacterizationCache, default_cache
@@ -81,7 +83,8 @@ def drive_strength(gate: Gate, input_name: str, direction: str) -> float:
 
 def _sample_task(task):
     """Worker: one (load, tau) sweep sample, normalized by tau."""
-    gate, input_name, direction, tau, thresholds, load = task
+    index, gate, input_name, direction, tau, thresholds, load = task
+    faults.fire_point("single", index)
     shot = single_input_response(
         gate, input_name, direction, tau, thresholds, load=load,
     )
@@ -100,6 +103,15 @@ def characterize_single_input(
     content key.  ``workers`` fans the independent (load, tau) sweep
     points over a process pool; samples merge back in sweep order, so
     the table is bit-identical to a serial run.
+
+    The sweep **degrades gracefully**: a point whose simulation fails
+    (convergence loss past the retry ladder, a crashed worker, a task
+    timeout) becomes a NaN sample that the table build drops, and the
+    loss is recorded in the model's :class:`HealthReport`
+    (``model.health``) and in the cached payload's ``failed_points``.
+    Completed points are journaled as the sweep runs; under ``--resume``
+    (``REPRO_RESUME=1``) an interrupted or degraded sweep recomputes
+    only its missing points.
     """
     direction = normalize_direction(direction)
     if input_name not in gate.inputs:
@@ -114,23 +126,40 @@ def characterize_single_input(
         "vih": thresholds.vih,
         **grid.key(),
     }
+    key["schema_single"] = 2  # c_par-fitted drive factor
+    points = [(gate.load * factor, tau)
+              for factor in grid.load_factors for tau in grid.taus]
 
     def compute() -> dict:
         k_drive = drive_strength(gate, input_name, direction)
-        points = [(gate.load * factor, tau)
-                  for factor in grid.load_factors for tau in grid.taus]
-        shots = parallel_map(
+        shots, task_failures = resilient_map(
             _sample_task,
-            [(gate, input_name, direction, tau, thresholds, load)
-             for load, tau in points],
-            workers=workers,
+            [(index, gate, input_name, direction, tau, thresholds, load)
+             for index, (load, tau) in enumerate(points)],
+            journal_kind="single", journal_key=key,
+            directory=cache.directory, workers=workers, decode=tuple,
         )
+        failed = []
+        for failure in task_failures:
+            load, tau = points[failure.index]
+            shots[failure.index] = (float("nan"), float("nan"))
+            failed.append({
+                "index": failure.index, "kind": failure.kind,
+                "message": failure.message,
+                "coords": {"load": load, "tau": tau},
+            })
+        if len(failed) == len(points):
+            raise CharacterizationError(
+                f"single-input sweep for {gate.name!r} "
+                f"({input_name}/{direction}) lost all {len(points)} points"
+            )
         samples = [  # (load, tau, delay_norm, ttime_norm)
             (load, tau, delay_norm, ttime_norm)
             for (load, tau), (delay_norm, ttime_norm) in zip(points, shots)
         ]
+        finite = [s for s in samples if np.isfinite(s[2])]
         c_par = _fit_effective_parasitic(
-            samples, k_drive, gate.process.vdd,
+            finite, k_drive, gate.process.vdd,
         ) if len(grid.load_factors) > 1 else 0.0
         denominator = k_drive * gate.process.vdd
         return {
@@ -140,19 +169,42 @@ def characterize_single_input(
             "ttime_norm": [t for _, _, _, t in samples],
             "k_drive": k_drive,
             "c_par": c_par,
+            "failed_points": failed,
         }
 
-    key["schema_single"] = 2  # c_par-fitted drive factor
     payload = cache.get_or_compute("single", key, compute)
-    u, d, t = _merge_duplicates(
-        np.asarray(payload["u"]), np.asarray(payload["delay_norm"]),
-        np.asarray(payload["ttime_norm"]),
-    )
-    return TableSingleInputModel(
+    if payload.get("failed_points") and resolve_resume():
+        # A degraded cached sweep + --resume: recompute just the missing
+        # points (the journal still holds the completed ones) and
+        # replace the cache entry with the repaired payload.
+        payload = compute()
+        cache.store("single", key, payload)
+
+    u = np.asarray(payload["u"])
+    d = np.asarray(payload["delay_norm"])
+    t = np.asarray(payload["ttime_norm"])
+    keep = np.isfinite(d) & np.isfinite(t)
+    if keep.sum() < 2:
+        raise CharacterizationError(
+            f"single-input sweep for {gate.name!r} ({input_name}/{direction}) "
+            f"has fewer than 2 surviving points; re-run with --resume"
+        )
+    u, d, t = _merge_duplicates(u[keep], d[keep], t[keep])
+    model = TableSingleInputModel(
         input_name, direction, u, d, t,
         k_drive=float(payload["k_drive"]), vdd=gate.process.vdd,
         char_load=gate.load, c_par=float(payload.get("c_par", 0.0)),
     )
+    model.health = HealthReport(
+        label=f"single {gate.name}:{input_name}/{direction}",
+        total_points=len(points),
+        failed=tuple(
+            FailedPoint(index=int(f["index"]), kind=f["kind"],
+                        message=f["message"], coords=dict(f["coords"]))
+            for f in payload.get("failed_points", ())
+        ),
+    )
+    return model
 
 
 def _fit_effective_parasitic(samples, k_drive: float, vdd: float) -> float:

@@ -63,6 +63,44 @@ def _add_workers_option(parser: argparse.ArgumentParser) -> None:
              "cores; results are identical for any worker count)")
 
 
+def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retry", type=int, default=None, metavar="N",
+        help="solver retry-ladder attempts per solve (default: REPRO_RETRY "
+             "env var, else 3; 1 disables escalation)")
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task timeout for parallel simulations (default: "
+             "REPRO_TASK_TIMEOUT env var, else none); a timed-out grid "
+             "point is recorded in the health report, not fatal")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume interrupted/degraded sweeps from their progress "
+             "journals, recomputing only missing points")
+
+
+def _apply_resilience_options(args: argparse.Namespace) -> None:
+    """Publish the resilience flags as environment variables.
+
+    The env route (rather than argument threading) is deliberate: worker
+    processes inherit the environment, so ``--retry`` and
+    ``--task-timeout`` reach every fanned-out simulation exactly like
+    ``REPRO_WORKERS`` and ``REPRO_CACHE_DIR`` do.
+    """
+    import os
+
+    from .parallel import TIMEOUT_ENV_VAR
+    from .resilience.retry import RETRY_ENV_VAR
+    from .resilience.runtime import RESUME_ENV_VAR
+
+    if getattr(args, "retry", None) is not None:
+        os.environ[RETRY_ENV_VAR] = str(args.retry)
+    if getattr(args, "task_timeout", None) is not None:
+        os.environ[TIMEOUT_ENV_VAR] = str(args.task_timeout)
+    if getattr(args, "resume", False):
+        os.environ[RESUME_ENV_VAR] = "1"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -85,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_char = sub.add_parser("characterize", help="build + save a table library")
     _add_gate_options(p_char)
     _add_workers_option(p_char)
+    _add_resilience_options(p_char)
     p_char.add_argument("--output", required=True, help="JSON file to write")
     p_char.add_argument("--fast", action="store_true",
                         help="use the small demo grids")
@@ -92,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_val = sub.add_parser("validate", help="Table 5-1 validation run")
     _add_gate_options(p_val)
     _add_workers_option(p_val)
+    _add_resilience_options(p_val)
     p_val.add_argument("--configs", type=int, default=100)
     p_val.add_argument("--seed", type=int, default=1996)
 
@@ -102,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--quick", action="store_true",
                        help="reduced sweep sizes for a fast look")
     _add_workers_option(p_exp)
+    _add_resilience_options(p_exp)
 
     p_glitch = sub.add_parser("glitch", help="Section-6 inertial delay")
     _add_gate_options(p_glitch)
@@ -164,6 +205,7 @@ def _cmd_delay(args: argparse.Namespace) -> int:
 def _cmd_characterize(args: argparse.Namespace) -> int:
     from .charlib import DualInputGrid, SingleInputGrid
 
+    _apply_resilience_options(args)
     gate = _gate_from_args(args)
     kwargs = {}
     if args.fast:
@@ -174,12 +216,14 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     library.save(args.output)
     print(f"wrote {args.output}: thresholds {library.thresholds.describe()}, "
           f"{len(library.single_keys)} single + {len(library.dual_keys)} dual models")
+    print(library.health_summary())
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .experiments import table5_1
 
+    _apply_resilience_options(args)
     process = PROCESSES[args.process]()
     result = table5_1.run(process, n_configs=args.configs, seed=args.seed,
                           load=parse_quantity(args.load, unit="F"),
@@ -191,6 +235,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from . import experiments as ex
 
+    _apply_resilience_options(args)
     quick = args.quick
     if args.id in ("e1", "e2"):
         direction = "fall" if args.id == "e1" else "rise"

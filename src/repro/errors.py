@@ -14,6 +14,8 @@ still being able to distinguish the major failure classes:
 * :class:`ModelError` -- macromodel evaluation outside its valid region.
 * :class:`TimingError` -- gate-level timing graph problems (combinational
   cycles, dangling pins).
+* :class:`TaskError` -- a parallel task was lost to a crash or timeout
+  (raised only in ``on_error="raise"`` mode, see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -49,6 +51,17 @@ class ConvergenceError(ReproError, RuntimeError):
         self.iterations = iterations
         self.residual = residual
 
+    def __reduce__(self):
+        """Preserve the diagnostic attributes across pickling.
+
+        The default exception reduction re-invokes ``__init__`` with
+        ``args`` only, which silently drops the keyword-only
+        ``iterations``/``residual`` payload whenever the error crosses a
+        process-pool boundary.  Ship them as explicit state instead.
+        """
+        state = {"iterations": self.iterations, "residual": self.residual}
+        return (self.__class__, self.args, state)
+
 
 class MeasurementError(ReproError, ValueError):
     """A waveform measurement (crossing, delay, transition time) failed."""
@@ -64,3 +77,15 @@ class ModelError(ReproError, ValueError):
 
 class TimingError(ReproError, ValueError):
     """A gate-level timing analysis problem (cycles, unknown nets...)."""
+
+
+class TaskError(ReproError, RuntimeError):
+    """A parallel task was lost to a worker crash or a task timeout.
+
+    Raised by :func:`repro.parallel.parallel_map` in ``on_error="raise"``
+    mode when a task has no ordinary exception to propagate: the worker
+    process died (repeatedly, past the bounded resubmission budget) or
+    the task exceeded its per-task timeout.  In ``on_error="collect"``
+    mode the same condition is reported as a
+    :class:`~repro.parallel.TaskFailure` record instead.
+    """

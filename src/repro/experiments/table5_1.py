@@ -30,9 +30,10 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..charlib.cache import default_cache
 from ..core import DelayCalculator
 from ..core.algorithm import CorrectionPolicy
-from ..parallel import parallel_map
+from ..resilience.runtime import resilient_map
 from ..tech import Process
 from ..waveform import Edge, FALL
 from ..charlib.simulate import multi_input_response
@@ -67,6 +68,25 @@ class ValidationCase:
     @property
     def ttime_error_pct(self) -> float:
         return (self.model_ttime - self.sim_ttime) / self.sim_ttime * 100.0
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON form for the progress journal (floats round-trip by repr)."""
+        return {
+            "taus": self.taus, "seps": self.seps, "reference": self.reference,
+            "model_delay": self.model_delay, "model_ttime": self.model_ttime,
+            "sim_delay": self.sim_delay, "sim_ttime": self.sim_ttime,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ValidationCase":
+        return cls(
+            taus=dict(payload["taus"]), seps=dict(payload["seps"]),
+            reference=str(payload["reference"]),
+            model_delay=float(payload["model_delay"]),
+            model_ttime=float(payload["model_ttime"]),
+            sim_delay=float(payload["sim_delay"]),
+            sim_ttime=float(payload["sim_ttime"]),
+        )
 
 
 @dataclass
@@ -163,6 +183,15 @@ def run(process: Optional[Process] = None, *,
     ``workers`` fans the independent configurations over a process pool
     (see :mod:`repro.parallel`); cases merge back in generation order,
     so the statistics are bit-identical to a serial run.
+
+    Completed configurations are journaled into the characterization
+    cache directory as they land, keyed by the full experiment identity
+    (process, load, count, seed, direction, mode, correction): a run
+    killed at configuration 70/100 and re-invoked under ``--resume``
+    (``REPRO_RESUME=1``) replays the finished 70 and simulates only the
+    remaining 30.  A case that fails still aborts the experiment -- a
+    validation with holes would misreport the error statistics -- but
+    the journal survives the abort, so the fix-and-resume loop is cheap.
     """
     gate = paper_gate(process, load=load)
     thresholds = paper_thresholds(process, load=load)
@@ -170,13 +199,31 @@ def run(process: Optional[Process] = None, *,
         process, mode=mode, load=load, correction=correction,
         characterize_kwargs=characterize_kwargs,
     )
-    results: List[ValidationCase] = parallel_map(
+    correction_value = str(CorrectionPolicy(correction).value)
+    journal_key = {
+        **gate.cache_key(),
+        "experiment": "table5_1",
+        "n_configs": n_configs,
+        "seed": seed,
+        "direction": direction,
+        "mode": mode,
+        "correction": correction_value,
+    }
+    # A caller-supplied calculator has no content identity to key a
+    # journal on; journaling is disabled rather than risking a replay
+    # of another calculator's cases.
+    journal_dir = None if calculator is not None else default_cache().directory
+    results, _failures = resilient_map(
         _evaluate_case,
         [(calc, gate, thresholds, direction, config)
          for config in random_cases(n_configs, seed)],
-        workers=workers,
+        journal_kind="exp-table5_1", journal_key=journal_key,
+        directory=journal_dir,
+        workers=workers, on_error="raise",
+        encode=ValidationCase.to_payload,
+        decode=ValidationCase.from_payload,
     )
     return Table51Result(
-        cases=results, direction=direction, mode=mode,
-        correction=str(CorrectionPolicy(correction).value),
+        cases=list(results), direction=direction, mode=mode,
+        correction=correction_value,
     )

@@ -24,6 +24,10 @@ class SingleInputModel(ABC):
     input_name: str
     #: Input transition direction ("rise"/"fall").
     direction: str
+    #: Sweep outcome accounting (:class:`repro.resilience.HealthReport`)
+    #: for table-backed models built by a degraded characterization run;
+    #: ``None`` for oracle models and pre-resilience payloads.
+    health = None
 
     @abstractmethod
     def delay(self, tau: float, load: Optional[float] = None) -> float:
@@ -52,6 +56,9 @@ class DualInputModel(ABC):
     other: str
     #: Shared input transition direction.
     direction: str
+    #: Sweep outcome accounting (:class:`repro.resilience.HealthReport`);
+    #: see :class:`SingleInputModel.health`.
+    health = None
 
     @abstractmethod
     def delay_ratio(self, tau_ref: float, tau_other: float, sep: float, *,

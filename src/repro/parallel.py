@@ -1,9 +1,11 @@
-"""Process-pool fan-out for the embarrassingly parallel hot paths.
+"""Fault-tolerant process-pool fan-out for the embarrassingly parallel
+hot paths.
 
 Characterization sweeps, oracle prefetches and experiment populations
 are all lists of independent transient simulations; this module gives
 them one shared execution primitive, :func:`parallel_map`, built on
-:class:`concurrent.futures.ProcessPoolExecutor`.
+:class:`concurrent.futures.ProcessPoolExecutor` with per-future
+submission so that one bad task can no longer take the sweep down.
 
 Design rules, enforced here so every call site inherits them:
 
@@ -15,31 +17,77 @@ Design rules, enforced here so every call site inherits them:
 * **Deterministic merge.**  Results always come back in input order
   regardless of completion order, so a parallel run produces tables
   bit-identical to a serial run of the same work list.
+* **Fault containment.**  Each item is its own future.  A worker that
+  dies (:class:`~concurrent.futures.process.BrokenProcessPool`) triggers
+  an automatic pool rebuild and resubmission of the in-flight tasks,
+  bounded by ``pool_retries`` per task; a task that exceeds the per-task
+  ``timeout`` is abandoned and the pool rebuilt (a hung worker cannot be
+  interrupted, only replaced).  With ``on_error="collect"`` every lost
+  or failing task yields an ordered :class:`TaskFailure` record in its
+  result slot instead of aborting the sweep.
 * **Picklable tasks.**  Worker functions must be module-level and their
   arguments picklable; every call site in :mod:`repro` ships plain
   dataclasses (gates, edges, thresholds) that satisfy this.
 
 Worker processes inherit the environment, so ``REPRO_CACHE_DIR``
-redirection applies to them too; concurrent cache writes are safe
-because :meth:`repro.charlib.cache.CharacterizationCache.store` stages
-each write in a unique per-writer temp file before its atomic rename.
+redirection, the ``REPRO_RETRY`` solver ladder and the ``REPRO_FAULTS``
+fault-injection plan (see :mod:`repro.resilience.faults`) all apply to
+them too; concurrent cache writes are safe because
+:meth:`repro.charlib.cache.CharacterizationCache.store` stages each
+write in a unique per-writer temp file before its atomic rename.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from time import monotonic
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar, Union
 
-from .errors import ReproError
+from .errors import ReproError, TaskError
+from .resilience import faults
 
-__all__ = ["WORKERS_ENV_VAR", "resolve_workers", "parallel_map"]
+__all__ = [
+    "WORKERS_ENV_VAR", "TIMEOUT_ENV_VAR", "TaskFailure",
+    "resolve_workers", "resolve_timeout", "parallel_map",
+]
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
+#: Environment variable consulted when no explicit task timeout is given.
+TIMEOUT_ENV_VAR = "REPRO_TASK_TIMEOUT"
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """The ordered record of one task the sweep could not complete.
+
+    In ``on_error="collect"`` mode, :func:`parallel_map` puts one of
+    these in the failed task's result slot (results stay input-ordered).
+    ``kind`` is ``"error"`` (the task raised; ``exception`` holds it),
+    ``"timeout"`` (exceeded the per-task timeout) or ``"crash"`` (its
+    worker died past the resubmission budget).  ``attempts`` counts pool
+    rebuild resubmissions the task consumed.
+    """
+
+    index: int
+    kind: str
+    message: str
+    error_type: str = ""
+    attempts: int = 1
+    exception: Optional[BaseException] = None
+
+    def describe(self) -> str:
+        """One line suitable for logs and health reports."""
+        label = f"{self.kind}:{self.error_type}" if self.error_type else self.kind
+        return f"task {self.index} [{label}] {self.message}"
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -66,20 +114,242 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
+def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """The effective per-task timeout in seconds (``None`` = no limit).
+
+    Resolution order: the explicit ``timeout`` argument, then the
+    ``REPRO_TASK_TIMEOUT`` environment variable, then no limit.  Zero
+    and negative values disable the limit.
+    """
+    if timeout is None:
+        env = os.environ.get(TIMEOUT_ENV_VAR, "").strip()
+        if not env:
+            return None
+        try:
+            timeout = float(env)
+        except ValueError:
+            raise ReproError(
+                f"{TIMEOUT_ENV_VAR} must be a number of seconds, got {env!r}"
+            ) from None
+    timeout = float(timeout)
+    return timeout if timeout > 0 else None
+
+
+def _invoke(fn: Callable[[T], R], index: int, item: T) -> R:
+    """Worker-side task wrapper: the fault-injection seam.
+
+    ``crash`` and ``hang`` faults (:mod:`repro.resilience.faults`) fire
+    here, addressed by task index -- only on the pool path, since they
+    model *worker* failures.
+    """
+    faults.fire_task(index)
+    return fn(item)
+
+
 def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
                  workers: Optional[int] = None,
-                 chunksize: int = 1) -> List[R]:
+                 chunksize: int = 1,
+                 timeout: Optional[float] = None,
+                 on_error: str = "raise",
+                 pool_retries: int = 2,
+                 on_result: Optional[Callable[[int, R], None]] = None,
+                 ) -> List[Union[R, TaskFailure]]:
     """Map ``fn`` over ``items``, returning results in input order.
 
     With a resolved worker count of 0 or 1 (the default), this is a
     plain in-process loop -- same objects, same call order, no pickling.
-    Otherwise the items fan out over a process pool; ``fn`` must then be
-    a module-level function and every item picklable.  Worker exceptions
-    propagate to the caller either way.
+    Otherwise each item is submitted as its own future over a process
+    pool; ``fn`` must then be a module-level function and every item
+    picklable.
+
+    ``timeout`` (or ``REPRO_TASK_TIMEOUT``) bounds each task's run time
+    on the pool path; a task past its deadline is abandoned and the pool
+    rebuilt, since a hung worker can only be replaced, not interrupted.
+    (The serial path cannot preempt a running call, so timeouts apply
+    only when fanned out.)  A worker crash rebuilds the pool and
+    resubmits the in-flight tasks up to ``pool_retries`` extra attempts
+    each.
+
+    ``on_error="raise"`` (the default) propagates the first task
+    exception -- or raises :class:`~repro.errors.TaskError` for crashes
+    and timeouts, which have no exception object -- exactly like the
+    pre-resilience behavior.  ``on_error="collect"`` never aborts: each
+    lost task's slot holds an ordered :class:`TaskFailure` record and
+    every other slot its real result.
+
+    ``on_result(index, value)`` is called in the parent process as each
+    task completes (in completion order); the progress journal hooks in
+    here.  ``chunksize`` is accepted for backward compatibility but
+    ignored -- per-future submission is what makes fault containment and
+    timeouts possible.
     """
+    del chunksize  # per-future submission supersedes chunked pool.map
+    if on_error not in ("raise", "collect"):
+        raise ReproError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
     items = list(items)
     count = resolve_workers(workers)
+    limit = resolve_timeout(timeout)
     if count <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(count, len(items))) as pool:
-        return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+        return _serial_map(fn, items, on_error, on_result)
+    return _pool_map(fn, items, min(count, len(items)), limit, on_error,
+                     max(0, int(pool_retries)), on_result)
+
+
+def _serial_map(fn, items, on_error, on_result):
+    results: List = []
+    for index, item in enumerate(items):
+        try:
+            value = fn(item)
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            results.append(TaskFailure(
+                index=index, kind="error", message=str(exc),
+                error_type=type(exc).__name__, exception=exc,
+            ))
+            continue
+        if on_result is not None:
+            on_result(index, value)
+        results.append(value)
+    return results
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting, terminating stuck workers.
+
+    After a timeout or crash the old pool may hold hung or dying
+    processes; ``terminate`` guarantees they release their cores and do
+    not stall interpreter exit.  (``_processes`` is executor-internal
+    but stable across supported Python versions; degrade gracefully if
+    it ever disappears.)
+    """
+    internal = getattr(pool, "_processes", None)
+    processes = list(internal.values()) if isinstance(internal, dict) else []
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+_PENDING = object()
+
+
+def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
+    n = len(items)
+    results: List = [_PENDING] * n
+    attempts = [0] * n
+    queue = deque(range(n))  # unsubmitted task indices, ascending
+    pool = ProcessPoolExecutor(max_workers=count)
+    inflight: Dict[object, int] = {}       # future -> task index
+    deadlines: Dict[object, float] = {}    # future -> abs deadline
+
+    def fail(index: int, kind: str, message: str, *,
+             error_type: str = "", exception=None, runs: int = 0) -> None:
+        if on_error == "raise":
+            if exception is not None:
+                raise exception
+            raise TaskError(f"task {index} {kind}: {message}")
+        # `attempts[index]` counts crashed runs; an error/timeout failure
+        # happened on one further run, a crash failure did not.
+        results[index] = TaskFailure(
+            index=index, kind=kind, message=message, error_type=error_type,
+            attempts=runs or attempts[index] + 1, exception=exception,
+        )
+
+    def recycle_inflight(*, broken: bool) -> None:
+        """Requeue in-flight tasks around a pool rebuild.
+
+        After a crash (``broken=True``) each resubmission consumes one
+        of the task's ``pool_retries`` attempts -- a task that keeps
+        killing workers must eventually be declared lost, not retried
+        forever.  After a timeout the surviving in-flight tasks are
+        innocent bystanders and resubmit for free.
+        """
+        indices = sorted(inflight.values())
+        inflight.clear()
+        deadlines.clear()
+        for index in reversed(indices):  # appendleft keeps ascending order
+            if broken:
+                attempts[index] += 1
+                if attempts[index] > pool_retries:
+                    fail(index, "crash",
+                         f"worker process died {attempts[index]} times "
+                         f"running this task", runs=attempts[index])
+                    continue
+            queue.appendleft(index)
+
+    try:
+        while queue or inflight:
+            # Keep exactly `count` tasks in flight: a submitted task
+            # starts (almost) immediately, which is what makes the
+            # submission-time deadline a faithful per-task timeout.
+            rebuild = False
+            while queue and len(inflight) < count:
+                index = queue.popleft()
+                try:
+                    future = pool.submit(_invoke, fn, index, items[index])
+                except BrokenProcessPool:
+                    queue.appendleft(index)
+                    rebuild = True
+                    break
+                inflight[future] = index
+                if limit is not None:
+                    deadlines[future] = monotonic() + limit
+            if rebuild:
+                recycle_inflight(broken=True)
+                _shutdown_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=count)
+                continue
+
+            wait_for = None
+            if deadlines:
+                wait_for = max(0.0, min(deadlines.values()) - monotonic())
+            done, _ = wait(set(inflight), timeout=wait_for,
+                           return_when=FIRST_COMPLETED)
+
+            broken = False
+            for future in done:
+                index = inflight.pop(future)
+                deadlines.pop(future, None)
+                exc = future.exception()
+                if exc is None:
+                    value = future.result()
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+                elif isinstance(exc, BrokenProcessPool):
+                    # Victim of a died worker; requeue with the rest.
+                    inflight[future] = index
+                    broken = True
+                else:
+                    fail(index, "error", str(exc),
+                         error_type=type(exc).__name__, exception=exc)
+            if broken:
+                recycle_inflight(broken=True)
+                _shutdown_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=count)
+                continue
+
+            if limit is not None and deadlines:
+                now = monotonic()
+                expired = [f for f, deadline in deadlines.items()
+                           if deadline <= now]
+                if expired:
+                    for future in expired:
+                        index = inflight.pop(future)
+                        deadlines.pop(future, None)
+                        fail(index, "timeout",
+                             f"exceeded the {limit:g}s task timeout")
+                    # The hung workers still occupy pool slots; replace
+                    # the pool and resubmit the innocent in-flight tasks.
+                    recycle_inflight(broken=False)
+                    _shutdown_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=count)
+    finally:
+        _shutdown_pool(pool)
+
+    assert all(slot is not _PENDING for slot in results)
+    return results

@@ -1,0 +1,65 @@
+"""Resilient characterization runtime: retry ladders, fault injection,
+checkpoint/resume and graceful degradation.
+
+A production characterization farm runs tens of thousands of transient
+solves across many worker processes; at that scale convergence failures,
+crashed workers, hung solves and torn cache writes are routine, not
+exceptional.  This package concentrates the recovery machinery:
+
+:mod:`~repro.resilience.retry`
+    :class:`RetryPolicy` -- the deterministic gmin/damping/timestep
+    escalation ladder the DC and transient solvers re-run under after a
+    :class:`~repro.errors.ConvergenceError`.
+:mod:`~repro.resilience.health`
+    :class:`FailedPoint` / :class:`HealthReport` -- per-sweep accounting
+    of lost grid points, and :func:`neighbor_fill` which repairs the
+    interpolation tables those losses puncture.
+:mod:`~repro.resilience.journal`
+    :class:`ProgressJournal` -- the per-point JSON-lines checkpoint that
+    lets an interrupted sweep resume instead of restarting.
+:mod:`~repro.resilience.faults`
+    :class:`FaultInjection` and the ``REPRO_FAULTS`` plan grammar --
+    deterministic injection of convergence failures, worker crashes,
+    task hangs and cache corruption, so every recovery path above is
+    testable on demand.
+:mod:`~repro.resilience.runtime`
+    :func:`~repro.resilience.runtime.resilient_map` -- the journaled,
+    failure-collecting fan-out the characterization sweeps are built on.
+    Import it as ``repro.resilience.runtime`` (not re-exported here:
+    it sits above :mod:`repro.parallel`, which imports this package's
+    fault hooks, and re-exporting it would close that cycle).
+"""
+
+from .faults import (
+    FAULTS_ENV_VAR,
+    HANG_ENV_VAR,
+    STATE_ENV_VAR,
+    FaultInjection,
+    FaultSpec,
+    parse_faults,
+)
+from .health import FailedPoint, HealthReport, neighbor_fill
+from .journal import ProgressJournal
+from .retry import (
+    DEFAULT_MAX_ATTEMPTS,
+    RETRY_ENV_VAR,
+    AttemptRecord,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "STATE_ENV_VAR",
+    "HANG_ENV_VAR",
+    "RETRY_ENV_VAR",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FaultSpec",
+    "FaultInjection",
+    "parse_faults",
+    "AttemptRecord",
+    "RetryPolicy",
+    "FailedPoint",
+    "HealthReport",
+    "neighbor_fill",
+    "ProgressJournal",
+]

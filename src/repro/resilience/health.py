@@ -1,0 +1,134 @@
+"""Graceful-degradation bookkeeping: failed grid points and table health.
+
+When a characterization sweep loses grid points (persistent convergence
+failure, a crashed worker past its resubmission budget, a task timeout),
+the sweep no longer aborts: the lost cells become NaN, the interpolator
+input is repaired by :func:`neighbor_fill`, and a :class:`HealthReport`
+listing exactly what was lost rides along on the built model.  Callers
+that need hard guarantees check ``report.ok``; callers that prefer a
+degraded table over no table read the filled values knowing which cells
+are first-class measurements and which are neighbor estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CharacterizationError
+
+__all__ = ["FailedPoint", "HealthReport", "neighbor_fill"]
+
+
+@dataclass(frozen=True)
+class FailedPoint:
+    """One characterization grid point that produced no measurement.
+
+    ``index`` is the flat sweep index (the order points were submitted
+    in); ``coords`` names the physical/normalized coordinates of the
+    point (``tau``/``load`` for single-input sweeps, ``tau_ref``/``a2``/
+    ``a3`` for dual); ``kind`` is the failure class recorded by the
+    parallel runtime (``error``, ``timeout`` or ``crash``).
+    """
+
+    index: int
+    kind: str
+    message: str
+    coords: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One line: where the point sits and why it was lost."""
+        where = ", ".join(f"{k}={v:g}" for k, v in self.coords.items())
+        return f"point {self.index} ({where}): {self.kind}: {self.message}"
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Outcome accounting for one characterization sweep.
+
+    Attached to built tables as ``model.health``; aggregated per library
+    by :meth:`repro.charlib.GateLibrary.health_reports`.  ``filled`` is
+    the number of table cells replaced by neighbor estimates (for a
+    dual-input sweep each failed point fills one cell in two tables, so
+    ``filled == 2 * len(failed)`` there).
+    """
+
+    label: str
+    total_points: int
+    failed: Tuple[FailedPoint, ...] = ()
+    filled: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed)
+
+    def describe(self) -> str:
+        """A human-readable summary, one line per failed point."""
+        head = (
+            f"{self.label}: {self.total_points - self.n_failed}/"
+            f"{self.total_points} points ok"
+        )
+        if self.ok:
+            return head
+        lines = [head + f", {self.n_failed} failed"
+                 + (f", {self.filled} cells neighbor-filled" if self.filled else "")]
+        lines.extend("  " + point.describe() for point in self.failed)
+        return "\n".join(lines)
+
+    @staticmethod
+    def summarize(reports: Sequence["HealthReport"]) -> str:
+        """A multi-sweep summary (used by the CLI after characterize)."""
+        if not reports:
+            return "characterization health: no sweeps recorded"
+        failed = sum(r.n_failed for r in reports)
+        total = sum(r.total_points for r in reports)
+        if failed == 0:
+            return (f"characterization health: OK "
+                    f"({total} points over {len(reports)} sweeps)")
+        lines = [f"characterization health: {failed}/{total} points failed"]
+        lines.extend(r.describe() for r in reports if not r.ok)
+        return "\n".join(lines)
+
+
+def neighbor_fill(table: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Replace NaN cells by iterated means of their axis neighbors.
+
+    Returns ``(filled_copy, n_filled)``.  Each pass replaces every NaN
+    that has at least one finite neighbor along any axis with the mean
+    of those neighbors; passes repeat until no NaN remains, so isolated
+    holes fill from all sides in one pass and larger gaps flood-fill
+    inward deterministically.  A table with no finite cell at all cannot
+    be repaired and raises :class:`~repro.errors.CharacterizationError`.
+    """
+    filled = np.array(table, dtype=float)
+    n_missing = int(np.isnan(filled).sum())
+    if n_missing == 0:
+        return filled, 0
+    if not np.isfinite(filled).any():
+        raise CharacterizationError(
+            "cannot neighbor-fill a table with no finite cells"
+        )
+    while True:
+        nan_mask = np.isnan(filled)
+        if not nan_mask.any():
+            break
+        sums = np.zeros_like(filled)
+        counts = np.zeros_like(filled)
+        for axis in range(filled.ndim):
+            for shift in (1, -1):
+                shifted = np.roll(filled, shift, axis=axis)
+                edge = [slice(None)] * filled.ndim
+                edge[axis] = 0 if shift == 1 else -1
+                shifted[tuple(edge)] = np.nan  # cancel the wrap-around
+                valid = ~np.isnan(shifted)
+                sums[valid] += shifted[valid]
+                counts[valid] += 1.0
+        fillable = nan_mask & (counts > 0)
+        filled[fillable] = sums[fillable] / counts[fillable]
+    return filled, n_missing

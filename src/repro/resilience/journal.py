@@ -1,0 +1,105 @@
+"""Per-point progress journaling for long characterization sweeps.
+
+A dual-input characterization is hundreds of transient solves; losing
+the whole sweep to a Ctrl-C, an OOM kill or a power cut is exactly the
+failure mode a production characterization farm cannot afford.  The
+journal is the fix: as each sweep point completes, its (index, result)
+pair is appended to a JSON-lines file in the cache directory, keyed by
+the same content hash as the sweep's cache entry -- so a journal can
+never be replayed against a different grid, process card or schema.
+
+On a ``--resume`` run the journal is read back (tolerating a torn final
+line, the normal consequence of being killed mid-append) and only the
+missing points are recomputed.  On a fresh run any stale journal for
+the key is truncated first.  Once the sweep completes cleanly, the
+journal is deleted -- the cache entry supersedes it.
+
+Results must round-trip through JSON; the sweeps store plain float
+tuples, and ``json`` serializes floats by ``repr``, so the replayed
+values are bit-identical to the originals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["ProgressJournal"]
+
+
+def _digest(key: Dict[str, Any]) -> str:
+    """Content hash of a journal key (canonical JSON, numpy-tolerant)."""
+
+    def jsonify(value: Any) -> Any:
+        if hasattr(value, "tolist"):
+            return value.tolist()
+        if hasattr(value, "item"):
+            return value.item()
+        raise TypeError(f"unserializable journal-key value {type(value).__name__}")
+
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"), default=jsonify)
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+class ProgressJournal:
+    """An append-only (index, result) log for one keyed sweep."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_key(cls, directory: str | Path, kind: str,
+                key: Dict[str, Any]) -> "ProgressJournal":
+        """The journal for a sweep identified by its cache kind + key."""
+        return cls(Path(directory) / f"journal-{kind}-{_digest(key)}.jsonl")
+
+    # ------------------------------------------------------------------
+    def load(self, decode: Optional[Callable[[Any], Any]] = None) -> Dict[int, Any]:
+        """Completed points recorded so far: flat index -> result.
+
+        Corrupt or truncated lines (the tail of a killed run) are
+        skipped; later records for the same index win, which makes
+        replay idempotent.
+        """
+        done: Dict[int, Any] = {}
+        if not self.path.exists():
+            return done
+        try:
+            with open(self.path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        index = int(entry["i"])
+                        value = entry["v"]
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        continue  # torn write; the point just reruns
+                    done[index] = decode(value) if decode is not None else value
+        except OSError:
+            return {}
+        return done
+
+    def record(self, index: int, value: Any) -> None:
+        """Append one completed point, durably (flush + fsync)."""
+        line = json.dumps({"i": index, "v": value}) + "\n"
+        with open(self.path, "a") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def clear(self) -> None:
+        """Delete the journal (the sweep completed, or a fresh start)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    @property
+    def completed_count(self) -> int:
+        """Number of distinct points currently recorded."""
+        return len(self.load())

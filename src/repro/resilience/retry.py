@@ -1,0 +1,133 @@
+"""The solver retry ladder: deterministic escalation on convergence loss.
+
+Production SPICE flows survive hard operating points by re-running the
+failed analysis on a *numerically easier* problem -- the HSPICE-style
+gmin/source-stepping escalation the paper's own Section-5 validation
+relied on.  :class:`RetryPolicy` captures that discipline for this
+library's solvers: when a DC or transient solve raises
+:class:`~repro.errors.ConvergenceError`, the analysis re-runs with
+
+* a raised convergence-aid ``gmin`` (each escalation multiplies it by
+  ``gmin_step``),
+* a larger Newton iteration budget (``iteration_step``),
+* stronger per-iteration voltage damping (``damping_step`` shrinks
+  ``max_step``), and
+* a halved initial timestep for transients (``timestep_step``).
+
+The schedule is a pure function of the attempt number, so a retried run
+is exactly reproducible; every engaged escalation is accounted for in
+:class:`~repro.spice.engine.NewtonStats` (``retries``) and, for
+transients, in the per-attempt :class:`AttemptRecord` log attached to
+the result.
+
+The default ladder is on everywhere (``DEFAULT_MAX_ATTEMPTS`` attempts
+per solve).  ``REPRO_RETRY`` overrides the attempt budget process-wide
+(workers inherit it); ``REPRO_RETRY=1`` disables escalation.  Fault-free
+solves converge on attempt 0 with unmodified options, so enabling the
+ladder never changes a healthy result.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from ..errors import ReproError
+
+__all__ = [
+    "RETRY_ENV_VAR", "DEFAULT_MAX_ATTEMPTS", "AttemptRecord", "RetryPolicy",
+]
+
+#: Environment variable overriding the per-solve attempt budget.
+RETRY_ENV_VAR = "REPRO_RETRY"
+
+#: Attempts per solve when neither an argument nor the env var says more.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """Accounting for one failed solve attempt inside the retry ladder.
+
+    Mirrors the diagnostics a :class:`~repro.errors.ConvergenceError`
+    carries, plus which rung of the ladder failed; transient results
+    expose the full log as ``retry_attempts``.
+    """
+
+    attempt: int
+    message: str
+    iterations: Optional[int] = None
+    residual: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic escalation schedule for failed solves.
+
+    ``max_attempts`` counts the *total* tries including the first;
+    attempt 0 always runs with the caller's unmodified options.  The
+    ``*_step`` factors compound per escalation: attempt ``k`` runs with
+    ``gmin * gmin_step**k``, ``max_iterations * iteration_step**k``,
+    ``max_step * damping_step**k`` and (for transients)
+    ``h_initial_ratio * timestep_step**k``.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    gmin_step: float = 100.0
+    iteration_step: float = 2.0
+    damping_step: float = 0.5
+    timestep_step: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError("RetryPolicy.max_attempts must be >= 1")
+
+    @classmethod
+    def resolve(cls, retry: Union["RetryPolicy", int, None] = None) -> "RetryPolicy":
+        """The effective policy for a solve call.
+
+        Resolution order: an explicit :class:`RetryPolicy`, an explicit
+        integer attempt budget, the ``REPRO_RETRY`` environment variable,
+        then the default ladder.
+        """
+        if isinstance(retry, RetryPolicy):
+            return retry
+        if retry is not None:
+            return cls(max_attempts=int(retry))
+        env = os.environ.get(RETRY_ENV_VAR, "").strip()
+        if env:
+            try:
+                return cls(max_attempts=int(env))
+            except ValueError:
+                raise ReproError(
+                    f"{RETRY_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        return cls()
+
+    # ------------------------------------------------------------------
+    # Escalation.  Both helpers are generic over any frozen dataclass
+    # exposing the named fields, which keeps this module free of imports
+    # from repro.spice (and therefore cycle-free).
+    # ------------------------------------------------------------------
+    def escalate_newton(self, options, attempt: int):
+        """Newton options for ladder rung ``attempt`` (0 = unchanged)."""
+        if attempt <= 0:
+            return options
+        return replace(
+            options,
+            gmin=options.gmin * self.gmin_step ** attempt,
+            max_iterations=max(1, int(round(
+                options.max_iterations * self.iteration_step ** attempt))),
+            max_step=options.max_step * self.damping_step ** attempt,
+        )
+
+    def escalate_transient(self, options, attempt: int):
+        """Transient options for ladder rung ``attempt`` (0 = unchanged)."""
+        if attempt <= 0:
+            return options
+        return replace(
+            options,
+            h_initial_ratio=options.h_initial_ratio * self.timestep_step ** attempt,
+            newton=self.escalate_newton(options.newton, attempt),
+        )

@@ -10,16 +10,22 @@ the standard SPICE homotopies when plain Newton fails:
    decade by decade,
 3. **source stepping** -- ramp all sources from zero (where ``x = 0``
    solves trivially) to full value.
+
+When the whole ladder fails, the solve re-runs under the
+:class:`~repro.resilience.RetryPolicy` escalation (raised gmin, larger
+iteration budget, stronger damping); every escalation is counted in
+``stats.retries``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..resilience.retry import RetryPolicy
 from .engine import NewtonOptions, NewtonStats, newton_solve
 from .netlist import Circuit, CompiledCircuit
 from .results import SweepResult
@@ -70,7 +76,8 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
              initial_guess: Optional[Dict[str, float]] = None,
              time: float = 0.0,
              options: Optional[NewtonOptions] = None,
-             stats: Optional[NewtonStats] = None) -> OperatingPoint:
+             stats: Optional[NewtonStats] = None,
+             retry: Union[RetryPolicy, int, None] = None) -> OperatingPoint:
     """Solve the DC operating point with sources evaluated at ``time``.
 
     Capacitors are open circuits.  ``initial_guess`` maps node names to
@@ -78,9 +85,16 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
     voltages, which works well for CMOS structures.  ``stats``
     accumulates Newton iterations across every attempted solve,
     homotopy fallbacks included.
+
+    ``retry`` resolves via :meth:`RetryPolicy.resolve` (policy object,
+    attempt count, ``REPRO_RETRY``, or the default ladder).  When even
+    source stepping fails, the whole homotopy sequence re-runs with
+    escalated Newton options; each escalation bumps ``stats.retries``.
+    A solve that succeeds on attempt 0 is untouched by the ladder.
     """
     compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
     opts = options or NewtonOptions()
+    policy = RetryPolicy.resolve(retry)
     known = compiled.known_voltages(time)
     mid = 0.5 * (float(known.max()) + float(known.min()))
     x0 = np.full(compiled.n_unknown, mid)
@@ -89,14 +103,35 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
             if name in initial_guess:
                 x0[idx] = initial_guess[name]
 
-    try:
-        x = newton_solve(compiled, x0, known, options=opts, time=time,
-                         stats=stats)
-    except ConvergenceError:
+    last_error: Optional[ConvergenceError] = None
+    x = None
+    for attempt in range(policy.max_attempts):
+        attempt_opts = policy.escalate_newton(opts, attempt)
+        if attempt > 0 and stats is not None:
+            stats.retries += 1
         try:
-            x = _gmin_stepping(compiled, x0, known, opts, time, stats)
+            x = newton_solve(compiled, x0, known, options=attempt_opts,
+                             time=time, stats=stats)
+            break
         except ConvergenceError:
-            x = _source_stepping(compiled, known, opts, time, stats)
+            pass
+        try:
+            x = _gmin_stepping(compiled, x0, known, attempt_opts, time, stats)
+            break
+        except ConvergenceError:
+            pass
+        try:
+            x = _source_stepping(compiled, known, attempt_opts, time, stats)
+            break
+        except ConvergenceError as error:
+            last_error = error
+    if x is None:
+        assert last_error is not None
+        raise ConvergenceError(
+            f"DC solve failed after {policy.max_attempts} retry-ladder "
+            f"attempts: {last_error}",
+            iterations=last_error.iterations, residual=last_error.residual,
+        ) from last_error
 
     voltages = {name: float(x[idx]) for idx, name in enumerate(compiled.unknown_names)}
     voltages["0"] = 0.0

@@ -53,12 +53,16 @@ class NewtonStats:
     :func:`newton_solve` adds every iteration it performs -- converged
     or not -- so callers that retry after a
     :class:`~repro.errors.ConvergenceError` (gmin stepping, transient
-    step halving) still account for the rejected work.
+    step halving) still account for the rejected work.  ``retries``
+    counts escalations of the :class:`~repro.resilience.RetryPolicy`
+    ladder that the owning analysis consumed (the ladder increments it;
+    :func:`newton_solve` itself never does).
     """
 
     iterations: int = 0
     solves: int = 0
     failures: int = 0
+    retries: int = 0
 
     def record(self, iterations: int, *, converged: bool) -> None:
         self.iterations += iterations

@@ -42,14 +42,28 @@ class SweepResult:
 
 
 class TransientResult:
-    """Solved node waveforms of a transient analysis."""
+    """Solved node waveforms of a transient analysis.
+
+    Besides the waveforms, the result carries the analysis' solver
+    accounting: ``rejected_steps`` and ``newton_iterations`` as before,
+    plus ``newton_failures`` (non-converged Newton solves absorbed by
+    step halving), ``solver_retries`` (retry-ladder escalations consumed,
+    DC seed included) and ``retry_attempts`` (the per-attempt
+    :class:`~repro.resilience.AttemptRecord` log; empty for a clean
+    first-attempt run).
+    """
 
     def __init__(self, times: np.ndarray, waveforms: Dict[str, np.ndarray],
-                 *, rejected_steps: int = 0, newton_iterations: int = 0) -> None:
+                 *, rejected_steps: int = 0, newton_iterations: int = 0,
+                 newton_failures: int = 0, solver_retries: int = 0,
+                 retry_attempts: tuple = ()) -> None:
         self.times = np.asarray(times, dtype=float)
         self._samples = {name: np.asarray(v, dtype=float) for name, v in waveforms.items()}
         self.rejected_steps = rejected_steps
         self.newton_iterations = newton_iterations
+        self.newton_failures = newton_failures
+        self.solver_retries = solver_retries
+        self.retry_attempts = tuple(retry_attempts)
 
     @property
     def node_names(self) -> List[str]:

@@ -13,16 +13,26 @@ a step is rejected when any unknown node moves more than ``dv_reject``
 volts; accepted steps grow or shrink the next step to target
 ``dv_target``.  Source PWL corners are hard breakpoints so that input
 ramps start and end exactly on grid.
+
+On top of the in-step recovery (step halving, backward-Euler fallback)
+sits the :class:`~repro.resilience.RetryPolicy` ladder: when an analysis
+attempt still dies with :class:`~repro.errors.ConvergenceError` -- step
+underflow, an unsolvable DC point -- the whole analysis re-runs with a
+raised gmin, more Newton headroom, stronger damping and a halved initial
+timestep.  Every consumed attempt is logged on the result
+(``retry_attempts``) and counted in its Newton accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..resilience import faults
+from ..resilience.retry import AttemptRecord, RetryPolicy
 from ..units import parse_quantity
 from .dc import solve_dc
 from .engine import CapStamp, NewtonOptions, NewtonStats, newton_solve
@@ -63,25 +73,17 @@ def _cap_voltage(compiled: CompiledCircuit, a: int, b: int,
     return compiled.voltage_of(a, x, known) - compiled.voltage_of(b, x, known)
 
 
-def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
-              t_start: float = 0.0,
-              record: Optional[List[str]] = None,
-              initial_op: Optional[Dict[str, float]] = None,
-              options: Optional[TransientOptions] = None) -> TransientResult:
-    """Integrate the circuit from a DC operating point at ``t_start``.
+def _integrate(compiled: CompiledCircuit, t_start: float, t_end: float,
+               initial_op: Optional[Dict[str, float]],
+               opts: TransientOptions, stats: NewtonStats,
+               retry: Union[RetryPolicy, int, None]):
+    """One full integration attempt; returns ``(times, series, rejected)``.
 
-    ``record`` limits which nodes end up in the result (default: all
-    unknown and source-driven nodes).  ``initial_op`` optionally seeds
-    the operating-point solve (useful to pick a desired initial logic
-    state when the circuit is bistable).
+    Raises :class:`~repro.errors.ConvergenceError` on step underflow or
+    an unsolvable initial operating point; :func:`transient` owns the
+    retry ladder around this.
     """
-    compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
-    opts = options or TransientOptions()
-    t_end = parse_quantity(t_stop, unit="s")
-    if t_end <= t_start:
-        raise ConvergenceError(f"t_stop ({t_end}) must exceed t_start ({t_start})")
     span = t_end - t_start
-
     h_max = span * opts.h_max_ratio
     h_min = max(span * opts.h_min_ratio, 1e-18)
     h = span * opts.h_initial_ratio
@@ -93,9 +95,8 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
     # Initial condition: DC operating point with sources frozen at t_start.
     # ``stats`` accumulates Newton iterations over the whole analysis:
     # the DC solve plus every accepted *and* rejected timestep.
-    stats = NewtonStats()
     op = solve_dc(compiled, initial_guess=initial_op, time=t_start,
-                  options=opts.newton, stats=stats)
+                  options=opts.newton, stats=stats, retry=retry)
     x = op.as_vector(compiled)
     known = compiled.known_voltages(t_start)
 
@@ -197,6 +198,65 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
         elif dv > opts.dv_target:
             h *= max(opts.dv_target / dv, opts.shrink_factor)
 
+    return times, series, rejected
+
+
+def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
+              t_start: float = 0.0,
+              record: Optional[List[str]] = None,
+              initial_op: Optional[Dict[str, float]] = None,
+              options: Optional[TransientOptions] = None,
+              retry: Union[RetryPolicy, int, None] = None) -> TransientResult:
+    """Integrate the circuit from a DC operating point at ``t_start``.
+
+    ``record`` limits which nodes end up in the result (default: all
+    unknown and source-driven nodes).  ``initial_op`` optionally seeds
+    the operating-point solve (useful to pick a desired initial logic
+    state when the circuit is bistable).
+
+    ``retry`` resolves via :meth:`RetryPolicy.resolve`.  An attempt that
+    dies with :class:`~repro.errors.ConvergenceError` re-runs the whole
+    analysis with escalated options (attempt ``k`` gets ``gmin *
+    gmin_step**k``, a ``timestep_step**k`` smaller initial step, etc.);
+    the per-attempt log rides on the result as ``retry_attempts`` and
+    consumed escalations appear in ``solver_retries``.  A fault-free
+    first attempt returns a result identical to the pre-ladder code.
+    """
+    compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
+    opts = options or TransientOptions()
+    policy = RetryPolicy.resolve(retry)
+    t_end = parse_quantity(t_stop, unit="s")
+    if t_end <= t_start:
+        raise ConvergenceError(f"t_stop ({t_end}) must exceed t_start ({t_start})")
+
+    stats = NewtonStats()
+    attempt_log: List[AttemptRecord] = []
+    last_error: Optional[ConvergenceError] = None
+    outcome = None
+    for attempt in range(policy.max_attempts):
+        attempt_opts = policy.escalate_transient(opts, attempt)
+        if attempt > 0:
+            stats.retries += 1
+        try:
+            faults.fire_transient()
+            outcome = _integrate(compiled, t_start, t_end, initial_op,
+                                 attempt_opts, stats, policy)
+            break
+        except ConvergenceError as error:
+            last_error = error
+            attempt_log.append(AttemptRecord(
+                attempt=attempt, message=str(error),
+                iterations=error.iterations, residual=error.residual,
+            ))
+    if outcome is None:
+        assert last_error is not None
+        raise ConvergenceError(
+            f"transient analysis failed after {policy.max_attempts} "
+            f"retry-ladder attempts: {last_error}",
+            iterations=last_error.iterations, residual=last_error.residual,
+        ) from last_error
+    times, series, rejected = outcome
+
     time_array = np.asarray(times)
     x_series = np.asarray(series)
     names = record
@@ -212,4 +272,6 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
     return TransientResult(
         time_array, waveforms,
         rejected_steps=rejected, newton_iterations=stats.iterations,
+        newton_failures=stats.failures, solver_retries=stats.retries,
+        retry_attempts=tuple(attempt_log),
     )

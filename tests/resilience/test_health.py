@@ -1,0 +1,108 @@
+"""Degradation bookkeeping: FailedPoint, HealthReport, neighbor_fill."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.resilience import FailedPoint, HealthReport, neighbor_fill
+
+
+class TestFailedPoint:
+    def test_describe_names_coords_and_cause(self):
+        point = FailedPoint(index=7, kind="timeout", message="exceeded 30s",
+                            coords={"tau_ref": 1e-10, "a2": 0.5})
+        text = point.describe()
+        assert "point 7" in text
+        assert "tau_ref=1e-10" in text
+        assert "timeout" in text
+        assert "exceeded 30s" in text
+
+
+class TestHealthReport:
+    def test_clean_report(self):
+        report = HealthReport(label="single nand2:a/fall", total_points=6)
+        assert report.ok
+        assert report.n_failed == 0
+        assert report.describe() == "single nand2:a/fall: 6/6 points ok"
+
+    def test_degraded_report_lists_every_failure(self):
+        failed = (
+            FailedPoint(3, "error", "no convergence", {"tau": 5e-10}),
+            FailedPoint(5, "crash", "worker lost", {"tau": 2e-9}),
+        )
+        report = HealthReport(label="single nand2:a/fall", total_points=6,
+                              failed=failed, filled=2)
+        assert not report.ok
+        text = report.describe()
+        assert "4/6 points ok" in text
+        assert "2 failed" in text
+        assert "2 cells neighbor-filled" in text
+        assert "point 3" in text and "point 5" in text
+
+    def test_summarize_empty(self):
+        assert "no sweeps" in HealthReport.summarize([])
+
+    def test_summarize_all_ok(self):
+        reports = [HealthReport("a", 4), HealthReport("b", 8)]
+        text = HealthReport.summarize(reports)
+        assert "OK" in text
+        assert "12 points" in text
+
+    def test_summarize_mixed_shows_only_degraded_sweeps(self):
+        reports = [
+            HealthReport("clean-sweep", 10),
+            HealthReport("bad-sweep", 10,
+                         failed=(FailedPoint(1, "error", "boom"),)),
+        ]
+        text = HealthReport.summarize(reports)
+        assert "1/20 points failed" in text
+        assert "bad-sweep" in text
+        assert "clean-sweep" not in text
+
+
+class TestNeighborFill:
+    def test_no_nan_is_identity(self):
+        table = np.arange(6.0).reshape(2, 3)
+        filled, n = neighbor_fill(table)
+        assert n == 0
+        np.testing.assert_array_equal(filled, table)
+
+    def test_input_is_never_mutated(self):
+        table = np.array([[1.0, np.nan], [3.0, 4.0]])
+        neighbor_fill(table)
+        assert np.isnan(table[0, 1])
+
+    def test_isolated_hole_gets_neighbor_mean(self):
+        table = np.array([
+            [1.0, 2.0, 3.0],
+            [4.0, np.nan, 6.0],
+            [7.0, 8.0, 9.0],
+        ])
+        filled, n = neighbor_fill(table)
+        assert n == 1
+        assert filled[1, 1] == pytest.approx((2.0 + 4.0 + 6.0 + 8.0) / 4.0)
+        assert np.isfinite(filled).all()
+
+    def test_corner_hole_does_not_wrap_around(self):
+        """np.roll wraps; the fill must cancel the wrap so a corner NaN
+        only sees its true axis neighbors, not the opposite edge."""
+        table = np.array([
+            [np.nan, 2.0],
+            [3.0, 100.0],
+        ])
+        filled, n = neighbor_fill(table)
+        assert n == 1
+        # True neighbors of [0,0] are 2.0 (right) and 3.0 (below); with
+        # wrap-around the distant 100.0 would pollute the estimate twice.
+        assert filled[0, 0] == pytest.approx(2.5)
+
+    def test_large_gap_flood_fills_inward(self):
+        table = np.full((1, 5), np.nan)
+        table[0, 0] = 10.0
+        filled, n = neighbor_fill(table)
+        assert n == 4
+        np.testing.assert_allclose(filled, [[10.0] * 5])
+
+    def test_all_nan_raises(self):
+        with pytest.raises(CharacterizationError):
+            neighbor_fill(np.full((2, 2), np.nan))

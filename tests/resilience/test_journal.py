@@ -1,0 +1,93 @@
+"""Checkpoint journal: durability, torn-line tolerance, keyed paths."""
+
+import json
+
+import pytest
+
+from repro.resilience import ProgressJournal
+from repro.resilience.journal import _digest
+
+
+class TestRecordAndLoad:
+    def test_round_trip(self, tmp_path):
+        journal = ProgressJournal(tmp_path / "j.jsonl")
+        journal.record(0, [1.0, 2.0])
+        journal.record(3, [4.5, 6.0])
+        assert journal.load() == {0: [1.0, 2.0], 3: [4.5, 6.0]}
+        assert journal.completed_count == 2
+
+    def test_floats_round_trip_bit_identical(self, tmp_path):
+        """json serializes floats by repr, so a resumed value must equal
+        the original exactly -- this is what makes resume bit-identical."""
+        journal = ProgressJournal(tmp_path / "j.jsonl")
+        value = 1.1174592339871634e-10
+        journal.record(7, value)
+        assert journal.load()[7] == value
+
+    def test_decode_hook(self, tmp_path):
+        journal = ProgressJournal(tmp_path / "j.jsonl")
+        journal.record(1, [1.0, 2.0])
+        assert journal.load(decode=tuple) == {1: (1.0, 2.0)}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert ProgressJournal(tmp_path / "absent.jsonl").load() == {}
+
+    def test_later_record_wins(self, tmp_path):
+        journal = ProgressJournal(tmp_path / "j.jsonl")
+        journal.record(2, "first")
+        journal.record(2, "second")
+        assert journal.load() == {2: "second"}
+
+
+class TestTornWrites:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        """A run killed mid-append leaves a truncated last line; the
+        journal must shrug and replay only the complete records."""
+        path = tmp_path / "j.jsonl"
+        journal = ProgressJournal(path)
+        journal.record(0, 10.0)
+        journal.record(1, 11.0)
+        with open(path, "a") as handle:
+            handle.write('{"i": 2, "v": 1')  # no closing brace, no newline
+        assert journal.load() == {0: 10.0, 1: 11.0}
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('not json\n{"i": 4, "v": 7.5}\n{"v": 1.0}\n\n')
+        assert ProgressJournal(path).load() == {4: 7.5}
+
+
+class TestClear:
+    def test_clear_deletes(self, tmp_path):
+        journal = ProgressJournal(tmp_path / "j.jsonl")
+        journal.record(0, 1.0)
+        journal.clear()
+        assert not journal.path.exists()
+        assert journal.load() == {}
+
+    def test_clear_is_idempotent(self, tmp_path):
+        ProgressJournal(tmp_path / "absent.jsonl").clear()  # no raise
+
+
+class TestKeyedPaths:
+    def test_for_key_is_deterministic_and_kind_scoped(self, tmp_path):
+        key = {"schema": 2, "gate": "nand2", "taus": [1e-10, 5e-10]}
+        a = ProgressJournal.for_key(tmp_path, "single", key)
+        b = ProgressJournal.for_key(tmp_path, "single", dict(key))
+        assert a.path == b.path
+        assert a.path.parent == tmp_path
+        assert a.path.name == f"journal-single-{_digest(key)}.jsonl"
+        other_kind = ProgressJournal.for_key(tmp_path, "dual", key)
+        assert other_kind.path != a.path
+
+    def test_different_keys_never_collide(self, tmp_path):
+        key = {"gate": "nand2", "taus": [1e-10]}
+        changed = {"gate": "nand2", "taus": [2e-10]}
+        assert (ProgressJournal.for_key(tmp_path, "single", key).path
+                != ProgressJournal.for_key(tmp_path, "single", changed).path)
+
+    def test_key_digest_accepts_numpy_scalars(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        key = {"tau": np.float64(1e-10), "n": np.int64(3)}
+        plain = {"tau": 1e-10, "n": 3}
+        assert _digest(key) == _digest(plain)

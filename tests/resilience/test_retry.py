@@ -1,0 +1,125 @@
+"""The solver retry ladder: escalation schedule and solver integration."""
+
+import pytest
+
+from repro.errors import ConvergenceError, ReproError
+from repro.resilience import RetryPolicy
+from repro.resilience.retry import RETRY_ENV_VAR
+from repro.spice.engine import NewtonOptions, NewtonStats
+from repro.spice.transient import TransientOptions
+
+
+class TestPolicyResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(RETRY_ENV_VAR, raising=False)
+        assert RetryPolicy.resolve(None).max_attempts == 3
+
+    def test_explicit_policy_passes_through(self):
+        policy = RetryPolicy(max_attempts=7)
+        assert RetryPolicy.resolve(policy) is policy
+
+    def test_int_shorthand(self):
+        assert RetryPolicy.resolve(5).max_attempts == 5
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(RETRY_ENV_VAR, "4")
+        assert RetryPolicy.resolve(None).max_attempts == 4
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv(RETRY_ENV_VAR, "many")
+        with pytest.raises(ReproError):
+            RetryPolicy.resolve(None)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestEscalationSchedule:
+    def test_attempt_zero_returns_options_unchanged(self):
+        policy = RetryPolicy()
+        options = NewtonOptions()
+        assert policy.escalate_newton(options, 0) is options
+        topts = TransientOptions()
+        assert policy.escalate_transient(topts, 0) is topts
+
+    def test_newton_escalation_compounds(self):
+        policy = RetryPolicy(gmin_step=100.0, iteration_step=2.0,
+                             damping_step=0.5)
+        base = NewtonOptions(gmin=1e-12, max_iterations=60, max_step=0.6)
+        first = policy.escalate_newton(base, 1)
+        second = policy.escalate_newton(base, 2)
+        assert first.gmin == pytest.approx(1e-10)
+        assert second.gmin == pytest.approx(1e-8)
+        assert first.max_iterations == 120
+        assert second.max_iterations == 240
+        assert first.max_step == pytest.approx(0.3)
+        assert second.max_step == pytest.approx(0.15)
+        # Untouched knobs survive.
+        assert first.abstol == base.abstol
+        assert first.voltol == base.voltol
+
+    def test_transient_escalation_halves_initial_step(self):
+        policy = RetryPolicy(timestep_step=0.5)
+        base = TransientOptions(h_initial_ratio=1e-4)
+        once = policy.escalate_transient(base, 1)
+        assert once.h_initial_ratio == pytest.approx(5e-5)
+        assert once.newton.gmin == pytest.approx(base.newton.gmin * 100.0)
+        assert once.dv_target == base.dv_target
+
+    def test_schedule_is_deterministic(self):
+        policy = RetryPolicy()
+        base = NewtonOptions()
+        assert policy.escalate_newton(base, 2) == policy.escalate_newton(base, 2)
+
+
+class TestSolverIntegration:
+    def test_transient_retries_through_injected_faults(self, nand2, thresholds):
+        """Two injected attempt failures must be absorbed by the default
+        3-attempt ladder, and accounted on the result."""
+        from repro.charlib.simulate import single_input_response
+        from repro.resilience import FaultInjection
+
+        clean = single_input_response(nand2, "a", "fall", 1e-10, thresholds)
+        with FaultInjection("transient@*:2") as fi:
+            shot = single_input_response(nand2, "a", "fall", 1e-10, thresholds)
+            assert fi.fired_count("transient") == 2
+        # The surviving attempt ran on an escalated rung, so the numbers
+        # may differ in the last digits -- but must stay physical.
+        assert shot.delay == pytest.approx(clean.delay, rel=1e-3)
+
+    def test_ladder_exhaustion_raises_with_context(self, nand2, thresholds):
+        from repro.charlib.simulate import single_input_response
+        from repro.resilience import FaultInjection
+
+        with FaultInjection("transient@*:always"):
+            with pytest.raises(ConvergenceError) as excinfo:
+                single_input_response(nand2, "a", "fall", 1e-10, thresholds)
+        # The error names the gate being measured (simulate.py context)
+        # and the ladder (transient.py wrapper).
+        assert "nand2" in str(excinfo.value)
+        assert "retry-ladder" in str(excinfo.value)
+
+    def test_retry_accounting_on_result(self, nand2):
+        from repro.resilience import FaultInjection
+        from repro.spice import transient
+
+        circuit = nand2.build({}, switching=[])
+        with FaultInjection("transient@*:1"):
+            result = transient(circuit, "1ns")
+        assert result.solver_retries >= 1
+        assert len(result.retry_attempts) == 1
+        assert result.retry_attempts[0].attempt == 0
+        assert "injected" in result.retry_attempts[0].message
+
+    def test_clean_run_consumes_no_retries(self, nand2):
+        from repro.spice import transient
+
+        circuit = nand2.build({}, switching=[])
+        result = transient(circuit, "1ns")
+        assert result.solver_retries == 0
+        assert result.retry_attempts == ()
+
+    def test_stats_retries_counter(self):
+        stats = NewtonStats()
+        assert stats.retries == 0

@@ -1,5 +1,7 @@
 """Exception hierarchy contracts."""
 
+import pickle
+
 import pytest
 
 from repro.errors import (
@@ -9,6 +11,7 @@ from repro.errors import (
     ModelError,
     NetlistError,
     ReproError,
+    TaskError,
     TimingError,
     UnitError,
 )
@@ -17,7 +20,7 @@ from repro.errors import (
 class TestHierarchy:
     @pytest.mark.parametrize("exc_type", [
         UnitError, NetlistError, ConvergenceError, MeasurementError,
-        CharacterizationError, ModelError, TimingError,
+        CharacterizationError, ModelError, TimingError, TaskError,
     ])
     def test_all_derive_from_repro_error(self, exc_type):
         assert issubclass(exc_type, ReproError)
@@ -49,3 +52,36 @@ class TestConvergenceErrorPayload:
         exc = ConvergenceError("plain")
         assert exc.iterations is None
         assert exc.residual is None
+
+    def test_pickle_round_trip_preserves_diagnostics(self):
+        """Regression: the keyword-only ``iterations``/``residual``
+        payload used to be dropped when the exception crossed a
+        process-pool boundary (pickle reconstructs from ``args`` only,
+        so the diagnostics reset to None)."""
+        exc = ConvergenceError("no luck", iterations=17, residual=2.5e-4)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, ConvergenceError)
+        assert str(clone) == str(exc)
+        assert clone.iterations == 17
+        assert clone.residual == pytest.approx(2.5e-4)
+
+    def test_pickle_round_trip_with_defaults(self):
+        clone = pickle.loads(pickle.dumps(ConvergenceError("plain")))
+        assert clone.iterations is None
+        assert clone.residual is None
+
+    def test_diagnostics_survive_a_real_worker_boundary(self):
+        """The original failure mode end-to-end: a worker raising
+        ConvergenceError must deliver its diagnostics to the parent."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_raise_convergence_error)
+            exc = future.exception()
+        assert isinstance(exc, ConvergenceError)
+        assert exc.iterations == 60
+        assert exc.residual == pytest.approx(1e-2)
+
+
+def _raise_convergence_error():
+    raise ConvergenceError("worker solve failed", iterations=60, residual=1e-2)

@@ -31,7 +31,7 @@ class TestSubpackages:
         "repro.tech", "repro.spice", "repro.waveform", "repro.gates",
         "repro.vtc", "repro.charlib", "repro.models", "repro.core",
         "repro.inertial", "repro.baselines", "repro.timing",
-        "repro.interconnect", "repro.experiments",
+        "repro.interconnect", "repro.experiments", "repro.resilience",
     ]
 
     @pytest.mark.parametrize("package", PACKAGES)
