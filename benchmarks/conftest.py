@@ -8,11 +8,21 @@ and can be scaled down for a quick look:
 
 Benchmarks print their artifact (the table/figure in text form) to
 stdout; run with ``-s`` to see them.
+
+Every benchmark also runs under an enabled telemetry recorder
+(:mod:`repro.obs`) and leaves a machine-readable ``BENCH_<name>.json``
+record -- wall time, solver-iteration totals, cache hit rate -- next to
+the invocation (or in ``REPRO_BENCH_DIR``).  Set
+``REPRO_BENCH_TELEMETRY=0`` to benchmark the telemetry-disabled
+baseline instead; no JSON is written then.
 """
 
 import os
+import time
 
 import pytest
+
+from _runner import telemetry_enabled, write_bench_result
 
 
 def bench_scale() -> float:
@@ -29,3 +39,34 @@ def scaled(n: int, minimum: int = 3) -> int:
 @pytest.fixture(scope="session")
 def scale():
     return bench_scale()
+
+
+@pytest.fixture(autouse=True)
+def bench_telemetry(request):
+    """Record each benchmark's telemetry into ``BENCH_<name>.json``.
+
+    The recorder is pinned for the parent process and ``REPRO_OBS=1``
+    is published so pooled workers record too (their per-task deltas
+    merge back in, keeping solver totals worker-count invariant).
+    """
+    if not telemetry_enabled():
+        yield
+        return
+    from repro.obs import OBS_ENV_VAR, recording
+
+    prior = os.environ.get(OBS_ENV_VAR)
+    os.environ[OBS_ENV_VAR] = "1"
+    start = time.perf_counter()
+    try:
+        with recording() as recorder:
+            yield
+    finally:
+        wall = time.perf_counter() - start
+        if prior is None:
+            os.environ.pop(OBS_ENV_VAR, None)
+        else:
+            os.environ[OBS_ENV_VAR] = prior
+    write_bench_result(
+        request.node.path.stem, request.node.name,
+        recorder.metrics_payload(), wall, bench_scale(),
+    )

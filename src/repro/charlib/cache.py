@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Sequence
 
 from ..errors import CharacterizationError
+from ..obs import get_recorder
 from ..resilience import faults
 
 __all__ = ["CharacterizationCache", "default_cache", "reset_default_cache",
@@ -113,12 +114,14 @@ class CharacterizationCache:
         """
         if self._dir is None:
             return None
+        recorder = get_recorder()
         path = self._path(kind, key)
         if not path.exists():
+            recorder.counter("cache.misses").inc()
             return None
         try:
             with open(path) as handle:
-                return json.load(handle)
+                payload = json.load(handle)
         except json.JSONDecodeError as exc:
             quarantine = path.with_suffix(".corrupt")
             try:
@@ -129,10 +132,15 @@ class CharacterizationCache:
                 "quarantined corrupt cache entry %s -> %s (%s); recomputing",
                 path.name, quarantine.name, exc,
             )
+            recorder.counter("cache.quarantined").inc()
+            recorder.counter("cache.misses").inc()
             return None
         except OSError:
             # Unreadable (permissions, races): a miss, but nothing to move.
+            recorder.counter("cache.misses").inc()
             return None
+        recorder.counter("cache.hits").inc()
+        return payload
 
     def store(self, kind: str, key: Dict[str, Any], payload: Dict[str, Any]) -> None:
         if self._dir is None:
@@ -155,6 +163,7 @@ class CharacterizationCache:
             except OSError:
                 pass
             raise
+        get_recorder().counter("cache.stores").inc()
         faults.corrupt_after_store(kind, path)
 
     def get_or_compute(self, kind: str, key: Dict[str, Any],
@@ -181,6 +190,7 @@ class CharacterizationCache:
                 "cached %s payload is invalid (missing %s); recomputing",
                 kind, ", ".join(missing) or "expected structure",
             )
+            get_recorder().counter("cache.invalid", kind=kind).inc()
         payload = compute()
         self.store(kind, key, payload)
         return payload

@@ -20,9 +20,12 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from time import monotonic
+
 from ..errors import CharacterizationError
 from ..gates import Gate
 from ..models.dual import TableDualInputModel
+from ..obs import get_recorder
 from ..parallel import parallel_map
 from ..resilience import faults
 from ..resilience.health import FailedPoint, HealthReport, neighbor_fill
@@ -91,7 +94,17 @@ def _grid_point_task(task) -> Tuple[float, float]:
     """Worker: one two-input transient of the characterization grid."""
     index, gate, reference, edges, thresholds = task
     faults.fire_point("dual", index)
-    shot = multi_input_response(gate, edges, thresholds, reference=reference)
+    recorder = get_recorder()
+    if not recorder.enabled:
+        shot = multi_input_response(gate, edges, thresholds,
+                                    reference=reference)
+        return shot.delay, shot.out_ttime
+    start = monotonic()
+    with recorder.span("charlib.point", scope="dual", index=index):
+        shot = multi_input_response(gate, edges, thresholds,
+                                    reference=reference)
+    recorder.histogram("charlib.point_seconds",
+                       scope="dual").observe(monotonic() - start)
     return shot.delay, shot.out_ttime
 
 
@@ -184,6 +197,8 @@ def characterize_dual_input(
         failed = []
         for failure in task_failures:
             shots[failure.index] = (float("nan"), float("nan"))
+            get_recorder().counter("charlib.points.failed",
+                                   kind=failure.kind).inc()
             failed.append({
                 "index": failure.index, "kind": failure.kind,
                 "message": failure.message,
@@ -235,6 +250,8 @@ def characterize_dual_input(
     ttime_table = np.asarray(payload["ttime_table"], dtype=float)
     delay_table, filled_d = neighbor_fill(delay_table)
     ttime_table, filled_t = neighbor_fill(ttime_table)
+    if filled_d or filled_t:
+        get_recorder().counter("charlib.cells.filled").inc(filled_d + filled_t)
     model = TableDualInputModel(
         reference, other, direction, axes, delay_table, ttime_table,
     )

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CharacterizationError, ModelError
 from ..gates import Gate
+from ..obs import degradation_summary, get_recorder
 from ..models import (
     DualInputModel,
     SimulatorDualInputModel,
@@ -168,8 +169,16 @@ class GateLibrary:
         return all(report.ok for report in self.health_reports())
 
     def health_summary(self) -> str:
-        """A printable summary of every sweep's outcome (CLI uses this)."""
-        return HealthReport.summarize(self.health_reports())
+        """A printable summary of every sweep's outcome (CLI uses this).
+
+        With telemetry enabled, a registry-derived accounting line
+        (solver retries, per-kind fault counts, neighbor-filled cells)
+        is appended -- the same totals the run manifest reports, so
+        degradation shows up in one place.
+        """
+        summary = HealthReport.summarize(self.health_reports())
+        extra = degradation_summary()
+        return f"{summary}\n{extra}" if extra else summary
 
     # ------------------------------------------------------------------
     # Characterization
@@ -199,6 +208,19 @@ class GateLibrary:
         over a process pool (default: serial; see :mod:`repro.parallel`).
         Tables are deterministic regardless of the worker count.
         """
+        with get_recorder().span("charlib.characterize", gate=gate.name,
+                                 mode=mode):
+            return cls._characterize(
+                gate, mode=mode, directions=directions,
+                single_grid=single_grid, dual_grid=dual_grid, pairs=pairs,
+                thresholds=thresholds, cache=cache, workers=workers,
+            )
+
+    @classmethod
+    def _characterize(
+        cls, gate: Gate, *, mode, directions, single_grid, dual_grid,
+        pairs, thresholds, cache, workers,
+    ) -> "GateLibrary":
         cache = cache or default_cache()
         thr = thresholds or cached_thresholds(gate, cache=cache)
         dirs = [normalize_direction(d) for d in directions]

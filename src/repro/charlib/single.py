@@ -23,9 +23,12 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from time import monotonic
+
 from ..errors import CharacterizationError
 from ..gates import Gate
 from ..models.single import TableSingleInputModel
+from ..obs import get_recorder
 from ..resilience import faults
 from ..resilience.health import FailedPoint, HealthReport
 from ..resilience.runtime import resilient_map, resolve_resume
@@ -85,9 +88,20 @@ def _sample_task(task):
     """Worker: one (load, tau) sweep sample, normalized by tau."""
     index, gate, input_name, direction, tau, thresholds, load = task
     faults.fire_point("single", index)
-    shot = single_input_response(
-        gate, input_name, direction, tau, thresholds, load=load,
-    )
+    recorder = get_recorder()
+    if not recorder.enabled:
+        shot = single_input_response(
+            gate, input_name, direction, tau, thresholds, load=load,
+        )
+        return shot.delay / tau, shot.out_ttime / tau
+    start = monotonic()
+    with recorder.span("charlib.point", scope="single", index=index,
+                       tau=tau, load=load):
+        shot = single_input_response(
+            gate, input_name, direction, tau, thresholds, load=load,
+        )
+    recorder.histogram("charlib.point_seconds",
+                       scope="single").observe(monotonic() - start)
     return shot.delay / tau, shot.out_ttime / tau
 
 
@@ -143,6 +157,8 @@ def characterize_single_input(
         for failure in task_failures:
             load, tau = points[failure.index]
             shots[failure.index] = (float("nan"), float("nan"))
+            get_recorder().counter("charlib.points.failed",
+                                   kind=failure.kind).inc()
             failed.append({
                 "index": failure.index, "kind": failure.kind,
                 "message": failure.message,

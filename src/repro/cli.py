@@ -8,11 +8,17 @@ Commands
 ``validate``     -- run the Table 5-1 validation.
 ``experiment``   -- run any experiment by id (e1..e8, a1..a4).
 ``glitch``       -- Section-6 minimum-separation (inertial delay).
+``stats``        -- summarize a metrics report or run manifest.
+
+Every command takes ``-v/-vv/--quiet`` (logging) and ``--trace`` /
+``--metrics`` / ``--manifest`` (telemetry artifacts; see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -21,9 +27,13 @@ from .charlib.library import cached_thresholds
 from .core import DelayCalculator
 from .errors import ReproError
 from .gates import Gate
+from .log import get_logger, setup_logging
+from .obs.manifest import RunContext
 from .tech.presets import PROCESSES
 from .units import format_quantity, parse_quantity
 from .waveform import Edge
+
+_log = get_logger("cli")
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +71,26 @@ def _add_workers_option(parser: argparse.ArgumentParser) -> None:
         help="process-pool size for independent simulations "
              "(default: REPRO_WORKERS env var, else serial; -1 = all "
              "cores; results are identical for any worker count)")
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log detail (-v info, -vv debug)")
+    parser.add_argument(
+        "--quiet", action="store_true", help="log errors only")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON of this run (open in "
+             "chrome://tracing or Perfetto); also enables telemetry")
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write the run's metric registry (counters, histograms) "
+             "as JSON; summarize later with `repro stats FILE`")
+    parser.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="write a run manifest (args, env knobs, git SHA, metric "
+             "totals) next to the outputs")
 
 
 def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
@@ -110,9 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_vtc = sub.add_parser("vtc", help="VTC family thresholds (paper Fig 2-1)")
     _add_gate_options(p_vtc)
+    _add_obs_options(p_vtc)
 
     p_delay = sub.add_parser("delay", help="proximity-aware delay for one config")
     _add_gate_options(p_delay)
+    _add_obs_options(p_delay)
     p_delay.add_argument(
         "--edge", action="append", required=True, metavar="PIN:DIR:TAU[:AT]",
         help="switching input, e.g. a:fall:500ps:0ps (repeatable)")
@@ -124,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_gate_options(p_char)
     _add_workers_option(p_char)
     _add_resilience_options(p_char)
+    _add_obs_options(p_char)
     p_char.add_argument("--output", required=True, help="JSON file to write")
     p_char.add_argument("--fast", action="store_true",
                         help="use the small demo grids")
@@ -132,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_gate_options(p_val)
     _add_workers_option(p_val)
     _add_resilience_options(p_val)
+    _add_obs_options(p_val)
     p_val.add_argument("--configs", type=int, default=100)
     p_val.add_argument("--seed", type=int, default=1996)
 
@@ -143,13 +177,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reduced sweep sizes for a fast look")
     _add_workers_option(p_exp)
     _add_resilience_options(p_exp)
+    _add_obs_options(p_exp)
 
     p_glitch = sub.add_parser("glitch", help="Section-6 inertial delay")
     _add_gate_options(p_glitch)
+    _add_obs_options(p_glitch)
     p_glitch.add_argument("--causing", default="b")
     p_glitch.add_argument("--blocking", default="a")
     p_glitch.add_argument("--tau-causing", default="100ps")
     p_glitch.add_argument("--tau-blocking", default="500ps")
+
+    p_stats = sub.add_parser(
+        "stats", help="summarize a --metrics report or --manifest file")
+    p_stats.add_argument("file", help="metrics or manifest JSON to read")
+    _add_obs_options(p_stats)
     return parser
 
 
@@ -290,6 +331,29 @@ def _cmd_glitch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import format_stats
+
+    try:
+        with open(args.file) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read {args.file!r}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ReproError(f"{args.file!r} is not a metrics/manifest document")
+    title = None
+    if document.get("kind") == "repro-manifest":
+        sha = document.get("git_sha") or "unknown"
+        wall = document.get("wall_seconds")
+        title = (f"run manifest: command={document.get('command') or '?'} "
+                 f"git={sha[:12]}"
+                 + (f" wall={wall:.2f}s" if isinstance(wall, float) else ""))
+    print(format_stats(document, title=title))
+    return 0
+
+
 _COMMANDS = {
     "vtc": _cmd_vtc,
     "delay": _cmd_delay,
@@ -297,17 +361,35 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "experiment": _cmd_experiment,
     "glitch": _cmd_glitch,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(getattr(args, "verbose", 0),
+                  quiet=getattr(args, "quiet", False))
+    context = RunContext.from_args(args)
+    context.arm()
     try:
-        return _COMMANDS[args.command](args)
+        with context.root_span(f"repro.{args.command}"):
+            return _COMMANDS[args.command](args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error(str(exc))
         return 1
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro stats ... | head`); point
+        # stdout at devnull so interpreter shutdown doesn't re-raise on
+        # the final flush, and exit quietly like other Unix tools.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:  # pragma: no cover - in-process callers
+            pass
+        return 0
+    finally:
+        for path in context.finalize():
+            _log.info("wrote %s", path)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs import traced
 from ..core import DelayCalculator
 from ..parallel import parallel_map
 from ..tech import Process
@@ -104,6 +105,7 @@ def _case_task(task) -> Dict[str, tuple[float, float]]:
     return errors
 
 
+@traced("experiment.ablations")
 def run(process: Optional[Process] = None, *,
         n_configs: int = 25,
         seed: int = 404,

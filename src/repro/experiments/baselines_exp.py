@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..obs import traced
 from ..baselines import CollapsedInverterBaseline
 from ..parallel import parallel_map
 from ..tech import Process
@@ -88,6 +89,7 @@ def _case_task(task) -> Dict[str, tuple[float, float]]:
     return errors
 
 
+@traced("experiment.baselines_exp")
 def run(process: Optional[Process] = None, *,
         n_configs: int = 30,
         seed: int = 1996,

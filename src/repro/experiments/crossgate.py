@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import traced
 from ..charlib import GateLibrary
 from ..charlib.library import cached_thresholds
 from ..charlib.simulate import multi_input_response
@@ -88,6 +89,7 @@ def _case_task(task) -> tuple[float, float]:
             (result.ttime - shot.out_ttime) / shot.out_ttime * 100.0)
 
 
+@traced("experiment.crossgate")
 def run(process: Optional[Process] = None, *,
         n_configs: int = 10,
         seed: int = 77,

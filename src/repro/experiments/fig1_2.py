@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import traced
 from ..gates import Gate
 from ..tech import Process
 from ..units import parse_quantity
@@ -80,6 +81,7 @@ class Fig12Result:
         return f"{title}\n{format_table(self.rows())}\n{plot}"
 
 
+@traced("experiment.fig1_2")
 def run(process: Optional[Process] = None, *,
         direction: str = FALL,
         tau_a: float | str = 500e-12,

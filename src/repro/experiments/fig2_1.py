@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..obs import traced
 from ..tech import Process
 from ..vtc import select_thresholds, threshold_table
 from ..vtc.thresholds import VtcCurve
@@ -57,6 +58,7 @@ class Fig21Result:
         return "\n".join(lines)
 
 
+@traced("experiment.fig2_1")
 def run(process: Optional[Process] = None, *, load: float = 100e-15) -> Fig21Result:
     gate = paper_gate(process, load=load)
     family = cached_vtc_family(gate)

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import traced
 from ..core import DelayCalculator, dominance_crossover
 from ..tech import Process
 from ..units import parse_quantity
@@ -93,6 +94,7 @@ class Fig33Result:
         return "\n".join(parts)
 
 
+@traced("experiment.fig3_3")
 def run(process: Optional[Process] = None, *,
         tau_a: float | str = 500e-12,
         tau_bs: Sequence[float] = (100e-12, 500e-12, 1000e-12),

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from ..obs import traced
 from .report import format_table
 
 __all__ = ["StorageRow", "Fig42Result", "run"]
@@ -75,6 +76,7 @@ def model_counts(n: int, g: int) -> StorageRow:
     return StorageRow(n, g, full, all_pairs, shared)
 
 
+@traced("experiment.fig4_2")
 def run(*, fan_ins: Sequence[int] = (2, 3, 4, 5, 6, 8),
         grid: int = 8) -> Fig42Result:
     return Fig42Result([model_counts(n, grid) for n in fan_ins])

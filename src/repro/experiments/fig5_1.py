@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs import traced
 from ..tech import Process
 from .report import ascii_histogram
 from .table5_1 import Table51Result, run as run_table51
@@ -64,6 +65,7 @@ def _bins(values: List[float], width: float) -> Dict[str, int]:
     }
 
 
+@traced("experiment.fig5_1")
 def run(process: Optional[Process] = None, *,
         validation: Optional[Table51Result] = None,
         **table51_kwargs) -> Fig51Result:

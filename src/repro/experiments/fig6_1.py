@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import traced
 from ..errors import MeasurementError
 from ..inertial import SimulatorGlitchModel, glitch_response, minimum_separation
 from ..tech import Process
@@ -79,6 +80,7 @@ class Fig61Result:
         return "\n".join(parts)
 
 
+@traced("experiment.fig6_1")
 def run(process: Optional[Process] = None, *,
         tau_fall: float | str = 500e-12,
         tau_rises: Sequence[float] = (100e-12, 500e-12, 1000e-12),

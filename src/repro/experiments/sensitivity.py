@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import traced
 from ..core import DelayCalculator
 from ..models.single import TableSingleInputModel
 from ..tech import Process
@@ -64,6 +65,7 @@ def _strip_cpar(model: TableSingleInputModel) -> TableSingleInputModel:
     return TableSingleInputModel.from_payload(payload)
 
 
+@traced("experiment.sensitivity")
 def run(process: Optional[Process] = None, *,
         load_factors: Sequence[float] = (0.6, 1.8),
         n_taus: int = 6,

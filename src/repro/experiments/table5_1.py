@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..obs import degradation_summary, traced
 from ..charlib.cache import default_cache
 from ..core import DelayCalculator
 from ..core.algorithm import CorrectionPolicy
@@ -122,6 +123,9 @@ class Table51Result:
             f"                {ttime_label} mean -1.33 / std 4.82 / "
             f"max 11.51 / min -13.15 (%)",
         ]
+        extra = degradation_summary()
+        if extra:
+            lines.append(extra)
         return "\n".join(lines)
 
 
@@ -165,6 +169,7 @@ def _evaluate_case(task) -> ValidationCase:
     )
 
 
+@traced("experiment.table5_1")
 def run(process: Optional[Process] = None, *,
         n_configs: int = 100,
         seed: int = 1996,

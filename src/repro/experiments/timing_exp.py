@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs import traced
 from ..tech import Process
 from ..timing import ClassicSta, ProximitySta, TimingNetlist, simulate_netlist
 from ..waveform import Edge, FALL, RISE, timing_threshold
@@ -92,6 +93,7 @@ class TimingComparison:
         )
 
 
+@traced("experiment.timing_exp")
 def run(process: Optional[Process] = None, *,
         n_scenarios: int = 4,
         seed: int = 7,

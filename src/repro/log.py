@@ -1,0 +1,93 @@
+"""Central logging configuration: one named logger per subsystem.
+
+Every module gets its logger through :func:`get_logger` (or plain
+``logging.getLogger(__name__)`` -- the ``repro.*`` namespace is what
+matters), and the CLI configures the shared ``repro`` root once per
+invocation via :func:`setup_logging`:
+
+* default: warnings and errors to stderr,
+* ``-v``: informational progress, ``-vv``: debug detail,
+* ``--quiet``: errors only.
+
+The handler resolves ``sys.stderr`` at emit time (not at handler
+creation), so output follows stream redirection -- pytest's ``capsys``,
+``contextlib.redirect_stderr`` -- instead of writing to a captured-away
+file descriptor.  Levels render lowercase (``error: ...``), matching
+the style of the CLI's historical error messages.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["ROOT_LOGGER", "get_logger", "setup_logging"]
+
+#: The namespace root every repro subsystem logs under.
+ROOT_LOGGER = "repro"
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler bound to *current* ``sys.stderr`` at emit time."""
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return sys.stderr
+
+
+class _LowercaseFormatter(logging.Formatter):
+    """``error: message`` rather than ``ERROR: message``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        record.levelname = record.levelname.lower()
+        return super().format(record)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The logger for one subsystem, namespaced under ``repro``.
+
+    ``get_logger("charlib.cache")`` and a module's
+    ``logging.getLogger(__name__)`` (when the module lives under
+    ``repro``) resolve to the same hierarchy, so one
+    :func:`setup_logging` call governs both.
+    """
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def setup_logging(verbosity: int = 0, *, quiet: bool = False,
+                  level: Optional[int] = None) -> logging.Logger:
+    """Configure the shared ``repro`` logger and return it.
+
+    ``verbosity`` counts ``-v`` flags (0 = warnings, 1 = info, 2+ =
+    debug); ``quiet`` wins and shows errors only; an explicit ``level``
+    overrides both.  Calling again reconfigures in place (the CLI test
+    suite invokes ``main()`` repeatedly in one process), so exactly one
+    handler is ever installed.
+    """
+    if level is None:
+        if quiet:
+            level = logging.ERROR
+        elif verbosity <= 0:
+            level = logging.WARNING
+        elif verbosity == 1:
+            level = logging.INFO
+        else:
+            level = logging.DEBUG
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if isinstance(handler, _StderrHandler):
+            logger.removeHandler(handler)
+    handler = _StderrHandler()
+    handler.setFormatter(_LowercaseFormatter("%(levelname)s: %(message)s"))
+    logger.addHandler(handler)
+    # The handler above is the single sink; letting records continue to
+    # the root logger would double-print under any ambient basicConfig.
+    logger.propagate = False
+    return logger

@@ -1,0 +1,71 @@
+"""Observability layer: tracing spans, typed metrics, run manifests.
+
+``repro.obs`` is the telemetry backbone of the characterization stack.
+It provides hierarchical tracing spans (context-manager and decorator
+APIs, monotonic-clock timed, thread- and process-safe), typed metrics
+(counters, gauges, fixed-edge histograms whose aggregation is
+deterministic), and exporters for three audiences: a Chrome
+trace-event file loadable in ``chrome://tracing``/Perfetto, a metrics
+JSON report, and the human-readable ``repro stats`` summary.  Worker
+processes record into their own recorder and ship per-task deltas back
+to the parent, so metric totals are invariant to the worker count.
+
+Telemetry is off by default; enable it with the ``--trace``/
+``--metrics``/``--manifest`` CLI flags or the ``REPRO_TRACE``/
+``REPRO_METRICS``/``REPRO_MANIFEST``/``REPRO_OBS`` environment
+variables.  Disabled, every instrumented path hits the no-op
+:class:`NullRecorder` and costs almost nothing.
+"""
+
+from .metrics import (
+    DEFAULT_COUNT_EDGES,
+    DEFAULT_TIME_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    merge_payloads,
+    metric_key,
+    subtract_payloads,
+)
+from .recorder import (
+    MANIFEST_ENV_VAR,
+    METRICS_ENV_VAR,
+    OBS_ENV_VAR,
+    TRACE_ENV_VAR,
+    NullRecorder,
+    Recorder,
+    capture_task,
+    get_recorder,
+    recording,
+    reset_recorder,
+    set_recorder,
+    traced,
+)
+from .export import (
+    METRICS_SCHEMA,
+    degradation_summary,
+    format_stats,
+    metrics_document,
+    trace_document,
+    write_chrome_trace,
+    write_metrics,
+)
+from .manifest import ENV_KNOBS, RunContext, build_manifest, git_sha, write_manifest
+
+__all__ = [
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricRegistry",
+    "DEFAULT_TIME_EDGES", "DEFAULT_COUNT_EDGES",
+    "metric_key", "merge_payloads", "subtract_payloads",
+    # recorder
+    "Recorder", "NullRecorder", "get_recorder", "set_recorder",
+    "reset_recorder", "recording", "traced", "capture_task",
+    "TRACE_ENV_VAR", "METRICS_ENV_VAR", "MANIFEST_ENV_VAR", "OBS_ENV_VAR",
+    # exporters
+    "METRICS_SCHEMA", "trace_document", "write_chrome_trace",
+    "metrics_document", "write_metrics", "format_stats",
+    "degradation_summary",
+    # manifests
+    "ENV_KNOBS", "RunContext", "build_manifest", "write_manifest", "git_sha",
+]

@@ -1,0 +1,176 @@
+"""Exporters: Chrome trace-event files, metrics JSON, human summaries.
+
+Three consumers, three formats:
+
+* :func:`write_chrome_trace` -- a ``chrome://tracing`` / Perfetto
+  loadable JSON object (``traceEvents`` of ``ph: "X"`` complete events
+  with ``ts``/``dur`` in microseconds and real ``pid``/``tid``), plus
+  ``M`` metadata events naming the parent and worker processes.
+* :func:`write_metrics` -- the registry snapshot under a versioned
+  schema, the machine-readable perf record benchmarks and CI consume.
+* :func:`format_stats` -- the ``repro stats`` rendering: counters and
+  histogram digests as aligned text for humans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from .metrics import Histogram
+
+__all__ = [
+    "METRICS_SCHEMA", "trace_document", "write_chrome_trace",
+    "metrics_document", "write_metrics", "format_stats",
+    "degradation_summary",
+]
+
+#: Bump when the exported metrics/manifest JSON layout changes.
+METRICS_SCHEMA = 1
+
+
+def trace_document(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """A Chrome trace-event document for ``events``.
+
+    Adds ``process_name`` metadata so Perfetto labels the parent process
+    and each worker; events keep whatever pid/tid they were recorded
+    under, which is what splits worker tracks out visually.
+    """
+    parent_pid = os.getpid()
+    pids = {event["pid"] for event in events} | {parent_pid}
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro" if pid == parent_pid
+                     else f"repro worker {pid}"},
+        }
+        for pid in sorted(pids)
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "schema": METRICS_SCHEMA},
+    }
+
+
+def write_chrome_trace(path: str | Path, events: List[Dict[str, Any]]) -> None:
+    """Write ``events`` as a Perfetto-loadable trace file."""
+    with open(path, "w") as handle:
+        json.dump(trace_document(events), handle)
+
+
+def metrics_document(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """The metrics registry payload under its versioned envelope."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "kind": "repro-metrics",
+        "counters": dict(payload.get("counters", {})),
+        "gauges": dict(payload.get("gauges", {})),
+        "histograms": dict(payload.get("histograms", {})),
+    }
+
+
+def write_metrics(path: str | Path, payload: Mapping[str, Any]) -> None:
+    """Write a registry snapshot as the metrics JSON report."""
+    with open(path, "w") as handle:
+        json.dump(metrics_document(payload), handle, indent=2, sort_keys=True)
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def _histogram_line(key: str, entry: Mapping[str, Any]) -> str:
+    hist = Histogram.from_payload(entry)
+    if not hist.count:
+        return f"  {key}: empty"
+    # Approximate p50/p90 from the cumulative bucket counts: report the
+    # upper edge of the bucket the quantile falls in (deterministic, no
+    # interpolation guesswork).
+    quantiles = {}
+    for q in (0.5, 0.9):
+        target = q * hist.count
+        seen = 0
+        for idx, count in enumerate(hist.counts):
+            seen += count
+            if seen >= target:
+                quantiles[q] = (hist.edges[idx] if idx < len(hist.edges)
+                                else float("inf"))
+                break
+    return (f"  {key}: n={hist.count} mean={hist.mean:.4g} "
+            f"p50<={quantiles[0.5]:g} p90<={quantiles[0.9]:g} "
+            f"sum={hist.sum:.4g}")
+
+
+def format_stats(payload: Mapping[str, Any],
+                 *, title: Optional[str] = None) -> str:
+    """Render a metrics payload (or document) as human-readable text."""
+    counters = payload.get("counters", {})
+    gauges = payload.get("gauges", {})
+    histograms = payload.get("histograms", {})
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        lines.extend(f"  {key.ljust(width)}  {_format_number(value)}"
+                     for key, value in sorted(counters.items()))
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        lines.extend(f"  {key.ljust(width)}  {_format_number(value)}"
+                     for key, value in sorted(gauges.items()))
+    if histograms:
+        lines.append("histograms:")
+        lines.extend(_histogram_line(key, entry)
+                     for key, entry in sorted(histograms.items()))
+    if len(lines) == (1 if title else 0):
+        lines.append("no metrics recorded")
+    return "\n".join(lines)
+
+
+def degradation_summary(recorder=None) -> str:
+    """One line of registry-sourced loss accounting, or ``""``.
+
+    Pulls solver retry totals, per-kind grid-point fault counts and
+    neighbor-filled cell counts from the current metric registry -- the
+    single place degradation is accumulated -- for
+    :meth:`repro.charlib.GateLibrary.health_summary` and the experiment
+    summaries.  Empty when telemetry is disabled or nothing was lost.
+    """
+    if recorder is None:
+        from .recorder import get_recorder
+
+        recorder = get_recorder()
+    if not recorder.enabled:
+        return ""
+    registry = recorder.registry
+    retries = registry.counter_total("spice.retries")
+    filled = registry.counter_total("charlib.cells.filled")
+    payload = registry.snapshot()["counters"]
+    prefix = "charlib.points.failed{kind="
+    kinds = {
+        key[len(prefix):-1]: value
+        for key, value in payload.items()
+        if key.startswith(prefix)
+    }
+    if not (retries or filled or kinds):
+        return ""
+    parts = []
+    if retries:
+        parts.append(f"solver retries {_format_number(retries)}")
+    if kinds:
+        listed = ", ".join(f"{kind}={_format_number(kinds[kind])}"
+                           for kind in sorted(kinds))
+        parts.append(f"grid-point faults: {listed}")
+    if filled:
+        parts.append(f"cells neighbor-filled {_format_number(filled)}")
+    return "metrics: " + "; ".join(parts)

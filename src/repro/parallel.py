@@ -48,6 +48,7 @@ from time import monotonic
 from typing import Callable, Dict, Iterable, List, Optional, TypeVar, Union
 
 from .errors import ReproError, TaskError
+from .obs import capture_task, get_recorder
 from .resilience import faults
 
 __all__ = [
@@ -135,15 +136,20 @@ def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
     return timeout if timeout > 0 else None
 
 
-def _invoke(fn: Callable[[T], R], index: int, item: T) -> R:
-    """Worker-side task wrapper: the fault-injection seam.
+def _invoke(fn: Callable[[T], R], index: int, item: T):
+    """Worker-side task wrapper: the fault-injection and telemetry seam.
 
     ``crash`` and ``hang`` faults (:mod:`repro.resilience.faults`) fire
     here, addressed by task index -- only on the pool path, since they
-    model *worker* failures.
+    model *worker* failures.  The return value is always the
+    ``(result, telemetry)`` envelope of
+    :func:`repro.obs.capture_task`: the task records into its worker's
+    recorder and ships the metric delta plus its spans back with the
+    result, which is what keeps parent-side totals invariant to the
+    worker count (``telemetry`` is ``None`` with telemetry disabled).
     """
     faults.fire_task(index)
-    return fn(item)
+    return capture_task(fn, item, index)
 
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
@@ -196,18 +202,28 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
 
 
 def _serial_map(fn, items, on_error, on_result):
+    recorder = get_recorder()
     results: List = []
     for index, item in enumerate(items):
         try:
-            value = fn(item)
+            if recorder.enabled:
+                start = monotonic()
+                with recorder.span("parallel.task", index=index):
+                    value = fn(item)
+                recorder.histogram("parallel.task_execute_seconds").observe(
+                    monotonic() - start)
+            else:
+                value = fn(item)
         except Exception as exc:
             if on_error == "raise":
                 raise
+            recorder.counter("parallel.tasks.failed", kind="error").inc()
             results.append(TaskFailure(
                 index=index, kind="error", message=str(exc),
                 error_type=type(exc).__name__, exception=exc,
             ))
             continue
+        recorder.counter("parallel.tasks.completed").inc()
         if on_result is not None:
             on_result(index, value)
         results.append(value)
@@ -239,12 +255,15 @@ _PENDING = object()
 
 def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
     n = len(items)
+    recorder = get_recorder()
+    recorder.gauge("parallel.workers").set(count)
     results: List = [_PENDING] * n
     attempts = [0] * n
     queue = deque(range(n))  # unsubmitted task indices, ascending
     pool = ProcessPoolExecutor(max_workers=count)
     inflight: Dict[object, int] = {}       # future -> task index
     deadlines: Dict[object, float] = {}    # future -> abs deadline
+    submitted: Dict[object, float] = {}    # future -> submission stamp
 
     def fail(index: int, kind: str, message: str, *,
              error_type: str = "", exception=None, runs: int = 0) -> None:
@@ -252,12 +271,25 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
             if exception is not None:
                 raise exception
             raise TaskError(f"task {index} {kind}: {message}")
+        recorder.counter("parallel.tasks.failed", kind=kind).inc()
         # `attempts[index]` counts crashed runs; an error/timeout failure
         # happened on one further run, a crash failure did not.
         results[index] = TaskFailure(
             index=index, kind=kind, message=message, error_type=error_type,
             attempts=runs or attempts[index] + 1, exception=exception,
         )
+
+    def absorb(future, telemetry) -> None:
+        """Fold one task's shipped telemetry into the parent recorder."""
+        if telemetry is None or not recorder.enabled:
+            return
+        recorder.absorb_task(telemetry)
+        submit = submitted.get(future)
+        if submit is not None:
+            recorder.histogram("parallel.task_queue_wait_seconds").observe(
+                max(0.0, telemetry["start"] - submit))
+        recorder.histogram("parallel.task_execute_seconds").observe(
+            max(0.0, telemetry["end"] - telemetry["start"]))
 
     def recycle_inflight(*, broken: bool) -> None:
         """Requeue in-flight tasks around a pool rebuild.
@@ -271,6 +303,7 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
         indices = sorted(inflight.values())
         inflight.clear()
         deadlines.clear()
+        submitted.clear()
         for index in reversed(indices):  # appendleft keeps ascending order
             if broken:
                 attempts[index] += 1
@@ -279,6 +312,7 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
                          f"worker process died {attempts[index]} times "
                          f"running this task", runs=attempts[index])
                     continue
+            recorder.counter("parallel.tasks.resubmitted").inc()
             queue.appendleft(index)
 
     try:
@@ -296,9 +330,11 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
                     rebuild = True
                     break
                 inflight[future] = index
+                submitted[future] = monotonic()
                 if limit is not None:
                     deadlines[future] = monotonic() + limit
             if rebuild:
+                recorder.counter("parallel.pool.rebuilds", cause="crash").inc()
                 recycle_inflight(broken=True)
                 _shutdown_pool(pool)
                 pool = ProcessPoolExecutor(max_workers=count)
@@ -316,7 +352,10 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
                 deadlines.pop(future, None)
                 exc = future.exception()
                 if exc is None:
-                    value = future.result()
+                    value, telemetry = future.result()
+                    absorb(future, telemetry)
+                    submitted.pop(future, None)
+                    recorder.counter("parallel.tasks.completed").inc()
                     results[index] = value
                     if on_result is not None:
                         on_result(index, value)
@@ -325,9 +364,11 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
                     inflight[future] = index
                     broken = True
                 else:
+                    submitted.pop(future, None)
                     fail(index, "error", str(exc),
                          error_type=type(exc).__name__, exception=exc)
             if broken:
+                recorder.counter("parallel.pool.rebuilds", cause="crash").inc()
                 recycle_inflight(broken=True)
                 _shutdown_pool(pool)
                 pool = ProcessPoolExecutor(max_workers=count)
@@ -345,6 +386,8 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
                              f"exceeded the {limit:g}s task timeout")
                     # The hung workers still occupy pool slots; replace
                     # the pool and resubmit the innocent in-flight tasks.
+                    recorder.counter("parallel.pool.rebuilds",
+                                     cause="timeout").inc()
                     recycle_inflight(broken=False)
                     _shutdown_pool(pool)
                     pool = ProcessPoolExecutor(max_workers=count)

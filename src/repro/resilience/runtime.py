@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ReproError
+from ..obs import get_recorder
 from ..parallel import TaskFailure, parallel_map
 from .journal import ProgressJournal
 
@@ -95,6 +96,9 @@ def resilient_map(fn: Callable[[Any], Any], items: Sequence[Any], *,
     if journal is not None:
         if resolve_resume(resume):
             done = journal.load(decode=decode)
+            if done:
+                get_recorder().counter("charlib.journal.resumed_points",
+                                       kind=journal_kind).inc(len(done))
         else:
             journal.clear()
 

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..obs import get_recorder, traced
 from ..resilience.retry import RetryPolicy
 from .engine import NewtonOptions, NewtonStats, newton_solve
 from .netlist import Circuit, CompiledCircuit
@@ -50,6 +51,7 @@ class OperatingPoint:
 def _gmin_stepping(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                    options: NewtonOptions, time: float,
                    stats: Optional[NewtonStats] = None) -> np.ndarray:
+    get_recorder().counter("spice.dc.gmin_stepping").inc()
     x = np.array(x0, dtype=float)
     gmin = 1e-2
     while gmin >= options.gmin:
@@ -63,6 +65,7 @@ def _gmin_stepping(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
 def _source_stepping(compiled: CompiledCircuit, known: np.ndarray,
                      options: NewtonOptions, time: float,
                      stats: Optional[NewtonStats] = None) -> np.ndarray:
+    get_recorder().counter("spice.dc.source_stepping").inc()
     x = np.zeros(compiled.n_unknown)
     for scale in np.linspace(0.1, 1.0, 10):
         x = newton_solve(
@@ -107,8 +110,11 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
     x = None
     for attempt in range(policy.max_attempts):
         attempt_opts = policy.escalate_newton(opts, attempt)
-        if attempt > 0 and stats is not None:
-            stats.retries += 1
+        if attempt > 0:
+            if stats is not None:
+                stats.retries += 1
+            get_recorder().counter("spice.retries", phase="dc",
+                                   rung=attempt).inc()
         try:
             x = newton_solve(compiled, x0, known, options=attempt_opts,
                              time=time, stats=stats)
@@ -140,6 +146,7 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
     return OperatingPoint(voltages)
 
 
+@traced("spice.dc_sweep")
 def dc_sweep(circuit: Circuit, source: str | Sequence[str],
              values: Sequence[float] | np.ndarray,
              *, record: Optional[Iterable[str]] = None,

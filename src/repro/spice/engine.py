@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..obs import get_recorder
 from .mosfet import mosfet_current
 from .netlist import CompiledCircuit
 
@@ -156,6 +157,23 @@ def assemble_system(compiled: CompiledCircuit, x: np.ndarray, known: np.ndarray,
     return F, J
 
 
+def _observe_solve(iterations: int, converged: bool) -> None:
+    """Fold one Newton solve into the metric registry (if enabled).
+
+    This is the single place Newton iterations are counted, so parent
+    and worker processes account identically -- whoever runs the solve
+    records it, and pooled tasks ship the delta back.
+    """
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return
+    recorder.counter("spice.newton.iterations").inc(iterations)
+    if converged:
+        recorder.counter("spice.newton.solves").inc()
+    else:
+        recorder.counter("spice.newton.failures").inc()
+
+
 def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                  *, options: NewtonOptions, gmin: Optional[float] = None,
                  time: float = 0.0,
@@ -189,6 +207,7 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
             except np.linalg.LinAlgError:
                 if stats is not None:
                     stats.record(iteration, converged=False)
+                _observe_solve(iteration, converged=False)
                 raise ConvergenceError(
                     "singular Jacobian during Newton iteration",
                     iterations=iteration, residual=residual,
@@ -200,10 +219,12 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
         if step < options.voltol and residual < options.abstol:
             if stats is not None:
                 stats.record(iteration, converged=True)
+            _observe_solve(iteration, converged=True)
             return x
         last_residual = residual
     if stats is not None:
         stats.record(options.max_iterations, converged=False)
+    _observe_solve(options.max_iterations, converged=False)
     raise ConvergenceError(
         f"Newton failed to converge in {options.max_iterations} iterations "
         f"(residual {last_residual:.3e} A)",

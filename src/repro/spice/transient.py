@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..obs import get_recorder, traced
 from ..resilience import faults
 from ..resilience.retry import AttemptRecord, RetryPolicy
 from ..units import parse_quantity
@@ -201,6 +202,7 @@ def _integrate(compiled: CompiledCircuit, t_start: float, t_end: float,
     return times, series, rejected
 
 
+@traced("spice.transient")
 def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
               t_start: float = 0.0,
               record: Optional[List[str]] = None,
@@ -229,6 +231,8 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
     if t_end <= t_start:
         raise ConvergenceError(f"t_stop ({t_end}) must exceed t_start ({t_start})")
 
+    recorder = get_recorder()
+    recorder.counter("spice.transient.analyses").inc()
     stats = NewtonStats()
     attempt_log: List[AttemptRecord] = []
     last_error: Optional[ConvergenceError] = None
@@ -237,6 +241,8 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
         attempt_opts = policy.escalate_transient(opts, attempt)
         if attempt > 0:
             stats.retries += 1
+            recorder.counter("spice.retries", phase="transient",
+                             rung=attempt).inc()
         try:
             faults.fire_transient()
             outcome = _integrate(compiled, t_start, t_end, initial_op,
@@ -256,6 +262,8 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
             iterations=last_error.iterations, residual=last_error.residual,
         ) from last_error
     times, series, rejected = outcome
+    if rejected:
+        recorder.counter("spice.transient.rejected_steps").inc(rejected)
 
     time_array = np.asarray(times)
     x_series = np.asarray(series)

@@ -1,0 +1,25 @@
+"""Shared state hygiene for the telemetry tests.
+
+The recorder is process-global and env-activated; every test here
+starts from a clean slate (no ``REPRO_TRACE``/``REPRO_OBS`` leakage, no
+pinned recorder) and leaves one behind.
+"""
+
+import pytest
+
+from repro.obs import (
+    MANIFEST_ENV_VAR,
+    METRICS_ENV_VAR,
+    OBS_ENV_VAR,
+    TRACE_ENV_VAR,
+    reset_recorder,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state(monkeypatch):
+    for var in (TRACE_ENV_VAR, METRICS_ENV_VAR, MANIFEST_ENV_VAR, OBS_ENV_VAR):
+        monkeypatch.delenv(var, raising=False)
+    reset_recorder()
+    yield
+    reset_recorder()

@@ -1,0 +1,100 @@
+"""CLI telemetry smoke: --trace/--metrics/--manifest and `repro stats`."""
+
+import json
+import os
+
+from repro.cli import main
+from repro.obs import (
+    MANIFEST_ENV_VAR,
+    METRICS_ENV_VAR,
+    TRACE_ENV_VAR,
+    get_recorder,
+)
+
+DELAY_ARGV = [
+    "delay", "--gate", "nand2",
+    "--edge", "a:fall:400ps",
+    "--edge", "b:fall:150ps:100ps",
+]
+
+
+def _run_traced(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    manifest = tmp_path / "manifest.json"
+    code = main(DELAY_ARGV + [
+        "--trace", str(trace), "--metrics", str(metrics),
+        "--manifest", str(manifest),
+    ])
+    assert code == 0
+    assert "delay:" in capsys.readouterr().out  # command output intact
+    return trace, metrics, manifest
+
+
+class TestTracedRun:
+    def test_trace_file_schema(self, tmp_path, capsys):
+        trace, _, _ = _run_traced(tmp_path, capsys)
+        document = json.loads(trace.read_text())
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            assert set(("name", "ph", "ts", "dur", "pid", "tid")) <= set(event)
+        names = {e["name"] for e in complete}
+        assert "repro.delay" in names        # the root span
+        assert "spice.transient" in names    # solver spans nested below it
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "repro" for e in metadata)
+
+    def test_metrics_file_schema(self, tmp_path, capsys):
+        _, metrics, _ = _run_traced(tmp_path, capsys)
+        document = json.loads(metrics.read_text())
+        assert document["kind"] == "repro-metrics"
+        assert document["schema"] == 1
+        assert document["counters"]["spice.newton.solves"] > 0
+
+    def test_manifest_totals_and_provenance(self, tmp_path, capsys):
+        _, _, manifest = _run_traced(tmp_path, capsys)
+        document = json.loads(manifest.read_text())
+        assert document["kind"] == "repro-manifest"
+        assert document["command"] == "delay"
+        assert document["args"]["gate"] == "nand2"
+        assert document["totals"]["spice.newton.iterations"] > 0
+        assert document["wall_seconds"] > 0
+
+    def test_env_and_recorder_restored_after_main(self, tmp_path, capsys):
+        _run_traced(tmp_path, capsys)
+        for var in (TRACE_ENV_VAR, METRICS_ENV_VAR, MANIFEST_ENV_VAR):
+            assert var not in os.environ
+        assert not get_recorder().enabled
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys):
+        assert main(DELAY_ARGV) == 0
+        capsys.readouterr()
+        assert list(tmp_path.iterdir()) == []
+        assert not get_recorder().enabled
+
+
+class TestStatsCommand:
+    def test_stats_on_metrics_file(self, tmp_path, capsys):
+        _, metrics, _ = _run_traced(tmp_path, capsys)
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "spice.newton.iterations" in out
+
+    def test_stats_on_manifest_titles_the_run(self, tmp_path, capsys):
+        _, _, manifest = _run_traced(tmp_path, capsys)
+        assert main(["stats", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("run manifest: command=delay git=")
+        assert "wall=" in out
+
+    def test_stats_on_missing_file_errors(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_on_non_document_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["stats", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err

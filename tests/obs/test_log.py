@@ -1,0 +1,61 @@
+"""Central logging: levels, formatting, capture compatibility."""
+
+import logging
+
+from repro.log import ROOT_LOGGER, get_logger, setup_logging
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        assert get_logger("charlib.cache").name == "repro.charlib.cache"
+
+    def test_already_namespaced_untouched(self):
+        assert get_logger("repro.cli").name == "repro.cli"
+        assert get_logger("repro").name == "repro"
+
+
+class TestSetupLogging:
+    def test_default_level_is_warning(self, capsys):
+        setup_logging(0)
+        log = get_logger("unit")
+        log.info("quiet info")
+        log.warning("loud warning")
+        err = capsys.readouterr().err
+        assert "quiet info" not in err
+        assert "warning: loud warning" in err
+
+    def test_verbose_levels(self, capsys):
+        setup_logging(1)
+        get_logger("unit").info("progress")
+        assert "info: progress" in capsys.readouterr().err
+        setup_logging(2)
+        get_logger("unit").debug("detail")
+        assert "debug: detail" in capsys.readouterr().err
+
+    def test_quiet_shows_errors_only(self, capsys):
+        setup_logging(0, quiet=True)
+        log = get_logger("unit")
+        log.warning("suppressed")
+        log.error("boom")
+        err = capsys.readouterr().err
+        assert "suppressed" not in err
+        assert "error: boom" in err
+
+    def test_lowercase_levelname(self, capsys):
+        setup_logging(0)
+        get_logger("unit").error("failed to parse")
+        err = capsys.readouterr().err
+        assert "error: failed to parse" in err
+        assert "ERROR" not in err
+
+    def test_repeated_setup_installs_one_handler(self):
+        for _ in range(3):
+            logger = setup_logging(1)
+        assert len(logger.handlers) == 1
+        assert logger.name == ROOT_LOGGER
+        assert not logger.propagate
+
+    def test_explicit_level_overrides(self, capsys):
+        setup_logging(0, level=logging.DEBUG)
+        get_logger("unit").debug("forced")
+        assert "debug: forced" in capsys.readouterr().err

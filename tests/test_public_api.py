@@ -32,6 +32,7 @@ class TestSubpackages:
         "repro.vtc", "repro.charlib", "repro.models", "repro.core",
         "repro.inertial", "repro.baselines", "repro.timing",
         "repro.interconnect", "repro.experiments", "repro.resilience",
+        "repro.obs",
     ]
 
     @pytest.mark.parametrize("package", PACKAGES)
