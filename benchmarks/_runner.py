@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 BENCH_DIR_ENV_VAR = "REPRO_BENCH_DIR"
 BENCH_TELEMETRY_ENV_VAR = "REPRO_BENCH_TELEMETRY"
@@ -41,11 +41,20 @@ def _counter_total(counters: Dict[str, float], name: str) -> float:
 
 def write_bench_result(module_stem: str, test_name: str,
                        payload: Dict[str, Any], wall_seconds: float,
-                       scale: float) -> Path:
-    """Fold one benchmark's telemetry into its module's JSON record."""
+                       scale: float,
+                       extra: Optional[Dict[str, Any]] = None) -> Path:
+    """Fold one benchmark's telemetry into its module's JSON record.
+
+    ``extra`` merges benchmark-specific fields (e.g. a measured speedup
+    ratio) into the test's entry.  A missing output directory is
+    created, and an unreadable or empty prior record is simply replaced
+    -- the trajectory may legitimately be empty on a first run.
+    """
     name = module_stem[len("bench_"):] if module_stem.startswith("bench_") \
         else module_stem
-    path = bench_output_dir() / f"BENCH_{name}.json"
+    out_dir = bench_output_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
     counters = payload.get("counters", {})
     hits = _counter_total(counters, "cache.hits")
     misses = _counter_total(counters, "cache.misses")
@@ -62,6 +71,8 @@ def write_bench_result(module_stem: str, test_name: str,
         "cache_misses": misses,
         "cache_hit_rate": (hits / lookups) if lookups else None,
     }
+    if extra:
+        entry.update(extra)
     document = {"schema": 1, "kind": "repro-bench", "name": name, "tests": {}}
     if path.exists():
         try:

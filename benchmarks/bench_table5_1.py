@@ -11,7 +11,6 @@ Paper:            delay                     rise time
   max / min       8.54 % / -6.94 %          11.51 % / -13.15 %
 """
 
-import numpy as np
 
 from repro.experiments import table5_1
 

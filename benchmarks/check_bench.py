@@ -1,0 +1,141 @@
+"""CI perf gate: compare fresh ``BENCH_*.json`` records to the baseline.
+
+Usage::
+
+    python benchmarks/check_bench.py --current DIR [--baseline DIR]
+                                     [--threshold 0.25] [--update]
+
+Each current record is compared test-by-test against the committed
+baseline of the same name (``benchmarks/baseline/`` by default): a test
+whose wall time regresses by more than ``--threshold`` (default 25%)
+fails the gate.  Comparisons are skipped -- never fatal -- when the
+baseline record is missing, unreadable or empty (the trajectory starts
+empty; seed it with ``--update``), or when a test was run at a
+different ``REPRO_BENCH_SCALE`` than its baseline.
+
+``--update`` rewrites the baseline from the current records instead of
+comparing; commit the result to refresh the gate after an intentional
+performance change (see docs/tutorial.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+def load_record(path: Path) -> Optional[Dict[str, Any]]:
+    """A bench record's tests dict, or ``None`` for missing/empty history.
+
+    Tolerates every shape an empty trajectory has appeared in: a missing
+    file, an empty file, an empty JSON list/object, or a record without
+    a usable ``tests`` mapping.
+    """
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    tests = document.get("tests")
+    if not isinstance(tests, dict) or not tests:
+        return None
+    return tests
+
+
+def compare(name: str, current: Dict[str, Any],
+            baseline: Optional[Dict[str, Any]],
+            threshold: float) -> list[str]:
+    """Regression messages for one record ([] = gate passes for it)."""
+    if baseline is None:
+        print(f"  {name}: no baseline history -- skipped "
+              f"(seed it with --update)")
+        return []
+    problems = []
+    for test, entry in sorted(current.items()):
+        base = baseline.get(test)
+        if base is None:
+            print(f"  {name}::{test}: new test, no baseline -- skipped")
+            continue
+        if entry.get("scale") != base.get("scale"):
+            print(f"  {name}::{test}: scale {entry.get('scale')} != baseline "
+                  f"{base.get('scale')} -- skipped")
+            continue
+        wall, base_wall = entry.get("wall_seconds"), base.get("wall_seconds")
+        if not (isinstance(wall, (int, float))
+                and isinstance(base_wall, (int, float)) and base_wall > 0):
+            print(f"  {name}::{test}: no comparable wall time -- skipped")
+            continue
+        ratio = wall / base_wall
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+            problems.append(
+                f"{name}::{test}: wall {wall:.2f}s vs baseline "
+                f"{base_wall:.2f}s ({ratio:.2f}x > {1 + threshold:.2f}x)")
+        print(f"  {name}::{test}: {wall:.2f}s vs {base_wall:.2f}s "
+              f"({ratio:.2f}x) {verdict}")
+        # Newton iteration totals are deterministic for a fixed workload;
+        # a drift at equal scale is worth flagging (not failing -- the
+        # workload itself may have legitimately changed).
+        iters, base_iters = (entry.get("newton_iterations"),
+                             base.get("newton_iterations"))
+        if iters != base_iters:
+            print(f"    note: newton_iterations {iters} != baseline "
+                  f"{base_iters} (workload changed?)")
+    return problems
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default=".", type=Path,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--baseline", default=Path(__file__).parent / "baseline",
+                        type=Path, help="committed baseline directory")
+    parser.add_argument("--threshold", default=0.25, type=float,
+                        help="allowed fractional wall-time regression")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current records")
+    args = parser.parse_args(argv)
+
+    records = sorted(args.current.glob("BENCH_*.json"))
+    if not records:
+        print(f"no BENCH_*.json records under {args.current} -- "
+              f"nothing to gate")
+        return 0
+
+    if args.update:
+        args.baseline.mkdir(parents=True, exist_ok=True)
+        for path in records:
+            if load_record(path) is None:
+                print(f"  {path.name}: empty record -- not copied")
+                continue
+            shutil.copy(path, args.baseline / path.name)
+            print(f"  {path.name}: baseline updated")
+        return 0
+
+    problems: list[str] = []
+    for path in records:
+        current = load_record(path)
+        if current is None:
+            print(f"  {path.name}: empty current record -- skipped")
+            continue
+        problems.extend(compare(path.name, current,
+                                load_record(args.baseline / path.name),
+                                args.threshold))
+    if problems:
+        print("\nperformance gate FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("\nperformance gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

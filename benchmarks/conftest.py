@@ -69,4 +69,5 @@ def bench_telemetry(request):
     write_bench_result(
         request.node.path.stem, request.node.name,
         recorder.metrics_payload(), wall, bench_scale(),
+        extra=getattr(request.node, "bench_extra", None),
     )

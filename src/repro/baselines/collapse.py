@@ -30,10 +30,10 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import ModelError
 from ..gates import Gate
-from ..gates.topology import Leaf, Network, Parallel, Series
+from ..gates.topology import Leaf, Network, Series
 from ..tech import Sizing
 from ..units import parse_quantity
-from ..waveform import Edge, RISE, Thresholds, opposite
+from ..waveform import Edge, RISE, Thresholds
 from ..charlib.simulate import single_input_response
 
 __all__ = [

@@ -26,13 +26,21 @@ from ..errors import CharacterizationError
 from ..gates import Gate
 from ..models.dual import TableDualInputModel
 from ..obs import get_recorder
-from ..parallel import parallel_map
+from ..parallel import parallel_map, resolve_batch
 from ..resilience import faults
 from ..resilience.health import FailedPoint, HealthReport, neighbor_fill
-from ..resilience.runtime import resilient_map, resolve_resume
+from ..resilience.runtime import (
+    resilient_chunked_map,
+    resilient_map,
+    resolve_resume,
+)
 from ..waveform import Edge, Thresholds, normalize_direction
 from .cache import CharacterizationCache, default_cache
-from .simulate import multi_input_response, single_input_response
+from .simulate import (
+    multi_input_response,
+    multi_input_response_batch,
+    single_input_response,
+)
 
 __all__ = ["DualInputGrid", "characterize_dual_input"]
 
@@ -108,12 +116,52 @@ def _grid_point_task(task) -> Tuple[float, float]:
     return shot.delay, shot.out_ttime
 
 
+def _grid_chunk_task(task):
+    """Worker: one batch of grid transients through the lockstep kernel.
+
+    Returns one envelope per point -- ``("ok", (delay, ttime))`` or
+    ``("err", kind, message, error_type)`` -- mirroring what the scalar
+    :func:`_grid_point_task` path records for the same point.
+    """
+    gate, reference, thresholds, pairs = task
+    envelopes: list = [None] * len(pairs)
+    live = []
+    requests = []
+    for pos, (index, edges) in enumerate(pairs):
+        try:
+            faults.fire_point("dual", index)
+        except Exception as exc:
+            envelopes[pos] = ("err", "error", str(exc), type(exc).__name__)
+            continue
+        live.append(pos)
+        requests.append((edges, reference, None))
+    if requests:
+        recorder = get_recorder()
+        if not recorder.enabled:
+            shots = multi_input_response_batch(gate, requests, thresholds)
+        else:
+            start = monotonic()
+            with recorder.span("charlib.chunk", scope="dual",
+                               lanes=len(requests)):
+                shots = multi_input_response_batch(gate, requests, thresholds)
+            recorder.histogram("charlib.chunk_seconds",
+                               scope="dual").observe(monotonic() - start)
+        for pos, shot in zip(live, shots):
+            if isinstance(shot, Exception):
+                envelopes[pos] = ("err", "error", str(shot),
+                                  type(shot).__name__)
+            else:
+                envelopes[pos] = ("ok", (shot.delay, shot.out_ttime))
+    return envelopes
+
+
 def characterize_dual_input(
     gate: Gate, reference: str, other: str, direction: str,
     thresholds: Thresholds, *,
     grid: Optional[DualInputGrid] = None,
     cache: Optional[CharacterizationCache] = None,
     workers: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> TableDualInputModel:
     """Build the dual-input proximity table for an ordered input pair.
 
@@ -126,7 +174,10 @@ def characterize_dual_input(
     ``workers`` fans the grid's independent transients over a process
     pool (see :mod:`repro.parallel`); grid points are merged back in
     sweep order, so the resulting table is bit-identical to a serial
-    run.
+    run.  ``batch`` (default: ``REPRO_BATCH``, else scalar) runs that
+    many grid points per task through the vectorized lockstep kernel,
+    composing with ``workers`` and equally bit-identical; the cache key
+    is deliberately batch-blind.
 
     A grid point whose transient fails (convergence loss past the retry
     ladder, crashed worker, task timeout) becomes a NaN cell: the loss
@@ -177,23 +228,33 @@ def characterize_dual_input(
 
         # Stage 2: every grid point is one independent two-input
         # transient; fan out and merge back in sweep order.
-        tasks = []
+        edge_sets = []
         coords = []
         for tau_ref, (delta1, _tau1) in zip(grid.tau_refs, singles):
             for a2 in grid.a2:
                 for a3 in grid.a3:
-                    edges = {
+                    edge_sets.append({
                         reference: Edge(direction, 0.0, tau_ref),
                         other: Edge(direction, a3 * delta1, a2 * delta1),
-                    }
-                    tasks.append((len(tasks), gate, reference, edges,
-                                  thresholds))
+                    })
                     coords.append({"tau_ref": tau_ref, "a2": a2, "a3": a3})
-        shots, task_failures = resilient_map(
-            _grid_point_task, tasks,
-            journal_kind="dual", journal_key=key,
-            directory=cache.directory, workers=workers, decode=tuple,
-        )
+        batch_size = resolve_batch(batch)
+        if batch_size > 1:
+            shots, task_failures = resilient_chunked_map(
+                _grid_chunk_task, edge_sets,
+                batch=batch_size,
+                make_chunk=lambda pairs: (gate, reference, thresholds, pairs),
+                journal_kind="dual", journal_key=key,
+                directory=cache.directory, workers=workers, decode=tuple,
+            )
+        else:
+            shots, task_failures = resilient_map(
+                _grid_point_task,
+                [(index, gate, reference, edges, thresholds)
+                 for index, edges in enumerate(edge_sets)],
+                journal_kind="dual", journal_key=key,
+                directory=cache.directory, workers=workers, decode=tuple,
+            )
         failed = []
         for failure in task_failures:
             shots[failure.index] = (float("nan"), float("nan"))
@@ -204,11 +265,11 @@ def characterize_dual_input(
                 "message": failure.message,
                 "coords": coords[failure.index],
             })
-        if len(failed) == len(tasks):
+        if len(failed) == len(edge_sets):
             raise CharacterizationError(
                 f"dual-input sweep for {gate.name!r} "
                 f"({reference}->{other}/{direction}) lost all "
-                f"{len(tasks)} grid points"
+                f"{len(edge_sets)} grid points"
             )
 
         delay_table = np.empty((len(grid.tau_refs), len(grid.a2), len(grid.a3)))

@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import CharacterizationError
-from ..gates.topology import Leaf, Network, Parallel, Series
+from ..gates.topology import Leaf, Network, Series
 from ..waveform import FALL, RISE
 from .library import GateLibrary
 
@@ -143,7 +143,7 @@ def to_liberty(library: GateLibrary, *,
             arcs.append((slew_kw, slew_rows))
         if not arcs:
             continue
-        out.append(f"      timing () {{")
+        out.append("      timing () {")
         out.append(f'        related_pin : "{pin.upper()}";')
         out.append("        timing_sense : negative_unate;")
         for keyword, rows in arcs:

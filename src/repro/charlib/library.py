@@ -194,6 +194,7 @@ class GateLibrary:
         thresholds: Optional[Thresholds] = None,
         cache: Optional[CharacterizationCache] = None,
         workers: Optional[int] = None,
+        batch: Optional[int] = None,
     ) -> "GateLibrary":
         """Characterize ``gate`` into a ready-to-use library.
 
@@ -206,7 +207,10 @@ class GateLibrary:
 
         ``workers`` parallelizes the table-mode characterization sweeps
         over a process pool (default: serial; see :mod:`repro.parallel`).
-        Tables are deterministic regardless of the worker count.
+        ``batch`` runs that many sweep points per task through the
+        vectorized lockstep kernel (default: ``REPRO_BATCH``, else
+        scalar); the two compose, lanes x processes.  Tables are
+        deterministic regardless of the worker count or batch size.
         """
         with get_recorder().span("charlib.characterize", gate=gate.name,
                                  mode=mode):
@@ -214,12 +218,13 @@ class GateLibrary:
                 gate, mode=mode, directions=directions,
                 single_grid=single_grid, dual_grid=dual_grid, pairs=pairs,
                 thresholds=thresholds, cache=cache, workers=workers,
+                batch=batch,
             )
 
     @classmethod
     def _characterize(
         cls, gate: Gate, *, mode, directions, single_grid, dual_grid,
-        pairs, thresholds, cache, workers,
+        pairs, thresholds, cache, workers, batch,
     ) -> "GateLibrary":
         cache = cache or default_cache()
         thr = thresholds or cached_thresholds(gate, cache=cache)
@@ -250,13 +255,13 @@ class GateLibrary:
             for direction in dirs:
                 singles[(name, direction)] = characterize_single_input(
                     gate, name, direction, thr, grid=single_grid, cache=cache,
-                    workers=workers,
+                    workers=workers, batch=batch,
                 )
         for ref, other in cls._select_pairs(inputs, pairs):
             for direction in dirs:
                 duals[(ref, other, direction)] = characterize_dual_input(
                     gate, ref, other, direction, thr,
-                    grid=dual_grid, cache=cache, workers=workers,
+                    grid=dual_grid, cache=cache, workers=workers, batch=batch,
                 )
         return cls(gate, thr, singles, duals, mode="table")
 

@@ -12,17 +12,18 @@ funnels through :func:`single_input_response` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ConvergenceError, MeasurementError
 from ..gates import Gate
-from ..spice import transient
+from ..spice import transient, transient_batch
 from ..units import parse_quantity
 from ..waveform import (
     Edge,
     Pwl,
     Thresholds,
     gate_delay,
+    normalize_direction,
     opposite,
     transition_time,
 )
@@ -33,6 +34,8 @@ __all__ = [
     "estimate_settle_time",
     "single_input_response",
     "multi_input_response",
+    "single_input_response_batch",
+    "multi_input_response_batch",
 ]
 
 
@@ -111,6 +114,109 @@ def _edge_ramps(gate: Gate, edges: Mapping[str, Edge],
     return ramps, shift, last_end
 
 
+@dataclass
+class _ShotPlan:
+    """Everything one multi-input measurement needs, prepared up front.
+
+    The scalar and batched drivers share this preparation so a batched
+    run makes exactly the scalar run's decisions -- same circuit, same
+    window schedule, same error text.  ``attempt`` is the window-doubling
+    state the batched driver advances per lane.
+    """
+
+    edges: Mapping[str, Edge]
+    ref: str
+    ref_edge: Edge
+    out_dir: str
+    cl: float
+    ramps: Dict[str, Pwl]
+    shift: float
+    last_end: float
+    settle: float
+    circuit: object
+    attempt: int = 0
+
+    def t_stop(self) -> float:
+        return self.last_end + self.settle * (2.0 ** self.attempt)
+
+
+def _prepare_shot(gate: Gate, edges: Mapping[str, Edge],
+                  thresholds: Thresholds,
+                  reference: Optional[str],
+                  load: Optional[float | str]) -> _ShotPlan:
+    """Validate one measurement request and build its circuit."""
+    if not edges:
+        raise MeasurementError("multi_input_response needs at least one edge")
+    for name in edges:
+        if name not in gate.inputs:
+            raise MeasurementError(f"{name!r} is not an input of {gate.name!r}")
+    ref = reference or min(edges, key=lambda n: edges[n].t_cross)
+    if ref not in edges:
+        raise MeasurementError(f"reference {ref!r} has no edge")
+
+    cl = gate.load if load is None else parse_quantity(load, unit="F")
+    ramps, shift, last_end = _edge_ramps(gate, edges, thresholds)
+    settle = estimate_settle_time(gate, cl) + max(e.tau for e in edges.values())
+
+    ref_edge = edges[ref]
+    out_dir = gate.output_direction(ref_edge.direction)
+    circuit = gate.build(ramps, load=cl, switching=list(edges))
+    return _ShotPlan(edges=edges, ref=ref, ref_edge=ref_edge, out_dir=out_dir,
+                     cl=cl, ramps=ramps, shift=shift, last_end=last_end,
+                     settle=settle, circuit=circuit)
+
+
+def _enrich_convergence(gate: Gate, plan: _ShotPlan,
+                        exc: ConvergenceError) -> ConvergenceError:
+    """The scalar path's gate/edges-enriched convergence error."""
+    edges_text = ", ".join(
+        f"{name}:{edge.direction}@tau={edge.tau:g}s"
+        for name, edge in plan.edges.items()
+    )
+    return ConvergenceError(
+        f"simulation of {gate.name!r} ({edges_text}) failed: {exc}",
+        iterations=exc.iterations, residual=exc.residual,
+    )
+
+
+def _measure_shot(gate: Gate, plan: _ShotPlan, result,
+                  thresholds: Thresholds) -> Union[MultiShot, MeasurementError]:
+    """Measure one transient result.
+
+    An incomplete output transition comes back as the
+    :class:`MeasurementError` itself (the window-doubling trigger);
+    any other failure propagates, exactly as the scalar path's narrow
+    ``try`` block behaves.
+    """
+    output = result.node(gate.output)
+    try:
+        delay = gate_delay(
+            plan.ramps[plan.ref], plan.ref_edge.direction, output,
+            plan.out_dir, thresholds,
+        )
+        ttime = transition_time(output, plan.out_dir, thresholds)
+    except MeasurementError as exc:
+        return exc
+    first_start = min(p.t_start for p in plan.ramps.values())
+    window = output.windowed(first_start, output.t_end)
+    return MultiShot(
+        reference=plan.ref,
+        delay=delay,
+        out_ttime=ttime,
+        output=output.shifted(-plan.shift),
+        vmin=window.min(),
+        vmax=window.max(),
+    )
+
+
+def _exhausted_error(gate: Gate, plan: _ShotPlan, max_retries: int,
+                     last_error: Optional[MeasurementError]) -> MeasurementError:
+    return MeasurementError(
+        f"output of {gate.name!r} never completed its {plan.out_dir} "
+        f"transition within {max_retries} window doublings: {last_error}"
+    )
+
+
 def multi_input_response(gate: Gate, edges: Mapping[str, Edge],
                          thresholds: Thresholds, *,
                          reference: Optional[str] = None,
@@ -138,61 +244,21 @@ def multi_input_response(gate: Gate, edges: Mapping[str, Edge],
     :class:`~repro.errors.ConvergenceError` enriched with which gate and
     edges were being measured, so a health report can name the point.
     """
-    if not edges:
-        raise MeasurementError("multi_input_response needs at least one edge")
-    for name in edges:
-        if name not in gate.inputs:
-            raise MeasurementError(f"{name!r} is not an input of {gate.name!r}")
-    ref = reference or min(edges, key=lambda n: edges[n].t_cross)
-    if ref not in edges:
-        raise MeasurementError(f"reference {ref!r} has no edge")
-
-    cl = gate.load if load is None else parse_quantity(load, unit="F")
-    ramps, shift, last_end = _edge_ramps(gate, edges, thresholds)
-    settle = estimate_settle_time(gate, cl) + max(e.tau for e in edges.values())
-
-    ref_edge = edges[ref]
-    out_dir = gate.output_direction(ref_edge.direction)
-    circuit = gate.build(ramps, load=cl, switching=list(edges))
-
+    plan = _prepare_shot(gate, edges, thresholds, reference, load)
     last_error: Optional[MeasurementError] = None
     for attempt in range(max_retries):
-        t_stop = last_end + settle * (2.0 ** attempt)
+        plan.attempt = attempt
         try:
-            result = transient(circuit, t_stop, record=[gate.output],
-                               retry=retry)
+            result = transient(plan.circuit, plan.t_stop(),
+                               record=[gate.output], retry=retry)
         except ConvergenceError as exc:
-            edges_text = ", ".join(
-                f"{name}:{edge.direction}@tau={edge.tau:g}s"
-                for name, edge in edges.items()
-            )
-            raise ConvergenceError(
-                f"simulation of {gate.name!r} ({edges_text}) failed: {exc}",
-                iterations=exc.iterations, residual=exc.residual,
-            ) from exc
-        output = result.node(gate.output)
-        try:
-            delay = gate_delay(
-                ramps[ref], ref_edge.direction, output, out_dir, thresholds,
-            )
-            ttime = transition_time(output, out_dir, thresholds)
-        except MeasurementError as exc:
-            last_error = exc
+            raise _enrich_convergence(gate, plan, exc) from exc
+        shot = _measure_shot(gate, plan, result, thresholds)
+        if isinstance(shot, MeasurementError):
+            last_error = shot
             continue
-        first_start = min(p.t_start for p in ramps.values())
-        window = output.windowed(first_start, output.t_end)
-        return MultiShot(
-            reference=ref,
-            delay=delay,
-            out_ttime=ttime,
-            output=output.shifted(-shift),
-            vmin=window.min(),
-            vmax=window.max(),
-        )
-    raise MeasurementError(
-        f"output of {gate.name!r} never completed its {out_dir} transition "
-        f"within {max_retries} window doublings: {last_error}"
-    )
+        return shot
+    raise _exhausted_error(gate, plan, max_retries, last_error)
 
 
 def single_input_response(gate: Gate, input_name: str, direction: str,
@@ -222,3 +288,113 @@ def single_input_response(gate: Gate, input_name: str, direction: str,
         out_ttime=shot.out_ttime,
         output=shot.output,
     )
+
+
+#: One batched measurement request: (edges, reference, load) with the
+#: same semantics as the :func:`multi_input_response` keyword arguments.
+ShotRequest = Tuple[Mapping[str, Edge], Optional[str], Optional[float]]
+
+#: What a batched driver hands back per request: the measured shot, or
+#: the exception the scalar path would have raised for that request.
+ShotOutcome = Union[MultiShot, ConvergenceError, MeasurementError]
+
+
+def multi_input_response_batch(gate: Gate, requests: Sequence[ShotRequest],
+                               thresholds: Thresholds, *,
+                               max_retries: int = 3,
+                               retry=None) -> List[ShotOutcome]:
+    """Measure many independent edge configurations in lockstep.
+
+    Each request runs the *same* per-point state machine as
+    :func:`multi_input_response` -- circuit built once, transient window
+    doubled up to ``max_retries`` times on incomplete measurements --
+    but the transients of all still-pending requests execute together
+    through :func:`repro.spice.transient_batch`, whose lockstep kernel
+    is bit-identical per lane to the scalar engine.  Results are
+    therefore bit-identical to calling :func:`multi_input_response` per
+    request, for any batch size.
+
+    Failures are isolated per request: instead of raising, the slot
+    holds the exception the scalar call would have raised, carrying the
+    same message (the health reports downstream record ``str(exc)``).
+    """
+    results: List[Optional[ShotOutcome]] = [None] * len(requests)
+    plans: Dict[int, _ShotPlan] = {}
+    errors: Dict[int, Optional[MeasurementError]] = {}
+    for i, (edges, reference, load) in enumerate(requests):
+        try:
+            plans[i] = _prepare_shot(gate, edges, thresholds, reference, load)
+            errors[i] = None
+        except MeasurementError as exc:
+            results[i] = exc
+
+    pending = sorted(plans)
+    while pending:
+        outcomes = transient_batch(
+            [plans[i].circuit for i in pending],
+            [plans[i].t_stop() for i in pending],
+            record=[gate.output], retry=retry,
+        )
+        retrying: List[int] = []
+        for i, outcome in zip(pending, outcomes):
+            plan = plans[i]
+            if isinstance(outcome, ConvergenceError):
+                error = _enrich_convergence(gate, plan, outcome)
+                error.__cause__ = outcome
+                results[i] = error
+                continue
+            shot = _measure_shot(gate, plan, outcome, thresholds)
+            if isinstance(shot, MeasurementError):
+                errors[i] = shot
+                plan.attempt += 1
+                if plan.attempt >= max_retries:
+                    results[i] = _exhausted_error(
+                        gate, plan, max_retries, errors[i])
+                else:
+                    retrying.append(i)
+                continue
+            results[i] = shot
+        pending = retrying
+    return results
+
+
+def single_input_response_batch(gate: Gate, input_name: str, direction: str,
+                                points: Sequence[Tuple[float, float]],
+                                thresholds: Thresholds, *,
+                                retry=None) -> List[Union[SingleShot,
+                                                          ConvergenceError,
+                                                          MeasurementError]]:
+    """Batched :func:`single_input_response` over ``(load, tau)`` points.
+
+    All points share the pin and direction (one characterization sweep),
+    so their circuits are structurally congruent and the lockstep kernel
+    engages.  Slots of failed points hold the exception the scalar call
+    would have raised, as in :func:`multi_input_response_batch`.
+    """
+    requests: List[ShotRequest] = []
+    taus: List[float] = []
+    loads: List[float] = []
+    for load, tau in points:
+        tau_s = parse_quantity(tau, unit="s")
+        edge = Edge(direction, t_cross=0.0, tau=tau_s)
+        requests.append(({input_name: edge}, input_name, load))
+        taus.append(tau_s)
+        loads.append(gate.load if load is None else parse_quantity(load, unit="F"))
+    outcomes = multi_input_response_batch(gate, requests, thresholds,
+                                          retry=retry)
+    direction = normalize_direction(direction)
+    results: List[Union[SingleShot, ConvergenceError, MeasurementError]] = []
+    for tau_s, cl, outcome in zip(taus, loads, outcomes):
+        if isinstance(outcome, MultiShot):
+            results.append(SingleShot(
+                input_name=input_name,
+                direction=direction,
+                tau=tau_s,
+                load=cl,
+                delay=outcome.delay,
+                out_ttime=outcome.out_ttime,
+                output=outcome.output,
+            ))
+        else:
+            results.append(outcome)
+    return results

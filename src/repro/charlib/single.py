@@ -18,8 +18,8 @@ the characterization load anyway).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -29,13 +29,17 @@ from ..errors import CharacterizationError
 from ..gates import Gate
 from ..models.single import TableSingleInputModel
 from ..obs import get_recorder
+from ..parallel import resolve_batch
 from ..resilience import faults
 from ..resilience.health import FailedPoint, HealthReport
-from ..resilience.runtime import resilient_map, resolve_resume
-from ..units import parse_quantity
+from ..resilience.runtime import (
+    resilient_chunked_map,
+    resilient_map,
+    resolve_resume,
+)
 from ..waveform import RISE, Thresholds, normalize_direction
 from .cache import CharacterizationCache, default_cache
-from .simulate import single_input_response
+from .simulate import single_input_response, single_input_response_batch
 
 __all__ = ["SingleInputGrid", "characterize_single_input", "drive_strength"]
 
@@ -105,18 +109,69 @@ def _sample_task(task):
     return shot.delay / tau, shot.out_ttime / tau
 
 
+def _sample_chunk_task(task):
+    """Worker: one batch of (load, tau) samples through the lockstep kernel.
+
+    Returns one envelope per point -- ``("ok", (delay_norm, ttime_norm))``
+    or ``("err", kind, message, error_type)`` -- so a failing point
+    degrades exactly like its scalar :func:`_sample_task` would (same
+    kind and message in the health report) without losing its
+    chunk-mates.
+    """
+    gate, input_name, direction, thresholds, pairs = task
+    envelopes: list = [None] * len(pairs)
+    live = []
+    points = []
+    for pos, (index, (load, tau)) in enumerate(pairs):
+        try:
+            faults.fire_point("single", index)
+        except Exception as exc:
+            envelopes[pos] = ("err", "error", str(exc), type(exc).__name__)
+            continue
+        live.append((pos, tau))
+        points.append((load, tau))
+    if points:
+        recorder = get_recorder()
+        if not recorder.enabled:
+            shots = single_input_response_batch(
+                gate, input_name, direction, points, thresholds,
+            )
+        else:
+            start = monotonic()
+            with recorder.span("charlib.chunk", scope="single",
+                               lanes=len(points)):
+                shots = single_input_response_batch(
+                    gate, input_name, direction, points, thresholds,
+                )
+            recorder.histogram("charlib.chunk_seconds",
+                               scope="single").observe(monotonic() - start)
+        for (pos, tau), shot in zip(live, shots):
+            if isinstance(shot, Exception):
+                envelopes[pos] = ("err", "error", str(shot),
+                                  type(shot).__name__)
+            else:
+                envelopes[pos] = ("ok", (shot.delay / tau,
+                                         shot.out_ttime / tau))
+    return envelopes
+
+
 def characterize_single_input(
     gate: Gate, input_name: str, direction: str, thresholds: Thresholds, *,
     grid: Optional[SingleInputGrid] = None,
     cache: Optional[CharacterizationCache] = None,
     workers: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> TableSingleInputModel:
     """Build the single-input macromodel table for one pin and direction.
 
     Results are cached on the full (process, gate, thresholds, grid)
     content key.  ``workers`` fans the independent (load, tau) sweep
     points over a process pool; samples merge back in sweep order, so
-    the table is bit-identical to a serial run.
+    the table is bit-identical to a serial run.  ``batch`` (default:
+    ``REPRO_BATCH``, else scalar) runs that many sweep points per task
+    through the vectorized lockstep kernel -- inside each pooled worker
+    when both are enabled -- and is equally bit-identical; the cache key
+    is deliberately batch-blind.
 
     The sweep **degrades gracefully**: a point whose simulation fails
     (convergence loss past the retry ladder, a crashed worker, a task
@@ -146,13 +201,24 @@ def characterize_single_input(
 
     def compute() -> dict:
         k_drive = drive_strength(gate, input_name, direction)
-        shots, task_failures = resilient_map(
-            _sample_task,
-            [(index, gate, input_name, direction, tau, thresholds, load)
-             for index, (load, tau) in enumerate(points)],
-            journal_kind="single", journal_key=key,
-            directory=cache.directory, workers=workers, decode=tuple,
-        )
+        batch_size = resolve_batch(batch)
+        if batch_size > 1:
+            shots, task_failures = resilient_chunked_map(
+                _sample_chunk_task, points,
+                batch=batch_size,
+                make_chunk=lambda pairs: (gate, input_name, direction,
+                                          thresholds, pairs),
+                journal_kind="single", journal_key=key,
+                directory=cache.directory, workers=workers, decode=tuple,
+            )
+        else:
+            shots, task_failures = resilient_map(
+                _sample_task,
+                [(index, gate, input_name, direction, tau, thresholds, load)
+                 for index, (load, tau) in enumerate(points)],
+                journal_kind="single", journal_key=key,
+                directory=cache.directory, workers=workers, decode=tuple,
+            )
         failed = []
         for failure in task_failures:
             load, tau = points[failure.index]

@@ -71,6 +71,12 @@ def _add_workers_option(parser: argparse.ArgumentParser) -> None:
         help="process-pool size for independent simulations "
              "(default: REPRO_WORKERS env var, else serial; -1 = all "
              "cores; results are identical for any worker count)")
+    parser.add_argument(
+        "--batch", type=int, default=None, metavar="B",
+        help="simulations per task run together through the vectorized "
+             "lockstep kernel (default: REPRO_BATCH env var, else "
+             "scalar; composes with --workers; results are identical "
+             "for any batch size)")
 
 
 def _add_obs_options(parser: argparse.ArgumentParser) -> None:
@@ -119,7 +125,7 @@ def _apply_resilience_options(args: argparse.Namespace) -> None:
     """
     import os
 
-    from .parallel import TIMEOUT_ENV_VAR
+    from .parallel import BATCH_ENV_VAR, TIMEOUT_ENV_VAR
     from .resilience.retry import RETRY_ENV_VAR
     from .resilience.runtime import RESUME_ENV_VAR
 
@@ -129,6 +135,8 @@ def _apply_resilience_options(args: argparse.Namespace) -> None:
         os.environ[TIMEOUT_ENV_VAR] = str(args.task_timeout)
     if getattr(args, "resume", False):
         os.environ[RESUME_ENV_VAR] = "1"
+    if getattr(args, "batch", None) is not None:
+        os.environ[BATCH_ENV_VAR] = str(args.batch)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -334,15 +342,32 @@ def _cmd_glitch(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
-    from .obs import format_stats
+    from .obs import format_bench, format_stats
 
+    # A benchmark trajectory that has not accumulated anything yet is a
+    # normal state, not an error: a missing file, an empty file, or an
+    # empty JSON list/object all render as "no history".
     try:
         with open(args.file) as handle:
-            document = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+            text = handle.read()
+    except OSError:
+        print(f"no recorded stats: {args.file!r} does not exist yet")
+        return 0
+    if not text.strip():
+        print(f"no recorded stats: {args.file!r} is empty")
+        return 0
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
         raise ReproError(f"cannot read {args.file!r}: {exc}") from exc
+    if isinstance(document, (list, dict)) and not document:
+        print(f"no recorded stats: {args.file!r} holds an empty history")
+        return 0
     if not isinstance(document, dict):
         raise ReproError(f"{args.file!r} is not a metrics/manifest document")
+    if document.get("kind") == "repro-bench":
+        print(format_bench(document))
+        return 0
     title = None
     if document.get("kind") == "repro-manifest":
         sha = document.get("git_sha") or "unknown"

@@ -16,7 +16,7 @@ differs per pin.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import List, Mapping
 
 from ..errors import ModelError
 from ..waveform import Edge

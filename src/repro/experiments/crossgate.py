@@ -34,7 +34,6 @@ from typing import Dict, List, Optional, Sequence
 
 from ..obs import traced
 from ..charlib import GateLibrary
-from ..charlib.library import cached_thresholds
 from ..charlib.simulate import multi_input_response
 from ..core import DelayCalculator
 from ..gates import Gate

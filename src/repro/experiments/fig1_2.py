@@ -19,16 +19,15 @@ demonstrates the phenomenon; the model enters in Figure 3-3 / Table 5-1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..obs import traced
-from ..gates import Gate
 from ..tech import Process
 from ..units import parse_quantity
-from ..waveform import Edge, FALL, RISE, gate_delay, transition_time
+from ..waveform import Edge, FALL, RISE
 from ..charlib.simulate import multi_input_response
 from .common import paper_gate, paper_thresholds
 from .report import format_table, series_plot
@@ -99,7 +98,6 @@ def run(process: Optional[Process] = None, *,
     if separations is None:
         separations = np.linspace(-200e-12, 700e-12, 13)
 
-    out_dir = gate.output_direction(direction)
     delays: List[float] = []
     ttimes: List[float] = []
     seps: List[float] = []

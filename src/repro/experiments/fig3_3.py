@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..obs import traced
-from ..core import DelayCalculator, dominance_crossover
+from ..core import dominance_crossover
 from ..tech import Process
 from ..units import parse_quantity
 from ..waveform import Edge, FALL

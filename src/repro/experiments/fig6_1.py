@@ -20,7 +20,6 @@ from ..errors import MeasurementError
 from ..inertial import SimulatorGlitchModel, glitch_response, minimum_separation
 from ..tech import Process
 from ..units import parse_quantity
-from ..waveform import Thresholds
 from .common import paper_gate, paper_thresholds
 from .report import format_table, series_plot
 

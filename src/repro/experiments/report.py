@@ -6,7 +6,7 @@ terminal, in pytest output and in EXPERIMENTS.md code blocks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 

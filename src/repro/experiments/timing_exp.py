@@ -26,7 +26,7 @@ import numpy as np
 from ..obs import traced
 from ..tech import Process
 from ..timing import ClassicSta, ProximitySta, TimingNetlist, simulate_netlist
-from ..waveform import Edge, FALL, RISE, timing_threshold
+from ..waveform import Edge, FALL, timing_threshold
 from .common import paper_calculator, paper_thresholds
 from .report import format_table
 

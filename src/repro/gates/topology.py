@@ -18,7 +18,7 @@ Parallel(Leaf('a'), Leaf('b'), Leaf('c'))
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Tuple, Union
+from typing import Dict, List, Mapping, Union
 
 from ..errors import NetlistError
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..errors import MeasurementError, ModelError
+from ..errors import MeasurementError
 from ..gates import Gate
 from ..units import parse_quantity
 from ..waveform import FALL, Thresholds

@@ -12,7 +12,7 @@ net delay estimate and upper-bounds the actual 50% delay of an RC tree
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import TimingError

@@ -14,7 +14,6 @@ from typing import List, Tuple
 
 from ..errors import NetlistError
 from ..spice import Circuit
-from ..units import parse_quantity
 
 __all__ = ["WireSpec", "pi_model", "emit_wire"]
 

@@ -45,6 +45,7 @@ from .recorder import (
 from .export import (
     METRICS_SCHEMA,
     degradation_summary,
+    format_bench,
     format_stats,
     metrics_document,
     trace_document,
@@ -64,7 +65,7 @@ __all__ = [
     "TRACE_ENV_VAR", "METRICS_ENV_VAR", "MANIFEST_ENV_VAR", "OBS_ENV_VAR",
     # exporters
     "METRICS_SCHEMA", "trace_document", "write_chrome_trace",
-    "metrics_document", "write_metrics", "format_stats",
+    "metrics_document", "write_metrics", "format_stats", "format_bench",
     "degradation_summary",
     # manifests
     "ENV_KNOBS", "RunContext", "build_manifest", "write_manifest", "git_sha",

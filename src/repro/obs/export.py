@@ -23,7 +23,7 @@ from .metrics import Histogram
 
 __all__ = [
     "METRICS_SCHEMA", "trace_document", "write_chrome_trace",
-    "metrics_document", "write_metrics", "format_stats",
+    "metrics_document", "write_metrics", "format_stats", "format_bench",
     "degradation_summary",
 ]
 
@@ -134,6 +134,55 @@ def format_stats(payload: Mapping[str, Any],
                      for key, entry in sorted(histograms.items()))
     if len(lines) == (1 if title else 0):
         lines.append("no metrics recorded")
+    return "\n".join(lines)
+
+
+_BENCH_COLUMNS = (
+    ("wall_seconds", "wall"),
+    ("speedup", "speedup"),
+    ("newton_iterations", "newton-iters"),
+    ("transient_analyses", "transients"),
+    ("cache_hit_rate", "cache-hit"),
+)
+
+
+def format_bench(document: Mapping[str, Any]) -> str:
+    """Render a ``BENCH_*.json`` benchmark record as human-readable text.
+
+    Tolerates an empty trajectory: a record with no ``tests`` entries
+    (the state before any benchmark has run) renders as a note rather
+    than an error.
+    """
+    name = document.get("name") or "?"
+    tests = document.get("tests")
+    lines = [f"benchmark record: {name}"]
+    if not isinstance(tests, Mapping) or not tests:
+        lines.append("no benchmark history recorded yet")
+        return "\n".join(lines)
+    wall = document.get("wall_seconds")
+    if isinstance(wall, (int, float)):
+        lines[0] += f" (total wall {wall:.2f}s)"
+    width = max(len(test) for test in tests)
+    for test, entry in sorted(tests.items()):
+        if not isinstance(entry, Mapping):
+            continue
+        fields = []
+        for key, label in _BENCH_COLUMNS:
+            value = entry.get(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if key == "wall_seconds":
+                fields.append(f"{label}={value:.2f}s")
+            elif key == "cache_hit_rate":
+                fields.append(f"{label}={value:.0%}")
+            elif key == "speedup":
+                fields.append(f"{label}={value:.2f}x")
+            else:
+                fields.append(f"{label}={_format_number(value)}")
+        scale = entry.get("scale")
+        if isinstance(scale, (int, float)) and scale != 1:
+            fields.append(f"scale={scale:g}")
+        lines.append(f"  {test.ljust(width)}  " + " ".join(fields))
     return "\n".join(lines)
 
 

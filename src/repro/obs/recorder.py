@@ -38,7 +38,6 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .metrics import (
-    DEFAULT_COUNT_EDGES,
     DEFAULT_TIME_EDGES,
     Counter,
     Gauge,

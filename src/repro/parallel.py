@@ -52,8 +52,8 @@ from .obs import capture_task, get_recorder
 from .resilience import faults
 
 __all__ = [
-    "WORKERS_ENV_VAR", "TIMEOUT_ENV_VAR", "TaskFailure",
-    "resolve_workers", "resolve_timeout", "parallel_map",
+    "WORKERS_ENV_VAR", "TIMEOUT_ENV_VAR", "BATCH_ENV_VAR", "TaskFailure",
+    "resolve_workers", "resolve_timeout", "resolve_batch", "parallel_map",
 ]
 
 #: Environment variable consulted when no explicit worker count is given.
@@ -61,6 +61,9 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 #: Environment variable consulted when no explicit task timeout is given.
 TIMEOUT_ENV_VAR = "REPRO_TASK_TIMEOUT"
+
+#: Environment variable consulted when no explicit batch size is given.
+BATCH_ENV_VAR = "REPRO_BATCH"
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -134,6 +137,34 @@ def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
             ) from None
     timeout = float(timeout)
     return timeout if timeout > 0 else None
+
+
+def resolve_batch(batch: Optional[int] = None) -> int:
+    """The effective simulation batch size for a characterization sweep.
+
+    Resolution order: the explicit ``batch`` argument, then the
+    ``REPRO_BATCH`` environment variable, then ``0``.  ``0`` and ``1``
+    both mean the scalar path (one transient per grid point); larger
+    values run that many grid points per task through the vectorized
+    lockstep kernel (:mod:`repro.spice.batch`).  Batching composes with
+    ``workers`` -- each pooled task then carries one whole batch -- and
+    never changes results: the kernel is bit-identical to the scalar
+    solver for any batch size.
+    """
+    if batch is None:
+        env = os.environ.get(BATCH_ENV_VAR, "").strip()
+        if not env:
+            return 0
+        try:
+            batch = int(env)
+        except ValueError:
+            raise ReproError(
+                f"{BATCH_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+    batch = int(batch)
+    if batch < 0:
+        raise ReproError(f"batch size must be >= 0, got {batch}")
+    return batch
 
 
 def _invoke(fn: Callable[[T], R], index: int, item: T):

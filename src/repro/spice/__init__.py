@@ -25,6 +25,7 @@ from .mosfet import mosfet_current, MosfetInstance
 from .engine import NewtonOptions, NewtonStats
 from .dc import solve_dc, dc_sweep, OperatingPoint
 from .transient import transient, TransientOptions
+from .batch import solve_dc_batch, transient_batch
 from .results import SweepResult, TransientResult
 from .export import to_spice, write_spice
 
@@ -39,6 +40,8 @@ __all__ = [
     "OperatingPoint",
     "transient",
     "TransientOptions",
+    "solve_dc_batch",
+    "transient_batch",
     "SweepResult",
     "TransientResult",
     "to_spice",

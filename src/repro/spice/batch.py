@@ -1,0 +1,594 @@
+"""Batched lockstep execution of solver plans over congruent circuits.
+
+Characterization grids run thousands of *independent* transient
+analyses on structurally identical circuits (same gate, different taus
+and loads).  This module stacks B of those analyses into ``(B, n)``
+state arrays and advances every in-flight Newton solve by one
+vectorized iteration per *round*: batched device evaluation
+(:func:`~repro.spice.mosfet.mosfet_current_batch`), batched residual
+and Jacobian assembly through precomputed scatter plans, and one
+``numpy.linalg.solve`` over the ``(B, n, n)`` stack.  Lanes converge
+independently -- a finished solve leaves the stack (its plan advances,
+possibly yielding the next solve) while stragglers keep iterating, so
+mixed-convergence batches never do wasted work.
+
+Because the DC/transient analyses are expressed as *plans*
+(:mod:`repro.spice.engine`), the batched driver executes exactly the
+request sequence the scalar driver does -- retry ladders, gmin and
+source stepping included, per lane -- and every arithmetic expression
+in the kernel mirrors the scalar code's operand order and
+associativity.  Scatter-accumulation uses *layered* index plans: the
+j-th layer adds the j-th contribution of every target cell (cells
+within a layer are unique), which reproduces the scalar code's
+sequential ``F[a] += ...`` ordering per cell while staying fully
+vectorized.  Results are therefore bit-identical to the scalar path;
+``tests/spice/test_batch_equivalence.py`` enforces this.
+
+Fallbacks: a single lane, or a set of circuits that are not congruent
+(different node sets or device structure), is executed serially through
+:func:`~repro.spice.engine.run_plan` -- counted in
+``spice.batch.fallbacks``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..obs import get_recorder, traced
+from ..resilience.retry import RetryPolicy
+from .dc import dc_plan, operating_point_from_vector
+from .engine import NewtonOptions, NewtonStats, _observe_solve, run_plan
+from .mosfet import mosfet_current_batch
+from .netlist import Circuit, CompiledCircuit
+from .transient import TransientOptions, transient_result_plan
+
+__all__ = ["BatchIncongruent", "BatchCompiled", "run_plans_batched",
+           "solve_dc_batch", "transient_batch"]
+
+
+class BatchIncongruent(ValueError):
+    """The circuits of a batch do not share node/device structure."""
+
+
+class _MosGroup:
+    """Device columns sharing polarity and channel model."""
+
+    __slots__ = ("is_nmos", "alpha_model", "cols", "d_cols", "g_cols",
+                 "s_cols", "k", "vt", "lam", "alpha")
+
+    def __init__(self, is_nmos: bool, alpha_model: bool,
+                 cols: List[int]) -> None:
+        self.is_nmos = is_nmos
+        self.alpha_model = alpha_model
+        self.cols = np.asarray(cols, dtype=np.intp)
+
+
+def _intp(values) -> np.ndarray:
+    return np.asarray(list(values), dtype=np.intp)
+
+
+def _layer_plan(cells: Sequence[int], src: Sequence[int],
+                sign: Sequence[float]):
+    """Bucket (cell, source, sign) contributions into unique-cell layers.
+
+    Layer ``j`` holds the j-th contribution of every cell that has one,
+    in first-emission cell order.  Applying the layers in sequence with
+    fancy-index ``+=`` (safe: cells within a layer are unique) performs
+    each cell's additions in exactly the scalar emission order.
+    """
+    per_cell: Dict[int, List[Tuple[int, float]]] = {}
+    for cell, source, factor in zip(cells, src, sign):
+        per_cell.setdefault(cell, []).append((source, factor))
+    depth = max((len(v) for v in per_cell.values()), default=0)
+    layers = []
+    for j in range(depth):
+        picked = [cell for cell, v in per_cell.items() if len(v) > j]
+        layers.append((
+            _intp(picked),
+            _intp(per_cell[cell][j][0] for cell in picked),
+            np.asarray([per_cell[cell][j][1] for cell in picked],
+                       dtype=float),
+        ))
+    return layers
+
+
+class BatchCompiled:
+    """Congruence-checked stack of compiled circuits plus scatter plans.
+
+    The scatter plans record, per KCL contribution of the scalar
+    :func:`~repro.spice.engine.assemble_system`, its target cell, its
+    source value column and its sign -- in the scalar emission order.
+    Capacitor contributions sit at the tail, so requests without
+    companion stamps use a plan built from the cap-free prefix.
+    """
+
+    def __init__(self, lanes: Sequence[CompiledCircuit]) -> None:
+        base = lanes[0]
+        n = base.n_unknown
+        if n < 1:
+            raise BatchIncongruent("no unknown nodes to batch")
+        for other in lanes[1:]:
+            self._check_congruent(base, other)
+
+        self.lanes = list(lanes)
+        self.n = n
+        self.n_known = len(base._known_names)
+        num_res = len(base.resistors)
+        num_is = len(base.isources)
+        num_mos = len(base.mosfets)
+        num_cap = len(base.capacitors)
+        self.n_res = num_res
+        self.n_is = num_is
+        self.n_mos = num_mos
+        self.n_cap = num_cap
+        self.diag = np.arange(n) * (n + 1)
+
+        def col(slot: int) -> int:
+            return slot if slot >= 0 else n + (-slot - 1)
+
+        self.res_a = _intp(col(a) for a, _, _ in base.resistors)
+        self.res_b = _intp(col(b) for _, b, _ in base.resistors)
+        self.cap_a = _intp(col(a) for a, _, _ in base.capacitors)
+        self.cap_b = _intp(col(b) for _, b, _ in base.capacitors)
+        self.cap_slots = np.asarray(
+            [[a, b] for a, b, _ in base.capacitors], dtype=float,
+        ).reshape(num_cap, 2)
+        self.res_g = np.array(
+            [[g for _, _, g in lane.resistors] for lane in lanes],
+            dtype=float,
+        ).reshape(len(lanes), num_res)
+
+        groups: Dict[Tuple[bool, bool], List[int]] = {}
+        for mi, (_, _, _, params, _) in enumerate(base.mosfets):
+            key = (params.is_nmos, params.model == "alpha")
+            groups.setdefault(key, []).append(mi)
+        self.mos_groups: List[_MosGroup] = []
+        for (is_nmos, alpha_model), cols in groups.items():
+            grp = _MosGroup(is_nmos, alpha_model, cols)
+            grp.d_cols = _intp(col(base.mosfets[mi][0]) for mi in cols)
+            grp.g_cols = _intp(col(base.mosfets[mi][1]) for mi in cols)
+            grp.s_cols = _intp(col(base.mosfets[mi][2]) for mi in cols)
+            grp.k = np.array([[lane.mosfets[mi][4] for mi in cols]
+                              for lane in lanes], dtype=float)
+            grp.vt = np.array([[abs(lane.mosfets[mi][3].vt0) for mi in cols]
+                               for lane in lanes], dtype=float)
+            grp.lam = np.array([[lane.mosfets[mi][3].lam for mi in cols]
+                                for lane in lanes], dtype=float)
+            grp.alpha = np.array(
+                [[getattr(lane.mosfets[mi][3], "alpha", 2.0) for mi in cols]
+                 for lane in lanes], dtype=float)
+            self.mos_groups.append(grp)
+
+        # Contribution lists in scalar emission order.  F value columns:
+        # [res cur | isrc cur | mos i_d | cap cur]; J value columns:
+        # [res g | mos dvd | mos dvg | mos dvs | cap geq].
+        f_cells: List[int] = []
+        f_src: List[int] = []
+        f_sign: List[float] = []
+        j_cells: List[int] = []
+        j_src: List[int] = []
+        j_sign: List[float] = []
+
+        def femit(node: int, src: int, sign: float) -> None:
+            f_cells.append(node)
+            f_src.append(src)
+            f_sign.append(sign)
+
+        def jemit(row: int, column: int, src: int, sign: float) -> None:
+            j_cells.append(row * n + column)
+            j_src.append(src)
+            j_sign.append(sign)
+
+        for ri, (a, b, _) in enumerate(base.resistors):
+            if a >= 0:
+                femit(a, ri, 1.0)
+                jemit(a, a, ri, 1.0)
+                if b >= 0:
+                    jemit(a, b, ri, -1.0)
+            if b >= 0:
+                femit(b, ri, -1.0)
+                jemit(b, b, ri, 1.0)
+                if a >= 0:
+                    jemit(b, a, ri, -1.0)
+        for si, (a, b, _) in enumerate(base.isources):
+            if a >= 0:
+                femit(a, num_res + si, 1.0)
+            if b >= 0:
+                femit(b, num_res + si, -1.0)
+        for mi, (d, g_node, s, _, _) in enumerate(base.mosfets):
+            cd = num_res + mi
+            cg = num_res + num_mos + mi
+            cs = num_res + 2 * num_mos + mi
+            if d >= 0:
+                femit(d, num_res + num_is + mi, 1.0)
+                jemit(d, d, cd, 1.0)
+                if g_node >= 0:
+                    jemit(d, g_node, cg, 1.0)
+                if s >= 0:
+                    jemit(d, s, cs, 1.0)
+            if s >= 0:
+                femit(s, num_res + num_is + mi, -1.0)
+                jemit(s, s, cs, -1.0)
+                if d >= 0:
+                    jemit(s, d, cd, -1.0)
+                if g_node >= 0:
+                    jemit(s, g_node, cg, -1.0)
+        f_split = len(f_cells)
+        j_split = len(j_cells)
+        for ci, (a, b, _) in enumerate(base.capacitors):
+            fcol = num_res + num_is + num_mos + ci
+            jcol = num_res + 3 * num_mos + ci
+            if a >= 0:
+                femit(a, fcol, 1.0)
+                jemit(a, a, jcol, 1.0)
+                if b >= 0:
+                    jemit(a, b, jcol, -1.0)
+            if b >= 0:
+                femit(b, fcol, -1.0)
+                jemit(b, b, jcol, 1.0)
+                if a >= 0:
+                    jemit(b, a, jcol, -1.0)
+
+        self.f_layers_nc = _layer_plan(f_cells[:f_split], f_src[:f_split],
+                                       f_sign[:f_split])
+        self.f_layers_wc = _layer_plan(f_cells, f_src, f_sign)
+        self.j_layers_nc = _layer_plan(j_cells[:j_split], j_src[:j_split],
+                                       j_sign[:j_split])
+        self.j_layers_wc = _layer_plan(j_cells, j_src, j_sign)
+
+    @staticmethod
+    def _check_congruent(base: CompiledCircuit, other: CompiledCircuit) -> None:
+        if (list(other.unknown_names) != list(base.unknown_names)
+                or list(other._known_names) != list(base._known_names)):
+            raise BatchIncongruent("node sets differ across lanes")
+        if ([r[:2] for r in other.resistors] != [r[:2] for r in base.resistors]
+                or [c[:2] for c in other.capacitors] != [c[:2] for c in base.capacitors]
+                or [s[:2] for s in other.isources] != [s[:2] for s in base.isources]):
+            raise BatchIncongruent("passive/source structure differs across lanes")
+        if len(other.mosfets) != len(base.mosfets):
+            raise BatchIncongruent("mosfet count differs across lanes")
+        for mine, theirs in zip(base.mosfets, other.mosfets):
+            if (mine[:3] != theirs[:3]
+                    or mine[3].is_nmos != theirs[3].is_nmos
+                    or mine[3].model != theirs[3].model):
+                raise BatchIncongruent("mosfet structure differs across lanes")
+
+
+class _LockstepState:
+    """Per-lane dense state of the in-flight Newton solves."""
+
+    def __init__(self, batchc: BatchCompiled, n_lanes: int) -> None:
+        n = batchc.n
+        # ``xk`` fuses unknown and known voltages per lane so assembly
+        # gathers one ``(Ba, n + n_known)`` block per round; ``x`` and
+        # ``known`` are views into it.
+        self.xk = np.zeros((n_lanes, n + batchc.n_known))
+        self.x = self.xk[:, :n]
+        self.known = self.xk[:, n:]
+        self.gmin = np.zeros(n_lanes)
+        self.voltol = np.zeros(n_lanes)
+        self.abstol = np.zeros(n_lanes)
+        self.max_step = np.zeros(n_lanes)
+        self.max_iter = np.zeros(n_lanes, dtype=np.intp)
+        self.iteration = np.zeros(n_lanes, dtype=np.intp)
+        self.last_residual = np.zeros(n_lanes)
+        self.is_cur = np.zeros((n_lanes, batchc.n_is))
+        self.cap_geq = np.zeros((n_lanes, batchc.n_cap))
+        self.cap_ieq = np.zeros((n_lanes, batchc.n_cap))
+        self.with_caps = np.zeros(n_lanes, dtype=bool)
+        self._opts_seen: list = [None] * n_lanes
+
+    def load_request(self, lane: int, compiled: CompiledCircuit,
+                     request, batchc: BatchCompiled) -> None:
+        options = request.options
+        scale = request.effective_scale
+        self.x[lane] = request.x0
+        known = request.known
+        self.known[lane] = known * scale if scale != 1.0 else known
+        self.gmin[lane] = (options.gmin if request.gmin is None
+                           else request.gmin)
+        if self._opts_seen[lane] is not options:
+            # Consecutive requests of one plan reuse the same options
+            # object (every timestep of a transient attempt); skip the
+            # per-field stores when nothing changed.
+            self._opts_seen[lane] = options
+            self.voltol[lane] = options.voltol
+            self.abstol[lane] = options.abstol
+            self.max_step[lane] = options.max_step
+            self.max_iter[lane] = options.max_iterations
+        self.iteration[lane] = 0
+        self.last_residual[lane] = np.inf
+        if batchc.n_is:
+            self.is_cur[lane] = [fn(request.time) * scale
+                                 for _, _, fn in compiled.isources]
+        stamps = request.cap_stamps
+        if stamps:
+            geq_row = self.cap_geq[lane]
+            ieq_row = self.cap_ieq[lane]
+            for ci, (_, _, geq, ieq) in enumerate(stamps):
+                geq_row[ci] = geq
+                ieq_row[ci] = ieq
+            self.with_caps[lane] = True
+        else:
+            self.with_caps[lane] = False
+
+
+def _assemble(batchc: BatchCompiled, state: _LockstepState,
+              rows: np.ndarray, with_caps: bool):
+    """Residuals and Jacobians for the selected lanes.
+
+    Returns ``(X, F, J)`` with shapes ``(Ba, n)``, ``(Ba, n)`` and
+    ``(Ba, n, n)``.
+    """
+    n = batchc.n
+    batch = len(rows)
+    v_all = state.xk[rows]
+    X = v_all[:, :n]
+    gmin = state.gmin[rows]
+
+    F = np.zeros((batch, n))
+    F += gmin[:, None] * X
+    j_flat = np.zeros((batch, n * n))
+    j_flat[:, batchc.diag] += gmin[:, None]
+
+    res_g = batchc.res_g[rows]
+    res_cur = res_g * (v_all[:, batchc.res_a] - v_all[:, batchc.res_b])
+    is_cur = state.is_cur[rows]
+    id_mat = np.empty((batch, batchc.n_mos))
+    dvd_mat = np.empty((batch, batchc.n_mos))
+    dvg_mat = np.empty((batch, batchc.n_mos))
+    dvs_mat = np.empty((batch, batchc.n_mos))
+    for grp in batchc.mos_groups:
+        i_d, dvd, dvg, dvs = mosfet_current_batch(
+            grp.is_nmos, grp.alpha_model,
+            grp.k[rows], grp.vt[rows], grp.lam[rows], grp.alpha[rows],
+            v_all[:, grp.g_cols], v_all[:, grp.d_cols], v_all[:, grp.s_cols],
+        )
+        id_mat[:, grp.cols] = i_d
+        dvd_mat[:, grp.cols] = dvd
+        dvg_mat[:, grp.cols] = dvg
+        dvs_mat[:, grp.cols] = dvs
+
+    if with_caps:
+        geq = state.cap_geq[rows]
+        ieq = state.cap_ieq[rows]
+        cap_cur = geq * (v_all[:, batchc.cap_a] - v_all[:, batchc.cap_b]) - ieq
+        f_vals = np.concatenate([res_cur, is_cur, id_mat, cap_cur], axis=1)
+        j_vals = np.concatenate([res_g, dvd_mat, dvg_mat, dvs_mat, geq],
+                                axis=1)
+        f_layers = batchc.f_layers_wc
+        j_layers = batchc.j_layers_wc
+    else:
+        f_vals = np.concatenate([res_cur, is_cur, id_mat], axis=1)
+        j_vals = np.concatenate([res_g, dvd_mat, dvg_mat, dvs_mat], axis=1)
+        f_layers = batchc.f_layers_nc
+        j_layers = batchc.j_layers_nc
+
+    for cells, src, sign in f_layers:
+        F[:, cells] += sign * f_vals[:, src]
+    for cells, src, sign in j_layers:
+        j_flat[:, cells] += sign * j_vals[:, src]
+    return X, F, j_flat.reshape(batch, n, n)
+
+
+def _exhaustion_error(max_iterations: int, residual: float) -> ConvergenceError:
+    return ConvergenceError(
+        f"Newton failed to converge in {max_iterations} iterations "
+        f"(residual {residual:.3e} A)",
+        iterations=max_iterations, residual=residual,
+    )
+
+
+def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
+                    active_rows: np.ndarray) -> List[tuple]:
+    """Advance every in-flight solve by one Newton iteration.
+
+    Returns ``(lane, outcome)`` pairs for solves that finished this
+    round (converged vector, or the scalar-identical failure error).
+    """
+    finished: List[tuple] = []
+    caps_mask = state.with_caps[active_rows]
+    for with_caps in (False, True):
+        rows = active_rows[caps_mask] if with_caps else active_rows[~caps_mask]
+        if not rows.size:
+            continue
+        batch = len(rows)
+        n = batchc.n
+        X, F, J = _assemble(batchc, state, rows, with_caps)
+        residual = np.abs(F).max(axis=1)
+        rhs = -F
+        singular = np.zeros(batch, dtype=bool)
+        try:
+            dx = np.linalg.solve(J, rhs[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            # At least one lane is singular; redo lane by lane so the
+            # healthy lanes still get their (identical) dgesv solution
+            # and the sick ones walk the scalar nudge-then-fail path.
+            dx = np.empty_like(F)
+            for p in range(batch):
+                try:
+                    dx[p] = np.linalg.solve(J[p], rhs[p])
+                except np.linalg.LinAlgError:
+                    nudged = J[p] + np.eye(n) * max(
+                        float(state.gmin[rows[p]]), 1e-9)
+                    try:
+                        dx[p] = np.linalg.solve(nudged, rhs[p])
+                    except np.linalg.LinAlgError:
+                        dx[p] = 0.0
+                        singular[p] = True
+        steps = np.abs(dx).max(axis=1)
+        max_steps = state.max_step[rows]
+        factors = np.ones(batch)
+        damp = steps > max_steps
+        factors[damp] = max_steps[damp] / steps[damp]
+        state.x[rows] = X + dx * factors[:, None]
+        state.iteration[rows] += 1
+        iters = state.iteration[rows]
+
+        # Convergence tests the *undamped* step, like the scalar loop.
+        conv = ((steps < state.voltol[rows])
+                & (residual < state.abstol[rows]) & ~singular)
+        exhausted = ~conv & ~singular & (iters >= state.max_iter[rows])
+        state.last_residual[rows[~conv]] = residual[~conv]
+        for p in np.flatnonzero(conv | exhausted | singular):
+            lane = int(rows[p])
+            if singular[p]:
+                finished.append((lane, False, ConvergenceError(
+                    "singular Jacobian during Newton iteration",
+                    iterations=int(iters[p]), residual=float(residual[p]),
+                ), int(iters[p])))
+            elif conv[p]:
+                finished.append((lane, True, np.array(state.x[lane]),
+                                 int(iters[p])))
+            else:
+                limit = int(state.max_iter[rows[p]])
+                finished.append((lane, False, _exhaustion_error(
+                    limit, float(state.last_residual[lane])), limit))
+    return finished
+
+
+@traced("spice.batch")
+def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
+    outcomes: list = [None] * len(entries)
+    state = _LockstepState(batchc, len(entries))
+    active: set = set()
+    recorder = get_recorder()
+
+    def advance(index: int, sent) -> None:
+        compiled, plan, stats = entries[index]
+        while True:
+            try:
+                request = plan.send(sent)
+            except StopIteration as stop:
+                outcomes[index] = stop.value
+                return
+            except ConvergenceError as error:
+                outcomes[index] = error
+                return
+            if request.options.max_iterations < 1:
+                # Scalar parity: a zero-budget solve fails before
+                # assembling anything.
+                if stats is not None:
+                    stats.record(request.options.max_iterations,
+                                 converged=False)
+                _observe_solve(request.options.max_iterations,
+                               converged=False, recorder=recorder)
+                sent = _exhaustion_error(request.options.max_iterations,
+                                         np.inf)
+                continue
+            state.load_request(index, compiled, request, batchc)
+            active.add(index)
+            return
+
+    for index in range(len(entries)):
+        advance(index, None)
+
+    rounds = 0
+    while active:
+        rounds += 1
+        rows = np.fromiter(sorted(active), dtype=np.intp, count=len(active))
+        for lane, converged, outcome, iterations in _lockstep_round(
+                batchc, state, rows):
+            stats = entries[lane][2]
+            if stats is not None:
+                stats.record(iterations, converged=converged)
+            _observe_solve(iterations, converged=converged, recorder=recorder)
+            active.discard(lane)
+            advance(lane, outcome)
+    if rounds:
+        recorder.counter("spice.batch.rounds").inc(rounds)
+    return outcomes
+
+
+def run_plans_batched(entries: Sequence[tuple]) -> list:
+    """Execute ``(compiled, plan, stats)`` triples, vectorized when possible.
+
+    Returns one outcome per entry: the plan's return value, or the
+    :class:`~repro.errors.ConvergenceError` it raised.  Congruent
+    multi-lane batches run through the lockstep kernel; a single lane
+    runs serially (nothing to vectorize), and incongruent lanes fall
+    back to the serial driver with a ``spice.batch.fallbacks`` count.
+    """
+    batchc = None
+    if len(entries) > 1:
+        try:
+            batchc = BatchCompiled([entry[0] for entry in entries])
+        except BatchIncongruent:
+            get_recorder().counter("spice.batch.fallbacks").inc()
+    if batchc is None:
+        outcomes = []
+        for compiled, plan, stats in entries:
+            try:
+                outcomes.append(run_plan(compiled, plan, stats))
+            except ConvergenceError as error:
+                outcomes.append(error)
+        return outcomes
+    return _run_lockstep(batchc, entries)
+
+
+def solve_dc_batch(circuits: Sequence[Union[Circuit, CompiledCircuit]], *,
+                   initial_guesses: Optional[Sequence[Optional[dict]]] = None,
+                   time: float = 0.0,
+                   options: Optional[NewtonOptions] = None,
+                   stats: Optional[Sequence[Optional[NewtonStats]]] = None,
+                   retry: Union[RetryPolicy, int, None] = None) -> list:
+    """Batched :func:`~repro.spice.dc.solve_dc` over congruent circuits.
+
+    Returns a list of :class:`~repro.spice.dc.OperatingPoint` or the
+    per-lane :class:`~repro.errors.ConvergenceError`.
+    """
+    compiled = [c if isinstance(c, CompiledCircuit) else c.compile()
+                for c in circuits]
+    guesses = initial_guesses or [None] * len(compiled)
+    stats_list = list(stats) if stats is not None else [None] * len(compiled)
+    entries = [
+        (c, dc_plan(c, initial_guess=guess, time=time, options=options,
+                    stats=st, retry=retry), st)
+        for c, guess, st in zip(compiled, guesses, stats_list)
+    ]
+    get_recorder().counter("spice.batch.lanes").inc(len(entries))
+    results = []
+    for c, outcome in zip(compiled, run_plans_batched(entries)):
+        if isinstance(outcome, ConvergenceError):
+            results.append(outcome)
+        else:
+            results.append(operating_point_from_vector(
+                c, outcome, c.known_voltages(time)))
+    return results
+
+
+def transient_batch(circuits: Sequence[Union[Circuit, CompiledCircuit]],
+                    t_stops, *,
+                    t_start: float = 0.0,
+                    record: Optional[List[str]] = None,
+                    initial_op: Optional[Dict[str, float]] = None,
+                    options: Optional[TransientOptions] = None,
+                    retry: Union[RetryPolicy, int, None] = None) -> list:
+    """Batched :func:`~repro.spice.transient.transient` over congruent lanes.
+
+    ``t_stops`` is either one stop time shared by every lane or a
+    per-lane sequence (characterization windows differ per point).
+    Returns a list of :class:`~repro.spice.results.TransientResult` or
+    the per-lane :class:`~repro.errors.ConvergenceError`; lane failures
+    never abort sibling lanes.
+    """
+    compiled = [c if isinstance(c, CompiledCircuit) else c.compile()
+                for c in circuits]
+    if isinstance(t_stops, (list, tuple)):
+        stops = list(t_stops)
+        if len(stops) != len(compiled):
+            raise ValueError("t_stops length must match circuits")
+    else:
+        stops = [t_stops] * len(compiled)
+    stats_list = [NewtonStats() for _ in compiled]
+    entries = [
+        (c, transient_result_plan(c, stop, stats=st, t_start=t_start,
+                                  record=record, initial_op=initial_op,
+                                  options=options, retry=retry), st)
+        for c, stop, st in zip(compiled, stops, stats_list)
+    ]
+    get_recorder().counter("spice.batch.lanes").inc(len(entries))
+    return run_plans_batched(entries)

@@ -27,11 +27,19 @@ import numpy as np
 from ..errors import ConvergenceError
 from ..obs import get_recorder, traced
 from ..resilience.retry import RetryPolicy
-from .engine import NewtonOptions, NewtonStats, newton_solve
+from .engine import (
+    NewtonOptions,
+    NewtonRequest,
+    NewtonStats,
+    newton_solve,
+    request_kwargs,
+    request_solve,
+    run_plan,
+)
 from .netlist import Circuit, CompiledCircuit
 from .results import SweepResult
 
-__all__ = ["OperatingPoint", "solve_dc", "dc_sweep"]
+__all__ = ["OperatingPoint", "dc_plan", "solve_dc", "dc_sweep"]
 
 
 @dataclass(frozen=True)
@@ -48,31 +56,110 @@ class OperatingPoint:
         return np.array([self.voltages[name] for name in compiled.unknown_names])
 
 
-def _gmin_stepping(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
-                   options: NewtonOptions, time: float,
-                   stats: Optional[NewtonStats] = None) -> np.ndarray:
+def _gmin_stepping_plan(x0: np.ndarray, known: np.ndarray,
+                        options: NewtonOptions, time: float):
     get_recorder().counter("spice.dc.gmin_stepping").inc()
     x = np.array(x0, dtype=float)
     gmin = 1e-2
     while gmin >= options.gmin:
-        x = newton_solve(compiled, x, known, options=options, gmin=gmin,
-                         time=time, stats=stats)
+        x = yield from request_solve(NewtonRequest(
+            x0=x, known=known, options=options, gmin=gmin, time=time,
+        ))
         gmin /= 10.0
-    return newton_solve(compiled, x, known, options=options, time=time,
-                        stats=stats)
+    return (yield from request_solve(NewtonRequest(
+        x0=x, known=known, options=options, time=time,
+    )))
 
 
-def _source_stepping(compiled: CompiledCircuit, known: np.ndarray,
-                     options: NewtonOptions, time: float,
-                     stats: Optional[NewtonStats] = None) -> np.ndarray:
+def _source_stepping_plan(n_unknown: int, known: np.ndarray,
+                          options: NewtonOptions, time: float):
     get_recorder().counter("spice.dc.source_stepping").inc()
-    x = np.zeros(compiled.n_unknown)
+    x = np.zeros(n_unknown)
     for scale in np.linspace(0.1, 1.0, 10):
-        x = newton_solve(
-            compiled, x, known, options=options, time=time,
-            source_scale=float(scale), stats=stats,
-        )
+        x = yield from request_solve(NewtonRequest(
+            x0=x, known=known, options=options, time=time,
+            source_scale=float(scale),
+        ))
     return x
+
+
+def dc_plan(compiled: CompiledCircuit, *,
+            initial_guess: Optional[Dict[str, float]] = None,
+            time: float = 0.0,
+            options: Optional[NewtonOptions] = None,
+            stats: Optional[NewtonStats] = None,
+            retry: Union[RetryPolicy, int, None] = None):
+    """Solver plan for a DC operating point; returns the unknown vector.
+
+    Yields the exact :class:`~repro.spice.engine.NewtonRequest` sequence
+    the direct-call ladder performed -- plain Newton, then gmin
+    stepping, then source stepping, re-escalated per retry rung -- so
+    any driver that executes requests faithfully reproduces
+    :func:`solve_dc` bit for bit.  ``stats.retries`` and the homotopy
+    counters are bumped inside the plan, in the same order as before.
+    """
+    opts = options or NewtonOptions()
+    policy = RetryPolicy.resolve(retry)
+    known = compiled.known_voltages(time)
+    mid = 0.5 * (float(known.max()) + float(known.min()))
+    x0 = np.full(compiled.n_unknown, mid)
+    if initial_guess:
+        for idx, name in enumerate(compiled.unknown_names):
+            if name in initial_guess:
+                x0[idx] = initial_guess[name]
+
+    last_error: Optional[ConvergenceError] = None
+    for attempt in range(policy.max_attempts):
+        attempt_opts = policy.escalate_newton(opts, attempt)
+        if attempt > 0:
+            if stats is not None:
+                stats.retries += 1
+            get_recorder().counter("spice.retries", phase="dc",
+                                   rung=attempt).inc()
+        try:
+            return (yield from request_solve(NewtonRequest(
+                x0=x0, known=known, options=attempt_opts, time=time,
+            )))
+        except ConvergenceError:
+            pass
+        try:
+            return (yield from _gmin_stepping_plan(x0, known, attempt_opts,
+                                                   time))
+        except ConvergenceError:
+            pass
+        try:
+            return (yield from _source_stepping_plan(compiled.n_unknown,
+                                                     known, attempt_opts,
+                                                     time))
+        except ConvergenceError as error:
+            last_error = error
+    assert last_error is not None
+    raise ConvergenceError(
+        f"DC solve failed after {policy.max_attempts} retry-ladder "
+        f"attempts: {last_error}",
+        iterations=last_error.iterations, residual=last_error.residual,
+    ) from last_error
+
+
+def _execute_dc_request(compiled, request, stats):
+    # Routes through this module's ``newton_solve`` binding on purpose:
+    # the solver-fallback tests wrap ``dc.newton_solve`` to observe the
+    # homotopy ladder's call shapes.
+    try:
+        return newton_solve(compiled, request.x0, request.known,
+                            **request_kwargs(request, stats))
+    except ConvergenceError as error:
+        return error
+
+
+def operating_point_from_vector(compiled: CompiledCircuit, x: np.ndarray,
+                                known: np.ndarray) -> OperatingPoint:
+    """Package a solved unknown vector as an :class:`OperatingPoint`."""
+    voltages = {name: float(x[idx]) for idx, name in enumerate(compiled.unknown_names)}
+    voltages["0"] = 0.0
+    for kidx, name in enumerate(compiled._known_names[1:], start=1):
+        voltages[name] = float(known[kidx])
+    return OperatingPoint(voltages)
 
 
 def solve_dc(circuit: Circuit | CompiledCircuit, *,
@@ -96,54 +183,11 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
     A solve that succeeds on attempt 0 is untouched by the ladder.
     """
     compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
-    opts = options or NewtonOptions()
-    policy = RetryPolicy.resolve(retry)
-    known = compiled.known_voltages(time)
-    mid = 0.5 * (float(known.max()) + float(known.min()))
-    x0 = np.full(compiled.n_unknown, mid)
-    if initial_guess:
-        for idx, name in enumerate(compiled.unknown_names):
-            if name in initial_guess:
-                x0[idx] = initial_guess[name]
-
-    last_error: Optional[ConvergenceError] = None
-    x = None
-    for attempt in range(policy.max_attempts):
-        attempt_opts = policy.escalate_newton(opts, attempt)
-        if attempt > 0:
-            if stats is not None:
-                stats.retries += 1
-            get_recorder().counter("spice.retries", phase="dc",
-                                   rung=attempt).inc()
-        try:
-            x = newton_solve(compiled, x0, known, options=attempt_opts,
-                             time=time, stats=stats)
-            break
-        except ConvergenceError:
-            pass
-        try:
-            x = _gmin_stepping(compiled, x0, known, attempt_opts, time, stats)
-            break
-        except ConvergenceError:
-            pass
-        try:
-            x = _source_stepping(compiled, known, attempt_opts, time, stats)
-            break
-        except ConvergenceError as error:
-            last_error = error
-    if x is None:
-        assert last_error is not None
-        raise ConvergenceError(
-            f"DC solve failed after {policy.max_attempts} retry-ladder "
-            f"attempts: {last_error}",
-            iterations=last_error.iterations, residual=last_error.residual,
-        ) from last_error
-
-    voltages = {name: float(x[idx]) for idx, name in enumerate(compiled.unknown_names)}
-    voltages["0"] = 0.0
-    for kidx, name in enumerate(compiled._known_names[1:], start=1):
-        voltages[name] = float(known[kidx])
-    return OperatingPoint(voltages)
+    plan = dc_plan(compiled, initial_guess=initial_guess, time=time,
+                   options=options, stats=stats, retry=retry)
+    x = run_plan(compiled, plan, stats, executor=_execute_dc_request)
+    return operating_point_from_vector(compiled, x,
+                                       compiled.known_voltages(time))
 
 
 @traced("spice.dc_sweep")

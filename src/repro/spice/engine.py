@@ -13,7 +13,7 @@ capacitors (Norton equivalents of the implicit integration rule).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Generator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -22,8 +22,9 @@ from ..obs import get_recorder
 from .mosfet import mosfet_current
 from .netlist import CompiledCircuit
 
-__all__ = ["NewtonOptions", "NewtonStats", "CapStamp", "assemble_system",
-           "newton_solve"]
+__all__ = ["NewtonOptions", "NewtonStats", "CapStamp", "NewtonRequest",
+           "assemble_system", "newton_solve", "execute_request",
+           "request_solve", "run_plan"]
 
 #: Companion-model stamp for one capacitor: current (a -> b) is
 #: ``geq * (va - vb) - ieq``.
@@ -71,6 +72,59 @@ class NewtonStats:
             self.solves += 1
         else:
             self.failures += 1
+
+
+@dataclass(frozen=True)
+class NewtonRequest:
+    """One Newton solve a solver *plan* asks its driver to perform.
+
+    The DC and transient analyses are written as generators ("plans")
+    that yield these requests instead of calling :func:`newton_solve`
+    directly.  A driver executes each request and sends the outcome --
+    the solution vector, or the :class:`~repro.errors.ConvergenceError`
+    the solve raised -- back into the generator.  The scalar driver
+    (:func:`run_plan`) executes requests one by one through
+    :func:`newton_solve`; the batched driver
+    (:mod:`repro.spice.batch`) runs many plans' requests through one
+    vectorized lockstep kernel.  Field semantics match the
+    :func:`newton_solve` parameters of the same names.
+    """
+
+    x0: np.ndarray
+    known: np.ndarray
+    options: NewtonOptions
+    gmin: Optional[float] = None
+    time: float = 0.0
+    cap_stamps: Optional[Tuple[CapStamp, ...]] = None
+    #: ``None`` means "not specified" (solve at full scale); an explicit
+    #: value -- even ``1.0``, as source stepping's last rung passes --
+    #: is forwarded as a real ``source_scale=`` keyword, preserving the
+    #: call shapes the homotopy gatekeeper tests assert on.
+    source_scale: Optional[float] = None
+
+    @property
+    def effective_scale(self) -> float:
+        return 1.0 if self.source_scale is None else self.source_scale
+
+
+#: What a driver sends back into a plan for each request.
+SolveOutcome = Union[np.ndarray, ConvergenceError]
+
+#: A solver plan: yields requests, receives outcomes, returns its result.
+SolvePlan = Generator[NewtonRequest, SolveOutcome, object]
+
+
+def request_solve(request: NewtonRequest):
+    """``yield from`` helper for plans: yield one request, unwrap the outcome.
+
+    Re-raises the :class:`~repro.errors.ConvergenceError` of a failed
+    solve inside the plan, so plan code handles failures with the same
+    ``try/except`` structure the direct-call code used.
+    """
+    outcome = yield request
+    if isinstance(outcome, ConvergenceError):
+        raise outcome
+    return outcome
 
 
 def assemble_system(compiled: CompiledCircuit, x: np.ndarray, known: np.ndarray,
@@ -157,14 +211,17 @@ def assemble_system(compiled: CompiledCircuit, x: np.ndarray, known: np.ndarray,
     return F, J
 
 
-def _observe_solve(iterations: int, converged: bool) -> None:
+def _observe_solve(iterations: int, converged: bool, recorder=None) -> None:
     """Fold one Newton solve into the metric registry (if enabled).
 
     This is the single place Newton iterations are counted, so parent
     and worker processes account identically -- whoever runs the solve
-    records it, and pooled tasks ship the delta back.
+    records it, and pooled tasks ship the delta back.  Hot drivers that
+    perform many solves under one recorder (the lockstep kernel) pass
+    it in to skip the per-solve environment-signature check.
     """
-    recorder = get_recorder()
+    if recorder is None:
+        recorder = get_recorder()
     if not recorder.enabled:
         return
     recorder.counter("spice.newton.iterations").inc(iterations)
@@ -196,7 +253,7 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
             compiled, x, known, gmin=effective_gmin, time=time,
             cap_stamps=cap_stamps, source_scale=source_scale,
         )
-        residual = float(np.max(np.abs(F)))
+        residual = float(np.abs(F).max())
         try:
             dx = np.linalg.solve(J, -F)
         except np.linalg.LinAlgError:
@@ -212,7 +269,7 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                     "singular Jacobian during Newton iteration",
                     iterations=iteration, residual=residual,
                 ) from None
-        step = float(np.max(np.abs(dx)))
+        step = float(np.abs(dx).max())
         if step > options.max_step:
             dx *= options.max_step / step
         x += dx
@@ -230,3 +287,60 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
         f"(residual {last_residual:.3e} A)",
         iterations=options.max_iterations, residual=last_residual,
     )
+
+
+def request_kwargs(request: NewtonRequest,
+                   stats: Optional[NewtonStats]) -> dict:
+    """The :func:`newton_solve` keyword arguments a request describes.
+
+    Optional fields left at ``None`` are *omitted* rather than passed as
+    defaults, reproducing the exact call shapes of the pre-plan analyses
+    (test gatekeepers distinguish homotopy rungs by keyword presence).
+    """
+    kwargs: dict = {"options": request.options, "time": request.time,
+                    "stats": stats}
+    if request.gmin is not None:
+        kwargs["gmin"] = request.gmin
+    if request.cap_stamps is not None:
+        kwargs["cap_stamps"] = request.cap_stamps
+    if request.source_scale is not None:
+        kwargs["source_scale"] = request.source_scale
+    return kwargs
+
+
+def execute_request(compiled: CompiledCircuit, request: NewtonRequest,
+                    stats: Optional[NewtonStats] = None) -> SolveOutcome:
+    """Run one :class:`NewtonRequest` through the scalar solver.
+
+    Returns the solution vector, or the raised
+    :class:`~repro.errors.ConvergenceError` (never propagates it) -- the
+    plan decides what a failure means.
+    """
+    try:
+        return newton_solve(compiled, request.x0, request.known,
+                            **request_kwargs(request, stats))
+    except ConvergenceError as error:
+        return error
+
+
+def run_plan(compiled: CompiledCircuit, plan: SolvePlan,
+             stats: Optional[NewtonStats] = None,
+             executor=execute_request):
+    """Drive a solver plan serially, one scalar solve per request.
+
+    This is the default execution mode: the sequence of
+    :func:`newton_solve` calls (arguments, ordering, accounting) is
+    exactly what the pre-plan analyses performed, so results are
+    bit-identical to them.  ``executor`` lets :mod:`repro.spice.dc` and
+    :mod:`repro.spice.transient` route solves through their own
+    module-level ``newton_solve`` bindings (the seam their tests wrap).
+    Exceptions raised by the plan itself (ladder exhaustion, invalid
+    arguments) propagate to the caller.
+    """
+    outcome: Optional[SolveOutcome] = None
+    while True:
+        try:
+            request = plan.send(outcome)
+        except StopIteration as stop:
+            return stop.value
+        outcome = executor(compiled, request, stats)

@@ -18,9 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..tech import MosfetParams
 
-__all__ = ["nmos_like_current", "mosfet_current", "MosfetInstance"]
+__all__ = ["nmos_like_current", "mosfet_current", "MosfetInstance",
+           "nmos_like_current_batch", "alpha_power_current_batch",
+           "mosfet_current_batch"]
 
 
 def nmos_like_current(k: float, vt: float, lam: float,
@@ -127,6 +131,106 @@ def mosfet_current(params: MosfetParams, k: float,
     di_dvd = gds
     di_dvs = -(gm + gds)
     return i_d, di_dvd, di_dvg, di_dvs
+
+
+def nmos_like_current_batch(k: np.ndarray, vt: np.ndarray, lam: np.ndarray,
+                            vgs: np.ndarray, vds: np.ndarray):
+    """Vectorized :func:`nmos_like_current` over same-shape arrays.
+
+    Bit-identical to the scalar routine lane by lane: every arithmetic
+    expression is written with the same operand order and associativity,
+    the drain/source swap is handled by reflecting into the ``vds >= 0``
+    frame up front, and cutoff zeroing happens *before* un-swapping so
+    reversed off devices keep the scalar recursion's ``-0.0`` outputs.
+    """
+    neg = vds < 0.0
+    vgs_eff = np.where(neg, vgs - vds, vgs)
+    vds_eff = np.where(neg, -vds, vds)
+
+    vov = vgs_eff - vt
+    on = vov > 0.0
+    clm = 1.0 + lam * vds_eff
+    core_t = 2.0 * vov * vds_eff - vds_eff * vds_eff
+    core_s = vov * vov
+    triode = vds_eff < vov
+    ids = np.where(triode, k * core_t * clm, k * core_s * clm)
+    gm = np.where(triode, 2.0 * k * vds_eff * clm, 2.0 * k * vov * clm)
+    gds = np.where(triode,
+                   k * (2.0 * vov - 2.0 * vds_eff) * clm + k * core_t * lam,
+                   k * core_s * lam)
+    ids = np.where(on, ids, 0.0)
+    gm = np.where(on, gm, 0.0)
+    gds = np.where(on, gds, 0.0)
+
+    # Un-swap: I(vgs, vds<0) = -I'(vgs - vds, -vds), so the reversed
+    # lanes negate ids/gm and fold gm into gds (source/drain symmetry).
+    ids_out = np.where(neg, -ids, ids)
+    gm_out = np.where(neg, -gm, gm)
+    gds_out = np.where(neg, gm + gds, gds)
+    return ids_out, gm_out, gds_out
+
+
+def alpha_power_current_batch(k: np.ndarray, vt: np.ndarray, lam: np.ndarray,
+                              alpha: np.ndarray, vgs: np.ndarray,
+                              vds: np.ndarray):
+    """Vectorized :func:`alpha_power_current` over same-shape arrays.
+
+    Off lanes evaluate the power laws at a safe overdrive of 1 V (their
+    results are discarded by the cutoff mask), keeping fractional powers
+    of negative numbers out of the pipeline.  Multiplication order
+    matches the scalar code exactly -- IEEE products are not
+    associative, so e.g. ``gm`` must accumulate ``u`` before ``clm``.
+    """
+    neg = vds < 0.0
+    vgs_eff = np.where(neg, vgs - vds, vgs)
+    vds_eff = np.where(neg, -vds, vds)
+
+    vov = vgs_eff - vt
+    on = vov > 0.0
+    safe_vov = np.where(on, vov, 1.0)
+    clm = 1.0 + lam * vds_eff
+    i_sat0 = k * safe_vov ** alpha
+    vdsat = safe_vov ** (0.5 * alpha)
+    gm_base = alpha * k * safe_vov ** (alpha - 1.0)
+    u = vds_eff / vdsat
+    core = 2.0 * u - u * u
+    sat = vds_eff >= vdsat
+    ids = np.where(sat, i_sat0 * clm, i_sat0 * core * clm)
+    gm = np.where(sat, gm_base * clm, gm_base * u * clm)
+    gds = np.where(sat, i_sat0 * lam,
+                   i_sat0 * ((2.0 - 2.0 * u) / vdsat * clm + core * lam))
+    ids = np.where(on, ids, 0.0)
+    gm = np.where(on, gm, 0.0)
+    gds = np.where(on, gds, 0.0)
+
+    ids_out = np.where(neg, -ids, ids)
+    gm_out = np.where(neg, -gm, gm)
+    gds_out = np.where(neg, gm + gds, gds)
+    return ids_out, gm_out, gds_out
+
+
+def mosfet_current_batch(is_nmos: bool, alpha_model: bool, k: np.ndarray,
+                         vt: np.ndarray, lam: np.ndarray, alpha: np.ndarray,
+                         vg: np.ndarray, vd: np.ndarray, vs: np.ndarray):
+    """Vectorized :func:`mosfet_current` for one device across B lanes.
+
+    Polarity and channel model are per-device constants (the batch
+    compiler only stacks congruent circuits); ``k``/``vt``/``lam``/
+    ``alpha`` and the terminal voltages are per-lane arrays.  Returns
+    ``(i_d, di_d/dvd, di_d/dvg, di_d/dvs)`` arrays.
+    """
+    if is_nmos:
+        vgs = vg - vs
+        vds = vd - vs
+    else:
+        vgs = -(vg - vs)
+        vds = -(vd - vs)
+    if alpha_model:
+        ids, gm, gds = alpha_power_current_batch(k, vt, lam, alpha, vgs, vds)
+    else:
+        ids, gm, gds = nmos_like_current_batch(k, vt, lam, vgs, vds)
+    i_d = ids if is_nmos else -ids
+    return i_d, gds, gm, -(gm + gds)
 
 
 @dataclass(frozen=True)

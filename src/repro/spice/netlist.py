@@ -15,8 +15,8 @@ purely nodal; gate characterization never needs floating sources.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -235,15 +235,31 @@ class CompiledCircuit:
             raise NetlistError("circuit has no unknown nodes to solve for")
 
         # Known nodes: slot 0 reserved for ground, then each driven node.
+        # Evaluation is pre-classified so the hot loops skip the
+        # per-source Python closures: constants are baked into a base
+        # vector, Pwl sources interpolate their breakpoint arrays
+        # directly, and only arbitrary callables pay a call per sample.
         self._known_names: List[str] = ["0"]
         self._known_fns: List[Callable[[float], float]] = [lambda t: 0.0]
+        self._known_pwl: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        self._known_dyn: List[Tuple[int, Callable[[float], float]]] = []
         breakpoints: set[float] = set()
         self._source_known_index: Dict[str, int] = {}
+        known_base: List[float] = [0.0]
         for src in circuit._vsources.values():
-            self._source_known_index[src.name] = len(self._known_names)
+            kidx = len(self._known_names)
+            self._source_known_index[src.name] = kidx
             self._known_names.append(src.node)
             self._known_fns.append(src.value)
             breakpoints.update(src.breakpoints)
+            known_base.append(0.0)
+            if isinstance(src.spec, Pwl):
+                self._known_pwl.append((kidx, src.spec.times, src.spec.values))
+            elif callable(src.spec):
+                self._known_dyn.append((kidx, src.value))
+            else:
+                known_base[kidx] = float(src.value(0.0))
+        self._known_base = np.array(known_base, dtype=float)
         self.breakpoints: Tuple[float, ...] = tuple(sorted(breakpoints))
 
         slot: Dict[str, int] = {}
@@ -296,7 +312,12 @@ class CompiledCircuit:
     # ------------------------------------------------------------------
     def known_voltages(self, t: float) -> np.ndarray:
         """Voltages of the known nodes (ground first) at time ``t``."""
-        return np.array([fn(t) for fn in self._known_fns], dtype=float)
+        out = self._known_base.copy()
+        for kidx, xp, fp in self._known_pwl:
+            out[kidx] = np.interp(t, xp, fp)
+        for kidx, fn in self._known_dyn:
+            out[kidx] = fn(t)
+        return out
 
     def voltage_of(self, slot_index: int, x: np.ndarray, known: np.ndarray) -> float:
         """Dereference a node slot against (unknown, known) voltage arrays."""
@@ -316,6 +337,11 @@ class CompiledCircuit:
             return x_series[:, self.unknown_names.index(name)]
         for kidx, kname in enumerate(self._known_names):
             if kname == name:
-                fn = self._known_fns[kidx]
-                return np.array([fn(float(t)) for t in times])
+                for pidx, xp, fp in self._known_pwl:
+                    if pidx == kidx:
+                        return np.interp(np.asarray(times, dtype=float), xp, fp)
+                for didx, fn in self._known_dyn:
+                    if didx == kidx:
+                        return np.array([fn(float(t)) for t in times])
+                return np.full(len(times), self._known_base[kidx])
         raise NetlistError(f"node {name!r} not present in circuit")

@@ -35,12 +35,20 @@ from ..obs import get_recorder, traced
 from ..resilience import faults
 from ..resilience.retry import AttemptRecord, RetryPolicy
 from ..units import parse_quantity
-from .dc import solve_dc
-from .engine import CapStamp, NewtonOptions, NewtonStats, newton_solve
+from .dc import dc_plan
+from .engine import (
+    CapStamp,
+    NewtonOptions,
+    NewtonRequest,
+    NewtonStats,
+    newton_solve,
+    request_kwargs,
+    run_plan,
+)
 from .netlist import Circuit, CompiledCircuit
 from .results import TransientResult
 
-__all__ = ["TransientOptions", "transient"]
+__all__ = ["TransientOptions", "transient", "transient_result_plan"]
 
 
 @dataclass(frozen=True)
@@ -69,20 +77,18 @@ class TransientOptions:
             raise ConvergenceError("need 0 < dv_target < dv_reject")
 
 
-def _cap_voltage(compiled: CompiledCircuit, a: int, b: int,
-                 x: np.ndarray, known: np.ndarray) -> float:
-    return compiled.voltage_of(a, x, known) - compiled.voltage_of(b, x, known)
-
-
-def _integrate(compiled: CompiledCircuit, t_start: float, t_end: float,
-               initial_op: Optional[Dict[str, float]],
-               opts: TransientOptions, stats: NewtonStats,
-               retry: Union[RetryPolicy, int, None]):
+def _integrate_plan(compiled: CompiledCircuit, t_start: float, t_end: float,
+                    initial_op: Optional[Dict[str, float]],
+                    opts: TransientOptions, stats: NewtonStats,
+                    retry: Union[RetryPolicy, int, None]):
     """One full integration attempt; returns ``(times, series, rejected)``.
 
-    Raises :class:`~repro.errors.ConvergenceError` on step underflow or
-    an unsolvable initial operating point; :func:`transient` owns the
-    retry ladder around this.
+    A solver plan: every Newton solve -- the initial DC ladder included
+    -- is yielded as a :class:`~repro.spice.engine.NewtonRequest` in the
+    exact order the direct-call integrator performed them.  Raises
+    :class:`~repro.errors.ConvergenceError` on step underflow or an
+    unsolvable initial operating point; the analysis plan owns the retry
+    ladder around this.
     """
     span = t_end - t_start
     h_max = span * opts.h_max_ratio
@@ -96,17 +102,19 @@ def _integrate(compiled: CompiledCircuit, t_start: float, t_end: float,
     # Initial condition: DC operating point with sources frozen at t_start.
     # ``stats`` accumulates Newton iterations over the whole analysis:
     # the DC solve plus every accepted *and* rejected timestep.
-    op = solve_dc(compiled, initial_guess=initial_op, time=t_start,
-                  options=opts.newton, stats=stats, retry=retry)
-    x = op.as_vector(compiled)
+    x = yield from dc_plan(compiled, initial_guess=initial_op, time=t_start,
+                           options=opts.newton, stats=stats, retry=retry)
     known = compiled.known_voltages(t_start)
 
     # Per-capacitor history for the trapezoidal rule: previous branch
     # voltage and previous branch current (zero at the DC point).
-    cap_v_prev = np.array(
-        [_cap_voltage(compiled, a, b, x, known) for a, b, _ in compiled.capacitors]
-    )
-    cap_i_prev = np.zeros(len(compiled.capacitors))
+    capacitors = compiled.capacitors
+    cap_v_prev: List[float] = []
+    for a, b, _ in capacitors:
+        va = x[a] if a >= 0 else known[-a - 1]
+        vb = x[b] if b >= 0 else known[-b - 1]
+        cap_v_prev.append(float(va - vb))
+    cap_i_prev: List[float] = [0.0] * len(capacitors)
 
     times = [t_start]
     series = [x.copy()]
@@ -114,14 +122,23 @@ def _integrate(compiled: CompiledCircuit, t_start: float, t_end: float,
     rejected = 0
     force_be = True  # first step: backward Euler
     next_bp_idx = 0
+    n_bp = len(breakpoints)
+    newton_opts = opts.newton
+    method_be = opts.method == "be"
+    shrink = opts.shrink_factor
+    dv_reject = opts.dv_reject
+    dv_target = opts.dv_target
+    grow = opts.grow_factor
+    known_voltages = compiled.known_voltages
+    has_unknown = bool(compiled.n_unknown)
 
     while t < t_end - h_min:
         # Snap tolerance h_min: a breakpoint within one minimum step of t
         # counts as reached (floating-point stepping can land a hair
         # short of a corner, leaving an un-steppable residual otherwise).
-        while next_bp_idx < len(breakpoints) and breakpoints[next_bp_idx] <= t + h_min:
+        while next_bp_idx < n_bp and breakpoints[next_bp_idx] <= t + h_min:
             next_bp_idx += 1
-        next_bp = breakpoints[next_bp_idx] if next_bp_idx < len(breakpoints) else t_end
+        next_bp = breakpoints[next_bp_idx] if next_bp_idx < n_bp else t_end
         h = min(h, h_max, t_end - t)
         h_unclamped = h
         hit_breakpoint = False
@@ -138,43 +155,46 @@ def _integrate(compiled: CompiledCircuit, t_start: float, t_end: float,
                     f"(h={h:.3e} after {rejected} rejections)"
                 )
             t_new = t + h
-            known_new = compiled.known_voltages(t_new)
+            known_new = known_voltages(t_new)
             # Retries after a Newton failure fall back to backward Euler:
             # trapezoidal's current history can drive the iteration into
             # a corner near sharp source breakpoints.
-            use_be = force_be or retry_with_be or opts.method == "be"
+            use_be = force_be or retry_with_be or method_be
             stamps: List[CapStamp] = []
-            for idx, (a, b, c) in enumerate(compiled.capacitors):
-                if use_be:
+            if use_be:
+                for (a, b, c), vp in zip(capacitors, cap_v_prev):
                     geq = c / h
-                    ieq = geq * cap_v_prev[idx]
-                else:
+                    stamps.append((a, b, geq, geq * vp))
+            else:
+                for (a, b, c), vp, ip in zip(capacitors, cap_v_prev,
+                                             cap_i_prev):
                     geq = 2.0 * c / h
-                    ieq = geq * cap_v_prev[idx] + cap_i_prev[idx]
-                stamps.append((a, b, geq, ieq))
-            try:
-                x_new = newton_solve(
-                    compiled, x, known_new, options=opts.newton,
-                    time=t_new, cap_stamps=stamps, stats=stats,
-                )
-            except ConvergenceError:
-                h *= opts.shrink_factor
+                    stamps.append((a, b, geq, geq * vp + ip))
+            outcome = yield NewtonRequest(
+                x0=x, known=known_new, options=newton_opts,
+                time=t_new, cap_stamps=tuple(stamps),
+            )
+            if isinstance(outcome, ConvergenceError):
+                h *= shrink
                 rejected += 1
                 hit_breakpoint = False
                 retry_with_be = True
                 continue
+            x_new = outcome
 
-            dv = float(np.max(np.abs(x_new - x))) if compiled.n_unknown else 0.0
-            if dv > opts.dv_reject:
-                h *= opts.shrink_factor
+            dv = float(np.abs(x_new - x).max()) if has_unknown else 0.0
+            if dv > dv_reject:
+                h *= shrink
                 rejected += 1
                 hit_breakpoint = False
                 continue
             accepted = True
 
         # Update capacitor history using the companion relations.
-        for idx, (a, b, c) in enumerate(compiled.capacitors):
-            v_new = _cap_voltage(compiled, a, b, x_new, known_new)
+        for idx, (a, b, c) in enumerate(capacitors):
+            va = x_new[a] if a >= 0 else known_new[-a - 1]
+            vb = x_new[b] if b >= 0 else known_new[-b - 1]
+            v_new = float(va - vb)
             if use_be:
                 i_new = (c / h) * (v_new - cap_v_prev[idx])
             else:
@@ -192,39 +212,32 @@ def _integrate(compiled: CompiledCircuit, t_start: float, t_end: float,
             # step size going forward.
             h = h_unclamped
 
-        # Step-size adaptation toward the voltage budget.
-        dv = float(np.max(np.abs(series[-1] - series[-2]))) if len(series) > 1 else 0.0
-        if dv < 0.25 * opts.dv_target:
-            h *= opts.grow_factor
-        elif dv > opts.dv_target:
-            h *= max(opts.dv_target / dv, opts.shrink_factor)
+        # Step-size adaptation toward the voltage budget.  ``dv`` from
+        # the acceptance test is exactly |series[-1] - series[-2]|.
+        if dv < 0.25 * dv_target:
+            h *= grow
+        elif dv > dv_target:
+            h *= max(dv_target / dv, shrink)
 
     return times, series, rejected
 
 
-@traced("spice.transient")
-def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
-              t_start: float = 0.0,
-              record: Optional[List[str]] = None,
-              initial_op: Optional[Dict[str, float]] = None,
-              options: Optional[TransientOptions] = None,
-              retry: Union[RetryPolicy, int, None] = None) -> TransientResult:
-    """Integrate the circuit from a DC operating point at ``t_start``.
+def transient_result_plan(compiled: CompiledCircuit, t_stop: float | str, *,
+                          stats: NewtonStats,
+                          t_start: float = 0.0,
+                          record: Optional[List[str]] = None,
+                          initial_op: Optional[Dict[str, float]] = None,
+                          options: Optional[TransientOptions] = None,
+                          retry: Union[RetryPolicy, int, None] = None):
+    """Solver plan for one full transient analysis; returns the result.
 
-    ``record`` limits which nodes end up in the result (default: all
-    unknown and source-driven nodes).  ``initial_op`` optionally seeds
-    the operating-point solve (useful to pick a desired initial logic
-    state when the circuit is bistable).
-
-    ``retry`` resolves via :meth:`RetryPolicy.resolve`.  An attempt that
-    dies with :class:`~repro.errors.ConvergenceError` re-runs the whole
-    analysis with escalated options (attempt ``k`` gets ``gmin *
-    gmin_step**k``, a ``timestep_step**k`` smaller initial step, etc.);
-    the per-attempt log rides on the result as ``retry_attempts`` and
-    consumed escalations appear in ``solver_retries``.  A fault-free
-    first attempt returns a result identical to the pre-ladder code.
+    Validation, the retry ladder (fault firing, escalated options,
+    attempt log), step-rejection accounting and result assembly all live
+    here, so any driver -- the scalar one in :func:`transient` or the
+    batched lockstep kernel -- produces identical
+    :class:`~repro.spice.results.TransientResult` objects given faithful
+    request execution.
     """
-    compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
     opts = options or TransientOptions()
     policy = RetryPolicy.resolve(retry)
     t_end = parse_quantity(t_stop, unit="s")
@@ -233,7 +246,6 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
 
     recorder = get_recorder()
     recorder.counter("spice.transient.analyses").inc()
-    stats = NewtonStats()
     attempt_log: List[AttemptRecord] = []
     last_error: Optional[ConvergenceError] = None
     outcome = None
@@ -245,8 +257,9 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
                              rung=attempt).inc()
         try:
             faults.fire_transient()
-            outcome = _integrate(compiled, t_start, t_end, initial_op,
-                                 attempt_opts, stats, policy)
+            outcome = yield from _integrate_plan(compiled, t_start, t_end,
+                                                 initial_op, attempt_opts,
+                                                 stats, policy)
             break
         except ConvergenceError as error:
             last_error = error
@@ -283,3 +296,45 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
         newton_failures=stats.failures, solver_retries=stats.retries,
         retry_attempts=tuple(attempt_log),
     )
+
+
+def _execute_transient_request(compiled, request, stats):
+    # Routes through this module's ``newton_solve`` binding so tests can
+    # wrap the transient solver independently of the DC one.
+    try:
+        return newton_solve(compiled, request.x0, request.known,
+                            **request_kwargs(request, stats))
+    except ConvergenceError as error:
+        return error
+
+
+@traced("spice.transient")
+def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
+              t_start: float = 0.0,
+              record: Optional[List[str]] = None,
+              initial_op: Optional[Dict[str, float]] = None,
+              options: Optional[TransientOptions] = None,
+              retry: Union[RetryPolicy, int, None] = None) -> TransientResult:
+    """Integrate the circuit from a DC operating point at ``t_start``.
+
+    ``record`` limits which nodes end up in the result (default: all
+    unknown and source-driven nodes).  ``initial_op`` optionally seeds
+    the operating-point solve (useful to pick a desired initial logic
+    state when the circuit is bistable).
+
+    ``retry`` resolves via :meth:`RetryPolicy.resolve`.  An attempt that
+    dies with :class:`~repro.errors.ConvergenceError` re-runs the whole
+    analysis with escalated options (attempt ``k`` gets ``gmin *
+    gmin_step**k``, a ``timestep_step**k`` smaller initial step, etc.);
+    the per-attempt log rides on the result as ``retry_attempts`` and
+    consumed escalations appear in ``solver_retries``.  A fault-free
+    first attempt returns a result identical to the pre-ladder code.
+    """
+    compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
+    stats = NewtonStats()
+    plan = transient_result_plan(
+        compiled, t_stop, stats=stats, t_start=t_start, record=record,
+        initial_op=initial_op, options=options, retry=retry,
+    )
+    return run_plan(compiled, plan, stats,
+                    executor=_execute_transient_request)

@@ -13,7 +13,7 @@ single object the rest of the library passes around.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from ..errors import NetlistError

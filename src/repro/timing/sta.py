@@ -27,7 +27,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..core.algorithm import ProximityResult
 from ..errors import TimingError
 from ..interconnect import elmore_delay, elmore_slew
-from ..waveform import Edge, opposite
+from ..waveform import Edge
 from .netlist import GateInstance, TimingNetlist
 
 __all__ = ["NetEvent", "StaResult", "ProximitySta", "ClassicSta"]

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import MeasurementError
-from ..units import format_quantity, parse_quantity
+from ..units import parse_quantity
 from .edges import FALL, RISE, normalize_direction
 from .pwl import Pwl
 

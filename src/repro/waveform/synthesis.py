@@ -12,9 +12,8 @@ PWL, which is also how the event simulator's results become plottable.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
-import numpy as np
 
 from ..errors import MeasurementError
 from .edges import Edge, FALL

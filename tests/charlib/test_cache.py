@@ -1,7 +1,6 @@
 """The characterization cache: keys, hits, corruption, disabling."""
 
 import json
-import os
 
 import numpy as np
 import pytest

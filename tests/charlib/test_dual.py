@@ -1,6 +1,5 @@
 """Dual-input characterization (eq. 3.11/3.12 tables)."""
 
-import numpy as np
 import pytest
 
 from repro.charlib import CharacterizationCache, DualInputGrid

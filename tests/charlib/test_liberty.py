@@ -76,8 +76,8 @@ class TestValues:
                           loads=[50e-15, 100e-15, 200e-15])
         # The single cell_rise row must increase along the load axis.
         lines = text.splitlines()
-        idx = next(i for i, l in enumerate(lines) if "cell_rise" in l)
-        row = next(l for l in lines[idx:] if l.strip().startswith('"'))
+        idx = next(i for i, line in enumerate(lines) if "cell_rise" in line)
+        row = next(line for line in lines[idx:] if line.strip().startswith('"'))
         values = [float(v) for v in row.strip().strip('"\\ ').strip('"').split(",")]
         assert values[0] < values[1] < values[2]
 

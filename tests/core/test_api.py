@@ -111,7 +111,6 @@ class TestStepError:
     def test_correction_exact_on_step_case(self, oracle_library):
         """By construction, the corrected delay equals the simulated
         delay when all inputs get the calibration step simultaneously."""
-        from repro.core.dominance import order_by_dominance
 
         calc = DelayCalculator(oracle_library,
                                correction=CorrectionPolicy.PAPER)

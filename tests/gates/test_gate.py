@@ -5,7 +5,7 @@ import itertools
 import pytest
 
 from repro.errors import NetlistError
-from repro.gates import Gate, Leaf, Parallel, Series
+from repro.gates import Gate, Leaf
 from repro.spice import solve_dc
 from repro.tech import Sizing, default_process
 

@@ -13,7 +13,6 @@ from repro.inertial import (
 )
 from repro.inertial.glitch import _causing_direction
 from repro.charlib.cache import CharacterizationCache
-from repro.gates import Gate
 from repro.waveform import FALL, RISE
 
 

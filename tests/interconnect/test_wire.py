@@ -1,6 +1,5 @@
 """Wire specs, pi models and circuit emission."""
 
-import numpy as np
 import pytest
 
 from repro.errors import NetlistError

@@ -89,12 +89,45 @@ class TestStatsCommand:
         assert out.startswith("run manifest: command=delay git=")
         assert "wall=" in out
 
-    def test_stats_on_missing_file_errors(self, tmp_path, capsys):
-        assert main(["stats", str(tmp_path / "nope.json")]) == 1
-        assert "error" in capsys.readouterr().err
-
     def test_stats_on_non_document_errors(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text("[1, 2, 3]")
         assert main(["stats", str(bad)]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_stats_tolerates_missing_history(self, tmp_path, capsys):
+        """An absent BENCH trajectory is a normal state, not an error."""
+        assert main(["stats", str(tmp_path / "BENCH_batch.json")]) == 0
+        assert "no recorded stats" in capsys.readouterr().out
+
+    def test_stats_tolerates_empty_history(self, tmp_path, capsys):
+        for text in ("", "  \n", "[]", "{}"):
+            empty = tmp_path / "BENCH_empty.json"
+            empty.write_text(text)
+            assert main(["stats", str(empty)]) == 0
+            assert "no recorded stats" in capsys.readouterr().out
+
+    def test_stats_renders_bench_record(self, tmp_path, capsys):
+        record = tmp_path / "BENCH_batch.json"
+        record.write_text(json.dumps({
+            "schema": 1, "kind": "repro-bench", "name": "batch",
+            "wall_seconds": 4.5,
+            "tests": {"test_speedup": {
+                "wall_seconds": 4.5, "scale": 0.25, "speedup": 2.3,
+                "newton_iterations": 93348.0, "transient_analyses": 128.0,
+                "cache_hit_rate": 1.0,
+            }},
+        }))
+        assert main(["stats", str(record)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("benchmark record: batch")
+        assert "test_speedup" in out
+        assert "speedup=2.30x" in out
+        assert "newton-iters=93348" in out
+
+    def test_stats_on_bench_record_without_tests(self, tmp_path, capsys):
+        record = tmp_path / "BENCH_new.json"
+        record.write_text(json.dumps(
+            {"schema": 1, "kind": "repro-bench", "name": "new", "tests": {}}))
+        assert main(["stats", str(record)]) == 0
+        assert "no benchmark history" in capsys.readouterr().out

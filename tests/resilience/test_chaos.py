@@ -27,13 +27,18 @@ FAULTS = "point@single/1:always,point@dual/3:always,point@dual/7:always,crash@2:
 
 
 def _characterize(gate, thresholds, directory, *, workers=None):
+    # Pinned to the scalar (one task per point) path: the crash fault
+    # spec targets a task index, and batching deliberately changes task
+    # granularity.  Batched degradation parity lives in
+    # tests/charlib/test_batched_sweeps.py.
     cache = CharacterizationCache(directory)
     single = characterize_single_input(
         gate, "a", "fall", thresholds, grid=SGRID, cache=cache, workers=workers,
+        batch=0,
     )
     dual = characterize_dual_input(
         gate, "a", "b", "fall", thresholds, grid=DGRID, cache=cache,
-        workers=workers,
+        workers=workers, batch=0,
     )
     return single, dual, cache
 

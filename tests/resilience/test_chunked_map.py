@@ -1,0 +1,147 @@
+"""Unit tests of :func:`repro.resilience.runtime.resilient_chunked_map`.
+
+The chunked map is the execution primitive under batched
+characterization sweeps: it partitions a sweep's points into chunks,
+runs one task per chunk, and demultiplexes per-point envelopes back
+into the same (results, failures) shape -- and the same per-point
+journal -- that :func:`resilient_map` produces, so batch size never
+changes what a sweep observes.
+"""
+
+import pytest
+
+from repro.parallel import TaskFailure
+from repro.resilience.journal import ProgressJournal
+from repro.resilience.runtime import resilient_chunked_map, resilient_map
+
+KEY = {"suite": "chunked-map"}
+
+
+def square_chunk(task):
+    """Chunk worker: envelope per pair; odd-tagged items fail."""
+    pairs = task
+    envelopes = []
+    for index, item in pairs:
+        if item < 0:
+            envelopes.append(("err", "error", f"negative item {item}",
+                              "ValueError"))
+        else:
+            envelopes.append(("ok", item * item))
+    return envelopes
+
+
+def exploding_chunk(task):
+    raise RuntimeError("chunk lost wholesale")
+
+
+def make_chunk(pairs):
+    return list(pairs)
+
+
+def run(items, tmp_path, *, batch, chunk_fn=square_chunk, resume=None):
+    return resilient_chunked_map(
+        chunk_fn, items, batch=batch, make_chunk=make_chunk,
+        journal_kind="chunked", journal_key=KEY, directory=tmp_path,
+        resume=resume,
+    )
+
+
+class TestDemux:
+    @pytest.mark.parametrize("batch", [1, 2, 3, 5, 10])
+    def test_results_in_input_order_for_any_batch(self, batch, tmp_path):
+        items = list(range(7))  # 7 items: every batch size leaves a ragged tail
+        results, failures = run(items, tmp_path, batch=batch)
+        assert results == [i * i for i in items]
+        assert failures == []
+
+    def test_point_failure_isolated_within_chunk(self, tmp_path):
+        items = [1, -2, 3, 4]
+        results, failures = run(items, tmp_path, batch=2)
+        assert [results[i] for i in (0, 2, 3)] == [1, 9, 16]
+        assert isinstance(results[1], TaskFailure)
+        assert len(failures) == 1
+        assert failures[0].index == 1
+        assert failures[0].kind == "error"
+        assert failures[0].message == "negative item -2"
+        assert failures[0].error_type == "ValueError"
+
+    def test_lost_chunk_fails_all_its_points(self, tmp_path):
+        items = [1, 2, 3, 4, 5]
+        results, failures = run(items, tmp_path, batch=2,
+                                chunk_fn=exploding_chunk)
+        assert len(failures) == 5
+        assert [f.index for f in failures] == [0, 1, 2, 3, 4]
+        assert all(f.kind == "error" for f in failures)
+        assert all("chunk lost wholesale" in f.message for f in failures)
+
+    def test_matches_resilient_map_shape(self, tmp_path):
+        """Same (results, failures) as the scalar map for the same work."""
+
+        def scalar_fn(item):
+            if item < 0:
+                raise ValueError(f"negative item {item}")
+            return item * item
+
+        items = [2, -1, 4]
+        (tmp_path / "c").mkdir()
+        (tmp_path / "s").mkdir()
+        chunked_results, chunked_failures = run(items, tmp_path / "c", batch=2)
+        scalar_results, scalar_failures = resilient_map(
+            scalar_fn, items, journal_kind="chunked", journal_key=KEY,
+            directory=tmp_path / "s",
+        )
+        for c, s in zip(chunked_results, scalar_results):
+            if isinstance(s, TaskFailure):
+                assert isinstance(c, TaskFailure)
+                assert (c.index, c.kind, c.message, c.error_type) == \
+                    (s.index, s.kind, s.message, s.error_type)
+            else:
+                assert c == s
+
+
+class TestJournal:
+    def journal(self, tmp_path):
+        return ProgressJournal.for_key(tmp_path, "chunked", KEY)
+
+    def test_journal_cleared_on_success(self, tmp_path):
+        run(list(range(5)), tmp_path, batch=2)
+        assert self.journal(tmp_path).load() == {}
+
+    def test_surviving_points_journaled_per_point(self, tmp_path):
+        """Chunk-mates of a failed point land in the journal individually."""
+        run([1, -2, 3], tmp_path, batch=3)
+        assert self.journal(tmp_path).load() == {0: 1, 2: 9}
+
+    def test_resume_skips_done_points_across_batch_sizes(self, tmp_path):
+        """A sweep interrupted under one batch size resumes under another
+        (the journal identity is batch-blind)."""
+        run([1, -2, 3, -4, 5], tmp_path, batch=2)
+
+        seen = []
+
+        def tracking_chunk(task):
+            seen.extend(index for index, _ in task)
+            return square_chunk(task)
+
+        results, failures = run([1, 2, 3, 4, 5], tmp_path, batch=3,
+                                chunk_fn=tracking_chunk, resume=True)
+        assert seen == [1, 3]  # only the previously failed points recompute
+        assert results == [1, 4, 9, 16, 25]
+        assert failures == []
+
+    def test_scalar_map_resumes_chunked_journal(self, tmp_path):
+        """Interop both ways: the scalar map picks up a chunked journal."""
+        run([1, -2, 3], tmp_path, batch=2)
+        results, failures = resilient_map(
+            lambda item: item * item, [1, 2, 3],
+            journal_kind="chunked", journal_key=KEY, directory=tmp_path,
+            resume=True,
+        )
+        assert results == [1, 4, 9]
+        assert failures == []
+
+    def test_fresh_run_clears_stale_journal(self, tmp_path):
+        run([1, -2, 3], tmp_path, batch=2)
+        results, failures = run([1, 2, 3], tmp_path, batch=2)
+        assert results == [1, 4, 9]
+        assert failures == []

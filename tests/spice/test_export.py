@@ -5,7 +5,7 @@ import pytest
 from repro.errors import NetlistError
 from repro.spice import Circuit, to_spice, write_spice
 from repro.tech import default_process, submicron_process
-from repro.waveform import Pwl, ramp
+from repro.waveform import ramp
 
 
 @pytest.fixture
@@ -53,7 +53,7 @@ class TestToSpice:
 
     def test_pwl_values_roundtrip(self, inverter_circuit):
         deck = to_spice(inverter_circuit)
-        line = next(l for l in deck.splitlines() if l.startswith("Vin"))
+        line = next(s for s in deck.splitlines() if s.startswith("Vin"))
         assert "1e-09 0" in line and "1.2e-09 5" in line
 
     def test_alpha_model_warns_or_raises(self):

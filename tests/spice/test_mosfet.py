@@ -1,6 +1,5 @@
 """Level-1 MOSFET model: regions, symmetry, continuity, derivatives."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

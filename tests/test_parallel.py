@@ -5,7 +5,13 @@ import os
 import pytest
 
 from repro.errors import ReproError
-from repro.parallel import WORKERS_ENV_VAR, parallel_map, resolve_workers
+from repro.parallel import (
+    BATCH_ENV_VAR,
+    WORKERS_ENV_VAR,
+    parallel_map,
+    resolve_batch,
+    resolve_workers,
+)
 
 
 def _square(x):
@@ -44,6 +50,34 @@ class TestResolveWorkers:
     def test_blank_env_is_serial(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "  ")
         assert resolve_workers() == 0
+
+
+class TestResolveBatch:
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV_VAR, raising=False)
+        assert resolve_batch() == 0
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV_VAR, "32")
+        assert resolve_batch() == 32
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV_VAR, "32")
+        assert resolve_batch(8) == 8
+        assert resolve_batch(0) == 0
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV_VAR, "lots")
+        with pytest.raises(ReproError):
+            resolve_batch()
+
+    def test_negative_raises(self):
+        with pytest.raises(ReproError):
+            resolve_batch(-4)
+
+    def test_blank_env_is_scalar(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV_VAR, "  ")
+        assert resolve_batch() == 0
 
 
 class TestParallelMap:

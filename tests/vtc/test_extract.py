@@ -75,7 +75,6 @@ class TestExtract:
         power rail and V_il from all switching together."""
         nor3 = Gate.nor(3, process_module, load=100e-15)
         family = vtc_family(nor3, coarse_points=31, dense_points=81)
-        by_label = {c.label: c for c in family}
         max_vih = max(family, key=lambda c: c.vih)
         assert max_vih.label == "a"  # 'a' is adjacent to Vdd in our NOR
         min_vil = min(family, key=lambda c: c.vil)
