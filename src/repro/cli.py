@@ -113,6 +113,11 @@ def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="resume interrupted/degraded sweeps from their progress "
              "journals, recomputing only missing points")
+    parser.add_argument(
+        "--fast-newton", action="store_true",
+        help="opt-in modified-Newton mode (REPRO_FAST_NEWTON): reuse the "
+             "LU factorization across iterations and same-step timesteps; "
+             "faster, tolerance-gated rather than bit-identical")
 
 
 def _apply_resilience_options(args: argparse.Namespace) -> None:
@@ -128,6 +133,7 @@ def _apply_resilience_options(args: argparse.Namespace) -> None:
     from .parallel import BATCH_ENV_VAR, TIMEOUT_ENV_VAR
     from .resilience.retry import RETRY_ENV_VAR
     from .resilience.runtime import RESUME_ENV_VAR
+    from .spice.engine import FAST_NEWTON_ENV_VAR
 
     if getattr(args, "retry", None) is not None:
         os.environ[RETRY_ENV_VAR] = str(args.retry)
@@ -137,6 +143,8 @@ def _apply_resilience_options(args: argparse.Namespace) -> None:
         os.environ[RESUME_ENV_VAR] = "1"
     if getattr(args, "batch", None) is not None:
         os.environ[BATCH_ENV_VAR] = str(args.batch)
+    if getattr(args, "fast_newton", False):
+        os.environ[FAST_NEWTON_ENV_VAR] = "1"
 
 
 def build_parser() -> argparse.ArgumentParser:

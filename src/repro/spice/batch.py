@@ -32,7 +32,7 @@ Fallbacks: a single lane, or a set of circuits that are not congruent
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -40,9 +40,18 @@ from ..errors import ConvergenceError
 from ..obs import get_recorder, traced
 from ..resilience.retry import RetryPolicy
 from .dc import dc_plan, operating_point_from_vector
-from .engine import NewtonOptions, NewtonStats, _observe_solve, run_plan
-from .mosfet import mosfet_current_batch
+from .engine import (
+    FastNewtonState,
+    NewtonOptions,
+    NewtonStats,
+    SolveContext,
+    _observe_solve,
+    fast_newton_enabled,
+    run_plan,
+)
+from .mosfet import device_param_rows, mosfet_current_batch
 from .netlist import Circuit, CompiledCircuit
+from .stamps import MosGroup
 from .transient import TransientOptions, transient_result_plan
 
 __all__ = ["BatchIncongruent", "BatchCompiled", "run_plans_batched",
@@ -54,55 +63,41 @@ class BatchIncongruent(ValueError):
 
 
 class _MosGroup:
-    """Device columns sharing polarity and channel model."""
+    """Per-lane parameter stack over a shared stamp-plan device group.
+
+    The structural arrays (device columns, terminal gather columns) are
+    the base lane's :class:`~repro.spice.stamps.MosGroup` arrays,
+    shared; only the ``(B, m)`` parameter rows are batch-specific.
+    """
 
     __slots__ = ("is_nmos", "alpha_model", "cols", "d_cols", "g_cols",
                  "s_cols", "k", "vt", "lam", "alpha")
 
-    def __init__(self, is_nmos: bool, alpha_model: bool,
-                 cols: List[int]) -> None:
-        self.is_nmos = is_nmos
-        self.alpha_model = alpha_model
-        self.cols = np.asarray(cols, dtype=np.intp)
-
-
-def _intp(values) -> np.ndarray:
-    return np.asarray(list(values), dtype=np.intp)
-
-
-def _layer_plan(cells: Sequence[int], src: Sequence[int],
-                sign: Sequence[float]):
-    """Bucket (cell, source, sign) contributions into unique-cell layers.
-
-    Layer ``j`` holds the j-th contribution of every cell that has one,
-    in first-emission cell order.  Applying the layers in sequence with
-    fancy-index ``+=`` (safe: cells within a layer are unique) performs
-    each cell's additions in exactly the scalar emission order.
-    """
-    per_cell: Dict[int, List[Tuple[int, float]]] = {}
-    for cell, source, factor in zip(cells, src, sign):
-        per_cell.setdefault(cell, []).append((source, factor))
-    depth = max((len(v) for v in per_cell.values()), default=0)
-    layers = []
-    for j in range(depth):
-        picked = [cell for cell, v in per_cell.items() if len(v) > j]
-        layers.append((
-            _intp(picked),
-            _intp(per_cell[cell][j][0] for cell in picked),
-            np.asarray([per_cell[cell][j][1] for cell in picked],
-                       dtype=float),
-        ))
-    return layers
+    def __init__(self, group: MosGroup,
+                 lanes: Sequence[CompiledCircuit]) -> None:
+        self.is_nmos = group.is_nmos
+        self.alpha_model = group.alpha_model
+        self.cols = group.cols
+        self.d_cols = group.d_cols
+        self.g_cols = group.g_cols
+        self.s_cols = group.s_cols
+        indices = [int(mi) for mi in group.cols]
+        rows = [device_param_rows(lane.mosfets, indices) for lane in lanes]
+        self.k = np.stack([r[0] for r in rows])
+        self.vt = np.stack([r[1] for r in rows])
+        self.lam = np.stack([r[2] for r in rows])
+        self.alpha = np.stack([r[3] for r in rows])
 
 
 class BatchCompiled:
     """Congruence-checked stack of compiled circuits plus scatter plans.
 
-    The scatter plans record, per KCL contribution of the scalar
-    :func:`~repro.spice.engine.assemble_system`, its target cell, its
-    source value column and its sign -- in the scalar emission order.
-    Capacitor contributions sit at the tail, so requests without
-    companion stamps use a plan built from the cap-free prefix.
+    The stamp *structure* -- gather columns, device grouping, layered
+    scatter plans in scalar emission order -- comes straight from the
+    base lane's compiled :class:`~repro.spice.stamps.StampPlan` (the
+    congruence check guarantees every lane shares it); this class only
+    stacks the per-lane *values* (resistor conductances, transistor
+    parameters) along a leading batch axis.
     """
 
     def __init__(self, lanes: Sequence[CompiledCircuit]) -> None:
@@ -114,130 +109,30 @@ class BatchCompiled:
             self._check_congruent(base, other)
 
         self.lanes = list(lanes)
-        self.n = n
-        self.n_known = len(base._known_names)
-        num_res = len(base.resistors)
-        num_is = len(base.isources)
-        num_mos = len(base.mosfets)
-        num_cap = len(base.capacitors)
-        self.n_res = num_res
-        self.n_is = num_is
-        self.n_mos = num_mos
-        self.n_cap = num_cap
-        self.diag = np.arange(n) * (n + 1)
-
-        def col(slot: int) -> int:
-            return slot if slot >= 0 else n + (-slot - 1)
-
-        self.res_a = _intp(col(a) for a, _, _ in base.resistors)
-        self.res_b = _intp(col(b) for _, b, _ in base.resistors)
-        self.cap_a = _intp(col(a) for a, _, _ in base.capacitors)
-        self.cap_b = _intp(col(b) for _, b, _ in base.capacitors)
-        self.cap_slots = np.asarray(
-            [[a, b] for a, b, _ in base.capacitors], dtype=float,
-        ).reshape(num_cap, 2)
+        plan = base.stamp_plan
+        self.plan = plan
+        self.n = plan.n
+        self.n_known = plan.n_known
+        self.n_res = plan.n_res
+        self.n_is = plan.n_is
+        self.n_mos = plan.n_mos
+        self.n_cap = plan.n_cap
+        self.diag = plan.diag
+        self.res_a = plan.res_a
+        self.res_b = plan.res_b
+        self.cap_a = plan.cap_a
+        self.cap_b = plan.cap_b
         self.res_g = np.array(
             [[g for _, _, g in lane.resistors] for lane in lanes],
             dtype=float,
-        ).reshape(len(lanes), num_res)
-
-        groups: Dict[Tuple[bool, bool], List[int]] = {}
-        for mi, (_, _, _, params, _) in enumerate(base.mosfets):
-            key = (params.is_nmos, params.model == "alpha")
-            groups.setdefault(key, []).append(mi)
-        self.mos_groups: List[_MosGroup] = []
-        for (is_nmos, alpha_model), cols in groups.items():
-            grp = _MosGroup(is_nmos, alpha_model, cols)
-            grp.d_cols = _intp(col(base.mosfets[mi][0]) for mi in cols)
-            grp.g_cols = _intp(col(base.mosfets[mi][1]) for mi in cols)
-            grp.s_cols = _intp(col(base.mosfets[mi][2]) for mi in cols)
-            grp.k = np.array([[lane.mosfets[mi][4] for mi in cols]
-                              for lane in lanes], dtype=float)
-            grp.vt = np.array([[abs(lane.mosfets[mi][3].vt0) for mi in cols]
-                               for lane in lanes], dtype=float)
-            grp.lam = np.array([[lane.mosfets[mi][3].lam for mi in cols]
-                                for lane in lanes], dtype=float)
-            grp.alpha = np.array(
-                [[getattr(lane.mosfets[mi][3], "alpha", 2.0) for mi in cols]
-                 for lane in lanes], dtype=float)
-            self.mos_groups.append(grp)
-
-        # Contribution lists in scalar emission order.  F value columns:
-        # [res cur | isrc cur | mos i_d | cap cur]; J value columns:
-        # [res g | mos dvd | mos dvg | mos dvs | cap geq].
-        f_cells: List[int] = []
-        f_src: List[int] = []
-        f_sign: List[float] = []
-        j_cells: List[int] = []
-        j_src: List[int] = []
-        j_sign: List[float] = []
-
-        def femit(node: int, src: int, sign: float) -> None:
-            f_cells.append(node)
-            f_src.append(src)
-            f_sign.append(sign)
-
-        def jemit(row: int, column: int, src: int, sign: float) -> None:
-            j_cells.append(row * n + column)
-            j_src.append(src)
-            j_sign.append(sign)
-
-        for ri, (a, b, _) in enumerate(base.resistors):
-            if a >= 0:
-                femit(a, ri, 1.0)
-                jemit(a, a, ri, 1.0)
-                if b >= 0:
-                    jemit(a, b, ri, -1.0)
-            if b >= 0:
-                femit(b, ri, -1.0)
-                jemit(b, b, ri, 1.0)
-                if a >= 0:
-                    jemit(b, a, ri, -1.0)
-        for si, (a, b, _) in enumerate(base.isources):
-            if a >= 0:
-                femit(a, num_res + si, 1.0)
-            if b >= 0:
-                femit(b, num_res + si, -1.0)
-        for mi, (d, g_node, s, _, _) in enumerate(base.mosfets):
-            cd = num_res + mi
-            cg = num_res + num_mos + mi
-            cs = num_res + 2 * num_mos + mi
-            if d >= 0:
-                femit(d, num_res + num_is + mi, 1.0)
-                jemit(d, d, cd, 1.0)
-                if g_node >= 0:
-                    jemit(d, g_node, cg, 1.0)
-                if s >= 0:
-                    jemit(d, s, cs, 1.0)
-            if s >= 0:
-                femit(s, num_res + num_is + mi, -1.0)
-                jemit(s, s, cs, -1.0)
-                if d >= 0:
-                    jemit(s, d, cd, -1.0)
-                if g_node >= 0:
-                    jemit(s, g_node, cg, -1.0)
-        f_split = len(f_cells)
-        j_split = len(j_cells)
-        for ci, (a, b, _) in enumerate(base.capacitors):
-            fcol = num_res + num_is + num_mos + ci
-            jcol = num_res + 3 * num_mos + ci
-            if a >= 0:
-                femit(a, fcol, 1.0)
-                jemit(a, a, jcol, 1.0)
-                if b >= 0:
-                    jemit(a, b, jcol, -1.0)
-            if b >= 0:
-                femit(b, fcol, -1.0)
-                jemit(b, b, jcol, 1.0)
-                if a >= 0:
-                    jemit(b, a, jcol, -1.0)
-
-        self.f_layers_nc = _layer_plan(f_cells[:f_split], f_src[:f_split],
-                                       f_sign[:f_split])
-        self.f_layers_wc = _layer_plan(f_cells, f_src, f_sign)
-        self.j_layers_nc = _layer_plan(j_cells[:j_split], j_src[:j_split],
-                                       j_sign[:j_split])
-        self.j_layers_wc = _layer_plan(j_cells, j_src, j_sign)
+        ).reshape(len(lanes), plan.n_res)
+        self.mos_groups: List[_MosGroup] = [
+            _MosGroup(group, lanes) for group in plan.groups
+        ]
+        self.f_layers_nc = plan.f_layers_nc
+        self.f_layers_wc = plan.f_layers_wc
+        self.j_layers_nc = plan.j_layers_nc
+        self.j_layers_wc = plan.j_layers_wc
 
     @staticmethod
     def _check_congruent(base: CompiledCircuit, other: CompiledCircuit) -> None:
@@ -519,10 +414,17 @@ def run_plans_batched(entries: Sequence[tuple]) -> list:
         except BatchIncongruent:
             get_recorder().counter("spice.batch.fallbacks").inc()
     if batchc is None:
+        # One recorder handle (and fast-Newton state, when enabled) for
+        # the whole serial fallback, like the scalar analysis drivers.
+        context = SolveContext(
+            recorder=get_recorder(),
+            fast=FastNewtonState() if fast_newton_enabled() else None,
+        )
         outcomes = []
         for compiled, plan, stats in entries:
             try:
-                outcomes.append(run_plan(compiled, plan, stats))
+                outcomes.append(run_plan(compiled, plan, stats,
+                                         context=context))
             except ConvergenceError as error:
                 outcomes.append(error)
         return outcomes
@@ -544,12 +446,13 @@ def solve_dc_batch(circuits: Sequence[Union[Circuit, CompiledCircuit]], *,
                 for c in circuits]
     guesses = initial_guesses or [None] * len(compiled)
     stats_list = list(stats) if stats is not None else [None] * len(compiled)
+    recorder = get_recorder()
     entries = [
         (c, dc_plan(c, initial_guess=guess, time=time, options=options,
-                    stats=st, retry=retry), st)
+                    stats=st, retry=retry, recorder=recorder), st)
         for c, guess, st in zip(compiled, guesses, stats_list)
     ]
-    get_recorder().counter("spice.batch.lanes").inc(len(entries))
+    recorder.counter("spice.batch.lanes").inc(len(entries))
     results = []
     for c, outcome in zip(compiled, run_plans_batched(entries)):
         if isinstance(outcome, ConvergenceError):
@@ -584,11 +487,13 @@ def transient_batch(circuits: Sequence[Union[Circuit, CompiledCircuit]],
     else:
         stops = [t_stops] * len(compiled)
     stats_list = [NewtonStats() for _ in compiled]
+    recorder = get_recorder()
     entries = [
         (c, transient_result_plan(c, stop, stats=st, t_start=t_start,
                                   record=record, initial_op=initial_op,
-                                  options=options, retry=retry), st)
+                                  options=options, retry=retry,
+                                  recorder=recorder), st)
         for c, stop, st in zip(compiled, stops, stats_list)
     ]
-    get_recorder().counter("spice.batch.lanes").inc(len(entries))
+    recorder.counter("spice.batch.lanes").inc(len(entries))
     return run_plans_batched(entries)

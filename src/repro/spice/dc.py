@@ -28,9 +28,12 @@ from ..errors import ConvergenceError
 from ..obs import get_recorder, traced
 from ..resilience.retry import RetryPolicy
 from .engine import (
+    FastNewtonState,
     NewtonOptions,
     NewtonRequest,
     NewtonStats,
+    SolveContext,
+    fast_newton_enabled,
     newton_solve,
     request_kwargs,
     request_solve,
@@ -57,8 +60,10 @@ class OperatingPoint:
 
 
 def _gmin_stepping_plan(x0: np.ndarray, known: np.ndarray,
-                        options: NewtonOptions, time: float):
-    get_recorder().counter("spice.dc.gmin_stepping").inc()
+                        options: NewtonOptions, time: float,
+                        recorder=None):
+    (recorder if recorder is not None
+     else get_recorder()).counter("spice.dc.gmin_stepping").inc()
     x = np.array(x0, dtype=float)
     gmin = 1e-2
     while gmin >= options.gmin:
@@ -72,8 +77,10 @@ def _gmin_stepping_plan(x0: np.ndarray, known: np.ndarray,
 
 
 def _source_stepping_plan(n_unknown: int, known: np.ndarray,
-                          options: NewtonOptions, time: float):
-    get_recorder().counter("spice.dc.source_stepping").inc()
+                          options: NewtonOptions, time: float,
+                          recorder=None):
+    (recorder if recorder is not None
+     else get_recorder()).counter("spice.dc.source_stepping").inc()
     x = np.zeros(n_unknown)
     for scale in np.linspace(0.1, 1.0, 10):
         x = yield from request_solve(NewtonRequest(
@@ -88,7 +95,8 @@ def dc_plan(compiled: CompiledCircuit, *,
             time: float = 0.0,
             options: Optional[NewtonOptions] = None,
             stats: Optional[NewtonStats] = None,
-            retry: Union[RetryPolicy, int, None] = None):
+            retry: Union[RetryPolicy, int, None] = None,
+            recorder=None):
     """Solver plan for a DC operating point; returns the unknown vector.
 
     Yields the exact :class:`~repro.spice.engine.NewtonRequest` sequence
@@ -97,8 +105,11 @@ def dc_plan(compiled: CompiledCircuit, *,
     any driver that executes requests faithfully reproduces
     :func:`solve_dc` bit for bit.  ``stats.retries`` and the homotopy
     counters are bumped inside the plan, in the same order as before.
+    ``recorder`` pins one telemetry handle for the whole ladder; sweeps
+    pass it in so per-point solves skip the environment-signature check.
     """
     opts = options or NewtonOptions()
+    rec = recorder if recorder is not None else get_recorder()
     policy = RetryPolicy.resolve(retry)
     known = compiled.known_voltages(time)
     mid = 0.5 * (float(known.max()) + float(known.min()))
@@ -114,8 +125,7 @@ def dc_plan(compiled: CompiledCircuit, *,
         if attempt > 0:
             if stats is not None:
                 stats.retries += 1
-            get_recorder().counter("spice.retries", phase="dc",
-                                   rung=attempt).inc()
+            rec.counter("spice.retries", phase="dc", rung=attempt).inc()
         try:
             return (yield from request_solve(NewtonRequest(
                 x0=x0, known=known, options=attempt_opts, time=time,
@@ -124,13 +134,13 @@ def dc_plan(compiled: CompiledCircuit, *,
             pass
         try:
             return (yield from _gmin_stepping_plan(x0, known, attempt_opts,
-                                                   time))
+                                                   time, recorder=rec))
         except ConvergenceError:
             pass
         try:
             return (yield from _source_stepping_plan(compiled.n_unknown,
                                                      known, attempt_opts,
-                                                     time))
+                                                     time, recorder=rec))
         except ConvergenceError as error:
             last_error = error
     assert last_error is not None
@@ -141,13 +151,14 @@ def dc_plan(compiled: CompiledCircuit, *,
     ) from last_error
 
 
-def _execute_dc_request(compiled, request, stats):
+def _execute_dc_request(compiled, request, stats, context=None):
     # Routes through this module's ``newton_solve`` binding on purpose:
     # the solver-fallback tests wrap ``dc.newton_solve`` to observe the
     # homotopy ladder's call shapes.
+    kwargs = (request_kwargs(request, stats) if context is None
+              else context.solve_kwargs(request, stats))
     try:
-        return newton_solve(compiled, request.x0, request.known,
-                            **request_kwargs(request, stats))
+        return newton_solve(compiled, request.x0, request.known, **kwargs)
     except ConvergenceError as error:
         return error
 
@@ -183,9 +194,16 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
     A solve that succeeds on attempt 0 is untouched by the ladder.
     """
     compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
+    recorder = get_recorder()
+    context = SolveContext(
+        recorder=recorder,
+        fast=FastNewtonState() if fast_newton_enabled() else None,
+    )
     plan = dc_plan(compiled, initial_guess=initial_guess, time=time,
-                   options=options, stats=stats, retry=retry)
-    x = run_plan(compiled, plan, stats, executor=_execute_dc_request)
+                   options=options, stats=stats, retry=retry,
+                   recorder=recorder)
+    x = run_plan(compiled, plan, stats, executor=_execute_dc_request,
+                 context=context)
     return operating_point_from_vector(compiled, x,
                                        compiled.known_voltages(time))
 
@@ -216,12 +234,24 @@ def dc_sweep(circuit: Circuit, source: str | Sequence[str],
     samples: Dict[str, list[float]] = {}
     guess: Optional[Dict[str, float]] = None
     originals = {name: circuit._vsources[name] for name in source_names}
+    # One recorder handle (and one fast-Newton state) for the whole
+    # sweep: per-point solves skip the environment-signature check.
+    recorder = get_recorder()
+    context = SolveContext(
+        recorder=recorder,
+        fast=FastNewtonState() if fast_newton_enabled() else None,
+    )
     try:
         for value in grid:
             for name in source_names:
                 circuit.replace_vsource(name, float(value))
             compiled = circuit.compile()
-            op = solve_dc(compiled, initial_guess=guess, options=opts)
+            plan = dc_plan(compiled, initial_guess=guess, options=opts,
+                           recorder=recorder)
+            x = run_plan(compiled, plan, executor=_execute_dc_request,
+                         context=context)
+            op = operating_point_from_vector(compiled, x,
+                                             compiled.known_voltages(0.0))
             guess = {name: op[name] for name in compiled.unknown_names}
             names = recorded if recorded is not None else list(op.voltages)
             for name in names:

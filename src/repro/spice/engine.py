@@ -12,7 +12,9 @@ capacitors (Norton equivalents of the implicit integration rule).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import warnings
+from dataclasses import dataclass, field
 from typing import Generator, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -21,10 +23,27 @@ from ..errors import ConvergenceError
 from ..obs import get_recorder
 from .mosfet import mosfet_current
 from .netlist import CompiledCircuit
+from .stamps import assemble_into, load_solve
+
+try:
+    from scipy.linalg import lu_factor, lu_solve
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - scipy is a hard dependency
+    _HAVE_SCIPY = False
 
 __all__ = ["NewtonOptions", "NewtonStats", "CapStamp", "NewtonRequest",
-           "assemble_system", "newton_solve", "execute_request",
-           "request_solve", "run_plan"]
+           "assemble_system", "assemble_system_reference", "newton_solve",
+           "execute_request", "request_solve", "run_plan", "SolveContext",
+           "FastNewtonState", "fast_newton_enabled", "FAST_NEWTON_ENV_VAR"]
+
+#: Environment knob enabling the opt-in modified-Newton mode.
+FAST_NEWTON_ENV_VAR = "REPRO_FAST_NEWTON"
+
+
+def fast_newton_enabled() -> bool:
+    """Whether ``REPRO_FAST_NEWTON`` opts into LU-reusing modified Newton."""
+    value = os.environ.get(FAST_NEWTON_ENV_VAR, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
 
 #: Companion-model stamp for one capacitor: current (a -> b) is
 #: ``geq * (va - vb) - ieq``.
@@ -136,6 +155,40 @@ def assemble_system(compiled: CompiledCircuit, x: np.ndarray, known: np.ndarray,
     ``known`` holds the known-node voltages (ground first); it is scaled
     by ``source_scale`` to support source stepping.  ``cap_stamps`` adds
     the transient companion models.
+
+    Assembly is vectorized through the circuit's compiled
+    :class:`~repro.spice.stamps.StampPlan`, bit-identical to
+    :func:`assemble_system_reference` (the original scalar loop, kept
+    as the equivalence oracle).  Stamp lists that do not follow the
+    compiled capacitor order -- hand-built test stamps -- fall back to
+    the reference assembler.
+    """
+    plan = compiled.stamp_plan
+    if cap_stamps is not None and not plan.stamps_match(cap_stamps):
+        return assemble_system_reference(
+            compiled, x, known, gmin=gmin, time=time,
+            cap_stamps=cap_stamps, source_scale=source_scale)
+    ws = plan.scratch
+    with_caps = load_solve(plan, ws, np.asarray(known, dtype=float), time,
+                           cap_stamps, source_scale, compiled.isources)
+    F, J = assemble_into(plan, ws, np.asarray(x, dtype=float), gmin,
+                         with_caps)
+    # Fresh copies: callers compare/retain results across calls.
+    return F.copy(), J.copy()
+
+
+def assemble_system_reference(
+        compiled: CompiledCircuit, x: np.ndarray, known: np.ndarray,
+        *, gmin: float, time: float = 0.0,
+        cap_stamps: Optional[Sequence[CapStamp]] = None,
+        source_scale: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """The original scalar-loop assembler, kept as the bit-identity oracle.
+
+    Walks every device in Python, accumulating ``F``/``J`` cell by cell.
+    The vectorized :func:`assemble_system` must reproduce this output
+    bit for bit (``tests/spice/test_assembly_equivalence.py``); it is
+    also the fallback for cap-stamp lists that do not line up with the
+    compiled capacitors.
     """
     n = compiled.n_unknown
     F = np.zeros(n)
@@ -231,12 +284,132 @@ def _observe_solve(iterations: int, converged: bool, recorder=None) -> None:
         recorder.counter("spice.newton.failures").inc()
 
 
+class FastNewtonState:
+    """Cross-solve state of the opt-in modified-Newton mode.
+
+    Holds the most recent LU factorization together with the key it was
+    computed under: the compiled circuit (by reference), the effective
+    gmin, the source scale and the capacitor companion conductances.
+    Consecutive accepted timesteps of the same ``h`` share the same
+    ``geq`` vector, so their solves start from the previous step's LU;
+    a key mismatch (new ``h``, a homotopy rung, a different circuit)
+    forces refactorization on the first iteration.  ``reused`` and
+    ``refactorized`` count factorization reuse for tests/telemetry.
+    """
+
+    __slots__ = ("compiled", "key", "lu", "reused", "refactorized")
+
+    def __init__(self) -> None:
+        self.compiled = None
+        self.key = None
+        self.lu = None
+        self.reused = 0
+        self.refactorized = 0
+
+
+def _fast_factorize(J: np.ndarray):
+    """LU-factorize a fresh Jacobian (scipy when present, else a copy)."""
+    if _HAVE_SCIPY:
+        with warnings.catch_warnings():
+            # A singular J makes dgetrf warn; we detect it from the
+            # non-finite solution and walk the nudge path instead.
+            warnings.simplefilter("ignore")
+            return lu_factor(J, check_finite=False)
+    return np.array(J)
+
+
+def _fast_solve(lu, rhs: np.ndarray) -> np.ndarray:
+    if _HAVE_SCIPY:
+        return lu_solve(lu, rhs, check_finite=False)
+    return np.linalg.solve(lu, rhs)
+
+
+def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
+                 assemble, key, options: NewtonOptions,
+                 effective_gmin: float, fast: FastNewtonState,
+                 stats: Optional[NewtonStats], recorder) -> np.ndarray:
+    """Modified-Newton loop: reuse the LU factorization while it contracts.
+
+    A *stale* iteration evaluates only the residual and steps with the
+    retained LU; the factorization refreshes when the key changes, the
+    residual stops contracting (safeguarded fallback to full Newton),
+    or on the accepting iteration -- convergence is only declared on a
+    fresh-Jacobian step, which polishes the solution to well inside the
+    full-Newton tolerances.
+    """
+    n = compiled.n_unknown
+    nudge = max(effective_gmin, 1e-9)
+    fresh = (fast.lu is None or fast.compiled is not compiled
+             or fast.key != key)
+    last_residual = np.inf
+    for iteration in range(1, options.max_iterations + 1):
+        if not fresh:
+            F, _ = assemble(need_jacobian=False)
+            residual = float(np.abs(F).max())
+            if residual >= 0.5 * last_residual:
+                fresh = True  # stalled contraction: refactorize here
+        if fresh:
+            F, J = assemble()
+            residual = float(np.abs(F).max())
+            fast.lu = _fast_factorize(J)
+            fast.compiled = compiled
+            fast.key = key
+            fast.refactorized += 1
+        else:
+            fast.reused += 1
+        dx = _fast_solve(fast.lu, -F)
+        if not np.all(np.isfinite(dx)):
+            # Singular factorization: rebuild with a nudged diagonal.
+            F, J = assemble()
+            J.reshape(-1)[:: n + 1] += nudge
+            fast.lu = _fast_factorize(J)
+            fast.key = None  # the nudged LU must not outlive this solve
+            dx = _fast_solve(fast.lu, -F)
+            if not np.all(np.isfinite(dx)):
+                if stats is not None:
+                    stats.record(iteration, converged=False)
+                _observe_solve(iteration, converged=False, recorder=recorder)
+                raise ConvergenceError(
+                    "singular Jacobian during Newton iteration",
+                    iterations=iteration, residual=residual,
+                ) from None
+            fresh = True
+        step = float(np.abs(dx).max())
+        if step > options.max_step:
+            dx *= options.max_step / step
+        x += dx
+        if step < options.voltol and residual < options.abstol:
+            if fresh:
+                if stats is not None:
+                    stats.record(iteration, converged=True)
+                _observe_solve(iteration, converged=True, recorder=recorder)
+                return x
+            # Tolerance hit on a stale step: polish with a fresh
+            # Jacobian before accepting.
+            fresh = True
+            last_residual = residual
+            continue
+        last_residual = residual
+        fresh = False
+    if stats is not None:
+        stats.record(options.max_iterations, converged=False)
+    _observe_solve(options.max_iterations, converged=False,
+                   recorder=recorder)
+    raise ConvergenceError(
+        f"Newton failed to converge in {options.max_iterations} iterations "
+        f"(residual {last_residual:.3e} A)",
+        iterations=options.max_iterations, residual=last_residual,
+    )
+
+
 def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                  *, options: NewtonOptions, gmin: Optional[float] = None,
                  time: float = 0.0,
                  cap_stamps: Optional[Sequence[CapStamp]] = None,
                  source_scale: float = 1.0,
-                 stats: Optional[NewtonStats] = None) -> np.ndarray:
+                 stats: Optional[NewtonStats] = None,
+                 recorder=None,
+                 fast: Optional[FastNewtonState] = None) -> np.ndarray:
     """Damped Newton-Raphson solve of the KCL system.
 
     Raises :class:`~repro.errors.ConvergenceError` when the iteration
@@ -244,27 +417,56 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
     retry on an easier problem.  ``stats``, when given, accumulates the
     iteration count of this solve whether it converges or not (the
     raised error also carries its count in ``iterations``).
+
+    ``recorder``, when given, skips the per-solve recorder lookup
+    (drivers resolve one handle per analysis).  ``fast`` opts this
+    solve into the tolerance-gated modified-Newton mode; the default
+    ``None`` keeps the bit-identical full-Newton iteration.
     """
     x = np.array(x0, dtype=float)
     effective_gmin = options.gmin if gmin is None else gmin
+    plan = compiled.stamp_plan
+    if cap_stamps is None or plan.stamps_match(cap_stamps):
+        ws = plan.scratch
+        with_caps = load_solve(plan, ws, np.asarray(known, dtype=float),
+                               time, cap_stamps, source_scale,
+                               compiled.isources)
+
+        def assemble(need_jacobian: bool = True):
+            return assemble_into(plan, ws, x, effective_gmin, with_caps,
+                                 need_jacobian)
+    else:
+        def assemble(need_jacobian: bool = True):
+            return assemble_system_reference(
+                compiled, x, known, gmin=effective_gmin, time=time,
+                cap_stamps=cap_stamps, source_scale=source_scale)
+
+    if fast is not None:
+        if cap_stamps is None:
+            geq_key: tuple = ()
+        else:
+            geq_key = tuple(s[2] for s in cap_stamps)
+        key = (effective_gmin, source_scale, geq_key)
+        return _newton_fast(compiled, x, assemble, key, options,
+                            effective_gmin, fast, stats, recorder)
+
     last_residual = np.inf
     for iteration in range(1, options.max_iterations + 1):
-        F, J = assemble_system(
-            compiled, x, known, gmin=effective_gmin, time=time,
-            cap_stamps=cap_stamps, source_scale=source_scale,
-        )
+        F, J = assemble()
         residual = float(np.abs(F).max())
         try:
             dx = np.linalg.solve(J, -F)
         except np.linalg.LinAlgError:
-            # Singular Jacobian: nudge with a stronger diagonal and retry.
-            J = J + np.eye(compiled.n_unknown) * max(effective_gmin, 1e-9)
+            # Singular Jacobian: nudge the diagonal in place (the
+            # buffer is reassembled next iteration anyway) and retry.
+            J.reshape(-1)[:: compiled.n_unknown + 1] += max(
+                effective_gmin, 1e-9)
             try:
                 dx = np.linalg.solve(J, -F)
             except np.linalg.LinAlgError:
                 if stats is not None:
                     stats.record(iteration, converged=False)
-                _observe_solve(iteration, converged=False)
+                _observe_solve(iteration, converged=False, recorder=recorder)
                 raise ConvergenceError(
                     "singular Jacobian during Newton iteration",
                     iterations=iteration, residual=residual,
@@ -276,12 +478,13 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
         if step < options.voltol and residual < options.abstol:
             if stats is not None:
                 stats.record(iteration, converged=True)
-            _observe_solve(iteration, converged=True)
+            _observe_solve(iteration, converged=True, recorder=recorder)
             return x
         last_residual = residual
     if stats is not None:
         stats.record(options.max_iterations, converged=False)
-    _observe_solve(options.max_iterations, converged=False)
+    _observe_solve(options.max_iterations, converged=False,
+                   recorder=recorder)
     raise ConvergenceError(
         f"Newton failed to converge in {options.max_iterations} iterations "
         f"(residual {last_residual:.3e} A)",
@@ -308,24 +511,50 @@ def request_kwargs(request: NewtonRequest,
     return kwargs
 
 
+@dataclass
+class SolveContext:
+    """Per-analysis execution context threaded through :func:`run_plan`.
+
+    ``recorder`` is the telemetry handle resolved once per analysis (so
+    scalar sweeps skip the per-solve environment-signature check of
+    :func:`~repro.obs.get_recorder`); ``fast`` carries the
+    modified-Newton state when ``REPRO_FAST_NEWTON`` is on.
+    """
+
+    recorder: object = None
+    fast: Optional[FastNewtonState] = field(default=None)
+
+    def solve_kwargs(self, request: NewtonRequest,
+                     stats: Optional[NewtonStats]) -> dict:
+        kwargs = request_kwargs(request, stats)
+        if self.recorder is not None:
+            kwargs["recorder"] = self.recorder
+        if self.fast is not None:
+            kwargs["fast"] = self.fast
+        return kwargs
+
+
 def execute_request(compiled: CompiledCircuit, request: NewtonRequest,
-                    stats: Optional[NewtonStats] = None) -> SolveOutcome:
+                    stats: Optional[NewtonStats] = None,
+                    context: Optional[SolveContext] = None) -> SolveOutcome:
     """Run one :class:`NewtonRequest` through the scalar solver.
 
     Returns the solution vector, or the raised
     :class:`~repro.errors.ConvergenceError` (never propagates it) -- the
     plan decides what a failure means.
     """
+    kwargs = (request_kwargs(request, stats) if context is None
+              else context.solve_kwargs(request, stats))
     try:
-        return newton_solve(compiled, request.x0, request.known,
-                            **request_kwargs(request, stats))
+        return newton_solve(compiled, request.x0, request.known, **kwargs)
     except ConvergenceError as error:
         return error
 
 
 def run_plan(compiled: CompiledCircuit, plan: SolvePlan,
              stats: Optional[NewtonStats] = None,
-             executor=execute_request):
+             executor=execute_request, *,
+             context: Optional[SolveContext] = None):
     """Drive a solver plan serially, one scalar solve per request.
 
     This is the default execution mode: the sequence of
@@ -334,13 +563,16 @@ def run_plan(compiled: CompiledCircuit, plan: SolvePlan,
     bit-identical to them.  ``executor`` lets :mod:`repro.spice.dc` and
     :mod:`repro.spice.transient` route solves through their own
     module-level ``newton_solve`` bindings (the seam their tests wrap).
+    ``context`` defaults to one recorder handle for the whole plan.
     Exceptions raised by the plan itself (ladder exhaustion, invalid
     arguments) propagate to the caller.
     """
+    if context is None:
+        context = SolveContext(recorder=get_recorder())
     outcome: Optional[SolveOutcome] = None
     while True:
         try:
             request = plan.send(outcome)
         except StopIteration as stop:
             return stop.value
-        outcome = executor(compiled, request, stats)
+        outcome = executor(compiled, request, stats, context)

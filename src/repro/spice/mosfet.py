@@ -24,7 +24,7 @@ from ..tech import MosfetParams
 
 __all__ = ["nmos_like_current", "mosfet_current", "MosfetInstance",
            "nmos_like_current_batch", "alpha_power_current_batch",
-           "mosfet_current_batch"]
+           "mosfet_current_batch", "device_param_rows"]
 
 
 def nmos_like_current(k: float, vt: float, lam: float,
@@ -207,6 +207,25 @@ def alpha_power_current_batch(k: np.ndarray, vt: np.ndarray, lam: np.ndarray,
     gm_out = np.where(neg, -gm, gm)
     gds_out = np.where(neg, gm + gds, gds)
     return ids_out, gm_out, gds_out
+
+
+def device_param_rows(mosfets, indices) -> tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray, np.ndarray]:
+    """Parameter rows for one :func:`mosfet_current_batch` device group.
+
+    ``mosfets`` is a compiled device list (``(d, g, s, params, k)``
+    tuples); ``indices`` selects the devices of one polarity/model
+    group.  Returns ``(k, vt, lam, alpha)`` float arrays in selection
+    order.  Both the scalar stamp plan and the batch compiler build
+    their parameter tables through this helper, so the two engines feed
+    the batched channel model byte-identical operands.
+    """
+    k = np.array([mosfets[mi][4] for mi in indices], dtype=float)
+    vt = np.array([abs(mosfets[mi][3].vt0) for mi in indices], dtype=float)
+    lam = np.array([mosfets[mi][3].lam for mi in indices], dtype=float)
+    alpha = np.array([getattr(mosfets[mi][3], "alpha", 2.0)
+                      for mi in indices], dtype=float)
+    return k, vt, lam, alpha
 
 
 def mosfet_current_batch(is_nmos: bool, alpha_model: bool, k: np.ndarray,

@@ -28,6 +28,37 @@ from .mosfet import MosfetInstance
 
 __all__ = ["GROUND_NAMES", "Circuit", "CompiledCircuit"]
 
+
+def _stacked_interp(t: float, tpad: np.ndarray, vpad: np.ndarray,
+                    lens: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Evaluate S clamped PWL rows at scalar ``t`` in one stacked pass.
+
+    ``tpad``/``vpad`` are ``(S, L)`` breakpoint arrays padded with
+    ``+inf`` times and held last values; ``lens`` the true row lengths.
+    Bit-identical to ``np.interp(t, xp_r, fp_r)`` per row ``r``: the
+    slope/anchor arithmetic below is numpy's ``arr_interp`` formula with
+    the same operand order, including the exact-breakpoint case, the
+    clamped ends and the NaN fallbacks.
+    """
+    # j = largest index with xp[j] <= t (-1 when t precedes the row).
+    # Padding times with +inf keeps the comparison count within the
+    # real breakpoints for any finite t.
+    j = (tpad <= t).sum(axis=1) - 1
+    interior = (j >= 0) & (j < lens - 1)
+    ji = np.where(interior, j, 0)
+    xj = tpad[rows, ji]
+    yj = vpad[rows, ji]
+    slope = (vpad[rows, ji + 1] - yj) / (tpad[rows, ji + 1] - xj)
+    res = slope * (t - xj) + yj
+    if np.isnan(res).any():  # pragma: no cover - needs overflowing PWLs
+        nan = np.isnan(res)
+        res2 = slope * (t - tpad[rows, ji + 1]) + vpad[rows, ji + 1]
+        res = np.where(nan, res2, res)
+        res = np.where(np.isnan(res) & (yj == vpad[rows, ji + 1]), yj, res)
+    res = np.where(xj == t, yj, res)          # exact breakpoint hit
+    res = np.where(j < 0, vpad[:, 0], res)    # before the first point
+    return np.where(j >= lens - 1, vpad[rows, lens - 1], res)  # at/past end
+
 #: Node names treated as the global reference (0 V).
 GROUND_NAMES = frozenset({"0", "gnd", "gnd!", "vss", "ground"})
 
@@ -309,12 +340,52 @@ class CompiledCircuit:
                 cap_at[b] += c
         self.cap_at_unknown = cap_at
 
+        # Stacked PWL breakpoint arrays for the vectorized
+        # known_voltages: times padded with +inf, values held at the
+        # last breakpoint, so one _stacked_interp evaluates every PWL
+        # source at once (bit-identical to the per-source np.interp).
+        self._pwl_pack = None
+        if self._known_pwl:
+            width = max(xp.size for _, xp, _ in self._known_pwl)
+            count = len(self._known_pwl)
+            kidx = np.array([k for k, _, _ in self._known_pwl],
+                            dtype=np.intp)
+            tpad = np.full((count, width), np.inf)
+            vpad = np.empty((count, width))
+            lens = np.empty(count, dtype=np.intp)
+            for row, (_, xp, fp) in enumerate(self._known_pwl):
+                tpad[row, :xp.size] = xp
+                vpad[row, :fp.size] = fp
+                vpad[row, fp.size:] = fp[-1]
+                lens[row] = xp.size
+            self._pwl_pack = (kidx, tpad, vpad, lens,
+                              np.arange(count, dtype=np.intp))
+
+        self._stamp_plan = None
+
+    @property
+    def stamp_plan(self):
+        """Compiled stamp structure shared by both engines (lazy, cached)."""
+        plan = self._stamp_plan
+        if plan is None:
+            from .stamps import StampPlan
+            plan = StampPlan(self)
+            self._stamp_plan = plan
+        return plan
+
     # ------------------------------------------------------------------
     def known_voltages(self, t: float) -> np.ndarray:
-        """Voltages of the known nodes (ground first) at time ``t``."""
+        """Voltages of the known nodes (ground first) at time ``t``.
+
+        All PWL sources evaluate through one stacked interpolation pass
+        (bit-identical to per-source ``np.interp``); only arbitrary
+        callables pay a Python call.
+        """
         out = self._known_base.copy()
-        for kidx, xp, fp in self._known_pwl:
-            out[kidx] = np.interp(t, xp, fp)
+        pack = self._pwl_pack
+        if pack is not None:
+            kidx, tpad, vpad, lens, rows = pack
+            out[kidx] = _stacked_interp(float(t), tpad, vpad, lens, rows)
         for kidx, fn in self._known_dyn:
             out[kidx] = fn(t)
         return out

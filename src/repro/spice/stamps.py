@@ -1,0 +1,468 @@
+"""Compiled stamp structure shared by the scalar and batched engines.
+
+The KCL system of a compiled circuit has a *fixed* sparsity and
+emission order: which ``F``/``J`` cells each device touches, with which
+sign, never changes between Newton iterations -- only the device values
+do.  A :class:`StampPlan` compiles that structure once per
+:class:`~repro.spice.netlist.CompiledCircuit`:
+
+* **gather maps** resolving every device terminal to a column of the
+  fused ``[x | known]`` voltage vector (slot ``>= 0`` indexes the
+  unknowns, slot ``< 0`` the knowns, exactly the netlist encoding),
+* a **device-axis parameter table** so all transistors of one
+  polarity/channel-model group evaluate through a single
+  :func:`~repro.spice.mosfet.mosfet_current_batch` call, and
+* **ordered scatter plans** for ``F`` and flattened ``J`` whose
+  accumulation order matches the scalar loop of the original
+  ``assemble_system`` cell by cell.
+
+Ordered scatter is what keeps vectorized accumulation *bit-identical*
+to the sequential scalar code.  IEEE addition is not associative, so
+the per-cell accumulation order -- not just the set of contributions
+-- is part of the contract.  Two equivalent realizations exist: the
+scalar engine applies one emission-ordered ``np.add.at`` pass
+(``np.add.at`` performs repeated-index additions sequentially in
+element order), while the batch kernel uses *layered* plans -- layer
+``j`` holds the j-th contribution of every target cell, cells within a
+layer are unique, so per-lane fancy-index ``+=`` is safe and replays
+each cell's additions in scalar emission order.
+``tests/spice/test_assembly_equivalence.py`` enforces both against the
+kept-as-reference scalar assembler.
+
+The batch kernel (:mod:`repro.spice.batch`) builds its ``(B, n)`` lane
+stacks on the *same* plan arrays; the scalar engine
+(:mod:`repro.spice.engine`) drives the plan through a preallocated
+:class:`Workspace` so a Newton iteration allocates no ``(n, n)``
+temporaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .mosfet import device_param_rows, mosfet_current, mosfet_current_batch
+
+__all__ = ["MosGroup", "StampPlan", "Workspace", "layer_plan"]
+
+#: Below this device count the scalar engine evaluates transistors one
+#: by one through the scalar channel model: ~35 numpy kernel launches
+#: per :func:`~repro.spice.mosfet.mosfet_current_batch` call cost more
+#: than they vectorize for a handful of devices (a single gate), while
+#: Python-float evaluation is bit-identical by construction.  Larger
+#: systems (gate chains, proximity testbenches) use the grouped batch
+#: calls.
+SCALAR_MOS_CUTOVER = 16
+
+
+def _intp(values) -> np.ndarray:
+    return np.asarray(list(values), dtype=np.intp)
+
+
+def layer_plan(cells: Sequence[int], src: Sequence[int],
+               sign: Sequence[float]):
+    """Bucket (cell, source, sign) contributions into unique-cell layers.
+
+    Layer ``j`` holds the j-th contribution of every cell that has one,
+    in first-emission cell order.  Applying the layers in sequence with
+    fancy-index ``+=`` (safe: cells within a layer are unique) performs
+    each cell's additions in exactly the scalar emission order.
+    """
+    per_cell: Dict[int, List[Tuple[int, float]]] = {}
+    for cell, source, factor in zip(cells, src, sign):
+        per_cell.setdefault(cell, []).append((source, factor))
+    depth = max((len(v) for v in per_cell.values()), default=0)
+    layers = []
+    for j in range(depth):
+        picked = [cell for cell, v in per_cell.items() if len(v) > j]
+        layers.append((
+            _intp(picked),
+            _intp(per_cell[cell][j][0] for cell in picked),
+            np.asarray([per_cell[cell][j][1] for cell in picked],
+                       dtype=float),
+        ))
+    return layers
+
+
+class MosGroup:
+    """Transistors sharing polarity and channel model.
+
+    ``indices`` are the device positions in ``compiled.mosfets`` (also
+    the columns of the device-axis value rows); the ``*_cols`` arrays
+    are fused-vector gather columns for the three terminals, and
+    ``k``/``vt``/``lam``/``alpha`` the per-device parameter rows of
+    *this* circuit (the batch compiler stacks its own per-lane rows on
+    the same structure).
+    """
+
+    __slots__ = ("is_nmos", "alpha_model", "cols", "d_cols", "g_cols",
+                 "s_cols", "k", "vt", "lam", "alpha")
+
+    def __init__(self, is_nmos: bool, alpha_model: bool,
+                 indices: List[int], compiled) -> None:
+        self.is_nmos = is_nmos
+        self.alpha_model = alpha_model
+        self.cols = _intp(indices)
+        n = compiled.n_unknown
+
+        def col(slot: int) -> int:
+            return slot if slot >= 0 else n + (-slot - 1)
+
+        self.d_cols = _intp(col(compiled.mosfets[mi][0]) for mi in indices)
+        self.g_cols = _intp(col(compiled.mosfets[mi][1]) for mi in indices)
+        self.s_cols = _intp(col(compiled.mosfets[mi][2]) for mi in indices)
+        self.k, self.vt, self.lam, self.alpha = device_param_rows(
+            compiled.mosfets, indices)
+
+
+class StampPlan:
+    """Stamp structure of one compiled circuit, shared by both engines.
+
+    The contribution lists record, per KCL contribution of the scalar
+    reference assembler, its target cell, its source value column and
+    its sign -- in the scalar emission order.  F value columns:
+    ``[res cur | isrc cur | mos i_d | cap cur]``; J value columns:
+    ``[res g | mos dvd | mos dvg | mos dvs | cap geq]``.  Capacitor
+    contributions sit at the tail, so requests without companion stamps
+    use plans built from the cap-free prefix (``*_nc``).
+    """
+
+    def __init__(self, compiled) -> None:
+        n = compiled.n_unknown
+        self.n = n
+        self.n_known = len(compiled._known_names)
+        num_res = len(compiled.resistors)
+        num_is = len(compiled.isources)
+        num_mos = len(compiled.mosfets)
+        num_cap = len(compiled.capacitors)
+        self.n_res = num_res
+        self.n_is = num_is
+        self.n_mos = num_mos
+        self.n_cap = num_cap
+        self.diag = np.arange(n) * (n + 1)
+
+        def col(slot: int) -> int:
+            return slot if slot >= 0 else n + (-slot - 1)
+
+        self.res_a = _intp(col(a) for a, _, _ in compiled.resistors)
+        self.res_b = _intp(col(b) for _, b, _ in compiled.resistors)
+        self.cap_a = _intp(col(a) for a, _, _ in compiled.capacitors)
+        self.cap_b = _intp(col(b) for _, b, _ in compiled.capacitors)
+        self.cap_pairs = [(a, b) for a, b, _ in compiled.capacitors]
+        self.res_g = np.array([g for _, _, g in compiled.resistors],
+                              dtype=float).reshape(num_res)
+
+        grouped: Dict[Tuple[bool, bool], List[int]] = {}
+        for mi, (_, _, _, params, _) in enumerate(compiled.mosfets):
+            key = (params.is_nmos, params.model == "alpha")
+            grouped.setdefault(key, []).append(mi)
+        self.groups: List[MosGroup] = [
+            MosGroup(is_nmos, alpha_model, indices, compiled)
+            for (is_nmos, alpha_model), indices in grouped.items()
+        ]
+        #: Per-device scalar dispatch table (params, K, terminal columns
+        #: into the fused vector) used below :data:`SCALAR_MOS_CUTOVER`.
+        self.mos_scalar = [
+            (params, kk, col(d), col(g), col(s))
+            for d, g, s, params, kk in compiled.mosfets
+        ]
+        self.use_scalar_mos = 0 < num_mos < SCALAR_MOS_CUTOVER
+
+        f_cells: List[int] = []
+        f_src: List[int] = []
+        f_sign: List[float] = []
+        j_cells: List[int] = []
+        j_src: List[int] = []
+        j_sign: List[float] = []
+
+        def femit(node: int, src: int, sign: float) -> None:
+            f_cells.append(node)
+            f_src.append(src)
+            f_sign.append(sign)
+
+        def jemit(row: int, column: int, src: int, sign: float) -> None:
+            j_cells.append(row * n + column)
+            j_src.append(src)
+            j_sign.append(sign)
+
+        for ri, (a, b, _) in enumerate(compiled.resistors):
+            if a >= 0:
+                femit(a, ri, 1.0)
+                jemit(a, a, ri, 1.0)
+                if b >= 0:
+                    jemit(a, b, ri, -1.0)
+            if b >= 0:
+                femit(b, ri, -1.0)
+                jemit(b, b, ri, 1.0)
+                if a >= 0:
+                    jemit(b, a, ri, -1.0)
+        for si, (a, b, _) in enumerate(compiled.isources):
+            if a >= 0:
+                femit(a, num_res + si, 1.0)
+            if b >= 0:
+                femit(b, num_res + si, -1.0)
+        for mi, (d, g_node, s, _, _) in enumerate(compiled.mosfets):
+            cd = num_res + mi
+            cg = num_res + num_mos + mi
+            cs = num_res + 2 * num_mos + mi
+            if d >= 0:
+                femit(d, num_res + num_is + mi, 1.0)
+                jemit(d, d, cd, 1.0)
+                if g_node >= 0:
+                    jemit(d, g_node, cg, 1.0)
+                if s >= 0:
+                    jemit(d, s, cs, 1.0)
+            if s >= 0:
+                femit(s, num_res + num_is + mi, -1.0)
+                jemit(s, s, cs, -1.0)
+                if d >= 0:
+                    jemit(s, d, cd, -1.0)
+                if g_node >= 0:
+                    jemit(s, g_node, cg, -1.0)
+        f_split = len(f_cells)
+        j_split = len(j_cells)
+        for ci, (a, b, _) in enumerate(compiled.capacitors):
+            fcol = num_res + num_is + num_mos + ci
+            jcol = num_res + 3 * num_mos + ci
+            if a >= 0:
+                femit(a, fcol, 1.0)
+                jemit(a, a, jcol, 1.0)
+                if b >= 0:
+                    jemit(a, b, jcol, -1.0)
+            if b >= 0:
+                femit(b, fcol, -1.0)
+                jemit(b, b, jcol, 1.0)
+                if a >= 0:
+                    jemit(b, a, jcol, -1.0)
+
+        self.f_layers_nc = layer_plan(f_cells[:f_split], f_src[:f_split],
+                                      f_sign[:f_split])
+        self.f_layers_wc = layer_plan(f_cells, f_src, f_sign)
+        self.j_layers_nc = layer_plan(j_cells[:j_split], j_src[:j_split],
+                                      j_sign[:j_split])
+        self.j_layers_wc = layer_plan(j_cells, j_src, j_sign)
+
+        # Flat scatter arrays for the scalar engine: one ordered
+        # ``np.add.at`` pass replaces the per-layer loop (whose depth
+        # grows with the per-node fan-in -- a loaded output node makes
+        # layers slow at batch size 1).  ``np.add.at`` applies
+        # repeated-index additions sequentially in element order, so the
+        # emission-ordered arrays reproduce the scalar per-cell
+        # accumulation order exactly; the equivalence suite pins this.
+        # ``F`` and flattened ``J`` share one target buffer (``F`` in
+        # the first ``n`` cells) and one value buffer (F columns first),
+        # so a full assembly is a single take/multiply/scatter pass;
+        # the residual-only prefix serves the modified-Newton mode.
+        self.n_fvals = num_res + num_is + num_mos + num_cap
+        self.n_jvals = num_res + 3 * num_mos + num_cap
+        j_cells_off = [n + cell for cell in j_cells]
+        j_src_off = [self.n_fvals + src for src in j_src]
+        # The gmin terms ride in the scatter too: ``vals`` ends with the
+        # per-iteration ``gmin * x`` row (F diagonal) and one ``gmin``
+        # cell (J diagonal), and the diag contributions lead the arrays
+        # -- the reference assembler adds gmin before any device stamp.
+        gx_base = self.n_fvals + self.n_jvals
+        self.gmin_slot = gx_base + n
+        f_diag = (list(range(n)), [gx_base + i for i in range(n)],
+                  [1.0] * n)
+        j_diag = ([n + i * (n + 1) for i in range(n)],
+                  [self.gmin_slot] * n, [1.0] * n)
+
+        def scatter(*parts):
+            cells: List[int] = []
+            src: List[int] = []
+            sign: List[float] = []
+            for c, s, g in parts:
+                cells += c
+                src += s
+                sign += g
+            return _intp(cells), _intp(src), np.asarray(sign, dtype=float)
+
+        #: ``(cells, src, sign)`` triples, pre-sliced per case so the
+        #: hot path never re-slices: full assembly with/without cap
+        #: stamps, residual-only with/without cap stamps.
+        self.scatter_full_wc = scatter(
+            f_diag, j_diag, (f_cells, f_src, f_sign),
+            (j_cells_off, j_src_off, j_sign))
+        self.scatter_full_nc = scatter(
+            f_diag, j_diag,
+            (f_cells[:f_split], f_src[:f_split], f_sign[:f_split]),
+            (j_cells_off[:j_split], j_src_off[:j_split],
+             j_sign[:j_split]))
+        self.scatter_f_wc = scatter(f_diag, (f_cells, f_src, f_sign))
+        self.scatter_f_nc = scatter(
+            f_diag,
+            (f_cells[:f_split], f_src[:f_split], f_sign[:f_split]))
+
+        #: Per-process scratch for the scalar engine.  The scalar Newton
+        #: loop is not reentrant (plans yield requests instead of
+        #: recursing into the solver), so one workspace per plan is safe.
+        self.scratch = Workspace(self)
+
+    def stamps_match(self, cap_stamps) -> bool:
+        """Whether ``cap_stamps`` follow the compiled capacitor order.
+
+        The transient integrator always builds one stamp per compiled
+        capacitor, in order; hand-crafted stamp lists (tests, external
+        callers) that do not line up fall back to the reference scalar
+        assembler.
+        """
+        if len(cap_stamps) != self.n_cap:
+            return False
+        return all(s[0] == p[0] and s[1] == p[1]
+                   for s, p in zip(cap_stamps, self.cap_pairs))
+
+
+class Workspace:
+    """Preallocated per-solve buffers for the scalar vectorized assembly.
+
+    ``xk`` fuses unknown and known voltages (``[x | known]``) so device
+    gathers index one flat vector; ``fj`` fuses the accumulation
+    targets (``F`` in the first ``n`` cells, flattened ``J`` behind it)
+    and is reused across iterations -- no per-iteration
+    ``np.zeros((n, n))``, and one memset clears both.  ``vals`` holds
+    every device value column contiguously (the F columns
+    ``[res cur | isrc cur | mos i_d | cap cur]`` followed by the J
+    columns ``[res g | mos dvd | mos dvg | mos dvs | cap geq]``); the
+    named rows are views into it, so one gather feeds the whole
+    scatter.  The static columns (resistor conductances) are filled
+    once here.
+    """
+
+    __slots__ = ("n", "xk", "fj", "F", "j_flat", "J", "vals",
+                 "res_cur", "is_cur", "cap_geq", "cap_ieq", "cap_cur",
+                 "id_row", "dvd_row", "dvg_row", "dvs_row", "contrib",
+                 "gx")
+
+    def __init__(self, plan: StampPlan) -> None:
+        n = plan.n
+        n_res, n_is = plan.n_res, plan.n_is
+        n_mos, n_cap = plan.n_mos, plan.n_cap
+        self.n = n
+        self.xk = np.empty(n + plan.n_known)
+        self.fj = np.empty(n + n * n)
+        self.F = self.fj[:n]
+        self.j_flat = self.fj[n:]
+        self.J = self.j_flat.reshape(n, n)
+        self.vals = np.empty(plan.gmin_slot + 1)
+        self.res_cur = self.vals[:n_res]
+        self.is_cur = self.vals[n_res:n_res + n_is]
+        self.id_row = self.vals[n_res + n_is:n_res + n_is + n_mos]
+        self.cap_cur = self.vals[n_res + n_is + n_mos:plan.n_fvals]
+        jv = self.vals[plan.n_fvals:plan.n_fvals + plan.n_jvals]
+        jv[:n_res] = plan.res_g
+        self.dvd_row = jv[n_res:n_res + n_mos]
+        self.dvg_row = jv[n_res + n_mos:n_res + 2 * n_mos]
+        self.dvs_row = jv[n_res + 2 * n_mos:n_res + 3 * n_mos]
+        self.cap_geq = jv[n_res + 3 * n_mos:]
+        self.cap_ieq = np.empty(n_cap)
+        self.contrib = np.empty(plan.scatter_full_wc[0].size)
+        self.gx = self.vals[plan.gmin_slot - n:plan.gmin_slot]
+
+
+def load_solve(plan: StampPlan, ws: Workspace, known: np.ndarray,
+               time: float, cap_stamps, source_scale: float,
+               isources) -> bool:
+    """Load the iteration-invariant inputs of one Newton solve.
+
+    Scales the known voltages, evaluates the current sources once (they
+    are functions of time only, constant across the iterations of one
+    solve -- the batch kernel's ``load_request`` does the same), and
+    unpacks the cap companion stamps into ``geq``/``ieq`` rows.
+    Returns whether companion stamps are present.
+    """
+    if source_scale != 1.0:
+        np.multiply(known, source_scale, out=ws.xk[plan.n:])
+    else:
+        ws.xk[plan.n:] = known
+    is_cur = ws.is_cur
+    for i, (_, _, fn) in enumerate(isources):
+        is_cur[i] = fn(time) * source_scale
+    if cap_stamps:
+        geq_row = ws.cap_geq
+        ieq_row = ws.cap_ieq
+        for ci, (_, _, geq, ieq) in enumerate(cap_stamps):
+            geq_row[ci] = geq
+            ieq_row[ci] = ieq
+        return True
+    return False
+
+
+def assemble_into(plan: StampPlan, ws: Workspace, x: np.ndarray,
+                  gmin: float, with_caps: bool,
+                  need_jacobian: bool = True):
+    """Vectorized residual/Jacobian assembly into the workspace buffers.
+
+    Requires :func:`load_solve` to have loaded the solve's invariants.
+    Returns ``(F, J)`` as views of the workspace (``J`` is ``None``
+    when ``need_jacobian`` is false -- the modified-Newton residual
+    check skips the Jacobian scatter entirely).  Every expression
+    mirrors the reference scalar assembler's operand order, and the
+    ordered scatter reproduces its per-cell accumulation order, so the
+    outputs are bit-identical to it.
+    """
+    n = plan.n
+    xk = ws.xk
+    xk[:n] = x
+
+    if plan.n_res:
+        np.subtract(xk[plan.res_a], xk[plan.res_b], out=ws.res_cur)
+        ws.res_cur *= plan.res_g
+    if plan.use_scalar_mos:
+        xkl = xk.tolist()
+        if need_jacobian:
+            ids: List[float] = []
+            dvds: List[float] = []
+            dvgs: List[float] = []
+            dvss: List[float] = []
+            for params, kk, dcol, gcol, scol in plan.mos_scalar:
+                i_d, dvd, dvg, dvs = mosfet_current(
+                    params, kk, xkl[gcol], xkl[dcol], xkl[scol])
+                ids.append(i_d)
+                dvds.append(dvd)
+                dvgs.append(dvg)
+                dvss.append(dvs)
+            ws.dvd_row[:] = dvds
+            ws.dvg_row[:] = dvgs
+            ws.dvs_row[:] = dvss
+        else:
+            ids = [
+                mosfet_current(params, kk, xkl[gcol], xkl[dcol], xkl[scol])[0]
+                for params, kk, dcol, gcol, scol in plan.mos_scalar
+            ]
+        ws.id_row[:] = ids
+    else:
+        for grp in plan.groups:
+            i_d, dvd, dvg, dvs = mosfet_current_batch(
+                grp.is_nmos, grp.alpha_model,
+                grp.k, grp.vt, grp.lam, grp.alpha,
+                xk[grp.g_cols], xk[grp.d_cols], xk[grp.s_cols],
+            )
+            ws.id_row[grp.cols] = i_d
+            if need_jacobian:
+                ws.dvd_row[grp.cols] = dvd
+                ws.dvg_row[grp.cols] = dvg
+                ws.dvs_row[grp.cols] = dvs
+
+    if with_caps:
+        np.subtract(xk[plan.cap_a], xk[plan.cap_b], out=ws.cap_cur)
+        ws.cap_cur *= ws.cap_geq
+        ws.cap_cur -= ws.cap_ieq
+
+    fj = ws.fj
+    np.multiply(x, gmin, out=ws.gx)
+    if need_jacobian:
+        fj[:] = 0.0
+        ws.vals[plan.gmin_slot] = gmin
+        cells, src, sign = (plan.scatter_full_wc if with_caps
+                            else plan.scatter_full_nc)
+    else:
+        ws.F[:] = 0.0
+        cells, src, sign = (plan.scatter_f_wc if with_caps
+                            else plan.scatter_f_nc)
+    contrib = ws.contrib[:cells.size]
+    np.take(ws.vals, src, out=contrib)
+    contrib *= sign
+    np.add.at(fj, cells, contrib)
+    return ws.F, (ws.J if need_jacobian else None)

@@ -38,9 +38,12 @@ from ..units import parse_quantity
 from .dc import dc_plan
 from .engine import (
     CapStamp,
+    FastNewtonState,
     NewtonOptions,
     NewtonRequest,
     NewtonStats,
+    SolveContext,
+    fast_newton_enabled,
     newton_solve,
     request_kwargs,
     run_plan,
@@ -80,7 +83,8 @@ class TransientOptions:
 def _integrate_plan(compiled: CompiledCircuit, t_start: float, t_end: float,
                     initial_op: Optional[Dict[str, float]],
                     opts: TransientOptions, stats: NewtonStats,
-                    retry: Union[RetryPolicy, int, None]):
+                    retry: Union[RetryPolicy, int, None],
+                    recorder=None):
     """One full integration attempt; returns ``(times, series, rejected)``.
 
     A solver plan: every Newton solve -- the initial DC ladder included
@@ -103,7 +107,8 @@ def _integrate_plan(compiled: CompiledCircuit, t_start: float, t_end: float,
     # ``stats`` accumulates Newton iterations over the whole analysis:
     # the DC solve plus every accepted *and* rejected timestep.
     x = yield from dc_plan(compiled, initial_guess=initial_op, time=t_start,
-                           options=opts.newton, stats=stats, retry=retry)
+                           options=opts.newton, stats=stats, retry=retry,
+                           recorder=recorder)
     known = compiled.known_voltages(t_start)
 
     # Per-capacitor history for the trapezoidal rule: previous branch
@@ -228,7 +233,8 @@ def transient_result_plan(compiled: CompiledCircuit, t_stop: float | str, *,
                           record: Optional[List[str]] = None,
                           initial_op: Optional[Dict[str, float]] = None,
                           options: Optional[TransientOptions] = None,
-                          retry: Union[RetryPolicy, int, None] = None):
+                          retry: Union[RetryPolicy, int, None] = None,
+                          recorder=None):
     """Solver plan for one full transient analysis; returns the result.
 
     Validation, the retry ladder (fault firing, escalated options,
@@ -244,7 +250,8 @@ def transient_result_plan(compiled: CompiledCircuit, t_stop: float | str, *,
     if t_end <= t_start:
         raise ConvergenceError(f"t_stop ({t_end}) must exceed t_start ({t_start})")
 
-    recorder = get_recorder()
+    if recorder is None:
+        recorder = get_recorder()
     recorder.counter("spice.transient.analyses").inc()
     attempt_log: List[AttemptRecord] = []
     last_error: Optional[ConvergenceError] = None
@@ -259,7 +266,8 @@ def transient_result_plan(compiled: CompiledCircuit, t_stop: float | str, *,
             faults.fire_transient()
             outcome = yield from _integrate_plan(compiled, t_start, t_end,
                                                  initial_op, attempt_opts,
-                                                 stats, policy)
+                                                 stats, policy,
+                                                 recorder=recorder)
             break
         except ConvergenceError as error:
             last_error = error
@@ -298,12 +306,13 @@ def transient_result_plan(compiled: CompiledCircuit, t_stop: float | str, *,
     )
 
 
-def _execute_transient_request(compiled, request, stats):
+def _execute_transient_request(compiled, request, stats, context=None):
     # Routes through this module's ``newton_solve`` binding so tests can
     # wrap the transient solver independently of the DC one.
+    kwargs = (request_kwargs(request, stats) if context is None
+              else context.solve_kwargs(request, stats))
     try:
-        return newton_solve(compiled, request.x0, request.known,
-                            **request_kwargs(request, stats))
+        return newton_solve(compiled, request.x0, request.known, **kwargs)
     except ConvergenceError as error:
         return error
 
@@ -332,9 +341,15 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
     """
     compiled = circuit if isinstance(circuit, CompiledCircuit) else circuit.compile()
     stats = NewtonStats()
+    recorder = get_recorder()
+    context = SolveContext(
+        recorder=recorder,
+        fast=FastNewtonState() if fast_newton_enabled() else None,
+    )
     plan = transient_result_plan(
         compiled, t_stop, stats=stats, t_start=t_start, record=record,
         initial_op=initial_op, options=options, retry=retry,
+        recorder=recorder,
     )
     return run_plan(compiled, plan, stats,
-                    executor=_execute_transient_request)
+                    executor=_execute_transient_request, context=context)

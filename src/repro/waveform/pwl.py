@@ -30,7 +30,7 @@ class Pwl:
         ``times[-1]`` are held at the first/last breakpoint value.
     """
 
-    __slots__ = ("_t", "_v")
+    __slots__ = ("_t", "_v", "_t_list", "_v_list")
 
     def __init__(self, times: Iterable[float], values: Iterable[float]) -> None:
         t = np.asarray(list(times) if not isinstance(times, np.ndarray) else times,
@@ -53,6 +53,10 @@ class Pwl:
         self._v = v
         self._t.setflags(write=False)
         self._v.setflags(write=False)
+        # Breakpoints as plain Python floats, materialized on the first
+        # scalar evaluation (the transient hot path).
+        self._t_list: list[float] | None = None
+        self._v_list: list[float] | None = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -80,10 +84,52 @@ class Pwl:
 
     def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
         """Evaluate the waveform at time(s) ``t`` (clamped extrapolation)."""
+        if type(t) is float or type(t) is int:
+            return self._eval_scalar(float(t))
         out = np.interp(np.asarray(t, dtype=float), self._t, self._v)
         if np.isscalar(t) or (isinstance(t, np.ndarray) and t.ndim == 0):
             return float(out)
         return out
+
+    def _eval_scalar(self, t: float) -> float:
+        """Scalar evaluation, bit-identical to ``np.interp``.
+
+        Mirrors numpy's ``arr_interp`` branch structure exactly -- end
+        clamping first, exact breakpoint hits returned untouched, and
+        the same slope-anchored-at-the-left-breakpoint formula (with the
+        NaN re-anchoring fallbacks) -- so the float result is the same
+        bits the array path produces, without the per-call ``np.asarray``
+        round-trip.
+        """
+        ts = self._t_list
+        if ts is None:
+            ts = self._t_list = self._t.tolist()
+            self._v_list = self._v.tolist()
+        vs = self._v_list
+        assert vs is not None
+        if t != t:  # non-finite query: defer to numpy verbatim
+            return float(np.interp(t, self._t, self._v))
+        if t >= ts[-1]:
+            return vs[-1]
+        if t < ts[0]:
+            return vs[0]
+        lo, hi = 0, len(ts) - 1
+        while hi - lo > 1:  # largest j with ts[j] <= t
+            mid = (lo + hi) // 2
+            if ts[mid] <= t:
+                lo = mid
+            else:
+                hi = mid
+        tj = ts[lo]
+        if tj == t:
+            return vs[lo]
+        slope = (vs[lo + 1] - vs[lo]) / (ts[lo + 1] - tj)
+        res = slope * (t - tj) + vs[lo]
+        if res != res:
+            res = slope * (t - ts[lo + 1]) + vs[lo + 1]
+            if res != res and vs[lo] == vs[lo + 1]:
+                res = vs[lo]
+        return res
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Pwl):

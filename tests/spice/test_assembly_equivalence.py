@@ -1,0 +1,198 @@
+"""Bit-identity of the compiled-stamp assembly against the scalar oracle.
+
+The vectorized assembler (:func:`repro.spice.engine.assemble_system`,
+driven by a compiled :class:`~repro.spice.stamps.StampPlan`) promises
+*bit-identical* output to :func:`assemble_system_reference`, the
+original scalar loop kept as the equivalence oracle.  IEEE addition is
+not associative, so this holds only because the plan's ordered scatter
+replays the scalar per-cell accumulation order exactly -- these tests
+enforce that contract on randomized circuits, for DC and cap-stamped
+assembly, on both sides of the scalar/batched channel-model cutover.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit
+from repro.spice.engine import assemble_system, assemble_system_reference
+from repro.spice.stamps import SCALAR_MOS_CUTOVER
+from repro.tech import default_process
+from repro.waveform import ramp
+from repro.waveform.pwl import Pwl
+
+PROC = default_process()
+
+
+def random_circuit(rng: np.random.Generator, *, n_mos: int) -> Circuit:
+    """A random connected mess of every device type the netlist has."""
+    ckt = Circuit()
+    nodes = ["0", "vdd", "in", "n1", "n2", "n3"]
+    ckt.add_vsource("vvdd", "vdd", PROC.vdd)
+    ckt.add_vsource("vin", "in", ramp(0.2e-9, 0.0, PROC.vdd, 0.3e-9))
+    for i in range(rng.integers(2, 5)):
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        ckt.add_resistor(f"r{i}", nodes[a], nodes[b],
+                         float(rng.uniform(1e3, 1e6)))
+    for i in range(rng.integers(1, 4)):
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        ckt.add_capacitor(f"c{i}", nodes[a], nodes[b],
+                          float(rng.uniform(1e-15, 1e-13)))
+    for i in range(rng.integers(0, 2)):
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        ckt.add_isource(f"i{i}", nodes[a], nodes[b],
+                        float(rng.uniform(-1e-5, 1e-5)))
+    for i in range(n_mos):
+        model = PROC.nmos if rng.random() < 0.5 else PROC.pmos
+        bulk = "0" if model.is_nmos else "vdd"
+        d, g, s = (nodes[j] for j in
+                   rng.choice(len(nodes), size=3, replace=False))
+        ckt.add_mosfet(f"m{i}", d, g, s, bulk, model,
+                       float(rng.uniform(2e-6, 12e-6)), 0.8e-6,
+                       with_parasitics=bool(rng.random() < 0.5))
+    return ckt
+
+
+def assert_assembly_identical(compiled, rng: np.random.Generator,
+                              *, cap_stamps, source_scale: float = 1.0,
+                              gmin: float = 1e-12) -> None:
+    n = compiled.n_unknown
+    known = compiled.known_voltages(0.13e-9)
+    for _ in range(5):
+        x = rng.uniform(-1.0, PROC.vdd + 1.0, n)
+        got = assemble_system(compiled, x, known, gmin=gmin, time=0.13e-9,
+                              cap_stamps=cap_stamps,
+                              source_scale=source_scale)
+        want = assemble_system_reference(
+            compiled, x, known, gmin=gmin, time=0.13e-9,
+            cap_stamps=cap_stamps, source_scale=source_scale)
+        # Bit-for-bit, not approx: tobytes() compares the raw IEEE bits.
+        assert got[0].tobytes() == want[0].tobytes()
+        assert got[1].tobytes() == want[1].tobytes()
+
+
+def ordered_stamps(compiled):
+    """Companion stamps in compiled capacitor order (the transient's)."""
+    return [(a, b, c / 1e-12, (c / 1e-12) * 0.3)
+            for a, b, c in compiled.capacitors]
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dc_assembly_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        compiled = random_circuit(rng, n_mos=int(rng.integers(0, 7))).compile()
+        assert_assembly_identical(compiled, rng, cap_stamps=None)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cap_stamped_assembly_bit_identical(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        compiled = random_circuit(rng, n_mos=int(rng.integers(0, 7))).compile()
+        assert_assembly_identical(compiled, rng,
+                                  cap_stamps=ordered_stamps(compiled))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_source_stepping_assembly_bit_identical(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        compiled = random_circuit(rng, n_mos=int(rng.integers(1, 5))).compile()
+        assert_assembly_identical(compiled, rng, cap_stamps=None,
+                                  source_scale=0.375, gmin=1e-6)
+
+    def test_above_scalar_cutover_uses_batched_model(self):
+        """Large device counts take the grouped batch-model path; the
+        output must stay bit-identical there too."""
+        rng = np.random.default_rng(42)
+        ckt = random_circuit(rng, n_mos=SCALAR_MOS_CUTOVER + 3)
+        compiled = ckt.compile()
+        assert not compiled.stamp_plan.use_scalar_mos
+        assert_assembly_identical(compiled, rng,
+                                  cap_stamps=ordered_stamps(compiled))
+
+    def test_below_cutover_uses_scalar_model(self):
+        rng = np.random.default_rng(43)
+        compiled = random_circuit(rng, n_mos=3).compile()
+        assert compiled.stamp_plan.use_scalar_mos
+        assert_assembly_identical(compiled, rng, cap_stamps=None)
+
+    def test_out_of_order_stamps_fall_back_to_reference(self):
+        """Hand-built stamp lists that do not follow the compiled
+        capacitor order must still assemble correctly (via fallback)."""
+        rng = np.random.default_rng(7)
+        compiled = random_circuit(rng, n_mos=2).compile()
+        stamps = list(reversed(ordered_stamps(compiled)))
+        if len(stamps) > 1:
+            assert not compiled.stamp_plan.stamps_match(stamps)
+        assert_assembly_identical(compiled, rng, cap_stamps=stamps)
+
+    def test_workspace_reuse_does_not_leak_state(self):
+        """Back-to-back assemblies with different shapes (DC after
+        cap-stamped, residual after full) share one workspace."""
+        rng = np.random.default_rng(11)
+        compiled = random_circuit(rng, n_mos=4).compile()
+        stamps = ordered_stamps(compiled)
+        assert_assembly_identical(compiled, rng, cap_stamps=stamps)
+        assert_assembly_identical(compiled, rng, cap_stamps=None)
+        assert_assembly_identical(compiled, rng, cap_stamps=stamps)
+
+
+class TestKnownVoltages:
+    def test_known_voltages_match_source_waveforms(self):
+        """The stacked interp must reproduce each source's own Pwl
+        evaluation bit for bit (same np.interp semantics)."""
+        ckt = Circuit()
+        wave_a = ramp(0.2e-9, 0.0, 5.0, 0.3e-9)
+        wave_b = ramp(0.35e-9, 5.0, 0.0, 0.1e-9)
+        ckt.add_vsource("va", "a", wave_a)
+        ckt.add_vsource("vb", "b", wave_b)
+        ckt.add_resistor("r1", "a", "n1", 1e4)
+        ckt.add_resistor("r2", "b", "n1", 1e4)
+        ckt.add_resistor("r3", "n1", "0", 1e4)
+        compiled = ckt.compile()
+        idx = {name: i for i, name in enumerate(compiled._known_names)}
+        probes = np.concatenate([
+            wave_a.times, wave_b.times,
+            np.linspace(-0.1e-9, 0.6e-9, 37),
+        ])
+        for t in probes:
+            got = compiled.known_voltages(float(t))
+            assert got[idx["a"]] == float(np.interp(t, wave_a.times,
+                                                    wave_a.values))
+            assert got[idx["b"]] == float(np.interp(t, wave_b.times,
+                                                    wave_b.values))
+            assert got[idx["0"]] == 0.0
+
+
+class TestPwlScalarFastPath:
+    def test_scalar_matches_interp(self):
+        rng = np.random.default_rng(5)
+        t = np.sort(rng.uniform(0.0, 1.0, 9))
+        v = rng.uniform(-2.0, 2.0, 9)
+        wave = Pwl(t, v)
+        probes = list(t)  # exact breakpoint hits
+        probes += [t[0] - 0.5, t[-1] + 0.5]  # clamped ends
+        probes += list(rng.uniform(-0.2, 1.2, 50))
+        for probe in probes:
+            assert wave(float(probe)) == float(np.interp(probe, t, v))
+
+    def test_int_query(self):
+        wave = Pwl([0.0, 2.0], [1.0, 3.0])
+        assert wave(1) == 2.0
+        assert isinstance(wave(1), float)
+
+    def test_single_breakpoint(self):
+        wave = Pwl([0.5], [4.25])
+        for probe in (-1.0, 0.5, 2.0):
+            assert wave(probe) == 4.25
+
+    def test_array_path_unchanged(self):
+        wave = Pwl([0.0, 1.0], [0.0, 5.0])
+        grid = np.linspace(-0.5, 1.5, 11)
+        out = wave(grid)
+        assert isinstance(out, np.ndarray)
+        assert out.tobytes() == np.interp(grid, wave.times,
+                                          wave.values).tobytes()
+
+    def test_nan_query_defers_to_numpy(self):
+        wave = Pwl([0.0, 1.0], [0.0, 5.0])
+        got = wave(float("nan"))
+        want = float(np.interp(float("nan"), wave.times, wave.values))
+        assert np.isnan(got) == np.isnan(want)
