@@ -46,6 +46,7 @@ __all__ = ["ENV_KNOBS", "git_sha", "build_manifest", "write_manifest",
 ENV_KNOBS = (
     "REPRO_WORKERS", "REPRO_BATCH", "REPRO_RETRY", "REPRO_TASK_TIMEOUT",
     "REPRO_RESUME", "REPRO_FAULTS", "REPRO_CACHE_DIR", "REPRO_FAST_NEWTON",
+    "REPRO_SPARSE",
     TRACE_ENV_VAR, METRICS_ENV_VAR, MANIFEST_ENV_VAR, OBS_ENV_VAR,
 )
 

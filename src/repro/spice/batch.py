@@ -47,10 +47,13 @@ from .engine import (
     SolveContext,
     _observe_solve,
     fast_newton_enabled,
+    nudge_diagonal,
     run_plan,
+    singular_nudge,
 )
 from .mosfet import device_param_rows, mosfet_current_batch
 from .netlist import Circuit, CompiledCircuit
+from .sparse import sparse_enabled
 from .stamps import MosGroup
 from .transient import TransientOptions, transient_result_plan
 
@@ -291,7 +294,6 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
         if not rows.size:
             continue
         batch = len(rows)
-        n = batchc.n
         X, F, J = _assemble(batchc, state, rows, with_caps)
         residual = np.abs(F).max(axis=1)
         rhs = -F
@@ -301,17 +303,26 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
         except np.linalg.LinAlgError:
             # At least one lane is singular; redo lane by lane so the
             # healthy lanes still get their (identical) dgesv solution
-            # and the sick ones walk the scalar nudge-then-fail path.
+            # and the sick ones walk the scalar nudge-then-fail path:
+            # the in-place diagonal nudge and its escalation value are
+            # the scalar loop's own helpers, so recovery arithmetic is
+            # bit-identical across the two drivers (``state.gmin`` holds
+            # the lane's effective gmin, the scalar ``effective_gmin``).
             dx = np.empty_like(F)
             for p in range(batch):
                 try:
                     dx[p] = np.linalg.solve(J[p], rhs[p])
                 except np.linalg.LinAlgError:
-                    nudged = J[p] + np.eye(n) * max(
-                        float(state.gmin[rows[p]]), 1e-9)
+                    nudge_diagonal(J[p], singular_nudge(
+                        float(state.gmin[rows[p]])))
                     try:
-                        dx[p] = np.linalg.solve(nudged, rhs[p])
+                        dx[p] = np.linalg.solve(J[p], rhs[p])
                     except np.linalg.LinAlgError:
+                        # Doubly singular: a zero step would otherwise
+                        # sail through the ``step < voltol`` test, so
+                        # the mask must veto convergence and finish the
+                        # lane on the failure path (regression-pinned in
+                        # ``test_singular_batch.py``).
                         dx[p] = 0.0
                         singular[p] = True
         steps = np.abs(dx).max(axis=1)
@@ -370,7 +381,8 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
                     stats.record(request.options.max_iterations,
                                  converged=False)
                 _observe_solve(request.options.max_iterations,
-                               converged=False, recorder=recorder)
+                               converged=False, recorder=recorder,
+                               backend="dense")
                 sent = _exhaustion_error(request.options.max_iterations,
                                          np.inf)
                 continue
@@ -390,7 +402,8 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
             stats = entries[lane][2]
             if stats is not None:
                 stats.record(iterations, converged=converged)
-            _observe_solve(iterations, converged=converged, recorder=recorder)
+            _observe_solve(iterations, converged=converged,
+                           recorder=recorder, backend="dense")
             active.discard(lane)
             advance(lane, outcome)
     if rounds:
@@ -406,13 +419,22 @@ def run_plans_batched(entries: Sequence[tuple]) -> list:
     multi-lane batches run through the lockstep kernel; a single lane
     runs serially (nothing to vectorize), and incongruent lanes fall
     back to the serial driver with a ``spice.batch.fallbacks`` count.
+    Lanes that dispatch to the sparse backend
+    (:func:`~repro.spice.sparse.sparse_enabled`) also run serially --
+    the lockstep kernel is a dense ``(B, n, n)`` kernel, and past the
+    sparse cutover the per-lane sparse solves are faster than stacked
+    dense LAPACK -- counted in ``spice.batch.sparse_fallbacks``; the
+    serial solves then match the scalar driver bit for bit.
     """
     batchc = None
     if len(entries) > 1:
-        try:
-            batchc = BatchCompiled([entry[0] for entry in entries])
-        except BatchIncongruent:
-            get_recorder().counter("spice.batch.fallbacks").inc()
+        if sparse_enabled(entries[0][0].n_unknown):
+            get_recorder().counter("spice.batch.sparse_fallbacks").inc()
+        else:
+            try:
+                batchc = BatchCompiled([entry[0] for entry in entries])
+            except BatchIncongruent:
+                get_recorder().counter("spice.batch.fallbacks").inc()
     if batchc is None:
         # One recorder handle (and fast-Newton state, when enabled) for
         # the whole serial fallback, like the scalar analysis drivers.

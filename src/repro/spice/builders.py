@@ -1,0 +1,190 @@
+"""Multi-gate netlist builders: chains and hierarchical decoder trees.
+
+The paper's proximity effects only matter at netlist scale -- coupled
+transitions arrive at a gate *because* upstream logic converges there
+-- and the sparse solver backend (:mod:`repro.spice.sparse`) only pays
+off past tens of unknowns.  This module builds the standard large
+testbenches from the existing :class:`~repro.gates.Gate` cells:
+
+* :func:`inverter_chain` / :func:`nand_chain` -- the classic delay-line
+  topologies (ring-oscillator halves, buffer trees), linear in stage
+  count;
+* :func:`hierarchical_decoder` -- an address predecoder feeding a
+  wordline NAND/driver array, modeled on the AMC SRAM compiler's
+  ``hierarchical_decoder`` module: address bits are complemented,
+  grouped into 2:4 / 3:8 predecoders (NAND + inverter per predecode
+  line), and every wordline ANDs one line of each group (NAND +
+  inverter driver).  A 6-bit decoder is ~300 unknowns -- two orders of
+  magnitude past the single-gate testbenches, and the reference
+  workload of ``benchmarks/bench_sparse.py``.
+
+Builders return plain :class:`~repro.spice.Circuit` objects: every
+analysis (DC, transient, batch) and backend (dense, sparse) consumes
+them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..tech import Process, default_process
+from .netlist import Circuit, SourceValue
+
+__all__ = ["inverter_chain", "nand_chain", "hierarchical_decoder",
+           "predecode_groups"]
+
+#: Default per-stage wire/fanout load between chain stages (farads).
+STAGE_LOAD = 10e-15
+
+
+def _gate_cells():
+    # Deferred: repro.gates imports repro.spice.netlist, so a module-level
+    # import here would be a package cycle waiting for an unlucky order.
+    from ..gates import Gate
+    return Gate
+
+
+def inverter_chain(stages: int, process: Optional[Process] = None, *,
+                   input_stimulus: SourceValue = 0.0,
+                   stage_load: float = STAGE_LOAD,
+                   load: float = 4 * STAGE_LOAD,
+                   name: str = "invchain") -> Circuit:
+    """A chain of ``stages`` inverters driven at node ``in``.
+
+    Stage outputs are ``n1 .. n<stages-1>``; the final output is
+    ``out``.  Each internal net carries ``stage_load`` to ground (wire
+    plus fanout), the final output ``load``.
+    """
+    if stages < 1:
+        raise ValueError("inverter_chain needs at least one stage")
+    gate = _gate_cells().inverter(process or default_process())
+    circuit = Circuit(name)
+    circuit.add_vsource("vvdd", "vdd", gate.process.vdd)
+    circuit.add_vsource("vin", "in", input_stimulus)
+    net = "in"
+    for stage in range(1, stages + 1):
+        out = "out" if stage == stages else f"n{stage}"
+        gate.instantiate_into(circuit, f"x{stage}", {"a": net, "z": out})
+        circuit.add_capacitor(f"cw{stage}", out, "0",
+                              load if stage == stages else stage_load)
+        net = out
+    return circuit
+
+
+def nand_chain(stages: int, fan_in: int = 2,
+               process: Optional[Process] = None, *,
+               input_stimulus: SourceValue = 0.0,
+               stage_load: float = STAGE_LOAD,
+               load: float = 4 * STAGE_LOAD,
+               name: Optional[str] = None) -> Circuit:
+    """A chain of ``fan_in``-input NANDs, side inputs tied high.
+
+    The previous stage drives input ``a`` (the transistor adjacent to
+    the output in the pull-down stack); the remaining inputs sit at
+    their non-controlling level Vdd, so the chain inverts per stage
+    like an inverter chain but with full series-stack internals --
+    the topology delay-line measurements use.
+    """
+    if stages < 1:
+        raise ValueError("nand_chain needs at least one stage")
+    gate = _gate_cells().nand(fan_in, process or default_process())
+    circuit = Circuit(name or f"nand{fan_in}chain")
+    circuit.add_vsource("vvdd", "vdd", gate.process.vdd)
+    circuit.add_vsource("vin", "in", input_stimulus)
+    net = "in"
+    for stage in range(1, stages + 1):
+        out = "out" if stage == stages else f"n{stage}"
+        nets = {"a": net, "z": out}
+        for side in gate.inputs[1:]:
+            nets[side] = "vdd"
+        gate.instantiate_into(circuit, f"x{stage}", nets)
+        circuit.add_capacitor(f"cw{stage}", out, "0",
+                              load if stage == stages else stage_load)
+        net = out
+    return circuit
+
+
+def predecode_groups(address_bits: int) -> List[List[int]]:
+    """Partition address-bit indices into 2- and 3-bit predecode groups.
+
+    Mirrors the AMC hierarchical decoder's planning: 2:4 predecoders
+    wherever possible, one 3:8 group absorbing an odd remainder.
+    """
+    if address_bits < 2:
+        raise ValueError("hierarchical_decoder needs at least 2 address bits")
+    bits = list(range(address_bits))
+    if address_bits % 2:
+        return [bits[:3]] + [bits[i:i + 2] for i in range(3, address_bits, 2)]
+    return [bits[i:i + 2] for i in range(0, address_bits, 2)]
+
+
+def hierarchical_decoder(address_bits: int,
+                         process: Optional[Process] = None, *,
+                         address: int = 0,
+                         stimuli: Optional[Mapping[str, SourceValue]] = None,
+                         wordline_load: float = 2 * STAGE_LOAD,
+                         name: Optional[str] = None) -> Circuit:
+    """A ``2**address_bits``-row predecoded wordline decoder.
+
+    Address inputs ``a0 .. a<k-1>`` default to the DC levels of
+    ``address`` (bit 0 is ``a0``); ``stimuli`` overrides any of them
+    with a waveform -- drive one bit with a ramp to exercise a
+    wordline handover transient.  Per address bit an inverter produces
+    the complement; each predecode group NANDs the true/complement mix
+    for its ``2**k`` lines and inverts them (active-high predecode
+    lines); each wordline NANDs one line per group into an inverting
+    driver loaded with ``wordline_load``.
+
+    Unknown-node count grows as ``O(2**address_bits)``: a 6-bit
+    decoder compiles to ~300 unknowns (64 wordlines), the sparse
+    backend's reference workload.
+    """
+    if not 0 <= address < 2 ** address_bits:
+        raise ValueError(f"address {address} out of range for "
+                         f"{address_bits} bits")
+    groups = predecode_groups(address_bits)
+    gates = _gate_cells()
+    proc = process or default_process()
+    inv = gates.inverter(proc)
+    nands = {size: gates.nand(size, proc)
+             for size in {len(g) for g in groups} | {len(groups)}}
+    stimuli = dict(stimuli or {})
+
+    circuit = Circuit(name or f"decoder{address_bits}")
+    circuit.add_vsource("vvdd", "vdd", proc.vdd)
+    for bit in range(address_bits):
+        pin = f"a{bit}"
+        level = proc.vdd if (address >> bit) & 1 else 0.0
+        circuit.add_vsource(f"v{pin}", pin, stimuli.pop(pin, level))
+        inv.instantiate_into(circuit, f"xinv_{pin}",
+                             {"a": pin, "z": f"{pin}b"})
+    if stimuli:
+        raise ValueError(f"stimuli for unknown address pins: "
+                         f"{sorted(stimuli)!r}")
+
+    # Predecoders: group g, line code c -> active-high net ``pre<g>_<c>``
+    # (bit j of c selects the true phase of the group's j-th address bit).
+    for gi, bits in enumerate(groups):
+        nand = nands[len(bits)]
+        for code in range(2 ** len(bits)):
+            nets: Dict[str, str] = {"z": f"pre{gi}_{code}n"}
+            for pin, bit in zip(nand.inputs, bits):
+                nets[pin] = f"a{bit}" if (code >> bits.index(bit)) & 1 \
+                    else f"a{bit}b"
+            nand.instantiate_into(circuit, f"xpre{gi}_{code}", nets)
+            inv.instantiate_into(circuit, f"xpri{gi}_{code}",
+                                 {"a": f"pre{gi}_{code}n",
+                                  "z": f"pre{gi}_{code}"})
+
+    # Wordlines: row r selects, per group, the line matching r's bits.
+    wl_nand = nands[len(groups)]
+    for row in range(2 ** address_bits):
+        nets = {"z": f"wl{row}n"}
+        for pin, (gi, bits) in zip(wl_nand.inputs, enumerate(groups)):
+            code = sum(((row >> bit) & 1) << j for j, bit in enumerate(bits))
+            nets[pin] = f"pre{gi}_{code}"
+        wl_nand.instantiate_into(circuit, f"xwl{row}", nets)
+        inv.instantiate_into(circuit, f"xwld{row}",
+                             {"a": f"wl{row}n", "z": f"wl{row}"})
+        circuit.add_capacitor(f"cwl{row}", f"wl{row}", "0", wordline_load)
+    return circuit

@@ -40,6 +40,7 @@ from .engine import (
     run_plan,
 )
 from .netlist import Circuit, CompiledCircuit
+from .sparse import sparse_enabled
 from .results import SweepResult
 
 __all__ = ["OperatingPoint", "dc_plan", "solve_dc", "dc_sweep"]
@@ -198,6 +199,7 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
     context = SolveContext(
         recorder=recorder,
         fast=FastNewtonState() if fast_newton_enabled() else None,
+        sparse=sparse_enabled(compiled.n_unknown),
     )
     plan = dc_plan(compiled, initial_guess=initial_guess, time=time,
                    options=options, stats=stats, retry=retry,
@@ -234,12 +236,14 @@ def dc_sweep(circuit: Circuit, source: str | Sequence[str],
     samples: Dict[str, list[float]] = {}
     guess: Optional[Dict[str, float]] = None
     originals = {name: circuit._vsources[name] for name in source_names}
-    # One recorder handle (and one fast-Newton state) for the whole
+    # One recorder handle (and one fast-Newton state, and one sparse
+    # dispatch -- the unknown count is sweep-invariant) for the whole
     # sweep: per-point solves skip the environment-signature check.
     recorder = get_recorder()
     context = SolveContext(
         recorder=recorder,
         fast=FastNewtonState() if fast_newton_enabled() else None,
+        sparse=sparse_enabled(len(circuit.unknown_nodes())),
     )
     try:
         for value in grid:

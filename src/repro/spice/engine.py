@@ -23,7 +23,8 @@ from ..errors import ConvergenceError
 from ..obs import get_recorder
 from .mosfet import mosfet_current
 from .netlist import CompiledCircuit
-from .stamps import assemble_into, load_solve
+from .sparse import sparse_enabled
+from .stamps import assemble_into, assemble_sparse, load_solve
 
 try:
     from scipy.linalg import lu_factor, lu_solve
@@ -34,7 +35,8 @@ except ImportError:  # pragma: no cover - scipy is a hard dependency
 __all__ = ["NewtonOptions", "NewtonStats", "CapStamp", "NewtonRequest",
            "assemble_system", "assemble_system_reference", "newton_solve",
            "execute_request", "request_solve", "run_plan", "SolveContext",
-           "FastNewtonState", "fast_newton_enabled", "FAST_NEWTON_ENV_VAR"]
+           "FastNewtonState", "fast_newton_enabled", "FAST_NEWTON_ENV_VAR",
+           "nudge_diagonal", "singular_nudge"]
 
 #: Environment knob enabling the opt-in modified-Newton mode.
 FAST_NEWTON_ENV_VAR = "REPRO_FAST_NEWTON"
@@ -264,7 +266,35 @@ def assemble_system_reference(
     return F, J
 
 
-def _observe_solve(iterations: int, converged: bool, recorder=None) -> None:
+def singular_nudge(effective_gmin: float) -> float:
+    """The diagonal escalation value for a singular Jacobian.
+
+    Both the scalar loops and the batched lockstep kernel escalate a
+    singular system by adding this to every diagonal entry; sharing the
+    expression keeps the recovery arithmetic bit-identical across the
+    scalar, fast, sparse and batched paths.
+    """
+    return max(effective_gmin, 1e-9)
+
+
+def nudge_diagonal(J: np.ndarray, value: float) -> None:
+    """Add ``value`` to the diagonal of square ``J``, in place.
+
+    The flat-stride trick ``J.reshape(-1)[:: n + 1]`` only addresses
+    the diagonal of a C-contiguous matrix -- on a sliced or transposed
+    view ``reshape`` silently copies (losing the write) or the stride
+    walks the wrong cells -- so non-contiguous inputs go through a
+    writable :func:`numpy.einsum` diagonal view instead.
+    """
+    n = J.shape[0]
+    if J.flags.c_contiguous:
+        J.reshape(-1)[:: n + 1] += value
+    else:
+        np.einsum("ii->i", J)[...] += value
+
+
+def _observe_solve(iterations: int, converged: bool, recorder=None,
+                   backend: Optional[str] = None) -> None:
     """Fold one Newton solve into the metric registry (if enabled).
 
     This is the single place Newton iterations are counted, so parent
@@ -272,6 +302,9 @@ def _observe_solve(iterations: int, converged: bool, recorder=None) -> None:
     records it, and pooled tasks ship the delta back.  Hot drivers that
     perform many solves under one recorder (the lockstep kernel) pass
     it in to skip the per-solve environment-signature check.
+    ``backend`` labels the linear-solver dispatch choice (``"dense"``
+    or ``"sparse"``) for the scalar solver; drivers with their own
+    dispatch accounting leave it unset.
     """
     if recorder is None:
         recorder = get_recorder()
@@ -282,6 +315,8 @@ def _observe_solve(iterations: int, converged: bool, recorder=None) -> None:
         recorder.counter("spice.newton.solves").inc()
     else:
         recorder.counter("spice.newton.failures").inc()
+    if backend is not None:
+        recorder.counter("spice.newton.dispatch", backend=backend).inc()
 
 
 class FastNewtonState:
@@ -324,10 +359,81 @@ def _fast_solve(lu, rhs: np.ndarray) -> np.ndarray:
     return np.linalg.solve(lu, rhs)
 
 
+#: Sentinel LU of a singular sparse factorization attempt: its solve
+#: returns all-inf, steering the modified-Newton loop onto the same
+#: non-finite nudge path a singular dense factorization takes.
+_SPARSE_SINGULAR = object()
+
+
+class _DenseOps:
+    """Dense linear-algebra backend behind the Newton loops.
+
+    Static methods only -- the dense path carries no per-circuit state,
+    and keeping these as the exact pre-existing helper calls preserves
+    bit-identity of the default mode.
+    """
+
+    @staticmethod
+    def direct_solve(J: np.ndarray, F: np.ndarray) -> np.ndarray:
+        return np.linalg.solve(J, -F)
+
+    @staticmethod
+    def fast_factorize(J: np.ndarray):
+        return _fast_factorize(J)
+
+    @staticmethod
+    def fast_solve(lu, rhs: np.ndarray) -> np.ndarray:
+        return _fast_solve(lu, rhs)
+
+    @staticmethod
+    def nudge(J: np.ndarray, value: float) -> None:
+        nudge_diagonal(J, value)
+
+
+class _SparseOps:
+    """SuperLU backend: factorizations count into the metric registry."""
+
+    __slots__ = ("sp", "recorder")
+
+    def __init__(self, sp, recorder) -> None:
+        self.sp = sp
+        self.recorder = recorder
+
+    def factorize(self):
+        """Factorize the assembled matrix; raises ``LinAlgError`` if
+        singular, and records factorization/fill telemetry."""
+        lu = self.sp.factorize()
+        recorder = self.recorder if self.recorder is not None \
+            else get_recorder()
+        if recorder.enabled:
+            recorder.counter("spice.sparse.factorizations").inc()
+            recorder.counter("spice.sparse.fill_nnz").inc(
+                int(lu.L.nnz + lu.U.nnz) - self.sp.nnz)
+        return lu
+
+    def direct_solve(self, A, F: np.ndarray) -> np.ndarray:
+        return self.sp.solve_factored(self.factorize(), -F)
+
+    def fast_factorize(self, A):
+        try:
+            return self.factorize()
+        except np.linalg.LinAlgError:
+            return _SPARSE_SINGULAR
+
+    def fast_solve(self, lu, rhs: np.ndarray) -> np.ndarray:
+        if lu is _SPARSE_SINGULAR:
+            return np.full(rhs.shape, np.inf)
+        return self.sp.solve_factored(lu, rhs)
+
+    def nudge(self, A, value: float) -> None:
+        self.sp.nudge(value)
+
+
 def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
                  assemble, key, options: NewtonOptions,
                  effective_gmin: float, fast: FastNewtonState,
-                 stats: Optional[NewtonStats], recorder) -> np.ndarray:
+                 stats: Optional[NewtonStats], recorder,
+                 ops=_DenseOps, backend: Optional[str] = None) -> np.ndarray:
     """Modified-Newton loop: reuse the LU factorization while it contracts.
 
     A *stale* iteration evaluates only the residual and steps with the
@@ -335,10 +441,12 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
     residual stops contracting (safeguarded fallback to full Newton),
     or on the accepting iteration -- convergence is only declared on a
     fresh-Jacobian step, which polishes the solution to well inside the
-    full-Newton tolerances.
+    full-Newton tolerances.  ``ops`` selects the linear-algebra backend
+    (dense LAPACK or the compiled sparse SuperLU plan); a singular
+    sparse factorization surfaces as an all-inf solve, joining the
+    dense path's non-finite nudge ladder.
     """
-    n = compiled.n_unknown
-    nudge = max(effective_gmin, 1e-9)
+    nudge = singular_nudge(effective_gmin)
     fresh = (fast.lu is None or fast.compiled is not compiled
              or fast.key != key)
     last_residual = np.inf
@@ -351,24 +459,25 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
         if fresh:
             F, J = assemble()
             residual = float(np.abs(F).max())
-            fast.lu = _fast_factorize(J)
+            fast.lu = ops.fast_factorize(J)
             fast.compiled = compiled
             fast.key = key
             fast.refactorized += 1
         else:
             fast.reused += 1
-        dx = _fast_solve(fast.lu, -F)
+        dx = ops.fast_solve(fast.lu, -F)
         if not np.all(np.isfinite(dx)):
             # Singular factorization: rebuild with a nudged diagonal.
             F, J = assemble()
-            J.reshape(-1)[:: n + 1] += nudge
-            fast.lu = _fast_factorize(J)
+            ops.nudge(J, nudge)
+            fast.lu = ops.fast_factorize(J)
             fast.key = None  # the nudged LU must not outlive this solve
-            dx = _fast_solve(fast.lu, -F)
+            dx = ops.fast_solve(fast.lu, -F)
             if not np.all(np.isfinite(dx)):
                 if stats is not None:
                     stats.record(iteration, converged=False)
-                _observe_solve(iteration, converged=False, recorder=recorder)
+                _observe_solve(iteration, converged=False, recorder=recorder,
+                               backend=backend)
                 raise ConvergenceError(
                     "singular Jacobian during Newton iteration",
                     iterations=iteration, residual=residual,
@@ -382,7 +491,8 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
             if fresh:
                 if stats is not None:
                     stats.record(iteration, converged=True)
-                _observe_solve(iteration, converged=True, recorder=recorder)
+                _observe_solve(iteration, converged=True, recorder=recorder,
+                               backend=backend)
                 return x
             # Tolerance hit on a stale step: polish with a fresh
             # Jacobian before accepting.
@@ -394,7 +504,7 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
     if stats is not None:
         stats.record(options.max_iterations, converged=False)
     _observe_solve(options.max_iterations, converged=False,
-                   recorder=recorder)
+                   recorder=recorder, backend=backend)
     raise ConvergenceError(
         f"Newton failed to converge in {options.max_iterations} iterations "
         f"(residual {last_residual:.3e} A)",
@@ -409,7 +519,8 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                  source_scale: float = 1.0,
                  stats: Optional[NewtonStats] = None,
                  recorder=None,
-                 fast: Optional[FastNewtonState] = None) -> np.ndarray:
+                 fast: Optional[FastNewtonState] = None,
+                 sparse: Optional[bool] = None) -> np.ndarray:
     """Damped Newton-Raphson solve of the KCL system.
 
     Raises :class:`~repro.errors.ConvergenceError` when the iteration
@@ -421,20 +532,36 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
     ``recorder``, when given, skips the per-solve recorder lookup
     (drivers resolve one handle per analysis).  ``fast`` opts this
     solve into the tolerance-gated modified-Newton mode; the default
-    ``None`` keeps the bit-identical full-Newton iteration.
+    ``None`` keeps the bit-identical full-Newton iteration.  ``sparse``
+    selects the linear-solver backend: ``None`` dispatches by unknown
+    count through :func:`~repro.spice.sparse.sparse_enabled` (drivers
+    resolve this once per analysis and pass the choice down), an
+    explicit bool forces dense LAPACK or sparse SuperLU.  The sparse
+    backend requires the compiled stamp path; hand-built cap-stamp
+    lists fall back to the dense reference assembler.
     """
     x = np.array(x0, dtype=float)
     effective_gmin = options.gmin if gmin is None else gmin
     plan = compiled.stamp_plan
-    if cap_stamps is None or plan.stamps_match(cap_stamps):
+    compiled_path = cap_stamps is None or plan.stamps_match(cap_stamps)
+    use_sparse = compiled_path and (
+        sparse_enabled(compiled.n_unknown) if sparse is None
+        else bool(sparse))
+    ops = _SparseOps(plan.sparse, recorder) if use_sparse else _DenseOps
+    backend = "sparse" if use_sparse else "dense"
+    if compiled_path:
         ws = plan.scratch
         with_caps = load_solve(plan, ws, np.asarray(known, dtype=float),
                                time, cap_stamps, source_scale,
                                compiled.isources)
-
-        def assemble(need_jacobian: bool = True):
-            return assemble_into(plan, ws, x, effective_gmin, with_caps,
-                                 need_jacobian)
+        if use_sparse:
+            def assemble(need_jacobian: bool = True):
+                return assemble_sparse(plan, ws, ops.sp, x, effective_gmin,
+                                       with_caps, need_jacobian)
+        else:
+            def assemble(need_jacobian: bool = True):
+                return assemble_into(plan, ws, x, effective_gmin, with_caps,
+                                     need_jacobian)
     else:
         def assemble(need_jacobian: bool = True):
             return assemble_system_reference(
@@ -446,27 +573,28 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
             geq_key: tuple = ()
         else:
             geq_key = tuple(s[2] for s in cap_stamps)
-        key = (effective_gmin, source_scale, geq_key)
+        key = (backend, effective_gmin, source_scale, geq_key)
         return _newton_fast(compiled, x, assemble, key, options,
-                            effective_gmin, fast, stats, recorder)
+                            effective_gmin, fast, stats, recorder,
+                            ops=ops, backend=backend)
 
     last_residual = np.inf
     for iteration in range(1, options.max_iterations + 1):
         F, J = assemble()
         residual = float(np.abs(F).max())
         try:
-            dx = np.linalg.solve(J, -F)
+            dx = ops.direct_solve(J, F)
         except np.linalg.LinAlgError:
             # Singular Jacobian: nudge the diagonal in place (the
             # buffer is reassembled next iteration anyway) and retry.
-            J.reshape(-1)[:: compiled.n_unknown + 1] += max(
-                effective_gmin, 1e-9)
+            ops.nudge(J, singular_nudge(effective_gmin))
             try:
-                dx = np.linalg.solve(J, -F)
+                dx = ops.direct_solve(J, F)
             except np.linalg.LinAlgError:
                 if stats is not None:
                     stats.record(iteration, converged=False)
-                _observe_solve(iteration, converged=False, recorder=recorder)
+                _observe_solve(iteration, converged=False, recorder=recorder,
+                               backend=backend)
                 raise ConvergenceError(
                     "singular Jacobian during Newton iteration",
                     iterations=iteration, residual=residual,
@@ -478,13 +606,14 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
         if step < options.voltol and residual < options.abstol:
             if stats is not None:
                 stats.record(iteration, converged=True)
-            _observe_solve(iteration, converged=True, recorder=recorder)
+            _observe_solve(iteration, converged=True, recorder=recorder,
+                           backend=backend)
             return x
         last_residual = residual
     if stats is not None:
         stats.record(options.max_iterations, converged=False)
     _observe_solve(options.max_iterations, converged=False,
-                   recorder=recorder)
+                   recorder=recorder, backend=backend)
     raise ConvergenceError(
         f"Newton failed to converge in {options.max_iterations} iterations "
         f"(residual {last_residual:.3e} A)",
@@ -518,11 +647,15 @@ class SolveContext:
     ``recorder`` is the telemetry handle resolved once per analysis (so
     scalar sweeps skip the per-solve environment-signature check of
     :func:`~repro.obs.get_recorder`); ``fast`` carries the
-    modified-Newton state when ``REPRO_FAST_NEWTON`` is on.
+    modified-Newton state when ``REPRO_FAST_NEWTON`` is on; ``sparse``
+    is the linear-backend choice resolved once per analysis from
+    ``REPRO_SPARSE`` and the circuit's unknown count (``None`` lets
+    each solve re-dispatch).
     """
 
     recorder: object = None
     fast: Optional[FastNewtonState] = field(default=None)
+    sparse: Optional[bool] = field(default=None)
 
     def solve_kwargs(self, request: NewtonRequest,
                      stats: Optional[NewtonStats]) -> dict:
@@ -531,6 +664,8 @@ class SolveContext:
             kwargs["recorder"] = self.recorder
         if self.fast is not None:
             kwargs["fast"] = self.fast
+        if self.sparse is not None:
+            kwargs["sparse"] = self.sparse
         return kwargs
 
 

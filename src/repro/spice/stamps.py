@@ -44,7 +44,8 @@ import numpy as np
 
 from .mosfet import device_param_rows, mosfet_current, mosfet_current_batch
 
-__all__ = ["MosGroup", "StampPlan", "Workspace", "layer_plan"]
+__all__ = ["MosGroup", "StampPlan", "Workspace", "layer_plan",
+           "assemble_into", "assemble_sparse", "eval_values", "load_solve"]
 
 #: Below this device count the scalar engine evaluates transistors one
 #: by one through the scalar channel model: ~35 numpy kernel launches
@@ -243,6 +244,14 @@ class StampPlan:
                                       j_sign[:j_split])
         self.j_layers_wc = layer_plan(j_cells, j_src, j_sign)
 
+        # Raw Jacobian contribution triples (dense flat cell ``row * n +
+        # col``, J value column, sign) in scalar emission order, plus
+        # the cap-free prefix length: the sparse CSR/CSC plan compiles
+        # its data-scatter arrays from these.
+        self.j_raw = (_intp(j_cells), _intp(j_src),
+                      np.asarray(j_sign, dtype=float))
+        self.j_split = j_split
+
         # Flat scatter arrays for the scalar engine: one ordered
         # ``np.add.at`` pass replaces the per-layer loop (whose depth
         # grows with the per-node fan-in -- a loaded output node makes
@@ -299,6 +308,21 @@ class StampPlan:
         #: loop is not reentrant (plans yield requests instead of
         #: recursing into the solver), so one workspace per plan is safe.
         self.scratch = Workspace(self)
+        self._sparse_plan = None
+
+    @property
+    def sparse(self):
+        """Compiled CSC structure for the sparse backend (lazy, cached).
+
+        Built on first use so small circuits that always dispatch dense
+        never pay the symbolic analysis.
+        """
+        plan = self._sparse_plan
+        if plan is None:
+            from .sparse import SparsePlan
+            plan = SparsePlan(self)
+            self._sparse_plan = plan
+        return plan
 
     def stamps_match(self, cap_stamps) -> bool:
         """Whether ``cap_stamps`` follow the compiled capacitor order.
@@ -389,18 +413,16 @@ def load_solve(plan: StampPlan, ws: Workspace, known: np.ndarray,
     return False
 
 
-def assemble_into(plan: StampPlan, ws: Workspace, x: np.ndarray,
-                  gmin: float, with_caps: bool,
-                  need_jacobian: bool = True):
-    """Vectorized residual/Jacobian assembly into the workspace buffers.
+def eval_values(plan: StampPlan, ws: Workspace, x: np.ndarray,
+                gmin: float, with_caps: bool,
+                need_jacobian: bool = True) -> None:
+    """Evaluate every device value column of one Newton iteration.
 
-    Requires :func:`load_solve` to have loaded the solve's invariants.
-    Returns ``(F, J)`` as views of the workspace (``J`` is ``None``
-    when ``need_jacobian`` is false -- the modified-Newton residual
-    check skips the Jacobian scatter entirely).  Every expression
-    mirrors the reference scalar assembler's operand order, and the
-    ordered scatter reproduces its per-cell accumulation order, so the
-    outputs are bit-identical to it.
+    Fills the ``ws.vals`` rows (device currents, Jacobian partials when
+    ``need_jacobian``, the ``gmin * x`` diagonal row and the ``gmin``
+    cell) that the dense and sparse scatter passes both consume.  The
+    expressions mirror the reference scalar assembler's operand order
+    exactly; this is the shared front half of :func:`assemble_into`.
     """
     n = plan.n
     xk = ws.xk
@@ -450,11 +472,28 @@ def assemble_into(plan: StampPlan, ws: Workspace, x: np.ndarray,
         ws.cap_cur *= ws.cap_geq
         ws.cap_cur -= ws.cap_ieq
 
-    fj = ws.fj
     np.multiply(x, gmin, out=ws.gx)
     if need_jacobian:
-        fj[:] = 0.0
         ws.vals[plan.gmin_slot] = gmin
+
+
+def assemble_into(plan: StampPlan, ws: Workspace, x: np.ndarray,
+                  gmin: float, with_caps: bool,
+                  need_jacobian: bool = True):
+    """Vectorized residual/Jacobian assembly into the workspace buffers.
+
+    Requires :func:`load_solve` to have loaded the solve's invariants.
+    Returns ``(F, J)`` as views of the workspace (``J`` is ``None``
+    when ``need_jacobian`` is false -- the modified-Newton residual
+    check skips the Jacobian scatter entirely).  Every expression
+    mirrors the reference scalar assembler's operand order, and the
+    ordered scatter reproduces its per-cell accumulation order, so the
+    outputs are bit-identical to it.
+    """
+    eval_values(plan, ws, x, gmin, with_caps, need_jacobian)
+    fj = ws.fj
+    if need_jacobian:
+        fj[:] = 0.0
         cells, src, sign = (plan.scatter_full_wc if with_caps
                             else plan.scatter_full_nc)
     else:
@@ -466,3 +505,30 @@ def assemble_into(plan: StampPlan, ws: Workspace, x: np.ndarray,
     contrib *= sign
     np.add.at(fj, cells, contrib)
     return ws.F, (ws.J if need_jacobian else None)
+
+
+def assemble_sparse(plan: StampPlan, ws: Workspace, sp, x: np.ndarray,
+                    gmin: float, with_caps: bool,
+                    need_jacobian: bool = True):
+    """Residual into ``ws.F``, Jacobian into the CSC ``data`` array.
+
+    The residual scatter is the exact ``scatter_f_*`` pass of the dense
+    path (same per-cell accumulation order, bit-identical ``F``); the
+    Jacobian contributions scatter into the sparse plan's reused
+    ``data`` buffer through emission-ordered data positions, so every
+    stored entry is bit-identical to the corresponding dense ``J``
+    cell.  Returns ``(F, A)`` with ``A`` the plan's
+    ``scipy.sparse.csc_matrix`` (``None`` when ``need_jacobian`` is
+    false).
+    """
+    eval_values(plan, ws, x, gmin, with_caps, need_jacobian)
+    ws.F[:] = 0.0
+    cells, src, sign = (plan.scatter_f_wc if with_caps
+                        else plan.scatter_f_nc)
+    contrib = ws.contrib[:cells.size]
+    np.take(ws.vals, src, out=contrib)
+    contrib *= sign
+    np.add.at(ws.fj, cells, contrib)
+    if not need_jacobian:
+        return ws.F, None
+    return ws.F, sp.assemble(ws, with_caps)

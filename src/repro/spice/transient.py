@@ -49,6 +49,7 @@ from .engine import (
     run_plan,
 )
 from .netlist import Circuit, CompiledCircuit
+from .sparse import sparse_enabled
 from .results import TransientResult
 
 __all__ = ["TransientOptions", "transient", "transient_result_plan"]
@@ -345,6 +346,7 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
     context = SolveContext(
         recorder=recorder,
         fast=FastNewtonState() if fast_newton_enabled() else None,
+        sparse=sparse_enabled(compiled.n_unknown),
     )
     plan = transient_result_plan(
         compiled, t_stop, stats=stats, t_start=t_start, record=record,

@@ -1,0 +1,131 @@
+"""Smoke tests for the multi-gate netlist builders.
+
+These circuits exist to exercise the solver at scale, so the tests pin
+the *logic* (chains invert per stage, decoders one-hot their selected
+wordline) and the *scaling* (unknown counts grow as documented) rather
+than analog detail -- the waveform-level physics is covered by the gate
+and proximity suites.
+"""
+
+import pytest
+
+from repro.spice import solve_dc, transient
+from repro.spice.builders import (
+    STAGE_LOAD,
+    hierarchical_decoder,
+    inverter_chain,
+    nand_chain,
+    predecode_groups,
+)
+from repro.tech import default_process
+from repro.waveform import ramp
+
+PROC = default_process()
+HIGH = 0.9 * PROC.vdd
+LOW = 0.1 * PROC.vdd
+
+
+class TestChains:
+    @pytest.mark.parametrize("builder", [inverter_chain, nand_chain])
+    @pytest.mark.parametrize("stages", [1, 2, 5])
+    def test_dc_logic_levels_alternate(self, builder, stages):
+        op = solve_dc(builder(stages, input_stimulus=0.0))
+        level = op.voltages["out"]
+        if stages % 2:
+            assert level > HIGH
+        else:
+            assert level < LOW
+        op = solve_dc(builder(stages, input_stimulus=PROC.vdd))
+        level = op.voltages["out"]
+        if stages % 2:
+            assert level < LOW
+        else:
+            assert level > HIGH
+
+    def test_chain_nets_and_loads(self):
+        ckt = inverter_chain(3, stage_load=1e-15, load=9e-15)
+        caps = {c.name: c.capacitance for c in ckt._capacitors}
+        assert caps["cw1"] == 1e-15
+        assert caps["cw3"] == 9e-15
+        nodes = set(ckt.unknown_nodes())
+        assert {"n1", "n2", "out"} <= nodes
+
+    def test_transient_propagates_edge(self):
+        ckt = inverter_chain(
+            2, input_stimulus=ramp(0.1e-9, 0.0, PROC.vdd, 0.1e-9))
+        result = transient(ckt, 1.5e-9)
+        # two inversions: out follows in, so it ends high after the rise
+        assert result.samples("out")[-1] > HIGH
+        assert result.samples("out")[0] < LOW
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError):
+            inverter_chain(0)
+        with pytest.raises(ValueError):
+            nand_chain(0)
+
+
+class TestPredecodeGroups:
+    @pytest.mark.parametrize("bits,expected", [
+        (2, [[0, 1]]),
+        (3, [[0, 1, 2]]),
+        (4, [[0, 1], [2, 3]]),
+        (5, [[0, 1, 2], [3, 4]]),
+        (6, [[0, 1], [2, 3], [4, 5]]),
+        (7, [[0, 1, 2], [3, 4], [5, 6]]),
+    ])
+    def test_partition(self, bits, expected):
+        groups = predecode_groups(bits)
+        assert groups == expected
+        # a partition: every bit exactly once
+        assert sorted(b for g in groups for b in g) == list(range(bits))
+
+    def test_rejects_single_bit(self):
+        with pytest.raises(ValueError):
+            predecode_groups(1)
+
+
+class TestHierarchicalDecoder:
+    @pytest.mark.parametrize("bits,address", [(2, 0), (2, 3), (3, 5),
+                                              (4, 3), (4, 12)])
+    def test_dc_selects_one_wordline(self, bits, address):
+        op = solve_dc(hierarchical_decoder(bits, address=address))
+        for row in range(2 ** bits):
+            level = op.voltages[f"wl{row}"]
+            if row == address:
+                assert level > HIGH, f"wl{row} should be selected"
+            else:
+                assert level < LOW, f"wl{row} should be idle"
+
+    def test_unknown_count_scales_past_cutover(self):
+        from repro.spice.sparse import SPARSE_NODE_CUTOVER
+        n4 = hierarchical_decoder(4).compile().n_unknown
+        n6 = hierarchical_decoder(6).compile().n_unknown
+        assert n4 < n6
+        assert n6 >= SPARSE_NODE_CUTOVER  # the sparse reference workload
+        assert n6 > 250  # ~300 unknowns as documented
+
+    def test_stimulus_override_switches_wordlines(self):
+        # address 0 with a0 ramping high: wl0 hands over to wl1.
+        ckt = hierarchical_decoder(
+            3, address=0, stimuli={"a0": ramp(0.3e-9, 0.0, PROC.vdd, 0.2e-9)})
+        result = transient(ckt, 1.5e-9)
+        assert result.samples("wl0")[0] > HIGH
+        assert result.samples("wl0")[-1] < LOW
+        assert result.samples("wl1")[0] < LOW
+        assert result.samples("wl1")[-1] > HIGH
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            hierarchical_decoder(3, address=8)
+        with pytest.raises(ValueError):
+            hierarchical_decoder(3, address=-1)
+        with pytest.raises(ValueError):
+            hierarchical_decoder(3, stimuli={"a9": 0.0})
+
+    def test_wordline_load_applied(self):
+        ckt = hierarchical_decoder(2, wordline_load=5e-15)
+        caps = {c.name: c.capacitance for c in ckt._capacitors}
+        for row in range(4):
+            assert caps[f"cwl{row}"] == 5e-15
+        assert STAGE_LOAD > 0

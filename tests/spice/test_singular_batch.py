@@ -1,0 +1,165 @@
+"""Regressions for singular-Jacobian handling in the batched driver.
+
+The lockstep kernel mirrors the scalar Newton loop's nudge-then-fail
+ladder lane by lane.  Two bugs are pinned here:
+
+* a **doubly singular** lane (LU fails even after the diagonal nudge)
+  used to zero its step and could then satisfy the ``step < voltol``
+  convergence test at a near-solution iterate -- reporting *false
+  convergence* from a solve that never solved anything.  The singular
+  mask must veto convergence and finish the lane on the failure path.
+* the batched nudge once rebuilt ``J + value*np.eye(n)`` while the
+  scalar loop nudged the diagonal in place, and the two drivers could
+  disagree on the escalation value.  Both now share
+  :func:`~repro.spice.engine.nudge_diagonal` /
+  :func:`~repro.spice.engine.singular_nudge`, so recovery arithmetic is
+  bit-identical -- pinned by solving a deliberately singular circuit
+  through both drivers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.spice import Circuit
+from repro.spice.batch import run_plans_batched
+from repro.spice.sparse import SPARSE_ENV_VAR
+from repro.spice.engine import (
+    NewtonOptions,
+    NewtonRequest,
+    NewtonStats,
+    newton_solve,
+    nudge_diagonal,
+    request_solve,
+    singular_nudge,
+)
+
+
+@pytest.fixture(autouse=True)
+def dense_backend(monkeypatch):
+    """Pin the dense path: the lockstep kernel under regression here is
+    dense-only, and a ``REPRO_SPARSE=1`` environment (the CI sparse
+    smoke leg) would otherwise divert every lane to the serial sparse
+    driver -- whose SuperLU solves the ``np.linalg.solve`` monkeypatch
+    cannot reach."""
+    monkeypatch.setenv(SPARSE_ENV_VAR, "0")
+
+
+def divider() -> Circuit:
+    """v(in)=1 through an equal divider: exact solution v(mid)=0.5."""
+    ckt = Circuit("divider")
+    ckt.add_vsource("v1", "in", 1.0)
+    ckt.add_resistor("r1", "in", "mid", 1e3)
+    ckt.add_resistor("r2", "mid", "0", 1e3)
+    return ckt
+
+
+def floating_node() -> Circuit:
+    """A capacitor-only node: singular in DC whenever gmin is zero."""
+    ckt = Circuit("floating")
+    ckt.add_vsource("v1", "in", 1.0)
+    ckt.add_resistor("r1", "in", "mid", 1e3)
+    ckt.add_resistor("r2", "mid", "0", 1e3)
+    ckt.add_capacitor("c1", "float", "0", 1e-15)
+    return ckt
+
+
+def entry(circuit: Circuit, x0, *, options: NewtonOptions):
+    compiled = circuit.compile()
+    request = NewtonRequest(
+        x0=np.asarray(x0, dtype=float),
+        known=compiled.known_voltages(0.0),
+        options=options,
+    )
+    return (compiled, request_solve(request), NewtonStats())
+
+
+class TestDoublySingularLanes:
+    def test_no_false_convergence_at_exact_solution(self, monkeypatch):
+        """Lanes parked AT the solution, every LU declared singular.
+
+        The iterate already satisfies ``residual < abstol``, and the
+        doubly-singular fallback's zero step satisfies
+        ``step < voltol`` -- on the pre-fix code path (no singular veto
+        in the convergence test) both lanes would falsely converge and
+        return x0.  The fix must finish them as failures instead.
+        """
+        exact = [0.5]
+
+        def always_singular(*args, **kwargs):
+            raise np.linalg.LinAlgError("singular matrix (forced)")
+
+        monkeypatch.setattr(np.linalg, "solve", always_singular)
+        options = NewtonOptions()
+        outcomes = run_plans_batched([
+            entry(divider(), exact, options=options),
+            entry(divider(), exact, options=options),
+        ])
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert isinstance(outcome, ConvergenceError), \
+                f"doubly singular lane reported convergence: {outcome!r}"
+            assert "singular" in str(outcome)
+
+    def test_stats_count_singular_lanes_as_failures(self, monkeypatch):
+        def always_singular(*args, **kwargs):
+            raise np.linalg.LinAlgError("singular matrix (forced)")
+
+        monkeypatch.setattr(np.linalg, "solve", always_singular)
+        entries = [entry(divider(), [0.5], options=NewtonOptions())
+                   for _ in range(2)]
+        run_plans_batched(entries)
+        for _, _, stats in entries:
+            assert stats.failures == 1
+            assert stats.solves == 0
+
+
+class TestNudgeEquivalence:
+    def test_batch_matches_scalar_on_singular_circuit(self):
+        """gmin=0 leaves the floating node's row all-zero: both drivers
+        must take the same nudge (``singular_nudge``) and land on
+        bit-identical solutions."""
+        options = NewtonOptions(gmin=0.0)
+        compiled = floating_node().compile()
+        x0 = np.zeros(compiled.n_unknown)
+        scalar = newton_solve(compiled, x0.copy(),
+                              compiled.known_voltages(0.0), options=options)
+        outcomes = run_plans_batched([
+            entry(floating_node(), x0, options=options),
+            entry(floating_node(), x0, options=options),
+        ])
+        for outcome in outcomes:
+            assert isinstance(outcome, np.ndarray)
+            assert np.array_equal(outcome, scalar)
+
+    def test_singular_nudge_floor(self):
+        assert singular_nudge(0.0) == 1e-9
+        assert singular_nudge(1e-12) == 1e-9
+        assert singular_nudge(1e-6) == 1e-6
+
+
+class TestNudgeDiagonal:
+    def test_contiguous_matches_eye_addition(self):
+        rng = np.random.default_rng(7)
+        J = rng.normal(size=(5, 5))
+        expected = J + 1e-9 * np.eye(5)
+        nudge_diagonal(J, 1e-9)
+        assert np.array_equal(J, expected)
+
+    def test_non_contiguous_view_not_corrupted(self):
+        """The flat-stride trick is only valid on C-contiguous storage;
+        on a transposed / sliced view it would smear the nudge across
+        off-diagonal cells."""
+        rng = np.random.default_rng(8)
+        base = rng.normal(size=(10, 10))
+        J = base[::2, ::2]  # non-contiguous square view
+        assert not J.flags.c_contiguous
+        expected = J + 0.5 * np.eye(5)
+        nudge_diagonal(J, 0.5)
+        assert np.array_equal(J, expected)
+
+    def test_fortran_order_matches(self):
+        J = np.asfortranarray(np.arange(16.0).reshape(4, 4))
+        expected = J + 2.0 * np.eye(4)
+        nudge_diagonal(J, 2.0)
+        assert np.array_equal(J, expected)
