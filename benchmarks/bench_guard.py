@@ -1,0 +1,92 @@
+"""Guardrail overhead on the clean path: the <5% acceptance gate.
+
+The solver guardrails (:mod:`repro.spice.guard`) are sold as
+watch-only: on a healthy circuit the divergence-streak tracker, the
+first-solve condition estimate and the rung telemetry must not change
+what the solver computes, and must cost almost nothing.  This bench
+pins both halves of that claim on a transient workload big enough to
+time honestly:
+
+* the guarded run's waveforms are **bit-identical** to the unguarded
+  run's (any drift means a monitor leaked into the numerics);
+* guarded wall time stays within 5% of unguarded wall time, measured
+  interleaved best-of-``REPS`` so scheduler noise hits both arms
+  equally.
+
+The committed baseline additionally gates the absolute wall time
+through ``check_bench.py`` (the usual 25% regression threshold).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.spice import TransientOptions, transient
+from repro.spice.builders import inverter_chain
+from repro.spice.guard import GUARD_ENV_VAR
+from repro.tech import default_process
+from repro.waveform import ramp
+
+from conftest import scaled
+
+REPS = 5
+OVERHEAD_BUDGET = 0.05
+
+PROC = default_process()
+FAST = TransientOptions(h_max_ratio=2e-2)
+
+
+def chain_workload():
+    return inverter_chain(
+        8, input_stimulus=ramp(0.2e-9, 0.0, PROC.vdd, 0.2e-9), load=30e-15)
+
+
+def run_rounds(rounds):
+    """Wall seconds for ``rounds`` full transients, plus the last result."""
+    result = None
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        result = transient(chain_workload(), 2.5e-9, options=FAST)
+    return time.perf_counter() - t0, result
+
+
+def test_clean_path_overhead(benchmark, request, monkeypatch):
+    rounds = scaled(4, minimum=1)
+    base_times, guard_times = [], []
+    holder = {}
+
+    def run_interleaved():
+        for _ in range(REPS):
+            monkeypatch.delenv(GUARD_ENV_VAR, raising=False)
+            seconds, base = run_rounds(rounds)
+            base_times.append(seconds)
+            monkeypatch.setenv(GUARD_ENV_VAR, "1")
+            seconds, guarded = run_rounds(rounds)
+            guard_times.append(seconds)
+        monkeypatch.delenv(GUARD_ENV_VAR, raising=False)
+        holder["base"], holder["guarded"] = base, guarded
+
+    benchmark.pedantic(run_interleaved, rounds=1, iterations=1)
+
+    base, guarded = holder["base"], holder["guarded"]
+    assert np.array_equal(base.times, guarded.times)
+    for name in base.node_names:
+        assert np.array_equal(base.node(name).values,
+                              guarded.node(name).values), name
+
+    base_s = min(base_times) / rounds
+    guard_s = min(guard_times) / rounds
+    overhead = guard_s / base_s - 1.0
+    print(f"\n  unguarded {base_s * 1e3:8.2f}ms  "
+          f"guarded {guard_s * 1e3:8.2f}ms  "
+          f"overhead {overhead * 100:+.2f}%")
+    request.node.bench_extra = {
+        "unguarded_ms_per_run": base_s * 1e3,
+        "guarded_ms_per_run": guard_s * 1e3,
+        "overhead_fraction": overhead,
+        "budget_fraction": OVERHEAD_BUDGET,
+    }
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"guardrail overhead {overhead * 100:.2f}% exceeds "
+        f"{OVERHEAD_BUDGET * 100:.0f}% budget")

@@ -189,11 +189,16 @@ def format_bench(document: Mapping[str, Any]) -> str:
 def degradation_summary(recorder=None) -> str:
     """One line of registry-sourced loss accounting, or ``""``.
 
-    Pulls solver retry totals, per-kind grid-point fault counts and
-    neighbor-filled cell counts from the current metric registry -- the
-    single place degradation is accumulated -- for
-    :meth:`repro.charlib.GateLibrary.health_summary` and the experiment
-    summaries.  Empty when telemetry is disabled or nothing was lost.
+    Pulls solver retry totals, per-kind grid-point fault counts,
+    neighbor-filled cell counts, guard aborts (divergence/watchdog),
+    batch-lane evictions and sparse batch fallbacks from the current
+    metric registry -- the single place degradation is accumulated --
+    for :meth:`repro.charlib.GateLibrary.health_summary` and the
+    experiment summaries.  Routine escalation-ladder engagements
+    (``spice.guard.rung``) are deliberately *not* summarized here:
+    homotopy rungs and timestep cuts are healthy solver behavior, and a
+    clean run must keep reporting an empty summary.  Empty when
+    telemetry is disabled or nothing was lost.
     """
     if recorder is None:
         from .recorder import get_recorder
@@ -205,17 +210,35 @@ def degradation_summary(recorder=None) -> str:
     retries = registry.counter_total("spice.retries")
     filled = registry.counter_total("charlib.cells.filled")
     payload = registry.snapshot()["counters"]
-    prefix = "charlib.points.failed{kind="
-    kinds = {
-        key[len(prefix):-1]: value
-        for key, value in payload.items()
-        if key.startswith(prefix)
-    }
-    if not (retries or filled or kinds):
+
+    def labeled(prefix: str) -> dict:
+        return {
+            key[len(prefix):-1]: value
+            for key, value in payload.items()
+            if key.startswith(prefix)
+        }
+
+    kinds = labeled("charlib.points.failed{kind=")
+    aborts = labeled("spice.guard.aborts{reason=")
+    evictions = labeled("spice.batch.evictions{reason=")
+    sparse_fallbacks = registry.counter_total("spice.batch.sparse_fallbacks")
+    if not (retries or filled or kinds or aborts or evictions
+            or sparse_fallbacks):
         return ""
     parts = []
     if retries:
         parts.append(f"solver retries {_format_number(retries)}")
+    if aborts:
+        listed = ", ".join(f"{reason}={_format_number(aborts[reason])}"
+                           for reason in sorted(aborts))
+        parts.append(f"guard aborts: {listed}")
+    if evictions:
+        listed = ", ".join(f"{reason}={_format_number(evictions[reason])}"
+                           for reason in sorted(evictions))
+        parts.append(f"batch-lane evictions: {listed}")
+    if sparse_fallbacks:
+        parts.append(
+            f"sparse batch fallbacks {_format_number(sparse_fallbacks)}")
     if kinds:
         listed = ", ".join(f"{kind}={_format_number(kinds[kind])}"
                            for kind in sorted(kinds))

@@ -46,15 +46,20 @@ __all__ = ["ENV_KNOBS", "git_sha", "build_manifest", "write_manifest",
 ENV_KNOBS = (
     "REPRO_WORKERS", "REPRO_BATCH", "REPRO_RETRY", "REPRO_TASK_TIMEOUT",
     "REPRO_RESUME", "REPRO_FAULTS", "REPRO_CACHE_DIR", "REPRO_FAST_NEWTON",
-    "REPRO_SPARSE",
+    "REPRO_SPARSE", "REPRO_GUARD", "REPRO_GUARD_COND", "REPRO_GUARD_DIVERGE",
+    "REPRO_GUARD_WALL",
     TRACE_ENV_VAR, METRICS_ENV_VAR, MANIFEST_ENV_VAR, OBS_ENV_VAR,
 )
 
 #: The headline counter totals a manifest surfaces (summed over labels).
+#: Zero totals are filtered out, so the guard/eviction names only appear
+#: in manifests of runs where the escalation ladder actually engaged.
 TOTALS = (
     "spice.newton.iterations", "spice.newton.solves", "spice.retries",
     "cache.hits", "cache.misses", "parallel.tasks.completed",
     "charlib.points.failed",
+    "spice.guard.rung", "spice.guard.aborts", "spice.guard.illconditioned",
+    "spice.batch.evictions", "spice.batch.sparse_fallbacks",
 )
 
 

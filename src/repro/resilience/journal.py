@@ -62,26 +62,30 @@ class ProgressJournal:
 
         Corrupt or truncated lines (the tail of a killed run) are
         skipped; later records for the same index win, which makes
-        replay idempotent.
+        replay idempotent.  The file is read as *bytes* and decoded per
+        line: a partial append can tear mid-UTF-8-sequence, and
+        text-mode iteration would raise ``UnicodeDecodeError`` for the
+        whole file instead of just dropping the torn record.
         """
         done: Dict[int, Any] = {}
-        if not self.path.exists():
-            return done
         try:
-            with open(self.path) as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                        index = int(entry["i"])
-                        value = entry["v"]
-                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                        continue  # torn write; the point just reruns
-                    done[index] = decode(value) if decode is not None else value
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return done
         except OSError:
             return {}
+        for line_bytes in raw.split(b"\n"):
+            try:
+                line = line_bytes.decode().strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                index = int(entry["i"])
+                value = entry["v"]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                    TypeError, ValueError):
+                continue  # torn write; the point just reruns
+            done[index] = decode(value) if decode is not None else value
         return done
 
     def record(self, index: int, value: Any) -> None:

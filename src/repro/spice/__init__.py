@@ -23,6 +23,7 @@ systems tiny and dense.
 from .netlist import Circuit
 from .mosfet import mosfet_current, MosfetInstance
 from .engine import NewtonOptions, NewtonStats
+from .guard import GuardPolicy
 from .dc import solve_dc, dc_sweep, OperatingPoint
 from .transient import transient, TransientOptions
 from .batch import solve_dc_batch, transient_batch
@@ -35,6 +36,7 @@ __all__ = [
     "mosfet_current",
     "NewtonOptions",
     "NewtonStats",
+    "GuardPolicy",
     "solve_dc",
     "dc_sweep",
     "OperatingPoint",

@@ -37,7 +37,9 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..log import get_logger
 from ..obs import get_recorder, traced
+from ..resilience import faults
 from ..resilience.retry import RetryPolicy
 from .dc import dc_plan, operating_point_from_vector
 from .engine import (
@@ -47,10 +49,14 @@ from .engine import (
     SolveContext,
     _observe_solve,
     fast_newton_enabled,
+    newton_solve,
     nudge_diagonal,
+    request_kwargs,
     run_plan,
     singular_nudge,
 )
+from .guard import (GuardMonitor, GuardPolicy, condition_estimate_dense,
+                    note_illconditioned, record_rung)
 from .mosfet import device_param_rows, mosfet_current_batch
 from .netlist import Circuit, CompiledCircuit
 from .sparse import sparse_enabled
@@ -59,6 +65,23 @@ from .transient import TransientOptions, transient_result_plan
 
 __all__ = ["BatchIncongruent", "BatchCompiled", "run_plans_batched",
            "solve_dc_batch", "transient_batch"]
+
+_log = get_logger("spice.batch")
+
+#: First sparse-dispatched fallback of a process logs at WARNING (an
+#: operator-visible capability gap), repeats drop to DEBUG so grid runs
+#: with thousands of batched calls do not flood the log.
+_sparse_fallback_warned = False
+
+
+def _warn_sparse_fallback(lanes: int, n_unknown: int) -> None:
+    global _sparse_fallback_warned
+    log = _log.debug if _sparse_fallback_warned else _log.warning
+    _sparse_fallback_warned = True
+    log("batch of %d lanes dispatches to the sparse backend (%d unknowns "
+        ">= cutover): no batched sparse kernel yet, running the lanes "
+        "serially through the scalar sparse solver (counted in "
+        "spice.batch.sparse_fallbacks)", lanes, n_unknown)
 
 
 class BatchIncongruent(ValueError):
@@ -178,6 +201,15 @@ class _LockstepState:
         self.cap_ieq = np.zeros((n_lanes, batchc.n_cap))
         self.with_caps = np.zeros(n_lanes, dtype=bool)
         self._opts_seen: list = [None] * n_lanes
+        # Guard bookkeeping.  ``guarded`` stays False when neither the
+        # guard monitors nor a lane fault is armed, keeping the default
+        # path free of the per-lane Python checks.  ``requests`` retains
+        # each lane's in-flight request so an evicted lane can be
+        # retried solo from its exact starting point.
+        self.guards: list = [None] * n_lanes
+        self.requests: list = [None] * n_lanes
+        self.lane_fault = np.zeros(n_lanes, dtype=bool)
+        self.guarded = False
 
     def load_request(self, lane: int, compiled: CompiledCircuit,
                      request, batchc: BatchCompiled) -> None:
@@ -281,13 +313,20 @@ def _exhaustion_error(max_iterations: int, residual: float) -> ConvergenceError:
 
 
 def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
-                    active_rows: np.ndarray) -> List[tuple]:
+                    active_rows: np.ndarray, recorder) -> tuple:
     """Advance every in-flight solve by one Newton iteration.
 
-    Returns ``(lane, outcome)`` pairs for solves that finished this
-    round (converged vector, or the scalar-identical failure error).
+    Returns ``(finished, evicted)``: ``finished`` holds ``(lane,
+    converged, outcome, iterations)`` tuples for solves that ended this
+    round (converged vector, or the scalar-identical failure error);
+    ``evicted`` holds ``(lane, reason)`` pairs for lanes the guard (or
+    an injected ``lane`` fault) pulled out of the stack *before* the
+    linear solve -- the driver retries those solo through the scalar
+    solver, so their burned lockstep iterations are never recorded here
+    and the solo retry reproduces the scalar driver's accounting.
     """
     finished: List[tuple] = []
+    evicted: List[tuple] = []
     caps_mask = state.with_caps[active_rows]
     for with_caps in (False, True):
         rows = active_rows[caps_mask] if with_caps else active_rows[~caps_mask]
@@ -296,6 +335,34 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
         batch = len(rows)
         X, F, J = _assemble(batchc, state, rows, with_caps)
         residual = np.abs(F).max(axis=1)
+        if state.guarded:
+            # Same check, same arguments, same order as the scalar
+            # loop's per-iteration guard (residuals are bit-identical
+            # across the drivers, so divergence trips on the same
+            # iteration either way).
+            keep = np.ones(batch, dtype=bool)
+            for p in range(batch):
+                lane = int(rows[p])
+                if state.lane_fault[lane]:
+                    state.lane_fault[lane] = False
+                    keep[p] = False
+                    evicted.append((lane, "fault"))
+                    continue
+                g = state.guards[lane]
+                if g is None:
+                    continue
+                abort = g.check(int(state.iteration[lane]) + 1,
+                                float(residual[p]))
+                if abort is not None:
+                    keep[p] = False
+                    evicted.append((lane, abort.reason))
+            if not keep.all():
+                rows = rows[keep]
+                if not rows.size:
+                    continue
+                X, F, J = X[keep], F[keep], J[keep]
+                residual = residual[keep]
+                batch = len(rows)
         rhs = -F
         singular = np.zeros(batch, dtype=bool)
         try:
@@ -313,6 +380,7 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
                 try:
                     dx[p] = np.linalg.solve(J[p], rhs[p])
                 except np.linalg.LinAlgError:
+                    record_rung("nudge", recorder)
                     nudge_diagonal(J[p], singular_nudge(
                         float(state.gmin[rows[p]])))
                     try:
@@ -325,6 +393,21 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
                         # ``test_singular_batch.py``).
                         dx[p] = 0.0
                         singular[p] = True
+        if state.guarded:
+            # Condition sampling mirrors the scalar placement: after
+            # the linear solve of a lane's first iteration, against the
+            # as-solved (possibly nudged-in-place) Jacobian.  Per-lane
+            # monitors give each lane the scalar cadence, so the
+            # illconditioned counter is batch-size invariant.
+            for p in range(batch):
+                lane = int(rows[p])
+                g = state.guards[lane]
+                if (g is not None and g.check_condition
+                        and state.iteration[lane] == 0 and not singular[p]):
+                    estimate = condition_estimate_dense(J[p])
+                    if g.note_condition(estimate):
+                        note_illconditioned(
+                            estimate, g.policy.condition_limit, recorder)
         steps = np.abs(dx).max(axis=1)
         max_steps = state.max_step[rows]
         factors = np.ones(batch)
@@ -353,7 +436,7 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
                 limit = int(state.max_iter[rows[p]])
                 finished.append((lane, False, _exhaustion_error(
                     limit, float(state.last_residual[lane])), limit))
-    return finished
+    return finished, evicted
 
 
 @traced("spice.batch")
@@ -362,6 +445,15 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
     state = _LockstepState(batchc, len(entries))
     active: set = set()
     recorder = get_recorder()
+    # One GuardMonitor per *lane* (not per batch): each lane's analysis
+    # sees the same solve sequence it would see on the scalar driver,
+    # so condition-sampling cadence and divergence decisions -- and
+    # therefore every spice.guard.* counter -- are batch-size invariant.
+    guard_policy = GuardPolicy.from_env()
+    monitors: list = [
+        GuardMonitor(guard_policy) if guard_policy is not None else None
+        for _ in entries
+    ]
 
     def advance(index: int, sent) -> None:
         compiled, plan, stats = entries[index]
@@ -386,9 +478,39 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
                 sent = _exhaustion_error(request.options.max_iterations,
                                          np.inf)
                 continue
+            state.requests[index] = request
+            if monitors[index] is not None:
+                state.guards[index] = monitors[index].start_solve()
+                state.guarded = True
+            if faults.fire_batch_lane(index):
+                state.lane_fault[index] = True
+                state.guarded = True
             state.load_request(index, compiled, request, batchc)
             active.add(index)
             return
+
+    def retry_solo(lane: int, reason: str) -> None:
+        # The guard (or an injected lane fault) pulled this lane out of
+        # the stack: rerun its request through the scalar solver.  The
+        # burned lockstep iterations were never recorded, and the solo
+        # solve replays them deterministically, so a diverging lane ends
+        # with accounting identical to the scalar driver's abort -- and
+        # a watchdog-killed or fault-injected lane gets a clean second
+        # chance without dragging its siblings.
+        recorder.counter("spice.batch.evictions", reason=reason).inc()
+        request = state.requests[lane]
+        compiled, _, stats = entries[lane]
+        kwargs = request_kwargs(request, stats)
+        kwargs["recorder"] = recorder
+        kwargs["sparse"] = False  # the lockstep kernel is dense-only
+        if monitors[lane] is not None:
+            kwargs["guard"] = monitors[lane]
+        try:
+            outcome = newton_solve(compiled, request.x0, request.known,
+                                   **kwargs)
+        except ConvergenceError as error:
+            outcome = error
+        advance(lane, outcome)
 
     for index in range(len(entries)):
         advance(index, None)
@@ -397,8 +519,11 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
     while active:
         rounds += 1
         rows = np.fromiter(sorted(active), dtype=np.intp, count=len(active))
-        for lane, converged, outcome, iterations in _lockstep_round(
-                batchc, state, rows):
+        finished, evicted = _lockstep_round(batchc, state, rows, recorder)
+        for lane, reason in evicted:
+            active.discard(lane)
+            retry_solo(lane, reason)
+        for lane, converged, outcome, iterations in finished:
             stats = entries[lane][2]
             if stats is not None:
                 stats.record(iterations, converged=converged)
@@ -430,6 +555,7 @@ def run_plans_batched(entries: Sequence[tuple]) -> list:
     if len(entries) > 1:
         if sparse_enabled(entries[0][0].n_unknown):
             get_recorder().counter("spice.batch.sparse_fallbacks").inc()
+            _warn_sparse_fallback(len(entries), entries[0][0].n_unknown)
         else:
             try:
                 batchc = BatchCompiled([entry[0] for entry in entries])
@@ -442,8 +568,15 @@ def run_plans_batched(entries: Sequence[tuple]) -> list:
             recorder=get_recorder(),
             fast=FastNewtonState() if fast_newton_enabled() else None,
         )
+        guard_policy = GuardPolicy.from_env()
         outcomes = []
         for compiled, plan, stats in entries:
+            if guard_policy is not None:
+                # A fresh monitor per entry, exactly like the scalar
+                # drivers and the lockstep kernel's per-lane monitors:
+                # guard counters must not depend on which driver (or
+                # chunk size) executed the plan.
+                context.guard = GuardMonitor(guard_policy)
             try:
                 outcomes.append(run_plan(compiled, plan, stats,
                                          context=context))

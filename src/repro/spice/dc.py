@@ -39,6 +39,7 @@ from .engine import (
     request_solve,
     run_plan,
 )
+from .guard import GuardMonitor, record_rung
 from .netlist import Circuit, CompiledCircuit
 from .sparse import sparse_enabled
 from .results import SweepResult
@@ -63,8 +64,9 @@ class OperatingPoint:
 def _gmin_stepping_plan(x0: np.ndarray, known: np.ndarray,
                         options: NewtonOptions, time: float,
                         recorder=None):
-    (recorder if recorder is not None
-     else get_recorder()).counter("spice.dc.gmin_stepping").inc()
+    rec = recorder if recorder is not None else get_recorder()
+    rec.counter("spice.dc.gmin_stepping").inc()
+    record_rung("gmin_ramp", rec)
     x = np.array(x0, dtype=float)
     gmin = 1e-2
     while gmin >= options.gmin:
@@ -80,8 +82,9 @@ def _gmin_stepping_plan(x0: np.ndarray, known: np.ndarray,
 def _source_stepping_plan(n_unknown: int, known: np.ndarray,
                           options: NewtonOptions, time: float,
                           recorder=None):
-    (recorder if recorder is not None
-     else get_recorder()).counter("spice.dc.source_stepping").inc()
+    rec = recorder if recorder is not None else get_recorder()
+    rec.counter("spice.dc.source_stepping").inc()
+    record_rung("source_step", rec)
     x = np.zeros(n_unknown)
     for scale in np.linspace(0.1, 1.0, 10):
         x = yield from request_solve(NewtonRequest(
@@ -200,6 +203,7 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
         recorder=recorder,
         fast=FastNewtonState() if fast_newton_enabled() else None,
         sparse=sparse_enabled(compiled.n_unknown),
+        guard=GuardMonitor.from_env(),
     )
     plan = dc_plan(compiled, initial_guess=initial_guess, time=time,
                    options=options, stats=stats, retry=retry,
@@ -244,6 +248,7 @@ def dc_sweep(circuit: Circuit, source: str | Sequence[str],
         recorder=recorder,
         fast=FastNewtonState() if fast_newton_enabled() else None,
         sparse=sparse_enabled(len(circuit.unknown_nodes())),
+        guard=GuardMonitor.from_env(),
     )
     try:
         for value in grid:

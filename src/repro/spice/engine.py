@@ -21,6 +21,9 @@ import numpy as np
 
 from ..errors import ConvergenceError
 from ..obs import get_recorder
+from .guard import (GuardMonitor, SolveGuard, condition_estimate_dense,
+                    condition_estimate_sparse, note_illconditioned,
+                    record_rung)
 from .mosfet import mosfet_current
 from .netlist import CompiledCircuit
 from .sparse import sparse_enabled
@@ -319,6 +322,25 @@ def _observe_solve(iterations: int, converged: bool, recorder=None,
         recorder.counter("spice.newton.dispatch", backend=backend).inc()
 
 
+def _guard_abort(error, stats: Optional[NewtonStats], recorder,
+                 backend: Optional[str]) -> None:
+    """Account one guard-aborted solve before the abort is raised.
+
+    The burned iterations land in ``stats``/the Newton counters exactly
+    like an exhausted iteration budget would, plus the abort reason in
+    ``spice.guard.aborts{reason=...}``.  The batched kernel does *not*
+    call this for an evicted lane -- the solo retry comes back through
+    here, which keeps abort accounting identical to the scalar driver.
+    """
+    if stats is not None:
+        stats.record(error.iterations, converged=False)
+    _observe_solve(error.iterations, converged=False, recorder=recorder,
+                   backend=backend)
+    rec = recorder if recorder is not None else get_recorder()
+    if rec.enabled:
+        rec.counter("spice.guard.aborts", reason=error.reason).inc()
+
+
 class FastNewtonState:
     """Cross-solve state of the opt-in modified-Newton mode.
 
@@ -389,15 +411,20 @@ class _DenseOps:
     def nudge(J: np.ndarray, value: float) -> None:
         nudge_diagonal(J, value)
 
+    @staticmethod
+    def condition_estimate(J: np.ndarray) -> float:
+        return condition_estimate_dense(J)
+
 
 class _SparseOps:
     """SuperLU backend: factorizations count into the metric registry."""
 
-    __slots__ = ("sp", "recorder")
+    __slots__ = ("sp", "recorder", "last_lu")
 
     def __init__(self, sp, recorder) -> None:
         self.sp = sp
         self.recorder = recorder
+        self.last_lu = None
 
     def factorize(self):
         """Factorize the assembled matrix; raises ``LinAlgError`` if
@@ -407,12 +434,17 @@ class _SparseOps:
             else get_recorder()
         if recorder.enabled:
             recorder.counter("spice.sparse.factorizations").inc()
+            # SuperLU drops numerically-zero pattern entries (common when
+            # many devices are cut off), so L+U can hold fewer entries
+            # than the structural pattern: report that as zero fill.
             recorder.counter("spice.sparse.fill_nnz").inc(
-                int(lu.L.nnz + lu.U.nnz) - self.sp.nnz)
+                max(0, int(lu.L.nnz + lu.U.nnz) - self.sp.nnz))
         return lu
 
     def direct_solve(self, A, F: np.ndarray) -> np.ndarray:
-        return self.sp.solve_factored(self.factorize(), -F)
+        lu = self.factorize()
+        self.last_lu = lu
+        return self.sp.solve_factored(lu, -F)
 
     def fast_factorize(self, A):
         try:
@@ -428,12 +460,18 @@ class _SparseOps:
     def nudge(self, A, value: float) -> None:
         self.sp.nudge(value)
 
+    def condition_estimate(self, A) -> float:
+        # The factor the iteration just solved with is retained, so the
+        # estimate's two extra triangular solves are nearly free.
+        return condition_estimate_sparse(self.sp, self.last_lu)
+
 
 def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
                  assemble, key, options: NewtonOptions,
                  effective_gmin: float, fast: FastNewtonState,
                  stats: Optional[NewtonStats], recorder,
-                 ops=_DenseOps, backend: Optional[str] = None) -> np.ndarray:
+                 ops=_DenseOps, backend: Optional[str] = None,
+                 guard: Optional[SolveGuard] = None) -> np.ndarray:
     """Modified-Newton loop: reuse the LU factorization while it contracts.
 
     A *stale* iteration evaluates only the residual and steps with the
@@ -456,6 +494,7 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
             residual = float(np.abs(F).max())
             if residual >= 0.5 * last_residual:
                 fresh = True  # stalled contraction: refactorize here
+                record_rung("refresh", recorder)
         if fresh:
             F, J = assemble()
             residual = float(np.abs(F).max())
@@ -465,9 +504,15 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
             fast.refactorized += 1
         else:
             fast.reused += 1
+        if guard is not None:
+            abort = guard.check(iteration, residual)
+            if abort is not None:
+                _guard_abort(abort, stats, recorder, backend)
+                raise abort
         dx = ops.fast_solve(fast.lu, -F)
         if not np.all(np.isfinite(dx)):
             # Singular factorization: rebuild with a nudged diagonal.
+            record_rung("nudge", recorder)
             F, J = assemble()
             ops.nudge(J, nudge)
             fast.lu = ops.fast_factorize(J)
@@ -520,7 +565,8 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                  stats: Optional[NewtonStats] = None,
                  recorder=None,
                  fast: Optional[FastNewtonState] = None,
-                 sparse: Optional[bool] = None) -> np.ndarray:
+                 sparse: Optional[bool] = None,
+                 guard: Optional[GuardMonitor] = None) -> np.ndarray:
     """Damped Newton-Raphson solve of the KCL system.
 
     Raises :class:`~repro.errors.ConvergenceError` when the iteration
@@ -539,9 +585,18 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
     explicit bool forces dense LAPACK or sparse SuperLU.  The sparse
     backend requires the compiled stamp path; hand-built cap-stamp
     lists fall back to the dense reference assembler.
+
+    ``guard``, when given, is the analysis's
+    :class:`~repro.spice.guard.GuardMonitor`: each iteration is checked
+    for divergence and watchdog expiry (aborting with a
+    :class:`~repro.spice.guard.GuardAbort`), and sampled solves get a
+    1-norm condition estimate of their first Jacobian.  ``None`` (the
+    default, and the state with ``REPRO_GUARD`` unset) leaves the
+    iteration untouched.
     """
     x = np.array(x0, dtype=float)
     effective_gmin = options.gmin if gmin is None else gmin
+    solve_guard = guard.start_solve() if guard is not None else None
     plan = compiled.stamp_plan
     compiled_path = cap_stamps is None or plan.stamps_match(cap_stamps)
     use_sparse = compiled_path and (
@@ -574,19 +629,28 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
         else:
             geq_key = tuple(s[2] for s in cap_stamps)
         key = (backend, effective_gmin, source_scale, geq_key)
+        # Condition sampling is skipped in fast mode: stale-LU steps
+        # have no fresh Jacobian to estimate, and the mode already
+        # refactorizes whenever contraction stalls.
         return _newton_fast(compiled, x, assemble, key, options,
                             effective_gmin, fast, stats, recorder,
-                            ops=ops, backend=backend)
+                            ops=ops, backend=backend, guard=solve_guard)
 
     last_residual = np.inf
     for iteration in range(1, options.max_iterations + 1):
         F, J = assemble()
         residual = float(np.abs(F).max())
+        if solve_guard is not None:
+            abort = solve_guard.check(iteration, residual)
+            if abort is not None:
+                _guard_abort(abort, stats, recorder, backend)
+                raise abort
         try:
             dx = ops.direct_solve(J, F)
         except np.linalg.LinAlgError:
             # Singular Jacobian: nudge the diagonal in place (the
             # buffer is reassembled next iteration anyway) and retry.
+            record_rung("nudge", recorder)
             ops.nudge(J, singular_nudge(effective_gmin))
             try:
                 dx = ops.direct_solve(J, F)
@@ -599,6 +663,16 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                     "singular Jacobian during Newton iteration",
                     iterations=iteration, residual=residual,
                 ) from None
+        if solve_guard is not None and solve_guard.check_condition:
+            # After the successful linear solve: the sparse backend's
+            # retained factor is current, and a nudged diagonal is
+            # estimated as-solved (matching the batched kernel, which
+            # estimates its lane Jacobians after in-place nudges).
+            estimate = ops.condition_estimate(J)
+            if solve_guard.note_condition(estimate):
+                note_illconditioned(estimate,
+                                    solve_guard.policy.condition_limit,
+                                    recorder)
         step = float(np.abs(dx).max())
         if step > options.max_step:
             dx *= options.max_step / step
@@ -650,12 +724,16 @@ class SolveContext:
     modified-Newton state when ``REPRO_FAST_NEWTON`` is on; ``sparse``
     is the linear-backend choice resolved once per analysis from
     ``REPRO_SPARSE`` and the circuit's unknown count (``None`` lets
-    each solve re-dispatch).
+    each solve re-dispatch); ``guard`` carries the analysis's
+    :class:`~repro.spice.guard.GuardMonitor` when ``REPRO_GUARD`` is on
+    (``None``, the default, omits the keyword so the ungated solver
+    path is byte-for-byte the unguarded one).
     """
 
     recorder: object = None
     fast: Optional[FastNewtonState] = field(default=None)
     sparse: Optional[bool] = field(default=None)
+    guard: Optional[GuardMonitor] = field(default=None)
 
     def solve_kwargs(self, request: NewtonRequest,
                      stats: Optional[NewtonStats]) -> dict:
@@ -666,6 +744,8 @@ class SolveContext:
             kwargs["fast"] = self.fast
         if self.sparse is not None:
             kwargs["sparse"] = self.sparse
+        if self.guard is not None:
+            kwargs["guard"] = self.guard
         return kwargs
 
 
@@ -703,7 +783,8 @@ def run_plan(compiled: CompiledCircuit, plan: SolvePlan,
     arguments) propagate to the caller.
     """
     if context is None:
-        context = SolveContext(recorder=get_recorder())
+        context = SolveContext(recorder=get_recorder(),
+                               guard=GuardMonitor.from_env())
     outcome: Optional[SolveOutcome] = None
     while True:
         try:

@@ -47,6 +47,8 @@ import os
 
 import numpy as np
 
+from ..resilience import faults
+
 try:
     from scipy.sparse import csc_matrix, csr_matrix
     from scipy.sparse.csgraph import reverse_cuthill_mckee
@@ -198,8 +200,13 @@ class SparsePlan:
 
         Raises :class:`numpy.linalg.LinAlgError` on an exactly singular
         matrix, normalizing SuperLU's ``RuntimeError`` so the Newton
-        loops handle dense and sparse singularity identically.
+        loops handle dense and sparse singularity identically.  The
+        ``sparse@factorize`` fault kind injects the same error here, so
+        the chaos suite exercises the recovery ladder (diagonal nudge,
+        homotopy rungs, NaN-cell degradation) without a genuinely
+        singular operating point.
         """
+        faults.fire_sparse_factorize()
         try:
             return splu(self.matrix, permc_spec="NATURAL")
         except RuntimeError as error:

@@ -48,6 +48,7 @@ from .engine import (
     request_kwargs,
     run_plan,
 )
+from .guard import GuardMonitor, record_rung
 from .netlist import Circuit, CompiledCircuit
 from .sparse import sparse_enabled
 from .results import TransientResult
@@ -181,6 +182,7 @@ def _integrate_plan(compiled: CompiledCircuit, t_start: float, t_end: float,
                 time=t_new, cap_stamps=tuple(stamps),
             )
             if isinstance(outcome, ConvergenceError):
+                record_rung("timestep_cut", recorder)
                 h *= shrink
                 rejected += 1
                 hit_breakpoint = False
@@ -190,6 +192,7 @@ def _integrate_plan(compiled: CompiledCircuit, t_start: float, t_end: float,
 
             dv = float(np.abs(x_new - x).max()) if has_unknown else 0.0
             if dv > dv_reject:
+                record_rung("timestep_cut", recorder)
                 h *= shrink
                 rejected += 1
                 hit_breakpoint = False
@@ -347,6 +350,7 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
         recorder=recorder,
         fast=FastNewtonState() if fast_newton_enabled() else None,
         sparse=sparse_enabled(compiled.n_unknown),
+        guard=GuardMonitor.from_env(),
     )
     plan = transient_result_plan(
         compiled, t_stop, stats=stats, t_start=t_start, record=record,

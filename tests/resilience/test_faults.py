@@ -114,6 +114,52 @@ class TestFiringBudgets:
         faults.corrupt_after_store("vtc", "/nonexistent/never-touched.json")
 
 
+class TestSolverFaultHooks:
+    """The sparse-factorization and batch-lane hooks added for the
+    solver-guardrail chaos legs."""
+
+    def test_sparse_and_lane_clauses_parse(self):
+        specs = parse_faults("sparse@factorize:1, lane@2:3")
+        assert [s.kind for s in specs] == ["sparse", "lane"]
+        assert specs[0].selector == "factorize"
+        assert specs[1] == FaultSpec(kind="lane", selector="2", times=3)
+
+    def test_sparse_factorize_raises_linalgerror_within_budget(self):
+        np = pytest.importorskip("numpy")
+        with FaultInjection("sparse@factorize:1") as fi:
+            with pytest.raises(np.linalg.LinAlgError, match="injected"):
+                faults.fire_sparse_factorize()
+            faults.fire_sparse_factorize()  # budget exhausted: no raise
+            assert fi.fired_count("sparse") == 1
+
+    def test_sparse_wildcard_selector_fires(self):
+        np = pytest.importorskip("numpy")
+        with FaultInjection("sparse@*:always"):
+            for _ in range(3):
+                with pytest.raises(np.linalg.LinAlgError):
+                    faults.fire_sparse_factorize()
+
+    def test_batch_lane_fires_only_for_matching_index(self):
+        with FaultInjection("lane@1:1") as fi:
+            assert faults.fire_batch_lane(0) is False
+            assert faults.fire_batch_lane(1) is True
+            assert faults.fire_batch_lane(1) is False  # budget exhausted
+            assert faults.fire_batch_lane(2) is False
+            assert fi.fired_count("lane") == 1
+
+    def test_batch_lane_wildcard_respects_budget(self):
+        with FaultInjection("lane@*:2") as fi:
+            assert faults.fire_batch_lane(0) is True
+            assert faults.fire_batch_lane(5) is True
+            assert faults.fire_batch_lane(5) is False
+            assert fi.fired_count("lane") == 2
+
+    def test_no_plan_means_solver_hooks_are_free(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULTS_ENV_VAR, raising=False)
+        faults.fire_sparse_factorize()
+        assert faults.fire_batch_lane(0) is False
+
+
 class TestCorruptHook:
     def test_scribbles_matching_kind_only(self, tmp_path):
         target = tmp_path / "vtc-abc.json"

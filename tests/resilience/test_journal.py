@@ -56,6 +56,25 @@ class TestTornWrites:
         path.write_text('not json\n{"i": 4, "v": 7.5}\n{"v": 1.0}\n\n')
         assert ProgressJournal(path).load() == {4: 7.5}
 
+    def test_torn_line_with_invalid_utf8_is_skipped(self, tmp_path):
+        """Regression: a crash can tear an append mid-UTF-8-sequence.
+        Text-mode iteration raised ``UnicodeDecodeError`` for the whole
+        file (outside the per-line guard), so a resume crashed instead
+        of recomputing the one torn point."""
+        path = tmp_path / "j.jsonl"
+        journal = ProgressJournal(path)
+        journal.record(0, 10.0)
+        journal.record(1, 11.0)
+        with open(path, "ab") as handle:
+            handle.write(b'{"i": 2, "v": 1.\xc3')  # torn multi-byte char
+        assert journal.load() == {0: 10.0, 1: 11.0}
+
+    def test_garbage_bytes_mid_file_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'{"i": 0, "v": 1.0}\n\xff\xfe\x00garbage\n'
+                         b'{"i": 1, "v": 2.0}\n')
+        assert ProgressJournal(path).load() == {0: 1.0, 1: 2.0}
+
 
 class TestClear:
     def test_clear_deletes(self, tmp_path):

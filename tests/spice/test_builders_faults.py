@@ -1,0 +1,146 @@
+"""Builder-scale circuits under injected solver faults.
+
+The multi-gate testbenches (:mod:`repro.spice.builders`) are where a
+degraded solve does real damage: one lost cell in a chain delay table
+or one wrong wordline in a decoder corrupts a whole characterization
+sweep.  These tests pin the degradation contract at that scale --
+transient faults burn retry-ladder attempts and, when the ladder is
+exhausted, the cell goes *NaN* (never a silently wrong number), while
+sparse-dispatched decoder solves recover from injected factorization
+faults through the diagonal-nudge rung with correct logic levels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.obs import recording
+from repro.resilience import FaultInjection
+from repro.spice import TransientOptions, solve_dc, transient
+from repro.spice.builders import hierarchical_decoder, inverter_chain
+from repro.spice.sparse import SPARSE_ENV_VAR, SPARSE_NODE_CUTOVER
+from repro.tech import default_process
+from repro.waveform import ramp
+
+PROC = default_process()
+HIGH = 0.9 * PROC.vdd
+LOW = 0.1 * PROC.vdd
+FAST = TransientOptions(h_max_ratio=2e-2)
+
+
+def chain_circuits():
+    """A small grid of 2-stage chains with varying output loads."""
+    return [
+        inverter_chain(2, input_stimulus=ramp(0.1e-9, 0.0, PROC.vdd, 0.1e-9),
+                       load=load)
+        for load in (20e-15, 40e-15, 60e-15)
+    ]
+
+
+def chain_final_levels(retry=None) -> np.ndarray:
+    """One 'table cell' per chain: the settled output level, NaN when
+    the analysis dies -- the same degrade-to-NaN discipline the
+    characterization sweeps apply per grid point."""
+    cells = []
+    for circuit in chain_circuits():
+        try:
+            result = transient(circuit, 1.5e-9, options=FAST, retry=retry)
+            cells.append(result.samples("out")[-1])
+        except ConvergenceError:
+            cells.append(float("nan"))
+    return np.array(cells)
+
+
+class TestChainDegradation:
+    def test_exhausted_retries_leave_nan_cells_not_corrupt_ones(self):
+        """With the ladder capped at one attempt, two injected faults
+        kill exactly the first two cells; the survivor is bit-identical
+        to the clean table."""
+        clean = chain_final_levels()
+        assert np.isfinite(clean).all()
+        with FaultInjection("transient@*:2") as fi:
+            degraded = chain_final_levels(retry=1)
+            assert fi.fired_count("transient") == 2
+        assert np.isnan(degraded[:2]).all()
+        assert degraded[2] == clean[2]
+
+    def test_default_retry_ladder_absorbs_the_faults(self):
+        """The default ladder retries through both injected failures:
+        every cell survives, and cells whose solves never faulted stay
+        bit-identical to the clean run."""
+        clean = chain_final_levels()
+        with FaultInjection("transient@*:2") as fi:
+            healed = chain_final_levels()
+            assert fi.fired_count("transient") == 2
+        assert np.isfinite(healed).all()
+        # Both faults hit the first chain's attempts 0 and 1; its
+        # attempt-2 result is an escalated-options estimate, while the
+        # untouched chains reproduce the clean run exactly.
+        assert np.array_equal(healed[1:], clean[1:])
+        assert healed[0] == pytest.approx(clean[0], rel=1e-3)
+
+
+def decoder_wordlines(bits: int, address: int, **kwargs) -> dict:
+    op = solve_dc(hierarchical_decoder(bits, address=address), **kwargs)
+    return {row: op.voltages[f"wl{row}"] for row in range(2 ** bits)}
+
+
+def assert_one_hot(levels: dict, address: int) -> None:
+    for row, level in levels.items():
+        if row == address:
+            assert level > HIGH, f"wl{row} should be selected"
+        else:
+            assert level < LOW, f"wl{row} should be idle"
+
+
+class TestDecoderSparseFaults:
+    def test_forced_sparse_decoder_recovers_via_nudge(self, monkeypatch):
+        """A 4-bit decoder forced onto the sparse backend: one injected
+        factorization fault walks the nudge rung and still one-hots the
+        right wordline."""
+        monkeypatch.setenv(SPARSE_ENV_VAR, "1")
+        with recording() as rec, FaultInjection("sparse@factorize:1") as fi:
+            levels = decoder_wordlines(4, address=6)
+            assert fi.fired_count("sparse") == 1
+        assert_one_hot(levels, 6)
+        counters = rec.metrics_payload()["counters"]
+        assert counters["spice.guard.rung{rung=nudge}"] >= 1
+        assert counters["spice.sparse.factorizations"] >= 1
+
+    def test_auto_dispatched_decoder_recovers_via_nudge(self, monkeypatch):
+        """The 6-bit decoder crosses the sparse cutover on its own; the
+        injected fault must be handled on the auto-dispatched path too."""
+        monkeypatch.delenv(SPARSE_ENV_VAR, raising=False)
+        circuit = hierarchical_decoder(6, address=21)
+        compiled = circuit.compile()
+        assert compiled.n_unknown >= SPARSE_NODE_CUTOVER
+        with recording() as rec, FaultInjection("sparse@factorize:1") as fi:
+            op = solve_dc(compiled)
+            assert fi.fired_count("sparse") == 1
+        assert_one_hot({row: op.voltages[f"wl{row}"] for row in range(64)},
+                       21)
+        assert rec.metrics_payload()["counters"][
+            "spice.guard.rung{rung=nudge}"] >= 1
+
+    def test_persistent_sparse_fault_degrades_to_nan_cell(self, monkeypatch):
+        """A factorization that *always* fails exhausts the nudge and
+        homotopy rungs; the table-building pattern yields a NaN cell
+        while sibling addresses keep their exact clean values."""
+        monkeypatch.setenv(SPARSE_ENV_VAR, "1")
+        addresses = (2, 5, 11)
+        clean = {addr: decoder_wordlines(4, addr, retry=1)
+                 for addr in addresses}
+        cells = {}
+        for addr in addresses:
+            plan = ("sparse@factorize:always" if addr == 5 else "")
+            if plan:
+                with FaultInjection(plan):
+                    with pytest.raises(ConvergenceError):
+                        decoder_wordlines(4, addr, retry=1)
+                cells[addr] = float("nan")
+            else:
+                cells[addr] = decoder_wordlines(4, addr, retry=1)
+        assert np.isnan(cells[5])
+        for addr in (2, 11):
+            assert cells[addr] == clean[addr]
+            assert_one_hot(cells[addr], addr)
