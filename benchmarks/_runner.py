@@ -20,6 +20,8 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.obs.profile import phase_breakdown
+
 BENCH_DIR_ENV_VAR = "REPRO_BENCH_DIR"
 BENCH_TELEMETRY_ENV_VAR = "REPRO_BENCH_TELEMETRY"
 
@@ -71,6 +73,12 @@ def write_bench_result(module_stem: str, test_name: str,
         "cache_misses": misses,
         "cache_hit_rate": (hits / lookups) if lookups else None,
     }
+    # Per-driver phase seconds (assembly/factorize/...) when the run's
+    # telemetry captured them; `repro stats --trend` attributes wall
+    # regressions to whichever phase moved.
+    phases = phase_breakdown(payload.get("histograms", {}))
+    if phases:
+        entry["phases"] = phases
     if extra:
         entry.update(extra)
     document = {"schema": 1, "kind": "repro-bench", "name": name, "tests": {}}

@@ -8,10 +8,12 @@ Commands
 ``validate``     -- run the Table 5-1 validation.
 ``experiment``   -- run any experiment by id (e1..e8, a1..a4).
 ``glitch``       -- Section-6 minimum-separation (inertial delay).
-``stats``        -- summarize a metrics report or run manifest.
+``stats``        -- summarize a metrics report or run manifest; with
+                    ``--trend``, compare benchmark baselines.
+``top``          -- tail the live metrics snapshot of a ``--live`` run.
 
 Every command takes ``-v/-vv/--quiet`` (logging) and ``--trace`` /
-``--metrics`` / ``--manifest`` (telemetry artifacts; see
+``--metrics`` / ``--manifest`` / ``--live`` (telemetry artifacts; see
 :mod:`repro.obs`).
 """
 
@@ -97,6 +99,11 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
         "--manifest", metavar="FILE", default=None,
         help="write a run manifest (args, env knobs, git SHA, metric "
              "totals) next to the outputs")
+    parser.add_argument(
+        "--live", metavar="DIR", nargs="?", const="live", default=None,
+        help="periodically snapshot live metrics into DIR (default "
+             "'live') as metrics.json + OpenMetrics metrics.prom; tail "
+             "with `repro top`; interval via REPRO_LIVE_INTERVAL")
 
 
 def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
@@ -222,8 +229,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser(
         "stats", help="summarize a --metrics report or --manifest file")
-    p_stats.add_argument("file", help="metrics or manifest JSON to read")
+    p_stats.add_argument("file", nargs="?", default=None,
+                         help="metrics or manifest JSON to read")
+    p_stats.add_argument(
+        "--trend", action="store_true",
+        help="compare committed BENCH_*.json baselines against a later "
+             "run, flagging wall-time regressions with phase-histogram "
+             "attribution")
+    p_stats.add_argument(
+        "--baseline", metavar="DIR", default="benchmarks/baseline",
+        help="baseline BENCH_*.json directory for --trend "
+             "(default: benchmarks/baseline)")
+    p_stats.add_argument(
+        "--current", metavar="DIR", default=None,
+        help="directory holding the later run's BENCH_*.json records "
+             "for --trend (e.g. the bench job's REPRO_BENCH_DIR)")
+    p_stats.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="fractional wall-time slowdown flagged as a regression "
+             "by --trend (default: 0.25)")
     _add_obs_options(p_stats)
+
+    p_top = sub.add_parser(
+        "top", help="tail the live metrics snapshot of a --live run")
+    p_top.add_argument("dir", nargs="?", default="live",
+                       help="live snapshot directory (or metrics.json "
+                            "path) to tail; default 'live'")
+    p_top.add_argument("--once", action="store_true",
+                       help="render one frame and exit (exit 1 when no "
+                            "snapshot exists yet)")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="refresh cadence (default: 1.0)")
+    _add_obs_options(p_top)
     return parser
 
 
@@ -367,8 +405,16 @@ def _cmd_glitch(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
-    from .obs import format_bench, format_stats
+    from .obs import bench_trend, format_bench, format_stats
 
+    if args.trend:
+        print(bench_trend(args.baseline, args.current,
+                          threshold=args.threshold))
+        return 0
+    if args.file is None:
+        raise ReproError(
+            "stats needs a metrics/manifest FILE to summarize "
+            "(or --trend for benchmark-trend analysis)")
     # A benchmark trajectory that has not accumulated anything yet is a
     # normal state, not an error: a missing file, an empty file, or an
     # empty JSON list/object all render as "no history".
@@ -404,6 +450,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import format_top, read_snapshot
+    from .obs.live import SNAPSHOT_NAME
+
+    path = args.dir
+    if not path.endswith(".json"):
+        path = os.path.join(path, SNAPSHOT_NAME)
+    previous = None
+    try:
+        while True:
+            document = read_snapshot(path)
+            if document is None:
+                text = (f"no live snapshot at {path} yet -- run a repro "
+                        "command with --live (snapshots land atomically, "
+                        "so a partial file never renders)")
+            else:
+                text = format_top(document, previous=previous)
+                previous = document
+            if args.once:
+                print(text)
+                return 0 if document is not None else 1
+            # Clear + home, like top(1); the snapshot file is replaced
+            # atomically so every frame reads a complete document.
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+            time.sleep(max(0.05, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
 _COMMANDS = {
     "vtc": _cmd_vtc,
     "delay": _cmd_delay,
@@ -412,6 +490,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "glitch": _cmd_glitch,
     "stats": _cmd_stats,
+    "top": _cmd_top,
 }
 
 

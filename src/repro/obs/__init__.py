@@ -11,10 +11,18 @@ processes record into their own recorder and ship per-task deltas back
 to the parent, so metric totals are invariant to the worker count.
 
 Telemetry is off by default; enable it with the ``--trace``/
-``--metrics``/``--manifest`` CLI flags or the ``REPRO_TRACE``/
-``REPRO_METRICS``/``REPRO_MANIFEST``/``REPRO_OBS`` environment
-variables.  Disabled, every instrumented path hits the no-op
-:class:`NullRecorder` and costs almost nothing.
+``--metrics``/``--manifest``/``--live`` CLI flags or the
+``REPRO_TRACE``/``REPRO_METRICS``/``REPRO_MANIFEST``/``REPRO_OBS``/
+``REPRO_LIVE`` environment variables.  Disabled, every instrumented
+path hits the no-op :class:`NullRecorder` and costs almost nothing.
+
+The live-telemetry plane (this PR's additions) layers three modules on
+the recorder: :mod:`repro.obs.live` (periodic atomic snapshots as
+``metrics.json`` + OpenMetrics ``metrics.prom``, tailed by
+``repro top``), :mod:`repro.obs.flight` (a per-solve ring buffer dumped
+to ``flight_*.json`` on retry-ladder exhaustion or guard aborts), and
+:mod:`repro.obs.profile` (phase-attributed solver timing histograms per
+dense/sparse/batch driver).
 """
 
 from .metrics import (
@@ -44,15 +52,33 @@ from .recorder import (
 )
 from .export import (
     METRICS_SCHEMA,
+    bench_trend,
     degradation_summary,
     format_bench,
     format_stats,
+    headline_summary,
     metrics_document,
     trace_document,
     write_chrome_trace,
     write_metrics,
 )
+from .flight import (
+    FLIGHT_DIR_ENV_VAR,
+    FLIGHT_ENV_VAR,
+    FlightRecorder,
+    dump_flight,
+)
+from .live import (
+    LIVE_ENV_VAR,
+    LIVE_INTERVAL_ENV_VAR,
+    Snapshotter,
+    format_top,
+    live_dir_from_env,
+    read_snapshot,
+    render_openmetrics,
+)
 from .manifest import ENV_KNOBS, RunContext, build_manifest, git_sha, write_manifest
+from .profile import PHASE_METRIC, PHASES, PhaseProfiler, PhaseTimes, phase_breakdown
 
 __all__ = [
     # metrics
@@ -66,7 +92,15 @@ __all__ = [
     # exporters
     "METRICS_SCHEMA", "trace_document", "write_chrome_trace",
     "metrics_document", "write_metrics", "format_stats", "format_bench",
-    "degradation_summary",
+    "headline_summary", "bench_trend", "degradation_summary",
+    # live snapshots
+    "LIVE_ENV_VAR", "LIVE_INTERVAL_ENV_VAR", "Snapshotter", "format_top",
+    "live_dir_from_env", "read_snapshot", "render_openmetrics",
+    # flight recorder
+    "FLIGHT_ENV_VAR", "FLIGHT_DIR_ENV_VAR", "FlightRecorder", "dump_flight",
+    # phase profiling
+    "PHASES", "PHASE_METRIC", "PhaseProfiler", "PhaseTimes",
+    "phase_breakdown",
     # manifests
     "ENV_KNOBS", "RunContext", "build_manifest", "write_manifest", "git_sha",
 ]

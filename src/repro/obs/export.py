@@ -24,7 +24,7 @@ from .metrics import Histogram
 __all__ = [
     "METRICS_SCHEMA", "trace_document", "write_chrome_trace",
     "metrics_document", "write_metrics", "format_stats", "format_bench",
-    "degradation_summary",
+    "headline_summary", "bench_trend", "degradation_summary",
 ]
 
 #: Bump when the exported metrics/manifest JSON layout changes.
@@ -109,6 +109,69 @@ def _histogram_line(key: str, entry: Mapping[str, Any]) -> str:
             f"sum={hist.sum:.4g}")
 
 
+def _labeled_counters(counters: Mapping[str, float],
+                      name: str) -> Dict[str, float]:
+    """``{label-suffix: value}`` for every ``name{...}`` counter key."""
+    prefix = name + "{"
+    return {
+        key[len(prefix):-1]: value
+        for key, value in counters.items()
+        if key.startswith(prefix) and key.endswith("}")
+    }
+
+
+def _counter_total(counters: Mapping[str, float], name: str) -> float:
+    prefix = name + "{"
+    return sum(value for key, value in counters.items()
+               if key == name or key.startswith(prefix))
+
+
+def headline_summary(payload: Mapping[str, Any]) -> str:
+    """The ``repro stats`` headline block: solver health at a glance.
+
+    Surfaces the totals an operator actually triages by -- Newton
+    solves/iterations/failures, escalation-ladder rung counts
+    (``spice.guard.rung{rung=...}``), guard aborts, batch-lane
+    evictions, the ``spice.sparse.*`` family, and flight dumps --
+    instead of leaving them buried in the raw counter listing.  Empty
+    string when none of those families recorded anything.
+    """
+    counters = payload.get("counters", {})
+    lines: List[str] = []
+    solves = _counter_total(counters, "spice.newton.solves")
+    if solves:
+        iters = _counter_total(counters, "spice.newton.iterations")
+        failures = _counter_total(counters, "spice.newton.failures")
+        line = (f"  newton: solves {_format_number(solves)}, "
+                f"iterations {_format_number(iters)}")
+        if failures:
+            line += f", failures {_format_number(failures)}"
+        lines.append(line)
+    for name, label in (("spice.guard.rung", "guard rungs"),
+                        ("spice.guard.aborts", "guard aborts"),
+                        ("spice.batch.evictions", "batch evictions"),
+                        ("obs.flight.dumps", "flight dumps")):
+        values = _labeled_counters(counters, name)
+        if values:
+            listed = ", ".join(
+                f"{key.partition('=')[2] or key}={_format_number(values[key])}"
+                for key in sorted(values))
+            lines.append(f"  {label}: {listed}")
+    sparse = {
+        key: value for key, value in counters.items()
+        if key.startswith("spice.sparse.")
+    }
+    if sparse:
+        listed = ", ".join(
+            f"{key[len('spice.sparse.'):].partition('{')[0]}"
+            f"={_format_number(value)}"
+            for key, value in sorted(sparse.items()))
+        lines.append(f"  sparse: {listed}")
+    if not lines:
+        return ""
+    return "headline:\n" + "\n".join(lines)
+
+
 def format_stats(payload: Mapping[str, Any],
                  *, title: Optional[str] = None) -> str:
     """Render a metrics payload (or document) as human-readable text."""
@@ -118,6 +181,9 @@ def format_stats(payload: Mapping[str, Any],
     lines: List[str] = []
     if title:
         lines.append(title)
+    headline = headline_summary(payload)
+    if headline:
+        lines.append(headline)
     if counters:
         lines.append("counters:")
         width = max(len(k) for k in counters)
@@ -183,6 +249,123 @@ def format_bench(document: Mapping[str, Any]) -> str:
         if isinstance(scale, (int, float)) and scale != 1:
             fields.append(f"scale={scale:g}")
         lines.append(f"  {test.ljust(width)}  " + " ".join(fields))
+    return "\n".join(lines)
+
+
+def _load_bench(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(document, Mapping) or not isinstance(
+            document.get("tests"), Mapping):
+        return None
+    return dict(document)
+
+
+def _flat_phases(entry: Mapping[str, Any]) -> Dict[str, float]:
+    """``{"driver/phase": seconds}`` from a bench entry's phases dict."""
+    phases = entry.get("phases")
+    if not isinstance(phases, Mapping):
+        return {}
+    out: Dict[str, float] = {}
+    for driver, per_phase in phases.items():
+        if not isinstance(per_phase, Mapping):
+            continue
+        for phase, seconds in per_phase.items():
+            if isinstance(seconds, (int, float)):
+                out[f"{driver}/{phase}"] = float(seconds)
+    return out
+
+
+def _phase_attribution(base: Mapping[str, Any],
+                       cur: Mapping[str, Any]) -> Optional[str]:
+    """Which phase histogram moved the most, as a human-readable clause."""
+    base_phases = _flat_phases(base)
+    cur_phases = _flat_phases(cur)
+    if not base_phases and not cur_phases:
+        return None
+    moved = None
+    worst = 0.0
+    for key in set(base_phases) | set(cur_phases):
+        delta = cur_phases.get(key, 0.0) - base_phases.get(key, 0.0)
+        if delta > worst:
+            worst, moved = delta, key
+    if moved is None:
+        return None
+    before = base_phases.get(moved, 0.0)
+    if before > 0:
+        return f"{moved} +{worst:.4g}s (+{100.0 * worst / before:.0f}%)"
+    return f"{moved} +{worst:.4g}s (new)"
+
+
+def bench_trend(baseline_dir: str | Path,
+                current_dir: Optional[str | Path] = None,
+                *, threshold: float = 0.25) -> str:
+    """Compare committed ``BENCH_*.json`` baselines against a later run.
+
+    Walks every ``BENCH_*.json`` under ``baseline_dir``; when
+    ``current_dir`` holds a record of the same name, compares per-test
+    wall time and flags anything slower than ``threshold`` (fractional),
+    attributing the regression to the phase histogram that moved the
+    most (from the records' per-driver ``phases`` sums).  Tests whose
+    ``scale`` differs between the records are reported but not judged
+    -- their walls are not comparable.
+    """
+    base_dir = Path(baseline_dir)
+    lines = [f"bench trend vs {base_dir} (wall threshold +{threshold:.0%})"]
+    records = sorted(base_dir.glob("BENCH_*.json"))
+    if not records:
+        lines.append("  no baseline BENCH_*.json records found")
+        return "\n".join(lines)
+    regressions = 0
+    for path in records:
+        baseline = _load_bench(path)
+        if baseline is None:
+            lines.append(f"{path.name}: unreadable baseline record")
+            continue
+        name = baseline.get("name") or path.stem
+        current = (_load_bench(Path(current_dir) / path.name)
+                   if current_dir is not None else None)
+        if current is None:
+            wall = baseline.get("wall_seconds")
+            note = (f" baseline wall {wall:.2f}s," if
+                    isinstance(wall, (int, float)) else "")
+            lines.append(f"{name}:{note} no current record")
+            continue
+        for test, base_entry in sorted(baseline["tests"].items()):
+            cur_entry = current["tests"].get(test)
+            if not isinstance(base_entry, Mapping):
+                continue
+            if not isinstance(cur_entry, Mapping):
+                lines.append(f"{name}/{test}: missing from current run")
+                continue
+            base_wall = base_entry.get("wall_seconds")
+            cur_wall = cur_entry.get("wall_seconds")
+            if not isinstance(base_wall, (int, float)) or base_wall <= 0 \
+                    or not isinstance(cur_wall, (int, float)):
+                continue
+            if base_entry.get("scale") != cur_entry.get("scale"):
+                lines.append(
+                    f"{name}/{test}: scale changed "
+                    f"({base_entry.get('scale')} -> {cur_entry.get('scale')})"
+                    ", walls not comparable")
+                continue
+            change = cur_wall / base_wall - 1.0
+            line = (f"{name}/{test}: wall {base_wall:.3f}s -> {cur_wall:.3f}s "
+                    f"({change:+.0%})")
+            if change > threshold:
+                regressions += 1
+                line = "REGRESSION " + line
+                attribution = _phase_attribution(base_entry, cur_entry)
+                if attribution:
+                    line += f" — phase moved: {attribution}"
+            else:
+                line = "ok " + line
+            lines.append("  " + line)
+    lines.append(f"{regressions} regression(s) flagged"
+                 if regressions else "no regressions flagged")
     return "\n".join(lines)
 
 

@@ -28,6 +28,13 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from . import recorder as _recorder
 from .export import METRICS_SCHEMA, write_chrome_trace, write_metrics
+from .flight import FLIGHT_DIR_ENV_VAR, FLIGHT_ENV_VAR
+from .live import (
+    LIVE_ENV_VAR,
+    LIVE_INTERVAL_ENV_VAR,
+    Snapshotter,
+    live_dir_from_env,
+)
 from .recorder import (
     MANIFEST_ENV_VAR,
     METRICS_ENV_VAR,
@@ -42,13 +49,18 @@ from .recorder import (
 __all__ = ["ENV_KNOBS", "git_sha", "build_manifest", "write_manifest",
            "RunContext", "TOTALS"]
 
-#: The environment knobs a manifest records (set or not).
+#: The environment knobs a manifest records (set or not).  Every
+#: ``REPRO_*`` variable read anywhere under ``src/`` must appear here --
+#: ``tests/obs/test_env_knobs.py`` greps the tree and fails the build on
+#: a knob that would otherwise go missing from run provenance.
 ENV_KNOBS = (
     "REPRO_WORKERS", "REPRO_BATCH", "REPRO_RETRY", "REPRO_TASK_TIMEOUT",
-    "REPRO_RESUME", "REPRO_FAULTS", "REPRO_CACHE_DIR", "REPRO_FAST_NEWTON",
-    "REPRO_SPARSE", "REPRO_GUARD", "REPRO_GUARD_COND", "REPRO_GUARD_DIVERGE",
-    "REPRO_GUARD_WALL",
+    "REPRO_RESUME", "REPRO_FAULTS", "REPRO_FAULTS_STATE", "REPRO_FAULT_HANG",
+    "REPRO_CACHE_DIR", "REPRO_FAST_NEWTON",
+    "REPRO_SPARSE", "REPRO_GUARD", "REPRO_GUARD_COND",
+    "REPRO_GUARD_COND_EVERY", "REPRO_GUARD_DIVERGE", "REPRO_GUARD_WALL",
     TRACE_ENV_VAR, METRICS_ENV_VAR, MANIFEST_ENV_VAR, OBS_ENV_VAR,
+    LIVE_ENV_VAR, LIVE_INTERVAL_ENV_VAR, FLIGHT_ENV_VAR, FLIGHT_DIR_ENV_VAR,
 )
 
 #: The headline counter totals a manifest surfaces (summed over labels).
@@ -139,16 +151,19 @@ class RunContext:
     def __init__(self, *, trace: Optional[str] = None,
                  metrics: Optional[str] = None,
                  manifest: Optional[str] = None,
+                 live: Optional[str] = None,
                  command: Optional[str] = None,
                  cli_args: Optional[Mapping[str, Any]] = None) -> None:
         self.trace_path = trace
         self.metrics_path = metrics
         self.manifest_path = manifest
+        self.live_dir = live
         self.command = command
         self.cli_args = dict(cli_args) if cli_args else {}
         self._saved_env: Dict[str, Optional[str]] = {}
         self._armed = False
         self._start = 0.0
+        self._snapshotter: Optional[Snapshotter] = None
 
     @classmethod
     def from_args(cls, args: Any) -> "RunContext":
@@ -162,6 +177,7 @@ class RunContext:
             trace=getattr(args, "trace", None),
             metrics=getattr(args, "metrics", None),
             manifest=getattr(args, "manifest", None),
+            live=getattr(args, "live", None),
             command=getattr(args, "command", None),
             cli_args=cli_args,
         )
@@ -170,13 +186,23 @@ class RunContext:
     def wants_telemetry(self) -> bool:
         env_on = _recorder._env_enabled(_recorder._env_signature())
         return bool(self.trace_path or self.metrics_path
-                    or self.manifest_path or env_on)
+                    or self.manifest_path or self.live_dir or env_on)
 
     def arm(self) -> None:
-        """Publish the telemetry decision to the env; pin a recorder."""
+        """Publish the telemetry decision to the env; pin a recorder.
+
+        With ``--live`` (or ``REPRO_LIVE``) the parent additionally
+        starts the background :class:`Snapshotter` over the pinned
+        recorder, and points ``REPRO_FLIGHT_DIR`` at the live directory
+        (unless already set) so flight postmortems land next to the
+        snapshots.  Workers inherit ``REPRO_LIVE`` only as an
+        enable-recording signal -- they never start their own
+        snapshotter; the parent registry is the merged view.
+        """
         for var, value in ((TRACE_ENV_VAR, self.trace_path),
                            (METRICS_ENV_VAR, self.metrics_path),
-                           (MANIFEST_ENV_VAR, self.manifest_path)):
+                           (MANIFEST_ENV_VAR, self.manifest_path),
+                           (LIVE_ENV_VAR, self.live_dir)):
             self._saved_env[var] = os.environ.get(var)
             if value:
                 os.environ[var] = str(value)
@@ -187,10 +213,18 @@ class RunContext:
                              or os.environ.get(METRICS_ENV_VAR))
         self.manifest_path = (self.manifest_path
                               or os.environ.get(MANIFEST_ENV_VAR))
+        self.live_dir = live_dir_from_env()
+        if self.live_dir:
+            self._saved_env[FLIGHT_DIR_ENV_VAR] = os.environ.get(
+                FLIGHT_DIR_ENV_VAR)
+            os.environ.setdefault(FLIGHT_DIR_ENV_VAR, self.live_dir)
         self._armed = True
         self._start = time.monotonic()
         if self.wants_telemetry:
-            set_recorder(Recorder())
+            rec = Recorder()
+            set_recorder(rec)
+            if self.live_dir:
+                self._snapshotter = Snapshotter(rec, self.live_dir).start()
 
     def root_span(self, name: str):
         """The root span for the command body."""
@@ -205,6 +239,11 @@ class RunContext:
             return []
         written: List[str] = []
         try:
+            if self._snapshotter is not None:
+                self._snapshotter.stop(final=True)
+                written.append(self._snapshotter.snapshot_path)
+                written.append(self._snapshotter.openmetrics_path)
+                self._snapshotter = None
             rec = get_recorder()
             if rec.enabled:
                 if self.trace_path:

@@ -225,20 +225,65 @@ class MetricRegistry:
 
         Counters add, gauges take the incoming value, histograms add
         bucket-wise (same edges required).
+
+        Absorption is **transactional**: the whole payload is parsed
+        and validated against the registry before any metric mutates.
+        A malformed entry (non-numeric value, bad histogram shape,
+        mismatched edges, cross-type key conflict) therefore rejects
+        the payload with the registry untouched -- previously an error
+        raised mid-iteration could apply half of a task's delta and
+        silently drop the rest, skewing worker-invariant totals.
         """
-        for key, value in payload.get("counters", {}).items():
-            self.counter_by_key(key).value += value
-        for key, value in payload.get("gauges", {}).items():
-            self.gauge_by_key(key).value = value
-        for key, entry in payload.get("histograms", {}).items():
-            incoming = Histogram.from_payload(entry)
-            with self._lock:
+        # Parse everything up front; nothing below this block may raise
+        # after the first mutation.
+        try:
+            counters = {key: float(value) for key, value
+                        in dict(payload.get("counters", {})).items()}
+            gauges = {key: float(value) for key, value
+                      in dict(payload.get("gauges", {})).items()}
+            incoming_hists = {key: Histogram.from_payload(entry)
+                              for key, entry
+                              in dict(payload.get("histograms", {})).items()}
+        except ReproError:
+            raise
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed metrics payload: {exc}") from exc
+        with self._lock:
+            for key in counters:
+                if key in self._gauges or key in self._histograms:
+                    raise ReproError(
+                        f"metric {key!r} already exists with another type")
+            for key in gauges:
+                if key in self._counters or key in self._histograms:
+                    raise ReproError(
+                        f"metric {key!r} already exists with another type")
+            for key, incoming in incoming_hists.items():
+                if key in self._counters or key in self._gauges:
+                    raise ReproError(
+                        f"metric {key!r} already exists with another type")
+                existing = self._histograms.get(key)
+                if existing is not None and existing.edges != incoming.edges:
+                    raise ReproError(
+                        f"cannot merge histograms with different edges "
+                        f"({existing.edges} vs {incoming.edges})"
+                    )
+            # Validated; apply the whole payload.
+            for key, value in counters.items():
+                counter = self._counters.get(key)
+                if counter is None:
+                    counter = self._counters[key] = Counter()
+                counter.value += value
+            for key, value in gauges.items():
+                gauge = self._gauges.get(key)
+                if gauge is None:
+                    gauge = self._gauges[key] = Gauge()
+                gauge.value = value
+            for key, incoming in incoming_hists.items():
                 existing = self._histograms.get(key)
                 if existing is None:
-                    self._check_free(key, self._histograms)
                     self._histograms[key] = incoming
-                    continue
-            existing.merge(incoming)
+                else:
+                    existing.merge(incoming)
 
     def counter_by_key(self, key: str) -> Counter:
         """Get-or-create a counter by its canonical key string."""

@@ -37,6 +37,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .flight import FlightRecorder
+from .live import LIVE_ENV_VAR
 from .metrics import (
     DEFAULT_TIME_EDGES,
     Counter,
@@ -168,6 +170,9 @@ class NullRecorder:
     def drain_spans(self) -> List[Dict[str, Any]]:
         return []
 
+    #: A permanently disabled flight ring shared by all null recorders.
+    flight = FlightRecorder(size=0)
+
 
 class Recorder:
     """An enabled recorder: span buffer + metric registry, thread-safe."""
@@ -178,6 +183,24 @@ class Recorder:
         self.registry = MetricRegistry()
         self._events: List[Dict[str, Any]] = []
         self._lock = threading.Lock()
+        self._flight: Optional[FlightRecorder] = None
+
+    @property
+    def flight(self) -> FlightRecorder:
+        """This recorder's solve flight ring, created on first use.
+
+        Sized from ``REPRO_FLIGHT`` at first access; worker processes
+        get their own ring (it is postmortem context, not an aggregated
+        metric, so it is deliberately not shipped through
+        ``capture_task``).
+        """
+        flight = self._flight
+        if flight is None:
+            with self._lock:
+                if self._flight is None:
+                    self._flight = FlightRecorder()
+                flight = self._flight
+        return flight
 
     # -- spans ----------------------------------------------------------
     def span(self, name: str, **args: Any) -> _SpanHandle:
@@ -275,23 +298,28 @@ def capture_task(fn: Callable[[Any], Any], item: Any,
 # ----------------------------------------------------------------------
 
 _CURRENT: Optional[object] = None
-_ORIGIN: Optional[Tuple[str, str, str, str]] = None
+_ORIGIN: Optional[Tuple[str, str, str, str, str]] = None
 _EXPLICIT = False
 _STATE_LOCK = threading.Lock()
 
 
-def _env_signature() -> Tuple[str, str, str, str]:
+def _env_signature() -> Tuple[str, str, str, str, str]:
     return (
         os.environ.get(TRACE_ENV_VAR, ""),
         os.environ.get(METRICS_ENV_VAR, ""),
         os.environ.get(MANIFEST_ENV_VAR, ""),
         os.environ.get(OBS_ENV_VAR, ""),
+        os.environ.get(LIVE_ENV_VAR, ""),
     )
 
 
-def _env_enabled(sig: Tuple[str, str, str, str]) -> bool:
-    trace, metrics, manifest, obs = sig
+def _env_enabled(sig: Tuple[str, str, str, str, str]) -> bool:
+    trace, metrics, manifest, obs, live = sig
     if trace.strip() or metrics.strip() or manifest.strip():
+        return True
+    if live.strip().lower() not in _FALSY:
+        # Live snapshots need a real registry in every process so worker
+        # deltas exist to ship; REPRO_LIVE therefore implies recording.
         return True
     return obs.strip().lower() not in _FALSY
 

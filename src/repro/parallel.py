@@ -314,7 +314,14 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
         """Fold one task's shipped telemetry into the parent recorder."""
         if telemetry is None or not recorder.enabled:
             return
-        recorder.absorb_task(telemetry)
+        try:
+            recorder.absorb_task(telemetry)
+        except ReproError:
+            # The merge is transactional, so a rejected payload left the
+            # registry untouched; dropping the delta (and counting it)
+            # beats failing the task whose *result* arrived fine.
+            recorder.counter("parallel.telemetry.dropped").inc()
+            return
         submit = submitted.get(future)
         if submit is not None:
             recorder.histogram("parallel.task_queue_wait_seconds").observe(
@@ -364,6 +371,11 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
                 submitted[future] = monotonic()
                 if limit is not None:
                     deadlines[future] = monotonic() + limit
+            # Worker-health signal for `repro top`: how many tasks the
+            # pool currently has in flight (live snapshots read gauges
+            # from the parent recorder only, so this is pool-side state,
+            # never shipped from workers).
+            recorder.gauge("parallel.tasks.inflight").set(len(inflight))
             if rebuild:
                 recorder.counter("parallel.pool.rebuilds", cause="crash").inc()
                 recycle_inflight(broken=True)
@@ -423,6 +435,7 @@ def _pool_map(fn, items, count, limit, on_error, pool_retries, on_result):
                     _shutdown_pool(pool)
                     pool = ProcessPoolExecutor(max_workers=count)
     finally:
+        recorder.gauge("parallel.tasks.inflight").set(0)
         _shutdown_pool(pool)
 
     assert all(slot is not _PENDING for slot in results)

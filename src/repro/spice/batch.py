@@ -32,6 +32,7 @@ Fallbacks: a single lane, or a set of circuits that are not congruent
 
 from __future__ import annotations
 
+from time import monotonic as _monotonic
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -39,6 +40,7 @@ import numpy as np
 from ..errors import ConvergenceError
 from ..log import get_logger
 from ..obs import get_recorder, traced
+from ..obs.profile import PhaseProfiler
 from ..resilience import faults
 from ..resilience.retry import RetryPolicy
 from .dc import dc_plan, operating_point_from_vector
@@ -313,7 +315,8 @@ def _exhaustion_error(max_iterations: int, residual: float) -> ConvergenceError:
 
 
 def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
-                    active_rows: np.ndarray, recorder) -> tuple:
+                    active_rows: np.ndarray, recorder,
+                    times=None) -> tuple:
     """Advance every in-flight solve by one Newton iteration.
 
     Returns ``(finished, evicted)``: ``finished`` holds ``(lane,
@@ -324,6 +327,14 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
     linear solve -- the driver retries those solo through the scalar
     solver, so their burned lockstep iterations are never recorded here
     and the solo retry reproduces the scalar driver's accounting.
+
+    ``times``, when given, is a per-round
+    :class:`~repro.obs.profile.PhaseTimes` accumulator for the
+    ``driver="batch"`` phase histograms: batched assembly lands in
+    ``assembly``, the stacked ``np.linalg.solve`` in ``factorize``
+    (LAPACK gesv fuses factorize and back-substitution), the per-lane
+    guard checks and condition sampling in ``guard``, and the state
+    writeback plus convergence bookkeeping in ``scatter``.
     """
     finished: List[tuple] = []
     evicted: List[tuple] = []
@@ -333,8 +344,14 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
         if not rows.size:
             continue
         batch = len(rows)
+        if times is not None:
+            t_seg = _monotonic()
         X, F, J = _assemble(batchc, state, rows, with_caps)
         residual = np.abs(F).max(axis=1)
+        if times is not None:
+            now = _monotonic()
+            times.assembly += now - t_seg
+            t_seg = now
         if state.guarded:
             # Same check, same arguments, same order as the scalar
             # loop's per-iteration guard (residuals are bit-identical
@@ -359,10 +376,16 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
             if not keep.all():
                 rows = rows[keep]
                 if not rows.size:
+                    if times is not None:
+                        times.guard += _monotonic() - t_seg
                     continue
                 X, F, J = X[keep], F[keep], J[keep]
                 residual = residual[keep]
                 batch = len(rows)
+        if times is not None:
+            now = _monotonic()
+            times.guard += now - t_seg
+            t_seg = now
         rhs = -F
         singular = np.zeros(batch, dtype=bool)
         try:
@@ -393,6 +416,10 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
                         # ``test_singular_batch.py``).
                         dx[p] = 0.0
                         singular[p] = True
+        if times is not None:
+            now = _monotonic()
+            times.factorize += now - t_seg
+            t_seg = now
         if state.guarded:
             # Condition sampling mirrors the scalar placement: after
             # the linear solve of a lane's first iteration, against the
@@ -408,6 +435,10 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
                     if g.note_condition(estimate):
                         note_illconditioned(
                             estimate, g.policy.condition_limit, recorder)
+        if times is not None:
+            now = _monotonic()
+            times.guard += now - t_seg
+            t_seg = now
         steps = np.abs(dx).max(axis=1)
         max_steps = state.max_step[rows]
         factors = np.ones(batch)
@@ -436,6 +467,8 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
                 limit = int(state.max_iter[rows[p]])
                 finished.append((lane, False, _exhaustion_error(
                     limit, float(state.last_residual[lane])), limit))
+        if times is not None:
+            times.scatter += _monotonic() - t_seg
     return finished, evicted
 
 
@@ -445,6 +478,12 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
     state = _LockstepState(batchc, len(entries))
     active: set = set()
     recorder = get_recorder()
+    profile = PhaseProfiler.from_recorder(recorder)
+    # Flight records are per finished lane-solve (driver="batch"); the
+    # evicted lanes record through the scalar solver they retry on.
+    flight = recorder.flight if recorder.enabled else None
+    if flight is not None and not flight.enabled:
+        flight = None
     # One GuardMonitor per *lane* (not per batch): each lane's analysis
     # sees the same solve sequence it would see on the scalar driver,
     # so condition-sampling cadence and divergence decisions -- and
@@ -518,8 +557,12 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
     rounds = 0
     while active:
         rounds += 1
+        times = profile.begin() if profile is not None else None
         rows = np.fromiter(sorted(active), dtype=np.intp, count=len(active))
-        finished, evicted = _lockstep_round(batchc, state, rows, recorder)
+        finished, evicted = _lockstep_round(batchc, state, rows, recorder,
+                                            times)
+        if profile is not None:
+            profile.finish("batch", times)
         for lane, reason in evicted:
             active.discard(lane)
             retry_solo(lane, reason)
@@ -529,6 +572,15 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
                 stats.record(iterations, converged=converged)
             _observe_solve(iterations, converged=converged,
                            recorder=recorder, backend="dense")
+            if flight is not None:
+                if converged:
+                    label = "converged"
+                elif "singular" in str(outcome):
+                    label = "singular"
+                else:
+                    label = "iteration_limit"
+                flight.note_solve(driver="batch", n=batchc.n,
+                                  iterations=iterations, outcome=label)
             active.discard(lane)
             advance(lane, outcome)
     if rounds:
@@ -564,9 +616,11 @@ def run_plans_batched(entries: Sequence[tuple]) -> list:
     if batchc is None:
         # One recorder handle (and fast-Newton state, when enabled) for
         # the whole serial fallback, like the scalar analysis drivers.
+        recorder = get_recorder()
         context = SolveContext(
-            recorder=get_recorder(),
+            recorder=recorder,
             fast=FastNewtonState() if fast_newton_enabled() else None,
+            profile=PhaseProfiler.from_recorder(recorder),
         )
         guard_policy = GuardPolicy.from_env()
         outcomes = []

@@ -26,6 +26,8 @@ import numpy as np
 
 from ..errors import ConvergenceError
 from ..obs import get_recorder, traced
+from ..obs.flight import dump_flight
+from ..obs.profile import PhaseProfiler
 from ..resilience.retry import RetryPolicy
 from .engine import (
     FastNewtonState,
@@ -148,6 +150,12 @@ def dc_plan(compiled: CompiledCircuit, *,
         except ConvergenceError as error:
             last_error = error
     assert last_error is not None
+    # Retry-ladder exhaustion is a flight-dump trigger: the ring holds
+    # the failing solve (phase timings, rung history) and its context.
+    dump_flight(rec, "retry_ladder_exhausted", context={
+        "phase": "dc", "attempts": policy.max_attempts,
+        "n": compiled.n_unknown, "error": str(last_error),
+    })
     raise ConvergenceError(
         f"DC solve failed after {policy.max_attempts} retry-ladder "
         f"attempts: {last_error}",
@@ -204,6 +212,7 @@ def solve_dc(circuit: Circuit | CompiledCircuit, *,
         fast=FastNewtonState() if fast_newton_enabled() else None,
         sparse=sparse_enabled(compiled.n_unknown),
         guard=GuardMonitor.from_env(),
+        profile=PhaseProfiler.from_recorder(recorder),
     )
     plan = dc_plan(compiled, initial_guess=initial_guess, time=time,
                    options=options, stats=stats, retry=retry,
@@ -249,6 +258,7 @@ def dc_sweep(circuit: Circuit, source: str | Sequence[str],
         fast=FastNewtonState() if fast_newton_enabled() else None,
         sparse=sparse_enabled(len(circuit.unknown_nodes())),
         guard=GuardMonitor.from_env(),
+        profile=PhaseProfiler.from_recorder(recorder),
     )
     try:
         for value in grid:

@@ -15,12 +15,15 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass, field
+from time import monotonic as _monotonic
 from typing import Generator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import ConvergenceError
 from ..obs import get_recorder
+from ..obs.flight import dump_flight
+from ..obs.profile import PhaseProfiler, PhaseTimes
 from .guard import (GuardMonitor, SolveGuard, condition_estimate_dense,
                     condition_estimate_sparse, note_illconditioned,
                     record_rung)
@@ -323,7 +326,10 @@ def _observe_solve(iterations: int, converged: bool, recorder=None,
 
 
 def _guard_abort(error, stats: Optional[NewtonStats], recorder,
-                 backend: Optional[str]) -> None:
+                 backend: Optional[str], *,
+                 n: Optional[int] = None,
+                 times: Optional[PhaseTimes] = None,
+                 profile: Optional[PhaseProfiler] = None) -> None:
     """Account one guard-aborted solve before the abort is raised.
 
     The burned iterations land in ``stats``/the Newton counters exactly
@@ -331,6 +337,10 @@ def _guard_abort(error, stats: Optional[NewtonStats], recorder,
     ``spice.guard.aborts{reason=...}``.  The batched kernel does *not*
     call this for an evicted lane -- the solo retry comes back through
     here, which keeps abort accounting identical to the scalar driver.
+
+    A guard abort is also one of the two flight-dump triggers: the
+    aborted solve's record (with its phase split, when profiling) joins
+    the ring, then the whole ring dumps to ``flight_*.json``.
     """
     if stats is not None:
         stats.record(error.iterations, converged=False)
@@ -339,6 +349,43 @@ def _guard_abort(error, stats: Optional[NewtonStats], recorder,
     rec = recorder if recorder is not None else get_recorder()
     if rec.enabled:
         rec.counter("spice.guard.aborts", reason=error.reason).inc()
+    outcome = f"guard_{error.reason}"
+    _finish_solve(profile, times, backend or "dense", recorder,
+                  n, error.iterations, outcome)
+    if rec.enabled:
+        dump_flight(rec, outcome,
+                    context={"driver": backend, "n": n,
+                             "reason": error.reason,
+                             "iterations": error.iterations})
+
+
+def _finish_solve(profile: Optional[PhaseProfiler],
+                  times: Optional[PhaseTimes], backend: str, recorder,
+                  n: Optional[int], iterations: int, outcome: str,
+                  condition: Optional[float] = None) -> None:
+    """Close out one solve: fold phase timings, append the flight record.
+
+    Called at every solve exit (converged, iteration limit, singular,
+    guard abort), so the flight ring holds failures *and* the healthy
+    solves around them.
+    """
+    if profile is not None and times is not None:
+        profile.finish(backend, times)
+    rec = recorder if recorder is not None else get_recorder()
+    if not rec.enabled:
+        return
+    flight = rec.flight
+    if not flight.enabled:
+        return
+    record = {"driver": backend, "n": n, "iterations": iterations,
+              "outcome": outcome}
+    if times is not None:
+        phases = times.as_dict()
+        if phases:
+            record["phases"] = phases
+    if condition is not None:
+        record["condition"] = condition
+    flight.note_solve(**record)
 
 
 class FastNewtonState:
@@ -416,20 +463,63 @@ class _DenseOps:
         return condition_estimate_dense(J)
 
 
+class _TimedDenseOps:
+    """The dense backend with phase timing, substituted when profiling.
+
+    Runs the exact same LAPACK calls as :class:`_DenseOps` -- results
+    stay bit-identical -- but brackets them with monotonic reads.  The
+    fused ``gesv`` of ``direct_solve`` lands wholly in ``factorize``
+    (LAPACK does not expose the split); the fast-Newton path splits
+    ``lu_factor`` / ``lu_solve`` into factorize / back_solve properly.
+    """
+
+    __slots__ = ("times",)
+
+    def __init__(self, times: PhaseTimes) -> None:
+        self.times = times
+
+    def direct_solve(self, J: np.ndarray, F: np.ndarray) -> np.ndarray:
+        start = _monotonic()
+        dx = np.linalg.solve(J, -F)
+        self.times.factorize += _monotonic() - start
+        return dx
+
+    def fast_factorize(self, J: np.ndarray):
+        start = _monotonic()
+        lu = _fast_factorize(J)
+        self.times.factorize += _monotonic() - start
+        return lu
+
+    def fast_solve(self, lu, rhs: np.ndarray) -> np.ndarray:
+        start = _monotonic()
+        out = _fast_solve(lu, rhs)
+        self.times.back_solve += _monotonic() - start
+        return out
+
+    @staticmethod
+    def nudge(J: np.ndarray, value: float) -> None:
+        nudge_diagonal(J, value)
+
+    @staticmethod
+    def condition_estimate(J: np.ndarray) -> float:
+        return condition_estimate_dense(J)
+
+
 class _SparseOps:
     """SuperLU backend: factorizations count into the metric registry."""
 
-    __slots__ = ("sp", "recorder", "last_lu")
+    __slots__ = ("sp", "recorder", "last_lu", "times")
 
-    def __init__(self, sp, recorder) -> None:
+    def __init__(self, sp, recorder, times: Optional[PhaseTimes] = None) -> None:
         self.sp = sp
         self.recorder = recorder
         self.last_lu = None
+        self.times = times
 
     def factorize(self):
         """Factorize the assembled matrix; raises ``LinAlgError`` if
         singular, and records factorization/fill telemetry."""
-        lu = self.sp.factorize()
+        lu = self.sp.factorize(times=self.times)
         recorder = self.recorder if self.recorder is not None \
             else get_recorder()
         if recorder.enabled:
@@ -444,7 +534,7 @@ class _SparseOps:
     def direct_solve(self, A, F: np.ndarray) -> np.ndarray:
         lu = self.factorize()
         self.last_lu = lu
-        return self.sp.solve_factored(lu, -F)
+        return self.sp.solve_factored(lu, -F, times=self.times)
 
     def fast_factorize(self, A):
         try:
@@ -455,7 +545,7 @@ class _SparseOps:
     def fast_solve(self, lu, rhs: np.ndarray) -> np.ndarray:
         if lu is _SPARSE_SINGULAR:
             return np.full(rhs.shape, np.inf)
-        return self.sp.solve_factored(lu, rhs)
+        return self.sp.solve_factored(lu, rhs, times=self.times)
 
     def nudge(self, A, value: float) -> None:
         self.sp.nudge(value)
@@ -471,7 +561,9 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
                  effective_gmin: float, fast: FastNewtonState,
                  stats: Optional[NewtonStats], recorder,
                  ops=_DenseOps, backend: Optional[str] = None,
-                 guard: Optional[SolveGuard] = None) -> np.ndarray:
+                 guard: Optional[SolveGuard] = None,
+                 times: Optional[PhaseTimes] = None,
+                 profile: Optional[PhaseProfiler] = None) -> np.ndarray:
     """Modified-Newton loop: reuse the LU factorization while it contracts.
 
     A *stale* iteration evaluates only the residual and steps with the
@@ -505,9 +597,13 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
         else:
             fast.reused += 1
         if guard is not None:
+            guard_start = _monotonic() if times is not None else 0.0
             abort = guard.check(iteration, residual)
+            if times is not None:
+                times.guard += _monotonic() - guard_start
             if abort is not None:
-                _guard_abort(abort, stats, recorder, backend)
+                _guard_abort(abort, stats, recorder, backend,
+                             n=x.shape[0], times=times, profile=profile)
                 raise abort
         dx = ops.fast_solve(fast.lu, -F)
         if not np.all(np.isfinite(dx)):
@@ -523,6 +619,8 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
                     stats.record(iteration, converged=False)
                 _observe_solve(iteration, converged=False, recorder=recorder,
                                backend=backend)
+                _finish_solve(profile, times, backend or "dense", recorder,
+                              x.shape[0], iteration, "singular")
                 raise ConvergenceError(
                     "singular Jacobian during Newton iteration",
                     iterations=iteration, residual=residual,
@@ -538,6 +636,8 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
                     stats.record(iteration, converged=True)
                 _observe_solve(iteration, converged=True, recorder=recorder,
                                backend=backend)
+                _finish_solve(profile, times, backend or "dense", recorder,
+                              x.shape[0], iteration, "converged")
                 return x
             # Tolerance hit on a stale step: polish with a fresh
             # Jacobian before accepting.
@@ -550,6 +650,8 @@ def _newton_fast(compiled: CompiledCircuit, x: np.ndarray,
         stats.record(options.max_iterations, converged=False)
     _observe_solve(options.max_iterations, converged=False,
                    recorder=recorder, backend=backend)
+    _finish_solve(profile, times, backend or "dense", recorder,
+                  x.shape[0], options.max_iterations, "iteration_limit")
     raise ConvergenceError(
         f"Newton failed to converge in {options.max_iterations} iterations "
         f"(residual {last_residual:.3e} A)",
@@ -566,7 +668,8 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                  recorder=None,
                  fast: Optional[FastNewtonState] = None,
                  sparse: Optional[bool] = None,
-                 guard: Optional[GuardMonitor] = None) -> np.ndarray:
+                 guard: Optional[GuardMonitor] = None,
+                 profile: Optional[PhaseProfiler] = None) -> np.ndarray:
     """Damped Newton-Raphson solve of the KCL system.
 
     Raises :class:`~repro.errors.ConvergenceError` when the iteration
@@ -593,16 +696,29 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
     1-norm condition estimate of their first Jacobian.  ``None`` (the
     default, and the state with ``REPRO_GUARD`` unset) leaves the
     iteration untouched.
+
+    ``profile``, when given, is the analysis's
+    :class:`~repro.obs.profile.PhaseProfiler`: assembly, factorization,
+    back-substitution and guard overhead of this solve are timed and
+    folded into the per-driver phase histograms (and the per-solve
+    flight record).  ``None`` -- the default, and the state whenever
+    telemetry is off -- skips every timing site.
     """
     x = np.array(x0, dtype=float)
     effective_gmin = options.gmin if gmin is None else gmin
     solve_guard = guard.start_solve() if guard is not None else None
+    times = profile.begin() if profile is not None else None
     plan = compiled.stamp_plan
     compiled_path = cap_stamps is None or plan.stamps_match(cap_stamps)
     use_sparse = compiled_path and (
         sparse_enabled(compiled.n_unknown) if sparse is None
         else bool(sparse))
-    ops = _SparseOps(plan.sparse, recorder) if use_sparse else _DenseOps
+    if use_sparse:
+        ops = _SparseOps(plan.sparse, recorder, times)
+    elif times is not None:
+        ops = _TimedDenseOps(times)
+    else:
+        ops = _DenseOps
     backend = "sparse" if use_sparse else "dense"
     if compiled_path:
         ws = plan.scratch
@@ -623,6 +739,17 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                 compiled, x, known, gmin=effective_gmin, time=time,
                 cap_stamps=cap_stamps, source_scale=source_scale)
 
+    if times is not None:
+        # One wrapper times every assembly call of both Newton loops;
+        # the unprofiled path keeps the raw closure (zero overhead).
+        _assemble_inner = assemble
+
+        def assemble(need_jacobian: bool = True):
+            start = _monotonic()
+            result = _assemble_inner(need_jacobian)
+            times.assembly += _monotonic() - start
+            return result
+
     if fast is not None:
         if cap_stamps is None:
             geq_key: tuple = ()
@@ -634,16 +761,22 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
         # refactorizes whenever contraction stalls.
         return _newton_fast(compiled, x, assemble, key, options,
                             effective_gmin, fast, stats, recorder,
-                            ops=ops, backend=backend, guard=solve_guard)
+                            ops=ops, backend=backend, guard=solve_guard,
+                            times=times, profile=profile)
 
+    condition_seen: Optional[float] = None
     last_residual = np.inf
     for iteration in range(1, options.max_iterations + 1):
         F, J = assemble()
         residual = float(np.abs(F).max())
         if solve_guard is not None:
+            guard_start = _monotonic() if times is not None else 0.0
             abort = solve_guard.check(iteration, residual)
+            if times is not None:
+                times.guard += _monotonic() - guard_start
             if abort is not None:
-                _guard_abort(abort, stats, recorder, backend)
+                _guard_abort(abort, stats, recorder, backend,
+                             n=x.shape[0], times=times, profile=profile)
                 raise abort
         try:
             dx = ops.direct_solve(J, F)
@@ -659,6 +792,8 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                     stats.record(iteration, converged=False)
                 _observe_solve(iteration, converged=False, recorder=recorder,
                                backend=backend)
+                _finish_solve(profile, times, backend, recorder,
+                              x.shape[0], iteration, "singular")
                 raise ConvergenceError(
                     "singular Jacobian during Newton iteration",
                     iterations=iteration, residual=residual,
@@ -668,7 +803,11 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
             # retained factor is current, and a nudged diagonal is
             # estimated as-solved (matching the batched kernel, which
             # estimates its lane Jacobians after in-place nudges).
+            guard_start = _monotonic() if times is not None else 0.0
             estimate = ops.condition_estimate(J)
+            if times is not None:
+                times.guard += _monotonic() - guard_start
+            condition_seen = estimate
             if solve_guard.note_condition(estimate):
                 note_illconditioned(estimate,
                                     solve_guard.policy.condition_limit,
@@ -682,12 +821,18 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
                 stats.record(iteration, converged=True)
             _observe_solve(iteration, converged=True, recorder=recorder,
                            backend=backend)
+            _finish_solve(profile, times, backend, recorder,
+                          x.shape[0], iteration, "converged",
+                          condition=condition_seen)
             return x
         last_residual = residual
     if stats is not None:
         stats.record(options.max_iterations, converged=False)
     _observe_solve(options.max_iterations, converged=False,
                    recorder=recorder, backend=backend)
+    _finish_solve(profile, times, backend, recorder,
+                  x.shape[0], options.max_iterations, "iteration_limit",
+                  condition=condition_seen)
     raise ConvergenceError(
         f"Newton failed to converge in {options.max_iterations} iterations "
         f"(residual {last_residual:.3e} A)",
@@ -727,13 +872,16 @@ class SolveContext:
     each solve re-dispatch); ``guard`` carries the analysis's
     :class:`~repro.spice.guard.GuardMonitor` when ``REPRO_GUARD`` is on
     (``None``, the default, omits the keyword so the ungated solver
-    path is byte-for-byte the unguarded one).
+    path is byte-for-byte the unguarded one); ``profile`` carries the
+    analysis's :class:`~repro.obs.profile.PhaseProfiler` when telemetry
+    is enabled (``None`` skips every timing site).
     """
 
     recorder: object = None
     fast: Optional[FastNewtonState] = field(default=None)
     sparse: Optional[bool] = field(default=None)
     guard: Optional[GuardMonitor] = field(default=None)
+    profile: Optional[PhaseProfiler] = field(default=None)
 
     def solve_kwargs(self, request: NewtonRequest,
                      stats: Optional[NewtonStats]) -> dict:
@@ -746,6 +894,8 @@ class SolveContext:
             kwargs["sparse"] = self.sparse
         if self.guard is not None:
             kwargs["guard"] = self.guard
+        if self.profile is not None:
+            kwargs["profile"] = self.profile
         return kwargs
 
 
@@ -783,8 +933,10 @@ def run_plan(compiled: CompiledCircuit, plan: SolvePlan,
     arguments) propagate to the caller.
     """
     if context is None:
-        context = SolveContext(recorder=get_recorder(),
-                               guard=GuardMonitor.from_env())
+        recorder = get_recorder()
+        context = SolveContext(recorder=recorder,
+                               guard=GuardMonitor.from_env(),
+                               profile=PhaseProfiler.from_recorder(recorder))
     outcome: Optional[SolveOutcome] = None
     while True:
         try:

@@ -117,6 +117,12 @@ def record_rung(rung: str, recorder=None) -> None:
     rec = recorder if recorder is not None else get_recorder()
     if rec.enabled:
         rec.counter("spice.guard.rung", rung=rung).inc()
+        flight = rec.flight
+        if flight.enabled:
+            # The flight ring interleaves rung events with solve records,
+            # so a post-mortem dump shows which ladder rungs the failing
+            # solve walked and in what order.
+            flight.note_rung(rung)
 
 
 def note_illconditioned(estimate: float, limit: float, recorder=None) -> None:

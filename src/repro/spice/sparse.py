@@ -44,6 +44,7 @@ forces dense.
 from __future__ import annotations
 
 import os
+from time import monotonic
 
 import numpy as np
 
@@ -195,7 +196,7 @@ class SparsePlan:
         """Add ``value`` to every diagonal entry of the assembled data."""
         self.matrix.data[self.diag_pos] += value
 
-    def factorize(self):
+    def factorize(self, times=None):
         """SuperLU factorization of the (pre-permuted) assembled matrix.
 
         Raises :class:`numpy.linalg.LinAlgError` on an exactly singular
@@ -205,18 +206,36 @@ class SparsePlan:
         the chaos suite exercises the recovery ladder (diagonal nudge,
         homotopy rungs, NaN-cell degradation) without a genuinely
         singular operating point.
+
+        ``times``, when given, is a
+        :class:`~repro.obs.profile.PhaseTimes` accumulator; the
+        factorization's wall seconds land in ``times.factorize`` (the
+        phase profiler splits factorize from back-substitution on this
+        backend).
         """
         faults.fire_sparse_factorize()
+        start = monotonic() if times is not None else 0.0
         try:
-            return splu(self.matrix, permc_spec="NATURAL")
+            lu = splu(self.matrix, permc_spec="NATURAL")
         except RuntimeError as error:
             raise np.linalg.LinAlgError(str(error)) from None
+        if times is not None:
+            times.factorize += monotonic() - start
+        return lu
 
-    def solve_factored(self, lu, rhs: np.ndarray) -> np.ndarray:
-        """Back-substitute ``rhs`` through ``lu``, undoing the RCM perm."""
+    def solve_factored(self, lu, rhs: np.ndarray, times=None) -> np.ndarray:
+        """Back-substitute ``rhs`` through ``lu``, undoing the RCM perm.
+
+        ``times``, when given, accumulates the wall seconds into
+        ``times.back_solve``.
+        """
+        start = monotonic() if times is not None else 0.0
         np.take(rhs, self.perm, out=self._rhs)
         self._dx[self.perm] = lu.solve(self._rhs)
-        return self._dx.copy()
+        out = self._dx.copy()
+        if times is not None:
+            times.back_solve += monotonic() - start
+        return out
 
     def dense_jacobian(self) -> np.ndarray:
         """The assembled matrix as a dense array in original node order.

@@ -32,6 +32,8 @@ import numpy as np
 
 from ..errors import ConvergenceError
 from ..obs import get_recorder, traced
+from ..obs.flight import dump_flight
+from ..obs.profile import PhaseProfiler
 from ..resilience import faults
 from ..resilience.retry import AttemptRecord, RetryPolicy
 from ..units import parse_quantity
@@ -281,6 +283,12 @@ def transient_result_plan(compiled: CompiledCircuit, t_stop: float | str, *,
             ))
     if outcome is None:
         assert last_error is not None
+        # Retry-ladder exhaustion is a flight-dump trigger: the ring
+        # holds the failing solves (phase timings, rung history).
+        dump_flight(recorder, "retry_ladder_exhausted", context={
+            "phase": "transient", "attempts": policy.max_attempts,
+            "n": compiled.n_unknown, "error": str(last_error),
+        })
         raise ConvergenceError(
             f"transient analysis failed after {policy.max_attempts} "
             f"retry-ladder attempts: {last_error}",
@@ -351,6 +359,7 @@ def transient(circuit: Circuit | CompiledCircuit, t_stop: float | str, *,
         fast=FastNewtonState() if fast_newton_enabled() else None,
         sparse=sparse_enabled(compiled.n_unknown),
         guard=GuardMonitor.from_env(),
+        profile=PhaseProfiler.from_recorder(recorder),
     )
     plan = transient_result_plan(
         compiled, t_stop, stats=stats, t_start=t_start, record=record,

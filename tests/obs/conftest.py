@@ -8,17 +8,23 @@ pinned recorder) and leaves one behind.
 import pytest
 
 from repro.obs import (
+    FLIGHT_DIR_ENV_VAR,
+    FLIGHT_ENV_VAR,
+    LIVE_ENV_VAR,
     MANIFEST_ENV_VAR,
     METRICS_ENV_VAR,
     OBS_ENV_VAR,
     TRACE_ENV_VAR,
     reset_recorder,
 )
+from repro.obs.live import LIVE_INTERVAL_ENV_VAR
 
 
 @pytest.fixture(autouse=True)
 def clean_obs_state(monkeypatch):
-    for var in (TRACE_ENV_VAR, METRICS_ENV_VAR, MANIFEST_ENV_VAR, OBS_ENV_VAR):
+    for var in (TRACE_ENV_VAR, METRICS_ENV_VAR, MANIFEST_ENV_VAR, OBS_ENV_VAR,
+                LIVE_ENV_VAR, LIVE_INTERVAL_ENV_VAR, FLIGHT_ENV_VAR,
+                FLIGHT_DIR_ENV_VAR):
         monkeypatch.delenv(var, raising=False)
     reset_recorder()
     yield

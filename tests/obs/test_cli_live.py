@@ -1,0 +1,154 @@
+"""CLI live observability: ``--live`` runs, ``repro top``, ``stats --trend``."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.obs import LIVE_ENV_VAR, get_recorder
+from repro.obs.flight import FLIGHT_DIR_ENV_VAR
+from repro.obs.live import OPENMETRICS_NAME, SNAPSHOT_NAME, read_snapshot
+
+VTC_ARGV = ["vtc", "--gate", "inv"]
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    """A cache hit would serve the VTC with zero Newton solves -- these
+    tests assert live counters, so force real solves every run."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+
+
+class TestLiveFlag:
+    def test_live_run_writes_snapshot_pair(self, tmp_path, capsys):
+        live = tmp_path / "live"
+        assert main(VTC_ARGV + ["--live", str(live)]) == 0
+        document = read_snapshot(str(live / SNAPSHOT_NAME))
+        assert document is not None
+        assert document["counters"].get("spice.newton.solves", 0) > 0
+        prom = (live / OPENMETRICS_NAME).read_text()
+        assert "repro_spice_newton_solves_total" in prom
+        assert prom.endswith("# EOF\n")
+        assert "vil" in capsys.readouterr().out  # command output intact
+
+    def test_live_env_var_equivalent(self, tmp_path, capsys, monkeypatch):
+        live = tmp_path / "env-live"
+        monkeypatch.setenv(LIVE_ENV_VAR, str(live))
+        assert main(VTC_ARGV) == 0
+        assert read_snapshot(str(live / SNAPSHOT_NAME)) is not None
+
+    def test_live_points_flight_dumps_at_live_dir(self, tmp_path, capsys):
+        """``--live`` routes flight postmortems next to the snapshots
+        (REPRO_FLIGHT_DIR defaulted, then restored after the run)."""
+        live = tmp_path / "live"
+        assert FLIGHT_DIR_ENV_VAR not in os.environ
+        assert main(VTC_ARGV + ["--live", str(live)]) == 0
+        assert FLIGHT_DIR_ENV_VAR not in os.environ
+
+    def test_no_live_leaves_no_thread_or_files(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(VTC_ARGV) == 0
+        assert not (tmp_path / "live").exists()
+        names = [t.name for t in threading.enumerate()]
+        assert "repro-live-snapshotter" not in names
+        assert not get_recorder().enabled  # recorder state restored
+
+
+class TestTopCommand:
+    def _snapshot_dir(self, tmp_path, capsys):
+        live = tmp_path / "live"
+        assert main(VTC_ARGV + ["--live", str(live)]) == 0
+        capsys.readouterr()
+        return live
+
+    def test_top_once_renders_snapshot(self, tmp_path, capsys):
+        live = self._snapshot_dir(tmp_path, capsys)
+        assert main(["top", str(live), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "solves" in out
+
+    def test_top_accepts_direct_json_path(self, tmp_path, capsys):
+        live = self._snapshot_dir(tmp_path, capsys)
+        assert main(["top", str(live / SNAPSHOT_NAME), "--once"]) == 0
+
+    def test_top_once_without_snapshot_exits_1(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nowhere"), "--once"]) == 1
+        assert "no live snapshot" in capsys.readouterr().out
+
+
+def _bench_record(name, wall, phases):
+    return {
+        "kind": "repro-bench",
+        "name": name,
+        "wall_seconds": wall,
+        "tests": {
+            "test_case": {
+                "wall_seconds": wall,
+                "scale": 1.0,
+                "phases": phases,
+            },
+        },
+    }
+
+
+class TestStatsTrend:
+    def _write(self, directory, name, wall, phases=None):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps(_bench_record(name, wall, phases or {})))
+
+    def test_trend_without_current_lists_baselines(self, tmp_path, capsys):
+        base = tmp_path / "baseline"
+        self._write(base, "solver", 1.0)
+        assert main(["stats", "--trend", "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "bench trend" in out
+        assert "no current record" in out
+        assert "no regressions flagged" in out
+
+    def test_trend_flags_regression_with_phase_attribution(self, tmp_path,
+                                                           capsys):
+        base, cur = tmp_path / "baseline", tmp_path / "current"
+        self._write(base, "solver", 1.0,
+                    {"dense": {"assembly": 0.2, "factorize": 0.2}})
+        self._write(cur, "solver", 1.6,
+                    {"dense": {"assembly": 0.2, "factorize": 0.8}})
+        assert main(["stats", "--trend", "--baseline", str(base),
+                     "--current", str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "+60%" in out
+        assert "factorize" in out  # the phase that moved the most
+        assert "1 regression(s) flagged" in out
+
+    def test_trend_within_threshold_is_ok(self, tmp_path, capsys):
+        base, cur = tmp_path / "baseline", tmp_path / "current"
+        self._write(base, "solver", 1.0)
+        self._write(cur, "solver", 1.1)
+        assert main(["stats", "--trend", "--baseline", str(base),
+                     "--current", str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "ok solver/test_case" in out
+        assert "no regressions flagged" in out
+
+    def test_trend_custom_threshold(self, tmp_path, capsys):
+        base, cur = tmp_path / "baseline", tmp_path / "current"
+        self._write(base, "solver", 1.0)
+        self._write(cur, "solver", 1.1)
+        assert main(["stats", "--trend", "--baseline", str(base),
+                     "--current", str(cur), "--threshold", "0.05"]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_trend_on_committed_baselines(self, capsys):
+        """The in-repo baseline directory must always render."""
+        assert main(["stats", "--trend"]) == 0
+        out = capsys.readouterr().out
+        assert "bench trend" in out
+        assert "BENCH" in out or "no baseline" not in out
+
+    def test_stats_without_file_or_trend_errors(self, capsys):
+        assert main(["stats"]) == 1

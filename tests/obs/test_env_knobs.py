@@ -1,0 +1,58 @@
+"""Manifest knob audit: every ``REPRO_*`` read in src/ is in ENV_KNOBS.
+
+A run manifest is only useful provenance if it records *every*
+environment knob that could have changed the run.  This test greps the
+source tree for ``REPRO_*`` literals so a new knob cannot be added
+without also landing in :data:`repro.obs.manifest.ENV_KNOBS` -- the
+failure message names the missing knob and the file that reads it.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.manifest import ENV_KNOBS
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+KNOB_RE = re.compile(r'"(REPRO_[A-Z][A-Z0-9_]*)"')
+
+#: ``REPRO_*`` literals in src/ that are not environment knobs.
+NOT_KNOBS = {
+    # The fault-injection *clause prefix* grep would also match any
+    # plain-prose mentions; currently everything matched is a knob.
+}
+
+
+def _knobs_read_in_src():
+    found = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for match in KNOB_RE.finditer(path.read_text(encoding="utf-8")):
+            knob = match.group(1)
+            if knob not in NOT_KNOBS:
+                found.setdefault(knob, path.relative_to(SRC))
+    return found
+
+
+def test_every_repro_knob_is_in_the_manifest():
+    found = _knobs_read_in_src()
+    assert found, "grep found no REPRO_* knobs under src/ -- regex rot?"
+    missing = {knob: str(path) for knob, path in found.items()
+               if knob not in ENV_KNOBS}
+    assert not missing, (
+        "REPRO_* knobs read in src/ but absent from "
+        f"repro.obs.manifest.ENV_KNOBS: {missing}")
+
+
+def test_live_family_is_manifested():
+    """The PR-8 observability knobs specifically (regression anchor)."""
+    for knob in ("REPRO_LIVE", "REPRO_LIVE_INTERVAL",
+                 "REPRO_FLIGHT", "REPRO_FLIGHT_DIR"):
+        assert knob in ENV_KNOBS, knob
+
+
+def test_manifest_has_no_stale_knobs():
+    """Knobs listed in ENV_KNOBS but read nowhere under src/ are stale
+    provenance -- they record environment that cannot affect the run."""
+    found = _knobs_read_in_src()
+    stale = [knob for knob in ENV_KNOBS if knob not in found]
+    assert not stale, f"ENV_KNOBS entries no code reads: {stale}"

@@ -96,3 +96,45 @@ class TestDegradationSummary:
         assert "solver retries 2" in line
         assert "timeout=3" in line
         assert "cells neighbor-filled 4" in line
+
+
+class TestHeadlineSummary:
+    """`repro stats` leads with the operator-triage counters."""
+
+    def _payload(self):
+        recorder = Recorder()
+        recorder.counter("spice.newton.solves").inc(200)
+        recorder.counter("spice.newton.iterations").inc(640)
+        recorder.counter("spice.guard.rung", rung="gmin_ramp").inc(3)
+        recorder.counter("spice.guard.rung", rung="nudge").inc(1)
+        recorder.counter("spice.guard.aborts", reason="watchdog").inc(1)
+        recorder.counter("spice.batch.evictions", reason="divergence").inc(2)
+        recorder.counter("spice.sparse.factorizations").inc(40)
+        recorder.counter("obs.flight.dumps", reason="guard_watchdog").inc(1)
+        return recorder.metrics_payload()
+
+    def test_surfaces_guard_eviction_and_sparse_families(self):
+        from repro.obs import headline_summary
+
+        text = headline_summary(self._payload())
+        assert text.startswith("headline:")
+        assert "solves 200" in text
+        assert "guard rungs: gmin_ramp=3, nudge=1" in text
+        assert "guard aborts: watchdog=1" in text
+        assert "batch evictions: divergence=2" in text
+        assert "sparse: factorizations=40" in text
+        assert "flight dumps: guard_watchdog=1" in text
+
+    def test_empty_for_quiet_payload(self):
+        from repro.obs import headline_summary
+
+        assert headline_summary(
+            {"counters": {}, "gauges": {}, "histograms": {}}) == ""
+
+    def test_format_stats_leads_with_headline(self):
+        from repro.obs import format_stats, headline_summary
+
+        payload = self._payload()
+        text = format_stats(payload)
+        assert headline_summary(payload).splitlines()[1] in text
+        assert text.index("headline:") < text.index("counters:")

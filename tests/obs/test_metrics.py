@@ -136,3 +136,85 @@ class TestPayloadAlgebra:
         parent.merge(mark)
         parent.merge(registry.delta_since(mark))
         assert parent.snapshot() == registry.snapshot()
+
+
+class TestTransactionalMerge:
+    """A rejected payload must leave the registry untouched.
+
+    The pre-fix ``merge`` mutated while iterating: a payload whose
+    *second* entry was malformed had already applied its first, so a
+    worker delta could land half-absorbed -- exactly the skew the
+    worker-invariance guarantee forbids.
+    """
+
+    def _seeded(self):
+        registry = MetricRegistry()
+        registry.counter("units").inc(5)
+        registry.gauge("level").set(2.0)
+        registry.histogram("seconds", edges=(0.1, 1.0)).observe(0.5)
+        return registry, registry.snapshot()
+
+    def test_nonnumeric_counter_rejects_whole_payload(self):
+        registry, before = self._seeded()
+        with pytest.raises(ReproError):
+            registry.merge({"counters": {"units": 1.0, "bad": "NaN-ish?"},
+                            "gauges": {"level": 9.0}})
+        assert registry.snapshot() == before
+
+    def test_histogram_edge_mismatch_rejects_whole_payload(self):
+        registry, before = self._seeded()
+        with pytest.raises(ReproError):
+            registry.merge({
+                "counters": {"units": 3.0},
+                "histograms": {
+                    "seconds": {"edges": [0.2, 2.0], "counts": [1, 0, 0],
+                                "sum": 0.1, "count": 1},
+                },
+            })
+        assert registry.snapshot() == before, \
+            "counter applied despite the histogram rejection"
+
+    def test_bad_histogram_shape_rejects_whole_payload(self):
+        registry, before = self._seeded()
+        with pytest.raises(ReproError):
+            registry.merge({
+                "gauges": {"level": 7.0},
+                "histograms": {"seconds": {"edges": [0.1, 1.0]}},
+            })
+        assert registry.snapshot() == before
+
+    def test_cross_type_conflict_rejects_whole_payload(self):
+        registry, before = self._seeded()
+        with pytest.raises(ReproError):
+            registry.merge({"counters": {"fresh": 1.0, "level": 2.0}})
+        assert registry.snapshot() == before, \
+            "'fresh' landed although 'level' conflicted with a gauge"
+
+    def test_valid_payload_still_applies(self):
+        registry, _ = self._seeded()
+        registry.merge({
+            "counters": {"units": 2.0},
+            "gauges": {"level": 4.0},
+            "histograms": {
+                "seconds": {"edges": [0.1, 1.0], "counts": [1, 0, 0],
+                            "sum": 0.05, "count": 1},
+            },
+        })
+        snap = registry.snapshot()
+        assert snap["counters"]["units"] == 7.0
+        assert snap["gauges"]["level"] == 4.0
+        assert snap["histograms"]["seconds"]["count"] == 2
+
+    def test_recorder_absorb_task_is_transactional(self):
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+        recorder.counter("units").inc(5)
+        before = recorder.metrics_payload()
+        with pytest.raises(ReproError):
+            recorder.absorb_task({
+                "metrics": {"counters": {"units": 1.0, "oops": object()}},
+                "spans": [{"name": "task"}],
+            })
+        assert recorder.metrics_payload() == before
+        assert recorder.drain_spans() == []
