@@ -289,11 +289,16 @@ class GateLibrary:
     # ------------------------------------------------------------------
     # Serialization (table mode only)
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        """Write a table-mode library to a JSON file."""
+    def to_payload(self) -> dict:
+        """A table-mode library as a plain-JSON payload.
+
+        The same document :meth:`save` writes (and :meth:`load` reads);
+        the serve daemon returns it directly from ``/characterize``
+        without touching the filesystem.
+        """
         if self.mode != "table":
             raise CharacterizationError("only table-mode libraries are serializable")
-        payload = {
+        return {
             "gate": self.gate.cache_key(),
             "thresholds": {
                 "vil": self.thresholds.vil,
@@ -304,8 +309,11 @@ class GateLibrary:
             "singles": [m.to_payload() for m in self._singles.values()],
             "duals": [m.to_payload() for m in self._duals.values()],
         }
+
+    def save(self, path: str | Path) -> None:
+        """Write a table-mode library to a JSON file."""
         with open(path, "w") as handle:
-            json.dump(payload, handle)
+            json.dump(self.to_payload(), handle)
 
     @classmethod
     def load(cls, path: str | Path, gate: Gate) -> "GateLibrary":

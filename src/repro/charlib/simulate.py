@@ -36,7 +36,37 @@ __all__ = [
     "multi_input_response",
     "single_input_response_batch",
     "multi_input_response_batch",
+    "set_shot_router",
+    "get_shot_router",
 ]
+
+#: The installed shot router (see :func:`set_shot_router`), or ``None``.
+_SHOT_ROUTER = None
+
+
+def set_shot_router(router):
+    """Install ``router`` as the process-wide shot router; returns the
+    previous one (``None`` clears).
+
+    A router intercepts :func:`multi_input_response` calls: its
+    ``route(gate, edges, thresholds, *, reference, load, max_retries,
+    retry)`` method either returns the :class:`MultiShot` (or raises the
+    exception the scalar path would have raised), or returns ``None`` to
+    decline, in which case the call proceeds scalar as usual.  The serve
+    daemon's coalescing broker uses this seam to gather concurrent
+    requests into lanes of :func:`multi_input_response_batch` -- which
+    is bit-identical per lane -- without the measurement call sites
+    knowing.
+    """
+    global _SHOT_ROUTER
+    previous = _SHOT_ROUTER
+    _SHOT_ROUTER = router
+    return previous
+
+
+def get_shot_router():
+    """The currently installed shot router, or ``None``."""
+    return _SHOT_ROUTER
 
 
 @dataclass(frozen=True)
@@ -244,6 +274,12 @@ def multi_input_response(gate: Gate, edges: Mapping[str, Edge],
     :class:`~repro.errors.ConvergenceError` enriched with which gate and
     edges were being measured, so a health report can name the point.
     """
+    router = _SHOT_ROUTER
+    if router is not None:
+        routed = router.route(gate, edges, thresholds, reference=reference,
+                              load=load, max_retries=max_retries, retry=retry)
+        if routed is not None:
+            return routed
     plan = _prepare_shot(gate, edges, thresholds, reference, load)
     last_error: Optional[MeasurementError] = None
     for attempt in range(max_retries):

@@ -11,6 +11,8 @@ Commands
 ``stats``        -- summarize a metrics report or run manifest; with
                     ``--trend``, compare benchmark baselines.
 ``top``          -- tail the live metrics snapshot of a ``--live`` run.
+``serve``        -- long-lived characterization daemon (JSON over HTTP
+                    and unix sockets; see :mod:`repro.serve`).
 
 Every command takes ``-v/-vv/--quiet`` (logging) and ``--trace`` /
 ``--metrics`` / ``--manifest`` / ``--live`` (telemetry artifacts; see
@@ -41,22 +43,11 @@ __all__ = ["main", "build_parser"]
 
 
 def _gate_from_args(args: argparse.Namespace) -> Gate:
-    process = PROCESSES[args.process]()
-    kind = args.gate.lower()
-    load = parse_quantity(args.load, unit="F")
-    if kind.startswith("nand"):
-        return Gate.nand(int(kind[4:] or 2), process, load=load)
-    if kind.startswith("nor"):
-        return Gate.nor(int(kind[3:] or 2), process, load=load)
-    if kind in ("inv", "inverter"):
-        return Gate.inverter(process, load=load)
-    if kind == "aoi21":
-        return Gate.aoi21(process, load=load)
-    if kind == "oai21":
-        return Gate.oai21(process, load=load)
-    if kind == "aoi22":
-        return Gate.aoi22(process, load=load)
-    raise ReproError(f"unknown gate {args.gate!r} (try nand3, nor2, inv, aoi21)")
+    # The serve protocol speaks the CLI's cell-naming language; the one
+    # parser lives there so daemon and CLI can never drift apart.
+    from .serve.protocol import build_gate
+
+    return build_gate(args.gate, args.process, args.load)
 
 
 def _add_gate_options(parser: argparse.ArgumentParser) -> None:
@@ -262,18 +253,37 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="refresh cadence (default: 1.0)")
     _add_obs_options(p_top)
+
+    p_serve = sub.add_parser(
+        "serve", help="long-lived characterization daemon (HTTP + unix)")
+    _add_obs_options(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8357,
+                         help="TCP port; 0 picks an ephemeral port "
+                              "(default: 8357)")
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="also serve on a unix-domain socket at PATH")
+    p_serve.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                         help="response-cache TTL (default: REPRO_SERVE_TTL "
+                              "env var, else 300; 0 never expires)")
+    p_serve.add_argument("--cache-max", type=int, default=None, metavar="N",
+                         help="response-cache entry cap (default: "
+                              "REPRO_SERVE_CACHE_MAX env var, else 1024; "
+                              "0 disables caching)")
+    p_serve.add_argument("--no-coalesce", action="store_true",
+                         help="disable request coalescing (each query "
+                              "solves scalar; results are identical)")
+    p_serve.add_argument("--ready-file", default=None, metavar="FILE",
+                         help="write a JSON line with the bound endpoints "
+                              "once listening (for scripts and CI)")
     return parser
 
 
 def _parse_edge(spec: str) -> tuple[str, Edge]:
-    parts = spec.split(":")
-    if len(parts) not in (3, 4):
-        raise ReproError(
-            f"edge spec {spec!r} must be PIN:DIR:TAU or PIN:DIR:TAU:AT")
-    pin, direction, tau = parts[:3]
-    at = parts[3] if len(parts) == 4 else "0s"
-    return pin, Edge(direction, parse_quantity(at, unit="s"),
-                     parse_quantity(tau, unit="s"))
+    from .serve.protocol import parse_edge_spec
+
+    return parse_edge_spec(spec)
 
 
 def _cmd_vtc(args: argparse.Namespace) -> int:
@@ -290,27 +300,14 @@ def _cmd_vtc(args: argparse.Namespace) -> int:
 
 
 def _cmd_delay(args: argparse.Namespace) -> int:
+    from .serve.protocol import format_delay_report
+
     gate = _gate_from_args(args)
     edges = dict(_parse_edge(spec) for spec in args.edge)
     library = GateLibrary.characterize(gate, mode=args.mode)
     calc = DelayCalculator(library, correction=args.correction)
     result = calc.explain(edges)
-    print(f"reference (dominant) input: {result.reference}")
-    print(f"dominance order:            {' > '.join(result.order)}")
-    print(f"delay:                      {format_quantity(result.delay, 's')}"
-          f"  (raw {format_quantity(result.raw_delay, 's')}, "
-          f"correction {format_quantity(result.delay_correction, 's')})")
-    print(f"output transition time:     {format_quantity(result.ttime, 's')}")
-    for fold in result.steps:
-        windows = []
-        if fold.in_delay_window:
-            windows.append("delay")
-        if fold.in_ttime_window:
-            windows.append("ttime")
-        print(f"  folded {fold.input_name}: sep="
-              f"{format_quantity(fold.separation, 's')} "
-              f"D2={fold.delay_ratio:.3f} T2={fold.ttime_ratio:.3f} "
-              f"({'+'.join(windows)})")
+    print(format_delay_report(result))
     return 0
 
 
@@ -482,6 +479,67 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import signal
+    import threading
+    import time
+
+    from .obs import Recorder, get_recorder, set_recorder
+    from .serve import ReproServer, ServeState
+    from .serve.coalesce import coalescing_enabled
+
+    # /metrics needs a real registry even when no --trace/--metrics flag
+    # armed one; pin an enabled recorder for the daemon's lifetime.
+    pinned = None
+    if not get_recorder().enabled:
+        pinned = Recorder()
+        set_recorder(pinned)
+
+    coalesce = coalescing_enabled() and not args.no_coalesce
+    state = ServeState(ttl=args.ttl, cache_max=args.cache_max)
+    server = ReproServer(host=args.host, port=args.port,
+                         socket_path=args.socket, state=state,
+                         coalesce=coalesce)
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _request_shutdown)
+
+    server.start()
+    endpoints = {"http": server.http_endpoint}
+    if server.unix_endpoint:
+        endpoints["unix"] = server.unix_endpoint
+    if args.ready_file:
+        with open(args.ready_file, "w") as handle:
+            json.dump(endpoints, handle)
+            handle.write("\n")
+    print(f"repro serve listening on {server.http_endpoint}"
+          + (f" and {server.unix_endpoint}" if server.unix_endpoint else "")
+          + (" (coalescing)" if coalesce else " (coalescing off)"),
+          flush=True)
+    try:
+        # A sleep loop rather than Event.wait(): the handler runs on
+        # this thread, and setting an Event the thread is blocked on
+        # would contend for the Event's own lock.
+        while not stop.is_set():
+            time.sleep(0.2)
+    finally:
+        drained = server.stop()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        if pinned is not None and get_recorder() is pinned:
+            from .obs import reset_recorder
+
+            reset_recorder()
+    print(f"repro serve shut down cleanly (drained={drained})", flush=True)
+    return 0
+
+
 _COMMANDS = {
     "vtc": _cmd_vtc,
     "delay": _cmd_delay,
@@ -491,6 +549,7 @@ _COMMANDS = {
     "glitch": _cmd_glitch,
     "stats": _cmd_stats,
     "top": _cmd_top,
+    "serve": _cmd_serve,
 }
 
 

@@ -42,6 +42,7 @@ from .recorder import (
     TRACE_ENV_VAR,
     Recorder,
     get_recorder,
+    pinned_recorder,
     reset_recorder,
     set_recorder,
 )
@@ -59,6 +60,8 @@ ENV_KNOBS = (
     "REPRO_CACHE_DIR", "REPRO_FAST_NEWTON",
     "REPRO_SPARSE", "REPRO_GUARD", "REPRO_GUARD_COND",
     "REPRO_GUARD_COND_EVERY", "REPRO_GUARD_DIVERGE", "REPRO_GUARD_WALL",
+    "REPRO_SERVE_TTL", "REPRO_SERVE_CACHE_MAX", "REPRO_SERVE_COALESCE",
+    "REPRO_SERVE_GATHER", "REPRO_SERVE_LANES",
     TRACE_ENV_VAR, METRICS_ENV_VAR, MANIFEST_ENV_VAR, OBS_ENV_VAR,
     LIVE_ENV_VAR, LIVE_INTERVAL_ENV_VAR, FLIGHT_ENV_VAR, FLIGHT_DIR_ENV_VAR,
 )
@@ -161,6 +164,7 @@ class RunContext:
         self.command = command
         self.cli_args = dict(cli_args) if cli_args else {}
         self._saved_env: Dict[str, Optional[str]] = {}
+        self._prev_pinned: Optional[Any] = None
         self._armed = False
         self._start = 0.0
         self._snapshotter: Optional[Snapshotter] = None
@@ -220,6 +224,10 @@ class RunContext:
             os.environ.setdefault(FLIGHT_DIR_ENV_VAR, self.live_dir)
         self._armed = True
         self._start = time.monotonic()
+        # A host process (the serve daemon, a test harness) may already
+        # have pinned a recorder; remember it so finalize() can restore
+        # the pin instead of silently dropping the host's telemetry.
+        self._prev_pinned = pinned_recorder()
         if self.wants_telemetry:
             rec = Recorder()
             set_recorder(rec)
@@ -268,4 +276,7 @@ class RunContext:
             self._saved_env.clear()
             self._armed = False
             reset_recorder()
+            if self._prev_pinned is not None:
+                set_recorder(self._prev_pinned)
+                self._prev_pinned = None
         return written

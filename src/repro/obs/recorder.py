@@ -50,7 +50,8 @@ from .metrics import (
 __all__ = [
     "TRACE_ENV_VAR", "METRICS_ENV_VAR", "OBS_ENV_VAR", "MANIFEST_ENV_VAR",
     "Recorder", "NullRecorder", "get_recorder", "set_recorder",
-    "reset_recorder", "recording", "traced", "capture_task",
+    "reset_recorder", "pinned_recorder", "recording", "traced",
+    "capture_task",
 ]
 
 #: Chrome trace-event output path; any value also enables recording.
@@ -355,6 +356,14 @@ def set_recorder(recorder) -> None:
         _CURRENT = recorder
         _ORIGIN = None
         _EXPLICIT = True
+
+
+def pinned_recorder():
+    """The explicitly-installed recorder, or ``None`` when resolution is
+    environment-driven.  Lets a nested CLI run (``main()`` called inside
+    a serving process) restore the host's pin instead of dropping it."""
+    with _STATE_LOCK:
+        return _CURRENT if _EXPLICIT else None
 
 
 def reset_recorder() -> None:

@@ -1,0 +1,153 @@
+"""The daemon's response cache: TTL expiry + LRU eviction, thread-safe.
+
+A characterization server's whole value is that repeats are free, but
+an unbounded cache in a long-lived process is a slow memory leak and a
+stale entry outlives the library files it was computed from.  This
+cache bounds both axes: entries expire ``ttl`` seconds after they were
+stored (``REPRO_SERVE_TTL``, default 300 s; ``0`` disables expiry) and
+the least-recently-used entry is evicted once ``max_entries`` is
+reached (``REPRO_SERVE_CACHE_MAX``, default 1024; ``0`` disables
+caching entirely).
+
+Values are opaque to the cache -- the server stores fully *encoded*
+response bytes, so a hit replays the exact bytes a miss produced and
+cached responses stay bit-identical to computed ones.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = [
+    "TTL_ENV_VAR", "CACHE_MAX_ENV_VAR", "DEFAULT_TTL", "DEFAULT_CACHE_MAX",
+    "serve_ttl", "serve_cache_max", "TtlLruCache",
+]
+
+#: Response time-to-live in seconds (``0`` = never expire).
+TTL_ENV_VAR = "REPRO_SERVE_TTL"
+#: Maximum cached responses (``0`` disables the cache).
+CACHE_MAX_ENV_VAR = "REPRO_SERVE_CACHE_MAX"
+
+DEFAULT_TTL = 300.0
+DEFAULT_CACHE_MAX = 1024
+
+
+def serve_ttl() -> float:
+    """The configured TTL (``REPRO_SERVE_TTL``, seconds, default 300)."""
+    raw = os.environ.get(TTL_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_TTL
+    try:
+        ttl = float(raw)
+    except ValueError:
+        return DEFAULT_TTL
+    return max(0.0, ttl)
+
+
+def serve_cache_max() -> int:
+    """The configured entry cap (``REPRO_SERVE_CACHE_MAX``, default 1024)."""
+    raw = os.environ.get(CACHE_MAX_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_CACHE_MAX
+    try:
+        cap = int(raw)
+    except ValueError:
+        return DEFAULT_CACHE_MAX
+    return max(0, cap)
+
+
+class TtlLruCache:
+    """A bounded mapping with per-entry TTL and LRU eviction.
+
+    ``clock`` is injectable (monotonic seconds) so tests drive expiry
+    without sleeping.  All operations are O(1) and thread-safe; the
+    stat counters (``hits``/``misses``/``expirations``/``evictions``)
+    let the server publish cache behaviour as metrics without the cache
+    knowing about recorders.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None,
+                 ttl: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.max_entries = serve_cache_max() if max_entries is None else max_entries
+        self.ttl = serve_ttl() if ttl is None else ttl
+        self._clock = clock
+        self._data: "OrderedDict[Any, Tuple[float, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def _expired(self, stored_at: float, now: float) -> bool:
+        return self.ttl > 0.0 and now - stored_at >= self.ttl
+
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached value, or ``None`` on miss/expiry.
+
+        A hit refreshes LRU recency but *not* the TTL clock: an entry's
+        lifetime is counted from when it was stored, so a hot key still
+        re-computes every ``ttl`` seconds and cannot serve stale results
+        forever.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_at, value = entry
+            if self._expired(stored_at, now):
+                del self._data[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Store ``value``, evicting the LRU entry past the cap."""
+        if self.max_entries <= 0:
+            return
+        now = self._clock()
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = (now, value)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry; returns how many were dropped."""
+        now = self._clock()
+        with self._lock:
+            dead = [k for k, (stored_at, _) in self._data.items()
+                    if self._expired(stored_at, now)]
+            for key in dead:
+                del self._data[key]
+            self.expirations += len(dead)
+        return len(dead)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "expirations": self.expirations,
+                "evictions": self.evictions,
+            }

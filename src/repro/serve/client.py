@@ -1,0 +1,143 @@
+"""A small stdlib client for the serve daemon (tests, bench, CI).
+
+Endpoints are the strings the server prints: ``http://host:port`` for
+TCP or ``unix:/path/to.sock`` for the unix-domain listener.  The client
+keeps its connection alive across calls (the daemon speaks HTTP/1.1),
+which is what makes a load generator measure the server rather than TCP
+handshakes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(ReproError):
+    """A non-2xx response from the daemon; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+class ServeClient:
+    """One persistent connection to a running daemon."""
+
+    def __init__(self, endpoint: str, timeout: float = 120.0) -> None:
+        self.endpoint = endpoint
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            if self.endpoint.startswith("unix:"):
+                self._conn = _UnixHTTPConnection(
+                    self.endpoint[len("unix:"):], timeout=self.timeout)
+            elif self.endpoint.startswith("http://"):
+                rest = self.endpoint[len("http://"):].rstrip("/")
+                host, _, port = rest.partition(":")
+                self._conn = http.client.HTTPConnection(
+                    host, int(port or "80"), timeout=self.timeout)
+                # Connect eagerly so Nagle can be switched off: requests
+                # go out as several small writes, and Nagle + delayed
+                # ACK turns each round trip into a ~40 ms stall.
+                self._conn.connect()
+                self._conn.sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            else:
+                raise ReproError(
+                    f"endpoint {self.endpoint!r} must look like "
+                    "'http://host:port' or 'unix:/path.sock'")
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- raw request ----------------------------------------------------
+    def request(self, method: str, path: str,
+                body: Optional[Any] = None) -> Tuple[int, Dict[str, str], bytes]:
+        """One round trip; returns ``(status, headers, body_bytes)``.
+
+        Retries once on a dropped keep-alive connection (the server may
+        have timed an idle connection out between calls).
+        """
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                return (response.status,
+                        {k.lower(): v for k, v in response.getheaders()},
+                        data)
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _json(self, method: str, path: str,
+              body: Optional[Any] = None) -> Dict[str, Any]:
+        status, _, data = self.request(method, path, body)
+        try:
+            document = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            document = {"error": data.decode("utf-8", "replace")}
+        if status >= 400:
+            raise ServeError(status, str(document.get("error", document)))
+        return document
+
+    # -- endpoints ------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        status, _, data = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, data.decode("utf-8", "replace"))
+        return data.decode("utf-8")
+
+    def delay(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        return self._json("POST", "/delay", query)
+
+    def delay_raw(self, query: Dict[str, Any]) -> Tuple[int, Dict[str, str], bytes]:
+        """The unparsed ``/delay`` round trip (bit-identity checks)."""
+        return self.request("POST", "/delay", query)
+
+    def characterize(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        return self._json("POST", "/characterize", query)

@@ -1,0 +1,437 @@
+"""The ``repro serve`` daemon: JSON over HTTP and unix-domain sockets.
+
+Endpoints
+---------
+``GET  /healthz``      -- liveness + warm-state summary (JSON).
+``GET  /metrics``      -- the process metric registry as OpenMetrics
+                          text (the PR-8 renderer), including the
+                          ``serve.*`` counters and histograms.
+``POST /delay``        -- one delay query (the ``repro delay`` code
+                          path), or ``{"queries": [...]}`` for several;
+                          multi-query requests fan out over the warm
+                          worker pool so their simulations coalesce.
+``POST /characterize`` -- a table-mode library build; returns the
+                          library JSON ``repro characterize`` writes.
+
+Responses repeat byte-for-byte from the TTL+LRU cache (the
+``X-Repro-Cache`` header says ``hit`` or ``miss``; bodies never differ),
+and cache misses compute through exactly the CLI's code paths, so a
+served result is bit-identical to the equivalent CLI run.  Shutdown is
+drain-first: listeners stop accepting, in-flight requests complete and
+flush, then sockets close.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..log import get_logger
+from ..obs import get_recorder
+from ..obs.live import render_openmetrics
+from .coalesce import ShotBroker, coalescing_enabled, serve_lanes
+from .protocol import (
+    BadRequest,
+    parse_characterize_request,
+    parse_delay_request,
+)
+from .state import ServeState
+
+__all__ = ["ServeApp", "ReproServer", "OPENMETRICS_CONTENT_TYPE"]
+
+_log = get_logger("serve")
+
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8")
+
+#: Request bodies past this size are rejected with 400 (not a DoS door).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Latency histogram edges (seconds): sub-ms cache hits to multi-second
+#: characterizations.
+LATENCY_EDGES = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                 10.0, 60.0)
+
+
+class ServeApp:
+    """The transport-independent application behind every listener."""
+
+    def __init__(self, state: Optional[ServeState] = None, *,
+                 coalesce: Optional[bool] = None,
+                 broker: Optional[ShotBroker] = None,
+                 pool_size: Optional[int] = None) -> None:
+        self.state = state or ServeState()
+        if coalesce is None:
+            coalesce = coalescing_enabled()
+        self.broker = broker if broker is not None else (
+            ShotBroker() if coalesce else None)
+        self.pool = ThreadPoolExecutor(
+            max_workers=pool_size or serve_lanes(),
+            thread_name_prefix="repro-serve-worker")
+        self.started = time.monotonic()
+        self._in_flight = 0
+        self._flight_cond = threading.Condition()
+        self._draining = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self.broker is not None:
+            self.broker.install()
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True)
+        if self.broker is not None:
+            self.broker.remove()
+
+    # -- in-flight accounting (the SIGTERM drain) -----------------------
+    def request_started(self) -> bool:
+        """Register one request; ``False`` once draining (answer 503)."""
+        with self._flight_cond:
+            if self._draining:
+                return False
+            self._in_flight += 1
+            return True
+
+    def request_finished(self) -> None:
+        with self._flight_cond:
+            self._in_flight = max(0, self._in_flight - 1)
+            self._flight_cond.notify_all()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Refuse new requests and wait for in-flight ones to finish."""
+        deadline = time.monotonic() + timeout
+        with self._flight_cond:
+            self._draining = True
+            while self._in_flight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._flight_cond.wait(remaining)
+        return True
+
+    @property
+    def in_flight(self) -> int:
+        with self._flight_cond:
+            return self._in_flight
+
+    # -- metrics helpers ------------------------------------------------
+    def _observe(self, endpoint: str, status: int, t0: float) -> None:
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return
+        recorder.counter("serve.requests", endpoint=endpoint,
+                         status=str(status)).inc()
+        recorder.histogram("serve.request.latency", edges=LATENCY_EDGES,
+                           endpoint=endpoint).observe(time.monotonic() - t0)
+
+    def _count_cache(self, hit: bool) -> None:
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.counter("serve.cache.requests",
+                             result="hit" if hit else "miss").inc()
+
+    # -- endpoint logic --------------------------------------------------
+    def _compute_delay(self, query) -> Dict[str, Any]:
+        if self.broker is not None:
+            with self.broker.active():
+                return self.state.delay_response(query)
+        return self.state.delay_response(query)
+
+    def _delay_one(self, query) -> Tuple[bytes, bool]:
+        body, hit = self.state.cached_or_compute(
+            query.signature(), lambda: self._compute_delay(query))
+        self._count_cache(hit)
+        return body, hit
+
+    def handle_delay(self, obj: Any) -> Tuple[int, bytes, Dict[str, str]]:
+        if isinstance(obj, dict) and "queries" in obj:
+            raw = obj["queries"]
+            if not isinstance(raw, list) or not raw:
+                raise BadRequest("field 'queries' must be a non-empty list")
+            queries = [parse_delay_request(item) for item in raw]
+            futures = [self.pool.submit(self._delay_one, q) for q in queries]
+            outcomes = [f.result() for f in futures]
+            documents = [json.loads(body) for body, _ in outcomes]
+            hits = sum(1 for _, hit in outcomes if hit)
+            body = (json.dumps({"ok": True, "results": documents},
+                               sort_keys=True) + "\n").encode("utf-8")
+            cache = ("hit" if hits == len(outcomes)
+                     else "miss" if hits == 0 else "mixed")
+            return 200, body, {"X-Repro-Cache": cache}
+        query = parse_delay_request(obj)
+        body, hit = self._delay_one(query)
+        return 200, body, {"X-Repro-Cache": "hit" if hit else "miss"}
+
+    def handle_characterize(self, obj: Any) -> Tuple[int, bytes, Dict[str, str]]:
+        query = parse_characterize_request(obj)
+
+        def compute() -> Dict[str, Any]:
+            if self.broker is not None:
+                with self.broker.active():
+                    return self.state.characterize_response(query)
+            return self.state.characterize_response(query)
+
+        body, hit = self.state.cached_or_compute(query.signature(), compute)
+        self._count_cache(hit)
+        return 200, body, {"X-Repro-Cache": "hit" if hit else "miss"}
+
+    def handle_healthz(self) -> Tuple[int, bytes, Dict[str, str]]:
+        document = {
+            "ok": True,
+            "status": "draining" if self._draining else "serving",
+            "pid": os.getpid(),
+            "uptime": time.monotonic() - self.started,
+            "contexts": self.state.context_count,
+            "coalescing": self.broker is not None,
+            "cache": self.state.responses.stats(),
+            "in_flight": self.in_flight,
+        }
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        return 200, body, {}
+
+    def handle_metrics(self) -> Tuple[int, bytes, Dict[str, str]]:
+        self.state.publish_cache_metrics()
+        text = render_openmetrics(get_recorder().metrics_payload())
+        return 200, text.encode("utf-8"), {"_content_type":
+                                           OPENMETRICS_CONTENT_TYPE}
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """One HTTP connection; routes to the owning server's ``app``."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+    timeout = 60.0
+
+    def setup(self) -> None:
+        super().setup()
+        # Headers and body go out as separate writes; without
+        # TCP_NODELAY, Nagle + delayed ACK stalls every localhost round
+        # trip ~40 ms.  (AF_UNIX sockets have no Nagle to disable.)
+        if self.connection.family in (socket.AF_INET, socket.AF_INET6):
+            self.connection.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, True)
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        _log.debug("%s", format % args)
+
+    def _send(self, status: int, body: bytes,
+              headers: Optional[Dict[str, str]] = None) -> None:
+        headers = dict(headers or {})
+        content_type = headers.pop("_content_type", "application/json")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        body = (json.dumps({"ok": False, "error": message},
+                           sort_keys=True) + "\n").encode("utf-8")
+        self._send(status, body)
+
+    def _read_json(self) -> Any:
+        length = self.headers.get("Content-Length")
+        try:
+            n = int(length or "")
+        except ValueError:
+            raise BadRequest("request needs a Content-Length header")
+        if n > MAX_BODY_BYTES:
+            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(n)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}")
+
+    # -- routing --------------------------------------------------------
+    def _route(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        t0 = time.monotonic()
+        if not self.app.request_started():
+            self._send_error_json(503, "server is draining")
+            return
+        status = 500
+        try:
+            try:
+                if method == "GET" and path == "/healthz":
+                    status, body, headers = self.app.handle_healthz()
+                elif method == "GET" and path == "/metrics":
+                    status, body, headers = self.app.handle_metrics()
+                elif method == "POST" and path == "/delay":
+                    status, body, headers = self.app.handle_delay(
+                        self._read_json())
+                elif method == "POST" and path == "/characterize":
+                    status, body, headers = self.app.handle_characterize(
+                        self._read_json())
+                elif path in ("/delay", "/characterize", "/healthz",
+                              "/metrics"):
+                    # The request body (if any) was never consumed, so
+                    # the connection cannot be reused.
+                    self.close_connection = True
+                    status = 405
+                    self._send_error_json(405, f"{path} does not allow {method}")
+                    return
+                else:
+                    self.close_connection = True
+                    status = 404
+                    self._send_error_json(404, f"unknown endpoint {path!r}")
+                    return
+                self._send(status, body, headers)
+            except BadRequest as exc:
+                # The body may be unread or half-read; drop the
+                # connection rather than let the remainder masquerade as
+                # the next request.
+                self.close_connection = True
+                status = 400
+                self._send_error_json(400, str(exc))
+            except ReproError as exc:
+                # A well-formed request whose computation failed (e.g. a
+                # solver convergence loss): not the client's fault, not a
+                # server crash -- report it as a structured 422.
+                status = 422
+                self._send_error_json(422, str(exc))
+            except Exception as exc:  # pragma: no cover - defensive
+                status = 500
+                _log.exception("unhandled serve error")
+                self._send_error_json(500, f"internal error: {exc}")
+        finally:
+            self.app.request_finished()
+            self.app._observe(path.lstrip("/") or "root", status, t0)
+
+    def do_GET(self) -> None:
+        self._route("GET")
+
+    def do_POST(self) -> None:
+        self._route("POST")
+
+
+class _ReproHTTPServer(ThreadingHTTPServer):
+    """TCP listener; handler threads are daemonic (drain is app-level).
+
+    The SIGTERM drain is implemented by :meth:`ServeApp.drain` (which
+    counts *requests*, not connections), so an idle keep-alive
+    connection can never hold shutdown hostage the way joining handler
+    threads would.
+    """
+
+    daemon_threads = True
+    block_on_close = False
+    allow_reuse_address = True
+
+    def __init__(self, address, app: ServeApp) -> None:
+        super().__init__(address, _ServeHandler)
+        self.app = app
+
+
+class _ReproUnixServer(_ReproHTTPServer):
+    """The same HTTP protocol over a unix-domain socket."""
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self) -> None:
+        try:
+            os.unlink(self.server_address)  # type: ignore[arg-type]
+        except OSError:
+            pass
+        socketserver.TCPServer.server_bind(self)
+        self.server_name = "localhost"
+        self.server_port = 0
+
+    def get_request(self):
+        request, _ = super().get_request()
+        # BaseHTTPRequestHandler indexes client_address; AF_UNIX peers
+        # have none, so synthesize a stable placeholder.
+        return request, ("unix", 0)
+
+
+class ReproServer:
+    """A running daemon: one app behind HTTP and/or unix listeners."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 socket_path: Optional[str] = None, *,
+                 state: Optional[ServeState] = None,
+                 coalesce: Optional[bool] = None,
+                 pool_size: Optional[int] = None) -> None:
+        self.app = ServeApp(state, coalesce=coalesce, pool_size=pool_size)
+        self.socket_path = socket_path
+        self._http = _ReproHTTPServer((host, port), self.app)
+        self._unix = (_ReproUnixServer(socket_path, self.app)
+                      if socket_path else None)
+        self._threads: List[threading.Thread] = []
+        self._stopped = False
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def http_endpoint(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def unix_endpoint(self) -> Optional[str]:
+        return f"unix:{self.socket_path}" if self.socket_path else None
+
+    def start(self) -> "ReproServer":
+        self.app.start()
+        for server, name in ((self._http, "http"), (self._unix, "unix")):
+            if server is None:
+                continue
+            thread = threading.Thread(target=server.serve_forever,
+                                      kwargs={"poll_interval": 0.1},
+                                      daemon=True,
+                                      name=f"repro-serve-{name}")
+            thread.start()
+            self._threads.append(thread)
+        _log.info("serving on %s%s", self.http_endpoint,
+                  f" and {self.unix_endpoint}" if self._unix else "")
+        return self
+
+    def stop(self, drain_timeout: float = 30.0) -> bool:
+        """Drain-first shutdown; ``True`` when no request was cut off."""
+        if self._stopped:
+            return True
+        self._stopped = True
+        for server in (self._http, self._unix):
+            if server is not None:
+                server.shutdown()
+        drained = self.app.drain(drain_timeout)
+        for server in (self._http, self._unix):
+            if server is not None:
+                server.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self.app.close()
+        if self.socket_path:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        _log.info("serve shutdown complete (drained=%s)", drained)
+        return drained
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

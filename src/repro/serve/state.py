@@ -1,0 +1,158 @@
+"""Warm server state: gate libraries, calculators and the response cache.
+
+The daemon's latency story is that everything expensive outlives the
+request: the characterized :class:`~repro.charlib.GateLibrary` (and its
+memoized oracle simulations), the :class:`~repro.core.DelayCalculator`
+(and its calibrated step-error terms), and the VTC thresholds all live
+in a :class:`GateContext` that is built once per gate configuration and
+reused by every subsequent request -- the second query for a gate pays
+interpolation, not simulation.  Fully-encoded response bytes are
+additionally cached in a :class:`~repro.serve.cache.TtlLruCache`, so an
+exact repeat replays identical bytes without touching the solver.
+
+Computation itself is delegated to the same code paths the CLI runs
+(:func:`repro.serve.protocol.build_gate`, ``GateLibrary.characterize``,
+``DelayCalculator.explain``), which is what keeps served results
+bit-identical to ``repro delay`` / ``repro characterize``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..charlib import DualInputGrid, GateLibrary, SingleInputGrid
+from ..core import DelayCalculator
+from ..obs import get_recorder
+from .cache import TtlLruCache
+from .protocol import (
+    CharacterizeQuery,
+    DelayQuery,
+    delay_result_payload,
+    build_gate,
+    format_delay_report,
+)
+
+__all__ = ["GateContext", "ServeState"]
+
+
+class GateContext:
+    """One gate configuration's warm artifacts (library + calculators)."""
+
+    def __init__(self, query: DelayQuery) -> None:
+        self.gate = build_gate(query.gate, query.process, query.load)
+        self.library = GateLibrary.characterize(self.gate, mode=query.mode)
+        self._calculators: Dict[str, DelayCalculator] = {}
+        self._lock = threading.Lock()
+
+    def calculator(self, correction: str) -> DelayCalculator:
+        """The warm calculator for one correction policy.
+
+        Calculators are per-correction because the policy is a
+        constructor argument; they share the library, so the memoized
+        oracle responses and the disk-cached tables are paid once.
+        """
+        with self._lock:
+            calc = self._calculators.get(correction)
+            if calc is None:
+                calc = DelayCalculator(self.library, correction=correction)
+                self._calculators[correction] = calc
+            return calc
+
+
+class ServeState:
+    """Everything the daemon keeps warm across requests."""
+
+    def __init__(self, *, ttl: Optional[float] = None,
+                 cache_max: Optional[int] = None) -> None:
+        self.responses = TtlLruCache(max_entries=cache_max, ttl=ttl)
+        self._contexts: Dict[str, GateContext] = {}
+        self._context_locks: Dict[str, threading.Lock] = {}
+        self._lock = threading.Lock()
+
+    # -- warm contexts --------------------------------------------------
+    def context_for(self, query: DelayQuery) -> GateContext:
+        """The (possibly just-built) warm context for a configuration.
+
+        Creation is single-flight per configuration: concurrent first
+        requests for the same gate block on one per-key lock while a
+        single thread characterizes, instead of duplicating the work.
+        """
+        key = query.config_signature()
+        with self._lock:
+            context = self._contexts.get(key)
+            if context is not None:
+                return context
+            lock = self._context_locks.setdefault(key, threading.Lock())
+        with lock:
+            with self._lock:
+                context = self._contexts.get(key)
+            if context is None:
+                context = GateContext(query)
+                recorder = get_recorder()
+                if recorder.enabled:
+                    recorder.counter("serve.contexts.built",
+                                     gate=query.gate, mode=query.mode).inc()
+                with self._lock:
+                    self._contexts[key] = context
+            return context
+
+    @property
+    def context_count(self) -> int:
+        with self._lock:
+            return len(self._contexts)
+
+    # -- computation ----------------------------------------------------
+    def delay_response(self, query: DelayQuery) -> Dict[str, Any]:
+        """Compute one delay query (the ``repro delay`` code path)."""
+        context = self.context_for(query)
+        calc = context.calculator(query.correction)
+        result = calc.explain(dict(query.edges))
+        return {
+            "ok": True,
+            "signature": query.signature(),
+            "result": delay_result_payload(result),
+            "report": format_delay_report(result),
+        }
+
+    def characterize_response(self, query: CharacterizeQuery) -> Dict[str, Any]:
+        """Compute one table-mode characterization (CLI ``characterize``)."""
+        gate = build_gate(query.gate, query.process, query.load)
+        kwargs: Dict[str, Any] = {}
+        if query.fast:
+            kwargs["single_grid"] = SingleInputGrid.fast()
+            kwargs["dual_grid"] = DualInputGrid.fast()
+        library = GateLibrary.characterize(gate, mode="table", **kwargs)
+        return {
+            "ok": True,
+            "signature": query.signature(),
+            "library": library.to_payload(),
+            "health": library.health_summary(),
+        }
+
+    # -- the response cache ---------------------------------------------
+    def cached_or_compute(self, signature: str,
+                          compute) -> Tuple[bytes, bool]:
+        """Encoded response bytes for ``signature``; ``(body, hit)``.
+
+        The cache stores fully-encoded bytes, so a hit replays the exact
+        bytes the original computation produced -- bit-identity of
+        cached responses is structural, not a property of re-encoding.
+        """
+        body = self.responses.get(signature)
+        if body is not None:
+            return body, True
+        document = compute()
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        self.responses.put(signature, body)
+        return body, False
+
+    def publish_cache_metrics(self) -> None:
+        """Mirror cache counters into ``serve.cache.*`` gauges."""
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return
+        stats = self.responses.stats()
+        for name, value in stats.items():
+            recorder.gauge(f"serve.cache.{name}").set(float(value))

@@ -14,6 +14,19 @@ from repro import Gate, default_process
 from repro.charlib import GateLibrary
 from repro.charlib.library import cached_thresholds
 from repro.core import DelayCalculator
+from repro.obs.flight import FLIGHT_DIR_ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def _flight_dumps_to_tmp(tmp_path, monkeypatch):
+    """Route flight-recorder dumps into the test's tmp dir.
+
+    ``REPRO_FLIGHT_DIR`` defaults to the working directory, so chaos and
+    solver-failure tests used to litter the repo root with
+    ``flight_*.json`` postmortems.  Tests that care about dump placement
+    still can (and do) override the variable themselves.
+    """
+    monkeypatch.setenv(FLIGHT_DIR_ENV_VAR, str(tmp_path / "flight"))
 
 
 @pytest.fixture(scope="session")

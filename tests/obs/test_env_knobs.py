@@ -50,6 +50,14 @@ def test_live_family_is_manifested():
         assert knob in ENV_KNOBS, knob
 
 
+def test_serve_family_is_manifested():
+    """The serve-daemon knobs specifically (regression anchor)."""
+    for knob in ("REPRO_SERVE_TTL", "REPRO_SERVE_CACHE_MAX",
+                 "REPRO_SERVE_COALESCE", "REPRO_SERVE_GATHER",
+                 "REPRO_SERVE_LANES"):
+        assert knob in ENV_KNOBS, knob
+
+
 def test_manifest_has_no_stale_knobs():
     """Knobs listed in ENV_KNOBS but read nowhere under src/ are stale
     provenance -- they record environment that cannot affect the run."""

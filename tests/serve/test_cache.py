@@ -1,0 +1,137 @@
+"""TTL expiry and LRU eviction semantics of the serve response cache."""
+
+import pytest
+
+from repro.serve.cache import (
+    CACHE_MAX_ENV_VAR,
+    DEFAULT_CACHE_MAX,
+    DEFAULT_TTL,
+    TTL_ENV_VAR,
+    TtlLruCache,
+    serve_cache_max,
+    serve_ttl,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTtl:
+    def test_entry_expires_after_ttl(self, clock):
+        cache = TtlLruCache(max_entries=8, ttl=10.0, clock=clock)
+        cache.put("k", b"v")
+        assert cache.get("k") == b"v"
+        clock.advance(10.0)
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+
+    def test_hit_does_not_refresh_ttl(self, clock):
+        """A hot key still expires ``ttl`` after it was *stored* --
+        recency refreshes LRU order, never lifetime."""
+        cache = TtlLruCache(max_entries=8, ttl=10.0, clock=clock)
+        cache.put("k", b"v")
+        for _ in range(5):
+            clock.advance(1.9)
+            assert cache.get("k") == b"v"
+        clock.advance(1.0)  # 10.5s after the put
+        assert cache.get("k") is None
+
+    def test_zero_ttl_never_expires(self, clock):
+        cache = TtlLruCache(max_entries=8, ttl=0.0, clock=clock)
+        cache.put("k", b"v")
+        clock.advance(1e9)
+        assert cache.get("k") == b"v"
+
+    def test_purge_expired_sweeps_everything_dead(self, clock):
+        cache = TtlLruCache(max_entries=8, ttl=10.0, clock=clock)
+        cache.put("old", b"1")
+        clock.advance(6.0)
+        cache.put("new", b"2")
+        clock.advance(5.0)
+        assert cache.purge_expired() == 1
+        assert len(cache) == 1
+        assert cache.get("new") == b"2"
+
+
+class TestLru:
+    def test_eviction_drops_least_recently_used(self, clock):
+        cache = TtlLruCache(max_entries=2, ttl=0.0, clock=clock)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        assert cache.get("a") == b"1"  # refresh a's recency
+        cache.put("c", b"3")           # evicts b, the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") == b"1"
+        assert cache.get("c") == b"3"
+        assert cache.evictions == 1
+
+    def test_overwrite_does_not_evict(self, clock):
+        cache = TtlLruCache(max_entries=2, ttl=0.0, clock=clock)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.put("a", b"updated")
+        assert len(cache) == 2
+        assert cache.get("a") == b"updated"
+        assert cache.evictions == 0
+
+    def test_zero_cap_disables_caching(self, clock):
+        cache = TtlLruCache(max_entries=0, ttl=0.0, clock=clock)
+        cache.put("a", b"1")
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_stats_account_every_outcome(self, clock):
+        cache = TtlLruCache(max_entries=1, ttl=5.0, clock=clock)
+        cache.put("a", b"1")
+        assert cache.get("a") == b"1"
+        assert cache.get("missing") is None
+        cache.put("b", b"2")  # evicts a
+        clock.advance(5.0)
+        assert cache.get("b") is None  # expired
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["evictions"] == 1
+        assert stats["expirations"] == 1
+
+
+class TestEnvKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv(TTL_ENV_VAR, raising=False)
+        monkeypatch.delenv(CACHE_MAX_ENV_VAR, raising=False)
+        assert serve_ttl() == DEFAULT_TTL
+        assert serve_cache_max() == DEFAULT_CACHE_MAX
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(TTL_ENV_VAR, "12.5")
+        monkeypatch.setenv(CACHE_MAX_ENV_VAR, "7")
+        assert serve_ttl() == 12.5
+        assert serve_cache_max() == 7
+        cache = TtlLruCache()
+        assert cache.ttl == 12.5
+        assert cache.max_entries == 7
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(TTL_ENV_VAR, "soon")
+        monkeypatch.setenv(CACHE_MAX_ENV_VAR, "many")
+        assert serve_ttl() == DEFAULT_TTL
+        assert serve_cache_max() == DEFAULT_CACHE_MAX
+
+    def test_negative_clamps(self, monkeypatch):
+        monkeypatch.setenv(TTL_ENV_VAR, "-1")
+        monkeypatch.setenv(CACHE_MAX_ENV_VAR, "-4")
+        assert serve_ttl() == 0.0
+        assert serve_cache_max() == 0
