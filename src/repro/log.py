@@ -18,6 +18,7 @@ the style of the CLI's historical error messages.
 
 from __future__ import annotations
 
+import copy
 import logging
 import sys
 from typing import Optional
@@ -43,8 +44,13 @@ class _LowercaseFormatter(logging.Formatter):
     """``error: message`` rather than ``ERROR: message``."""
 
     def format(self, record: logging.LogRecord) -> str:
-        record.levelname = record.levelname.lower()
-        return super().format(record)
+        # Format a copy: the record object is shared with every other
+        # handler on the propagation path (pytest's caplog, flight
+        # sinks), and mutating ``levelname`` in place would hand them
+        # the lowercased name.
+        clone = copy.copy(record)
+        clone.levelname = clone.levelname.lower()
+        return super().format(clone)
 
 
 def get_logger(name: str) -> logging.Logger:

@@ -24,10 +24,19 @@ sequential ``F[a] += ...`` ordering per cell while staying fully
 vectorized.  Results are therefore bit-identical to the scalar path;
 ``tests/spice/test_batch_equivalence.py`` enforces this.
 
+Past the sparse cutover the same lockstep structure rides the batched
+sparse kernel instead (:mod:`repro.spice.sparse_batch`): congruent
+lanes share one :class:`~repro.spice.sparse.SparsePlan` symbolic
+analysis and the per-lane numeric work runs SuperLU on the shared CSC
+pattern -- bit-identical to the scalar sparse driver, dispatched here
+exactly like the dense kernel.
+
 Fallbacks: a single lane, or a set of circuits that are not congruent
 (different node sets or device structure), is executed serially through
 :func:`~repro.spice.engine.run_plan` -- counted in
-``spice.batch.fallbacks``.
+``spice.batch.fallbacks`` (sparse-dispatched incongruent batches, and
+batches with ``REPRO_SPARSE_BATCH=0``, count per lane in
+``spice.batch.sparse_fallbacks``).
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ import numpy as np
 from ..errors import ConvergenceError
 from ..log import get_logger
 from ..obs import get_recorder, traced
+from ..obs.manifest import run_generation
 from ..obs.profile import PhaseProfiler
 from ..resilience import faults
 from ..resilience.retry import RetryPolicy
@@ -59,10 +69,11 @@ from .engine import (
 )
 from .guard import (GuardMonitor, GuardPolicy, condition_estimate_dense,
                     note_illconditioned, record_rung)
-from .mosfet import device_param_rows, mosfet_current_batch
+from .mosfet import mosfet_current_batch
 from .netlist import Circuit, CompiledCircuit
 from .sparse import sparse_enabled
-from .stamps import MosGroup
+from .sparse_batch import SparseLockstep, sparse_batch_enabled
+from .stamps import CapStampArrays, MosGroup
 from .transient import TransientOptions, transient_result_plan
 
 __all__ = ["BatchIncongruent", "BatchCompiled", "run_plans_batched",
@@ -70,19 +81,27 @@ __all__ = ["BatchIncongruent", "BatchCompiled", "run_plans_batched",
 
 _log = get_logger("spice.batch")
 
-#: First sparse-dispatched fallback of a process logs at WARNING (an
-#: operator-visible capability gap), repeats drop to DEBUG so grid runs
-#: with thousands of batched calls do not flood the log.
-_sparse_fallback_warned = False
+#: The run generation (see :func:`repro.obs.manifest.run_generation`)
+#: whose sparse-fallback notice already logged at WARNING.  The first
+#: fallback of each run is operator-visible; repeats within the run
+#: drop to DEBUG so grid runs with thousands of batched calls do not
+#: flood the log.  Keying on the generation instead of a bare boolean
+#: resets the latch per :class:`~repro.obs.manifest.RunContext`, so a
+#: second CLI run in the same process (the test suite, a long-lived
+#: server) still gets its one WARNING.
+_sparse_fallback_run: Optional[int] = None
 
 
 def _warn_sparse_fallback(lanes: int, n_unknown: int) -> None:
-    global _sparse_fallback_warned
-    log = _log.debug if _sparse_fallback_warned else _log.warning
-    _sparse_fallback_warned = True
+    global _sparse_fallback_run
+    generation = run_generation()
+    log = (_log.debug if _sparse_fallback_run == generation
+           else _log.warning)
+    _sparse_fallback_run = generation
     log("batch of %d lanes dispatches to the sparse backend (%d unknowns "
-        ">= cutover): no batched sparse kernel yet, running the lanes "
-        "serially through the scalar sparse solver (counted in "
+        ">= cutover) but cannot ride the batched sparse kernel "
+        "(incongruent lanes, or REPRO_SPARSE_BATCH=0): running the lanes "
+        "serially through the scalar sparse solver (counted per lane in "
         "spice.batch.sparse_fallbacks)", lanes, n_unknown)
 
 
@@ -109,12 +128,17 @@ class _MosGroup:
         self.d_cols = group.d_cols
         self.g_cols = group.g_cols
         self.s_cols = group.s_cols
-        indices = [int(mi) for mi in group.cols]
-        rows = [device_param_rows(lane.mosfets, indices) for lane in lanes]
-        self.k = np.stack([r[0] for r in rows])
-        self.vt = np.stack([r[1] for r in rows])
-        self.lam = np.stack([r[2] for r in rows])
-        self.alpha = np.stack([r[3] for r in rows])
+        # Per-lane rows are fancy-indexed slices of each lane's cached
+        # full-device table -- the table is built by the same
+        # ``device_param_rows`` extraction the scalar groups use, so
+        # operands stay byte-identical while a B x m stack costs B
+        # gathers instead of B Python extraction loops per build.
+        idx = group.cols
+        tables = [lane.mos_param_table for lane in lanes]
+        self.k = np.stack([t[0][idx] for t in tables])
+        self.vt = np.stack([t[1][idx] for t in tables])
+        self.lam = np.stack([t[2][idx] for t in tables])
+        self.alpha = np.stack([t[3][idx] for t in tables])
 
 
 class BatchCompiled:
@@ -164,20 +188,20 @@ class BatchCompiled:
 
     @staticmethod
     def _check_congruent(base: CompiledCircuit, other: CompiledCircuit) -> None:
-        if (list(other.unknown_names) != list(base.unknown_names)
-                or list(other._known_names) != list(base._known_names)):
+        # Cached structural keys (see CompiledCircuit.congruence_key):
+        # the common case -- congruent lanes, keys already built --
+        # is one tuple comparison instead of re-walking device lists.
+        mine, theirs = base.congruence_key, other.congruence_key
+        if mine == theirs:
+            return
+        if mine[0] != theirs[0] or mine[1] != theirs[1]:
             raise BatchIncongruent("node sets differ across lanes")
-        if ([r[:2] for r in other.resistors] != [r[:2] for r in base.resistors]
-                or [c[:2] for c in other.capacitors] != [c[:2] for c in base.capacitors]
-                or [s[:2] for s in other.isources] != [s[:2] for s in base.isources]):
-            raise BatchIncongruent("passive/source structure differs across lanes")
-        if len(other.mosfets) != len(base.mosfets):
+        if mine[2:5] != theirs[2:5]:
+            raise BatchIncongruent(
+                "passive/source structure differs across lanes")
+        if len(mine[5]) != len(theirs[5]):
             raise BatchIncongruent("mosfet count differs across lanes")
-        for mine, theirs in zip(base.mosfets, other.mosfets):
-            if (mine[:3] != theirs[:3]
-                    or mine[3].is_nmos != theirs[3].is_nmos
-                    or mine[3].model != theirs[3].model):
-                raise BatchIncongruent("mosfet structure differs across lanes")
+        raise BatchIncongruent("mosfet structure differs across lanes")
 
 
 class _LockstepState:
@@ -237,7 +261,11 @@ class _LockstepState:
             self.is_cur[lane] = [fn(request.time) * scale
                                  for _, _, fn in compiled.isources]
         stamps = request.cap_stamps
-        if stamps:
+        if isinstance(stamps, CapStampArrays) and len(stamps):
+            self.cap_geq[lane] = stamps.geq
+            self.cap_ieq[lane] = stamps.ieq
+            self.with_caps[lane] = True
+        elif stamps:
             geq_row = self.cap_geq[lane]
             ieq_row = self.cap_ieq[lane]
             for ci, (_, _, geq, ieq) in enumerate(stamps):
@@ -248,12 +276,20 @@ class _LockstepState:
             self.with_caps[lane] = False
 
 
-def _assemble(batchc: BatchCompiled, state: _LockstepState,
-              rows: np.ndarray, with_caps: bool):
-    """Residuals and Jacobians for the selected lanes.
+def _assemble_values(batchc: BatchCompiled, state: _LockstepState,
+                     rows: np.ndarray, with_caps: bool):
+    """Gathered state, residuals and device-axis Jacobian values.
 
-    Returns ``(X, F, J)`` with shapes ``(Ba, n)``, ``(Ba, n)`` and
-    ``(Ba, n, n)``.
+    The backend-independent half of batched assembly: batched device
+    evaluation plus the layered residual scatter.  Returns ``(X, F,
+    j_vals, gmin)`` -- ``X``/``F`` shaped ``(Ba, n)``, ``j_vals`` the
+    ``(Ba, n_jvals)`` Jacobian value table in the stamp plan's
+    ``j_src`` order (``[res_g | dvd | dvg | dvs (| geq)]``) -- which
+    the dense wrapper scatters into ``(Ba, n, n)`` stacks and the
+    sparse kernel (:mod:`repro.spice.sparse_batch`) into ``(Ba, nnz)``
+    CSC data rows.  Per-cell accumulation order is the scalar
+    assembler's, so both consumers stay bit-identical to their scalar
+    backends.
     """
     n = batchc.n
     batch = len(rows)
@@ -263,8 +299,6 @@ def _assemble(batchc: BatchCompiled, state: _LockstepState,
 
     F = np.zeros((batch, n))
     F += gmin[:, None] * X
-    j_flat = np.zeros((batch, n * n))
-    j_flat[:, batchc.diag] += gmin[:, None]
 
     res_g = batchc.res_g[rows]
     res_cur = res_g * (v_all[:, batchc.res_a] - v_all[:, batchc.res_b])
@@ -292,15 +326,29 @@ def _assemble(batchc: BatchCompiled, state: _LockstepState,
         j_vals = np.concatenate([res_g, dvd_mat, dvg_mat, dvs_mat, geq],
                                 axis=1)
         f_layers = batchc.f_layers_wc
-        j_layers = batchc.j_layers_wc
     else:
         f_vals = np.concatenate([res_cur, is_cur, id_mat], axis=1)
         j_vals = np.concatenate([res_g, dvd_mat, dvg_mat, dvs_mat], axis=1)
         f_layers = batchc.f_layers_nc
-        j_layers = batchc.j_layers_nc
 
     for cells, src, sign in f_layers:
         F[:, cells] += sign * f_vals[:, src]
+    return X, F, j_vals, gmin
+
+
+def _assemble(batchc: BatchCompiled, state: _LockstepState,
+              rows: np.ndarray, with_caps: bool):
+    """Residuals and dense Jacobians for the selected lanes.
+
+    Returns ``(X, F, J)`` with shapes ``(Ba, n)``, ``(Ba, n)`` and
+    ``(Ba, n, n)``.
+    """
+    n = batchc.n
+    batch = len(rows)
+    X, F, j_vals, gmin = _assemble_values(batchc, state, rows, with_caps)
+    j_flat = np.zeros((batch, n * n))
+    j_flat[:, batchc.diag] += gmin[:, None]
+    j_layers = batchc.j_layers_wc if with_caps else batchc.j_layers_nc
     for cells, src, sign in j_layers:
         j_flat[:, cells] += sign * j_vals[:, src]
     return X, F, j_flat.reshape(batch, n, n)
@@ -473,14 +521,23 @@ def _lockstep_round(batchc: BatchCompiled, state: _LockstepState,
 
 
 @traced("spice.batch")
-def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
+def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple], *,
+                  sparse: bool = False) -> list:
     outcomes: list = [None] * len(entries)
     state = _LockstepState(batchc, len(entries))
     active: set = set()
     recorder = get_recorder()
     profile = PhaseProfiler.from_recorder(recorder)
-    # Flight records are per finished lane-solve (driver="batch"); the
-    # evicted lanes record through the scalar solver they retry on.
+    # The round kernel is the only backend-dependent piece: the dense
+    # (B, n, n) stack, or per-lane SuperLU on the shared CSC pattern.
+    # Everything else -- plan advancement, guard monitors, eviction and
+    # solo retry, accounting -- is driver-invariant, labeled by
+    # ``driver``/``backend`` so telemetry tells the two apart.
+    driver = "sparse_batch" if sparse else "batch"
+    backend = "sparse" if sparse else "dense"
+    kernel = SparseLockstep(batchc, _assemble_values) if sparse else None
+    # Flight records are per finished lane-solve; the evicted lanes
+    # record through the scalar solver they retry on.
     flight = recorder.flight if recorder.enabled else None
     if flight is not None and not flight.enabled:
         flight = None
@@ -513,7 +570,7 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
                                  converged=False)
                 _observe_solve(request.options.max_iterations,
                                converged=False, recorder=recorder,
-                               backend="dense")
+                               backend=backend)
                 sent = _exhaustion_error(request.options.max_iterations,
                                          np.inf)
                 continue
@@ -541,7 +598,11 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
         compiled, _, stats = entries[lane]
         kwargs = request_kwargs(request, stats)
         kwargs["recorder"] = recorder
-        kwargs["sparse"] = False  # the lockstep kernel is dense-only
+        # The solo retry replays on the scalar solver with the *same*
+        # linear backend the lockstep kernel was using, so an evicted
+        # lane's waveform stays bit-identical to the scalar driver it
+        # is being compared against.
+        kwargs["sparse"] = sparse
         if monitors[lane] is not None:
             kwargs["guard"] = monitors[lane]
         try:
@@ -559,10 +620,13 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
         rounds += 1
         times = profile.begin() if profile is not None else None
         rows = np.fromiter(sorted(active), dtype=np.intp, count=len(active))
-        finished, evicted = _lockstep_round(batchc, state, rows, recorder,
-                                            times)
+        if kernel is not None:
+            finished, evicted = kernel.round(state, rows, recorder, times)
+        else:
+            finished, evicted = _lockstep_round(batchc, state, rows,
+                                                recorder, times)
         if profile is not None:
-            profile.finish("batch", times)
+            profile.finish(driver, times)
         for lane, reason in evicted:
             active.discard(lane)
             retry_solo(lane, reason)
@@ -571,7 +635,7 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
             if stats is not None:
                 stats.record(iterations, converged=converged)
             _observe_solve(iterations, converged=converged,
-                           recorder=recorder, backend="dense")
+                           recorder=recorder, backend=backend)
             if flight is not None:
                 if converged:
                     label = "converged"
@@ -579,12 +643,14 @@ def _run_lockstep(batchc: BatchCompiled, entries: Sequence[tuple]) -> list:
                     label = "singular"
                 else:
                     label = "iteration_limit"
-                flight.note_solve(driver="batch", n=batchc.n,
+                flight.note_solve(driver=driver, n=batchc.n,
                                   iterations=iterations, outcome=label)
             active.discard(lane)
             advance(lane, outcome)
     if rounds:
         recorder.counter("spice.batch.rounds").inc(rounds)
+        if sparse:
+            recorder.counter("spice.batch.sparse_rounds").inc(rounds)
     return outcomes
 
 
@@ -593,26 +659,39 @@ def run_plans_batched(entries: Sequence[tuple]) -> list:
 
     Returns one outcome per entry: the plan's return value, or the
     :class:`~repro.errors.ConvergenceError` it raised.  Congruent
-    multi-lane batches run through the lockstep kernel; a single lane
-    runs serially (nothing to vectorize), and incongruent lanes fall
-    back to the serial driver with a ``spice.batch.fallbacks`` count.
-    Lanes that dispatch to the sparse backend
-    (:func:`~repro.spice.sparse.sparse_enabled`) also run serially --
-    the lockstep kernel is a dense ``(B, n, n)`` kernel, and past the
-    sparse cutover the per-lane sparse solves are faster than stacked
-    dense LAPACK -- counted in ``spice.batch.sparse_fallbacks``; the
+    multi-lane batches run through the lockstep kernel -- the dense
+    ``(B, n, n)`` stack below the sparse cutover, the batched sparse
+    kernel (:mod:`repro.spice.sparse_batch`, shared symbolic analysis,
+    per-lane SuperLU) when the lanes dispatch to the sparse backend
+    (:func:`~repro.spice.sparse.sparse_enabled`).  A single lane runs
+    serially (nothing to vectorize), and incongruent lanes fall back
+    to the serial driver with a ``spice.batch.fallbacks`` count --
+    counted per lane in ``spice.batch.sparse_fallbacks`` instead when
+    they would have dispatched sparse (as are congruent batches with
+    the sparse kernel disabled via ``REPRO_SPARSE_BATCH=0``); the
     serial solves then match the scalar driver bit for bit.
     """
     batchc = None
+    use_sparse = False
     if len(entries) > 1:
-        if sparse_enabled(entries[0][0].n_unknown):
-            get_recorder().counter("spice.batch.sparse_fallbacks").inc()
+        want_sparse = sparse_enabled(entries[0][0].n_unknown)
+        if want_sparse and not sparse_batch_enabled():
+            get_recorder().counter(
+                "spice.batch.sparse_fallbacks").inc(len(entries))
             _warn_sparse_fallback(len(entries), entries[0][0].n_unknown)
         else:
             try:
                 batchc = BatchCompiled([entry[0] for entry in entries])
             except BatchIncongruent:
-                get_recorder().counter("spice.batch.fallbacks").inc()
+                if want_sparse:
+                    get_recorder().counter(
+                        "spice.batch.sparse_fallbacks").inc(len(entries))
+                    _warn_sparse_fallback(len(entries),
+                                          entries[0][0].n_unknown)
+                else:
+                    get_recorder().counter("spice.batch.fallbacks").inc()
+            else:
+                use_sparse = want_sparse
     if batchc is None:
         # One recorder handle (and fast-Newton state, when enabled) for
         # the whole serial fallback, like the scalar analysis drivers.
@@ -637,7 +716,7 @@ def run_plans_batched(entries: Sequence[tuple]) -> list:
             except ConvergenceError as error:
                 outcomes.append(error)
         return outcomes
-    return _run_lockstep(batchc, entries)
+    return _run_lockstep(batchc, entries, sparse=use_sparse)
 
 
 def solve_dc_batch(circuits: Sequence[Union[Circuit, CompiledCircuit]], *,

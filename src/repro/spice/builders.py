@@ -16,7 +16,15 @@ testbenches from the existing :class:`~repro.gates.Gate` cells:
   line), and every wordline ANDs one line of each group (NAND +
   inverter driver).  A 6-bit decoder is ~300 unknowns -- two orders of
   magnitude past the single-gate testbenches, and the reference
-  workload of ``benchmarks/bench_sparse.py``.
+  workload of ``benchmarks/bench_sparse.py``;
+* :func:`bitcell_array` / :func:`delay_chain` -- the AMC SRAM
+  compiler's other two workhorse modules (``bitcell_array``,
+  ``delay_chain``): a rows x cols grid of 6T SRAM cells
+  (cross-coupled inverters plus NMOS access transistors on driven
+  word/bit lines; two unknowns per cell, so a 72x72 array passes 10k
+  unknowns) and a fanout-loaded inverter delay line.  These are the
+  batched sparse kernel's scale testbenches
+  (``benchmarks/bench_sparse_batch.py``).
 
 Builders return plain :class:`~repro.spice.Circuit` objects: every
 analysis (DC, transient, batch) and backend (dense, sparse) consumes
@@ -31,7 +39,8 @@ from ..tech import Process, default_process
 from .netlist import Circuit, SourceValue
 
 __all__ = ["inverter_chain", "nand_chain", "hierarchical_decoder",
-           "predecode_groups"]
+           "predecode_groups", "bitcell_array", "bitcell_levels",
+           "delay_chain"]
 
 #: Default per-stage wire/fanout load between chain stages (farads).
 STAGE_LOAD = 10e-15
@@ -187,4 +196,143 @@ def hierarchical_decoder(address_bits: int,
         inv.instantiate_into(circuit, f"xwld{row}",
                              {"a": f"wl{row}n", "z": f"wl{row}"})
         circuit.add_capacitor(f"cwl{row}", f"wl{row}", "0", wordline_load)
+    return circuit
+
+
+def _pattern_bit(pattern, row: int, col: int) -> int:
+    if pattern is None:
+        return 0
+    return (int(pattern[row]) >> col) & 1
+
+
+def bitcell_array(rows: int, cols: int,
+                  process: Optional[Process] = None, *,
+                  pattern: Optional[Sequence[int]] = None,
+                  wordline: Optional[int] = None,
+                  stimuli: Optional[Mapping[str, SourceValue]] = None,
+                  bitline_load: float = 2 * STAGE_LOAD,
+                  name: Optional[str] = None) -> Circuit:
+    """A ``rows x cols`` 6T SRAM bitcell array, AMC ``bitcell_array`` style.
+
+    Each cell is the classic 6T topology: two cross-coupled inverters
+    storing ``q<r>_<c>`` / ``qb<r>_<c>``, plus two NMOS access
+    transistors connecting them to the column's bit-line pair
+    (``bl<c>`` / ``br<c>``) under the row's wordline ``wl<r>``.  Word
+    and bit lines are *driven* nets (the decoder/precharger sit outside
+    this circuit): every wordline defaults low except ``wordline``,
+    which is driven at Vdd; bitlines default to the precharged Vdd
+    level.  ``stimuli`` overrides any driven net (``wl3``, ``bl0``,
+    ...) with a waveform -- ramp a wordline to exercise a read-disturb
+    transient.  Each bitline carries ``bitline_load`` to ground.
+
+    The unknowns are exactly the ``2 * rows * cols`` storage nodes --
+    a 72x72 array passes 10k unknowns -- and the Jacobian couples each
+    cell only to its own pair plus the driven lines, so the array is
+    the sparse backend's best case.  Cross-coupled cells are bistable:
+    seed DC/transient analyses with :func:`bitcell_levels` so Newton
+    starts at (and recovers) the intended stored ``pattern`` (one int
+    per row; bit ``c`` of ``pattern[r]`` is the cell's stored value).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("bitcell_array needs at least one row and column")
+    if pattern is not None and len(pattern) != rows:
+        raise ValueError(f"pattern needs one entry per row "
+                         f"({len(pattern)} != {rows})")
+    if wordline is not None and not 0 <= wordline < rows:
+        raise ValueError(f"wordline {wordline} out of range for {rows} rows")
+    proc = process or default_process()
+    inv = _gate_cells().inverter(proc)
+    sizing = inv.sizing
+    stimuli = dict(stimuli or {})
+
+    circuit = Circuit(name or f"bitcells{rows}x{cols}")
+    circuit.add_vsource("vvdd", "vdd", proc.vdd)
+    for row in range(rows):
+        level = proc.vdd if row == wordline else 0.0
+        circuit.add_vsource(f"vwl{row}", f"wl{row}",
+                            stimuli.pop(f"wl{row}", level))
+    for col in range(cols):
+        for side in ("bl", "br"):
+            net = f"{side}{col}"
+            circuit.add_vsource(f"v{net}", net,
+                                stimuli.pop(net, proc.vdd))
+            circuit.add_capacitor(f"c{net}", net, "0", bitline_load)
+    if stimuli:
+        raise ValueError(f"stimuli for unknown driven nets: "
+                         f"{sorted(stimuli)!r}")
+
+    for row in range(rows):
+        for col in range(cols):
+            q, qb = f"q{row}_{col}", f"qb{row}_{col}"
+            inv.instantiate_into(circuit, f"xl{row}_{col}",
+                                 {"a": q, "z": qb})
+            inv.instantiate_into(circuit, f"xr{row}_{col}",
+                                 {"a": qb, "z": q})
+            # NMOS access pair, minimum-ish width so the cell's beta
+            # ratio favors retention (drain on the bitline side).
+            circuit.add_mosfet(f"mal{row}_{col}", f"bl{col}", f"wl{row}",
+                               q, "0", proc.nmos,
+                               sizing.wn, sizing.length)
+            circuit.add_mosfet(f"mar{row}_{col}", f"br{col}", f"wl{row}",
+                               qb, "0", proc.nmos,
+                               sizing.wn, sizing.length)
+    return circuit
+
+
+def bitcell_levels(rows: int, cols: int,
+                   pattern: Optional[Sequence[int]] = None,
+                   process: Optional[Process] = None) -> Dict[str, float]:
+    """Storage-node voltage levels for a stored ``pattern``.
+
+    The DC initial guess (and transient ``initial_op``) matching
+    :func:`bitcell_array`'s node naming: cell ``(r, c)`` sits at
+    ``q = Vdd`` when bit ``c`` of ``pattern[r]`` is set, else ``0``,
+    with ``qb`` complementary.  Seeding Newton here keeps every
+    bistable cell on its intended branch.
+    """
+    proc = process or default_process()
+    levels: Dict[str, float] = {}
+    for row in range(rows):
+        for col in range(cols):
+            bit = _pattern_bit(pattern, row, col)
+            levels[f"q{row}_{col}"] = proc.vdd if bit else 0.0
+            levels[f"qb{row}_{col}"] = 0.0 if bit else proc.vdd
+    return levels
+
+
+def delay_chain(stages: int, fanout: int = 4,
+                process: Optional[Process] = None, *,
+                input_stimulus: SourceValue = 0.0,
+                stage_load: float = STAGE_LOAD,
+                load: float = 4 * STAGE_LOAD,
+                name: Optional[str] = None) -> Circuit:
+    """A fanout-loaded inverter delay line, AMC ``delay_chain`` style.
+
+    Each of the ``stages`` chain inverters drives ``fanout`` inverter
+    loads; one continues the chain, the rest are dummy cells whose
+    outputs ``d<stage>_<k>`` idle under ``stage_load`` -- realistic
+    gate loading (channel capacitance that varies with the driving
+    edge) instead of the fixed linear capacitor of
+    :func:`inverter_chain`.  Unknowns grow as ``stages * fanout``.
+    """
+    if stages < 1:
+        raise ValueError("delay_chain needs at least one stage")
+    if fanout < 1:
+        raise ValueError("delay_chain needs fanout >= 1")
+    gate = _gate_cells().inverter(process or default_process())
+    circuit = Circuit(name or f"delaychain{stages}x{fanout}")
+    circuit.add_vsource("vvdd", "vdd", gate.process.vdd)
+    circuit.add_vsource("vin", "in", input_stimulus)
+    net = "in"
+    for stage in range(1, stages + 1):
+        out = "out" if stage == stages else f"n{stage}"
+        gate.instantiate_into(circuit, f"x{stage}", {"a": net, "z": out})
+        for k in range(1, fanout):
+            dummy = f"d{stage}_{k}"
+            gate.instantiate_into(circuit, f"xd{stage}_{k}",
+                                  {"a": out, "z": dummy})
+            circuit.add_capacitor(f"cd{stage}_{k}", dummy, "0", stage_load)
+        circuit.add_capacitor(f"cw{stage}", out, "0",
+                              load if stage == stages else stage_load)
+        net = out
     return circuit

@@ -30,7 +30,8 @@ from .guard import (GuardMonitor, SolveGuard, condition_estimate_dense,
 from .mosfet import mosfet_current
 from .netlist import CompiledCircuit
 from .sparse import sparse_enabled
-from .stamps import assemble_into, assemble_sparse, load_solve
+from .stamps import (CapStampArrays, assemble_into, assemble_sparse,
+                     load_solve)
 
 try:
     from scipy.linalg import lu_factor, lu_solve
@@ -122,7 +123,11 @@ class NewtonRequest:
     options: NewtonOptions
     gmin: Optional[float] = None
     time: float = 0.0
-    cap_stamps: Optional[Tuple[CapStamp, ...]] = None
+    #: Capacitor companion stamps: a tuple of :data:`CapStamp` tuples,
+    #: or the transient integrator's array-form
+    #: :class:`~repro.spice.stamps.CapStampArrays` (iterable as the
+    #: same tuples).
+    cap_stamps: Optional[Union[Tuple[CapStamp, ...], CapStampArrays]] = None
     #: ``None`` means "not specified" (solve at full scale); an explicit
     #: value -- even ``1.0``, as source stepping's last rung passes --
     #: is forwarded as a real ``source_scale=`` keyword, preserving the
@@ -752,7 +757,12 @@ def newton_solve(compiled: CompiledCircuit, x0: np.ndarray, known: np.ndarray,
 
     if fast is not None:
         if cap_stamps is None:
-            geq_key: tuple = ()
+            geq_key: object = ()
+        elif isinstance(cap_stamps, CapStampArrays):
+            # Bytes of the geq array: equal exactly when the per-cap
+            # conductances are equal, like the tuple key -- consecutive
+            # same-``h`` timesteps share it and reuse the LU.
+            geq_key = cap_stamps.geq.tobytes()
         else:
             geq_key = tuple(s[2] for s in cap_stamps)
         key = (backend, effective_gmin, source_scale, geq_key)

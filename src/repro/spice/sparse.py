@@ -58,6 +58,22 @@ try:
 except ImportError:  # pragma: no cover - scipy is a hard dependency
     _HAVE_SPARSE = False
 
+# The ``splu`` wrapper re-validates its input on every call (format
+# check, duplicate summing, index-dtype casting) -- tens of
+# microseconds that the Newton loops pay per factorization even though
+# the plan's CSC buffer never changes shape.  Calling the SuperLU
+# binding directly with the exact options ``splu(permc_spec="NATURAL")``
+# would pass (including the implied ``SymmetricMode``) produces
+# bit-identical factors; fall back to the public wrapper when the
+# private binding moves.
+try:  # pragma: no cover - exercised indirectly by every sparse solve
+    from scipy.sparse.linalg._dsolve import _superlu as _superlu_direct
+except ImportError:  # pragma: no cover - older/newer scipy layout
+    _superlu_direct = None
+
+_GSTRF_OPTIONS = dict(DiagPivotThresh=None, ColPerm="NATURAL",
+                      PanelSize=None, Relax=None, SymmetricMode=True)
+
 __all__ = ["SPARSE_ENV_VAR", "SPARSE_NODE_CUTOVER", "SparsePlan",
            "sparse_available", "sparse_enabled", "sparse_mode"]
 
@@ -110,7 +126,7 @@ class SparsePlan:
 
     __slots__ = ("n", "nnz", "perm", "matrix", "diag_pos",
                  "pos_wc", "src_wc", "sign_wc", "pos_nc", "src_nc",
-                 "sign_nc", "_contrib", "_rhs", "_dx")
+                 "sign_nc", "_contrib", "_rhs", "_dx", "batch_layers")
 
     def __init__(self, plan) -> None:
         if not _HAVE_SPARSE:  # pragma: no cover - scipy is a hard dependency
@@ -176,6 +192,11 @@ class SparsePlan:
         self._contrib = np.empty(cells.size)
         self._rhs = np.empty(n)
         self._dx = np.empty(n)
+        #: Lazily-compiled layered data-scatter plans for the batched
+        #: sparse kernel (:mod:`repro.spice.sparse_batch`), cached here
+        #: because congruent lanes share one plan -- and therefore one
+        #: compilation -- exactly like the CSC pattern itself.
+        self.batch_layers = None
 
     # ------------------------------------------------------------------
     def assemble(self, ws, with_caps: bool):
@@ -215,8 +236,15 @@ class SparsePlan:
         """
         faults.fire_sparse_factorize()
         start = monotonic() if times is not None else 0.0
+        matrix = self.matrix
         try:
-            lu = splu(self.matrix, permc_spec="NATURAL")
+            if _superlu_direct is not None:
+                lu = _superlu_direct.gstrf(
+                    self.n, matrix.nnz, matrix.data, matrix.indices,
+                    matrix.indptr, csc_construct_func=csc_matrix,
+                    ilu=False, options=_GSTRF_OPTIONS)
+            else:  # pragma: no cover - private binding unavailable
+                lu = splu(matrix, permc_spec="NATURAL")
         except RuntimeError as error:
             raise np.linalg.LinAlgError(str(error)) from None
         if times is not None:

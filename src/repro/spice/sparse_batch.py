@@ -1,0 +1,287 @@
+"""Batched sparse Newton kernel: one symbolic analysis, many lanes.
+
+The dense lockstep kernel (:mod:`repro.spice.batch`) stacks congruent
+lanes into ``(B, n, n)`` Jacobians and one LAPACK call -- past the
+sparse cutover (:data:`~repro.spice.sparse.SPARSE_NODE_CUTOVER`) that
+dense stack is hopeless, and batches used to abandon lockstep entirely
+and run serially through the scalar sparse solver
+(``spice.batch.sparse_fallbacks``).  This module keeps the lockstep
+structure but swaps the linear algebra: congruent lanes share one
+:class:`~repro.spice.sparse.SparsePlan` *symbolic* analysis -- one RCM
+ordering, one CSC ``indptr``/``indices`` pattern, one set of
+emission-ordered data-scatter positions -- while the *numeric* work is
+per-lane: a ``(B, nnz)`` value scatter from the stamp plan's
+device-axis table (vectorized across the batch through layered
+unique-slot plans, exactly the dense kernel's trick), then one SuperLU
+factorization and back-substitution per lane on the shared pattern
+(``permc_spec="NATURAL"``, the same call the scalar
+:meth:`~repro.spice.sparse.SparsePlan.factorize` makes).
+
+Bit-identity is inherited piecewise: residuals ride the dense kernel's
+layered ``F`` scatter (already pinned bit-identical to the scalar
+assembler), the data rows replay the scalar ``np.add.at`` per-slot
+accumulation order (gmin diagonal first, then device emission), and
+the factor/solve pair is the scalar backend's own code on identical
+CSC input -- so every lane's waveform matches the scalar sparse driver
+bit for bit (``tests/spice/test_sparse_batch_equivalence.py``).  Guard
+semantics (lane eviction, solo retry, ``sparse@factorize`` and
+``lane@INDEX`` fault kinds) carry over from the dense kernel
+unchanged; the per-lane escalation ladder (diagonal nudge, then the
+doubly-singular failure) is the scalar sparse ladder verbatim.
+
+``REPRO_SPARSE_BATCH=0`` restores the serial fallback -- the escape
+hatch, and the baseline leg of ``benchmarks/bench_sparse_batch.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from time import monotonic as _monotonic
+from typing import List
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .engine import _SparseOps, singular_nudge
+from .guard import note_illconditioned, record_rung
+from .stamps import layer_plan
+
+__all__ = ["SPARSE_BATCH_ENV_VAR", "sparse_batch_enabled",
+           "data_scatter_layers", "SparseLockstep"]
+
+#: Set to 0/false/off to disable the batched sparse kernel and restore
+#: the serial per-lane fallback (counted in
+#: ``spice.batch.sparse_fallbacks``).
+SPARSE_BATCH_ENV_VAR = "REPRO_SPARSE_BATCH"
+
+
+def sparse_batch_enabled() -> bool:
+    """Whether sparse-dispatched batches ride the lockstep kernel."""
+    raw = os.environ.get(SPARSE_BATCH_ENV_VAR, "").strip().lower()
+    return raw not in ("0", "false", "no", "off")
+
+
+def data_scatter_layers(sp, plan):
+    """Layered ``(B, nnz)`` scatter plans for one shared sparse plan.
+
+    The scalar backend scatters Jacobian contributions with one
+    ``np.add.at`` over emission-ordered data positions -- sequential
+    per-slot accumulation.  The batched kernel needs fancy-index ``+=``
+    across a batch axis instead, which is only safe when target slots
+    are unique per pass, so the device contributions are bucketed into
+    :func:`~repro.spice.stamps.layer_plan` layers over *data slots*:
+    layer j adds the j-th contribution of every slot, replaying the
+    scalar per-slot order exactly (the gmin diagonal, emitted first in
+    the scalar arrays, is applied as its own leading pass -- its slots
+    are the unique diagonal positions).
+
+    Returns ``(layers_wc, layers_nc, diag_slots)`` and caches the
+    result on ``sp.batch_layers``: congruent lanes share the plan, so
+    they share the compilation.
+    """
+    if sp.batch_layers is None:
+        j_cells, j_src, j_sign = plan.j_raw
+        n = plan.n
+        device_pos = sp.pos_wc[n:]
+        split = plan.j_split
+        sp.batch_layers = (
+            layer_plan(device_pos, j_src, j_sign),
+            layer_plan(device_pos[:split], j_src[:split], j_sign[:split]),
+            np.array(sp.pos_wc[:n]),
+        )
+    return sp.batch_layers
+
+
+class SparseLockstep:
+    """The sparse round kernel driven by ``batch._run_lockstep``.
+
+    ``assemble_values`` is the dense kernel's shared value-assembly
+    helper (batched device evaluation plus the layered residual
+    scatter), injected by :mod:`repro.spice.batch` to keep this module
+    free of a circular import; everything downstream of the ``(B,
+    j_vals)`` table is sparse-specific.
+    """
+
+    __slots__ = ("batchc", "sp", "assemble_values", "layers_wc",
+                 "layers_nc", "diag_slots", "_data")
+
+    def __init__(self, batchc, assemble_values) -> None:
+        self.batchc = batchc
+        self.sp = batchc.plan.sparse
+        self.assemble_values = assemble_values
+        self.layers_wc, self.layers_nc, self.diag_slots = \
+            data_scatter_layers(self.sp, batchc.plan)
+        self._data = None
+
+    def _scatter_data(self, j_vals: np.ndarray, gmin: np.ndarray,
+                      with_caps: bool) -> np.ndarray:
+        """The ``(B, nnz)`` CSC data rows, scalar accumulation order.
+
+        The buffer persists across rounds (rows are consumed into the
+        plan's CSC data before the next round reuses it); zeroing a
+        warm buffer beats a fresh ``np.zeros`` every iteration.
+        """
+        batch = j_vals.shape[0]
+        buf = self._data
+        if buf is None or buf.shape[0] < batch:
+            buf = self._data = np.empty((batch, self.sp.nnz))
+        data = buf[:batch]
+        data[:] = 0.0
+        data[:, self.diag_slots] += gmin[:, None]
+        layers = self.layers_wc if with_caps else self.layers_nc
+        for slots, src, sign in layers:
+            data[:, slots] += sign * j_vals[:, src]
+        return data
+
+    def round(self, state, active_rows: np.ndarray, recorder,
+              times=None) -> tuple:
+        """Advance every in-flight solve by one Newton iteration.
+
+        The mirror of ``batch._lockstep_round`` with per-lane SuperLU
+        numeric work in place of the stacked dense LAPACK call; the
+        guard/eviction block, damping and convergence bookkeeping are
+        the dense kernel's own logic on the same state arrays, so lane
+        eviction and accounting are driver-invariant.  ``times`` feeds
+        the ``driver="sparse_batch"`` phase histograms; unlike the
+        dense round, factorize and back-substitution are split
+        properly (SuperLU exposes the boundary, as on the scalar
+        sparse backend).
+        """
+        finished: List[tuple] = []
+        evicted: List[tuple] = []
+        sp = self.sp
+        ops = _SparseOps(sp, recorder, times)
+        caps_mask = state.with_caps[active_rows]
+        for with_caps in (False, True):
+            rows = (active_rows[caps_mask] if with_caps
+                    else active_rows[~caps_mask])
+            if not rows.size:
+                continue
+            batch = len(rows)
+            if times is not None:
+                t_seg = _monotonic()
+            X, F, j_vals, gmin = self.assemble_values(
+                self.batchc, state, rows, with_caps)
+            data = self._scatter_data(j_vals, gmin, with_caps)
+            residual = np.abs(F).max(axis=1)
+            if times is not None:
+                now = _monotonic()
+                times.assembly += now - t_seg
+                t_seg = now
+            if state.guarded:
+                # Same checks, same order as the dense round (and the
+                # scalar loop): lane faults and guard aborts pull the
+                # lane out *before* any linear algebra runs on it.
+                keep = np.ones(batch, dtype=bool)
+                for p in range(batch):
+                    lane = int(rows[p])
+                    if state.lane_fault[lane]:
+                        state.lane_fault[lane] = False
+                        keep[p] = False
+                        evicted.append((lane, "fault"))
+                        continue
+                    g = state.guards[lane]
+                    if g is None:
+                        continue
+                    abort = g.check(int(state.iteration[lane]) + 1,
+                                    float(residual[p]))
+                    if abort is not None:
+                        keep[p] = False
+                        evicted.append((lane, abort.reason))
+                if not keep.all():
+                    rows = rows[keep]
+                    if not rows.size:
+                        if times is not None:
+                            times.guard += _monotonic() - t_seg
+                        continue
+                    X, F, data = X[keep], F[keep], data[keep]
+                    residual = residual[keep]
+                    batch = len(rows)
+            if times is not None:
+                now = _monotonic()
+                times.guard += now - t_seg
+                t_seg = now
+            rhs = -F
+            dx = np.empty_like(F)
+            singular = np.zeros(batch, dtype=bool)
+            for p in range(batch):
+                lane = int(rows[p])
+                # Per-lane numeric factorization on the shared pattern:
+                # the lane's data row drops into the plan's reused CSC
+                # buffer, so factorize/solve are byte-for-byte the
+                # scalar backend's calls (telemetry included via
+                # _SparseOps), and the singular ladder -- nudge rung,
+                # then the doubly-singular convergence veto -- matches
+                # the scalar and dense-batch contracts.
+                sp.matrix.data[:] = data[p]
+                try:
+                    lu = ops.factorize()
+                except np.linalg.LinAlgError:
+                    record_rung("nudge", recorder)
+                    sp.nudge(singular_nudge(float(state.gmin[lane])))
+                    try:
+                        lu = ops.factorize()
+                    except np.linalg.LinAlgError:
+                        # Doubly singular: a zero step would sail
+                        # through the ``step < voltol`` test, so the
+                        # mask vetoes convergence and the lane finishes
+                        # on the failure path.
+                        dx[p] = 0.0
+                        singular[p] = True
+                        continue
+                dx[p] = sp.solve_factored(lu, rhs[p], times=times)
+                g = state.guards[lane] if state.guarded else None
+                if (g is not None and g.check_condition
+                        and state.iteration[lane] == 0):
+                    # Scalar placement: after the lane's first linear
+                    # solve, against the as-solved (possibly nudged)
+                    # matrix, while the plan's data still holds this
+                    # lane's values and the factor is in hand.
+                    ops.last_lu = lu
+                    estimate = ops.condition_estimate(None)
+                    if g.note_condition(estimate):
+                        note_illconditioned(
+                            estimate, g.policy.condition_limit, recorder)
+            if times is not None:
+                t_seg = _monotonic()
+            steps = np.abs(dx).max(axis=1)
+            max_steps = state.max_step[rows]
+            factors = np.ones(batch)
+            damp = steps > max_steps
+            factors[damp] = max_steps[damp] / steps[damp]
+            state.x[rows] = X + dx * factors[:, None]
+            state.iteration[rows] += 1
+            iters = state.iteration[rows]
+
+            # Convergence tests the *undamped* step, like the scalar loop.
+            conv = ((steps < state.voltol[rows])
+                    & (residual < state.abstol[rows]) & ~singular)
+            exhausted = ~conv & ~singular & (iters >= state.max_iter[rows])
+            state.last_residual[rows[~conv]] = residual[~conv]
+            for p in np.flatnonzero(conv | exhausted | singular):
+                lane = int(rows[p])
+                if singular[p]:
+                    finished.append((lane, False, ConvergenceError(
+                        "singular Jacobian during Newton iteration",
+                        iterations=int(iters[p]),
+                        residual=float(residual[p]),
+                    ), int(iters[p])))
+                elif conv[p]:
+                    finished.append((lane, True, np.array(state.x[lane]),
+                                     int(iters[p])))
+                else:
+                    limit = int(state.max_iter[rows[p]])
+                    finished.append((lane, False, _exhaustion_error(
+                        limit, float(state.last_residual[lane])), limit))
+            if times is not None:
+                times.scatter += _monotonic() - t_seg
+        return finished, evicted
+
+
+def _exhaustion_error(max_iterations: int,
+                      residual: float) -> ConvergenceError:
+    return ConvergenceError(
+        f"Newton failed to converge in {max_iterations} iterations "
+        f"(residual {residual:.3e} A)",
+        iterations=max_iterations, residual=residual,
+    )

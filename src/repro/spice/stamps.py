@@ -44,8 +44,9 @@ import numpy as np
 
 from .mosfet import device_param_rows, mosfet_current, mosfet_current_batch
 
-__all__ = ["MosGroup", "StampPlan", "Workspace", "layer_plan",
-           "assemble_into", "assemble_sparse", "eval_values", "load_solve"]
+__all__ = ["CapStampArrays", "MosGroup", "StampPlan", "Workspace",
+           "layer_plan", "assemble_into", "assemble_sparse", "eval_values",
+           "load_solve"]
 
 #: Below this device count the scalar engine evaluates transistors one
 #: by one through the scalar channel model: ~35 numpy kernel launches
@@ -59,6 +60,41 @@ SCALAR_MOS_CUTOVER = 16
 
 def _intp(values) -> np.ndarray:
     return np.asarray(list(values), dtype=np.intp)
+
+
+class CapStampArrays:
+    """Companion stamps for every compiled capacitor, as flat arrays.
+
+    The transient integrator builds one of these per Newton request:
+    ``a``/``b`` are the compiled node-slot arrays (allocated once per
+    integration -- the node pairs never change), ``geq``/``ieq`` the
+    per-step companion values, computed vectorized with exactly the
+    scalar per-capacitor arithmetic (elementwise ops on the same
+    operands, so the values are bit-identical to the tuple-built
+    stamps).  Rows follow the compiled capacitor order by construction,
+    which lets :meth:`StampPlan.stamps_match` reduce to an array
+    comparison and the hot loaders (:func:`load_solve`, the batch
+    kernel's ``load_request``) copy ``geq``/``ieq`` wholesale instead
+    of unpacking ``n_cap`` tuples per solve.  Iteration yields the
+    scalar ``(a, b, geq, ieq)`` tuples, so the reference assembler and
+    any tuple-shaped consumer work unchanged.
+    """
+
+    __slots__ = ("a", "b", "geq", "ieq")
+
+    def __init__(self, a: np.ndarray, b: np.ndarray,
+                 geq: np.ndarray, ieq: np.ndarray) -> None:
+        self.a = a
+        self.b = b
+        self.geq = geq
+        self.ieq = ieq
+
+    def __len__(self) -> int:
+        return self.geq.size
+
+    def __iter__(self):
+        return iter(zip(self.a.tolist(), self.b.tolist(),
+                        self.geq.tolist(), self.ieq.tolist()))
 
 
 def layer_plan(cells: Sequence[int], src: Sequence[int],
@@ -151,6 +187,8 @@ class StampPlan:
         self.cap_a = _intp(col(a) for a, _, _ in compiled.capacitors)
         self.cap_b = _intp(col(b) for _, b, _ in compiled.capacitors)
         self.cap_pairs = [(a, b) for a, b, _ in compiled.capacitors]
+        self.cap_pairs_a = _intp(a for a, _, _ in compiled.capacitors)
+        self.cap_pairs_b = _intp(b for _, b, _ in compiled.capacitors)
         self.res_g = np.array([g for _, _, g in compiled.resistors],
                               dtype=float).reshape(num_res)
 
@@ -334,6 +372,9 @@ class StampPlan:
         """
         if len(cap_stamps) != self.n_cap:
             return False
+        if isinstance(cap_stamps, CapStampArrays):
+            return (np.array_equal(cap_stamps.a, self.cap_pairs_a)
+                    and np.array_equal(cap_stamps.b, self.cap_pairs_b))
         return all(s[0] == p[0] and s[1] == p[1]
                    for s, p in zip(cap_stamps, self.cap_pairs))
 
@@ -403,6 +444,10 @@ def load_solve(plan: StampPlan, ws: Workspace, known: np.ndarray,
     is_cur = ws.is_cur
     for i, (_, _, fn) in enumerate(isources):
         is_cur[i] = fn(time) * source_scale
+    if isinstance(cap_stamps, CapStampArrays) and len(cap_stamps):
+        ws.cap_geq[:] = cap_stamps.geq
+        ws.cap_ieq[:] = cap_stamps.ieq
+        return True
     if cap_stamps:
         geq_row = ws.cap_geq
         ieq_row = ws.cap_ieq

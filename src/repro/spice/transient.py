@@ -39,7 +39,6 @@ from ..resilience.retry import AttemptRecord, RetryPolicy
 from ..units import parse_quantity
 from .dc import dc_plan
 from .engine import (
-    CapStamp,
     FastNewtonState,
     NewtonOptions,
     NewtonRequest,
@@ -53,6 +52,7 @@ from .engine import (
 from .guard import GuardMonitor, record_rung
 from .netlist import Circuit, CompiledCircuit
 from .sparse import sparse_enabled
+from .stamps import CapStampArrays
 from .results import TransientResult
 
 __all__ = ["TransientOptions", "transient", "transient_result_plan"]
@@ -117,13 +117,27 @@ def _integrate_plan(compiled: CompiledCircuit, t_start: float, t_end: float,
 
     # Per-capacitor history for the trapezoidal rule: previous branch
     # voltage and previous branch current (zero at the DC point).
+    # Everything per-capacitor is vectorized -- node slots resolve once
+    # into fused ``[x | known]`` gather columns, companion values and
+    # history updates are elementwise array expressions with the scalar
+    # per-capacitor operand order, so the stamps stay bit-identical to
+    # the tuple-built ones while a 10k-cap netlist builds them in a
+    # handful of numpy calls per step instead of a Python loop.
     capacitors = compiled.capacitors
-    cap_v_prev: List[float] = []
-    for a, b, _ in capacitors:
-        va = x[a] if a >= 0 else known[-a - 1]
-        vb = x[b] if b >= 0 else known[-b - 1]
-        cap_v_prev.append(float(va - vb))
-    cap_i_prev: List[float] = [0.0] * len(capacitors)
+    n_cap = len(capacitors)
+    n = compiled.n_unknown
+    if n_cap:
+        cap_a = np.fromiter((a for a, _, _ in capacitors),
+                            dtype=np.intp, count=n_cap)
+        cap_b = np.fromiter((b for _, b, _ in capacitors),
+                            dtype=np.intp, count=n_cap)
+        cap_c = np.fromiter((c for _, _, c in capacitors),
+                            dtype=float, count=n_cap)
+        cap_af = np.where(cap_a >= 0, cap_a, n - cap_a - 1)
+        cap_bf = np.where(cap_b >= 0, cap_b, n - cap_b - 1)
+        fused = np.concatenate([x, known])
+        cap_v_prev = fused[cap_af] - fused[cap_bf]
+        cap_i_prev = np.zeros(n_cap)
 
     times = [t_start]
     series = [x.copy()]
@@ -169,19 +183,19 @@ def _integrate_plan(compiled: CompiledCircuit, t_start: float, t_end: float,
             # trapezoidal's current history can drive the iteration into
             # a corner near sharp source breakpoints.
             use_be = force_be or retry_with_be or method_be
-            stamps: List[CapStamp] = []
-            if use_be:
-                for (a, b, c), vp in zip(capacitors, cap_v_prev):
-                    geq = c / h
-                    stamps.append((a, b, geq, geq * vp))
+            if n_cap:
+                if use_be:
+                    geq = cap_c / h
+                    ieq = geq * cap_v_prev
+                else:
+                    geq = 2.0 * cap_c / h
+                    ieq = geq * cap_v_prev + cap_i_prev
+                stamps = CapStampArrays(cap_a, cap_b, geq, ieq)
             else:
-                for (a, b, c), vp, ip in zip(capacitors, cap_v_prev,
-                                             cap_i_prev):
-                    geq = 2.0 * c / h
-                    stamps.append((a, b, geq, geq * vp + ip))
+                stamps = ()
             outcome = yield NewtonRequest(
                 x0=x, known=known_new, options=newton_opts,
-                time=t_new, cap_stamps=tuple(stamps),
+                time=t_new, cap_stamps=stamps,
             )
             if isinstance(outcome, ConvergenceError):
                 record_rung("timestep_cut", recorder)
@@ -202,16 +216,15 @@ def _integrate_plan(compiled: CompiledCircuit, t_start: float, t_end: float,
             accepted = True
 
         # Update capacitor history using the companion relations.
-        for idx, (a, b, c) in enumerate(capacitors):
-            va = x_new[a] if a >= 0 else known_new[-a - 1]
-            vb = x_new[b] if b >= 0 else known_new[-b - 1]
-            v_new = float(va - vb)
+        if n_cap:
+            fused = np.concatenate([x_new, known_new])
+            v_new = fused[cap_af] - fused[cap_bf]
             if use_be:
-                i_new = (c / h) * (v_new - cap_v_prev[idx])
+                cap_i_prev = (cap_c / h) * (v_new - cap_v_prev)
             else:
-                i_new = (2.0 * c / h) * (v_new - cap_v_prev[idx]) - cap_i_prev[idx]
-            cap_v_prev[idx] = v_new
-            cap_i_prev[idx] = i_new
+                cap_i_prev = (2.0 * cap_c / h) * (v_new - cap_v_prev) \
+                    - cap_i_prev
+            cap_v_prev = v_new
 
         t = t_new
         x = x_new

@@ -11,7 +11,6 @@ import pytest
 
 from repro.obs import NullRecorder, Recorder, recording
 from repro.obs.profile import (
-    PHASE_EDGES,
     PHASE_METRIC,
     PHASES,
     PhaseProfiler,
@@ -137,7 +136,7 @@ class TestSolverWiring:
         from repro.spice.engine import (
             NewtonOptions, NewtonRequest, NewtonStats, request_solve)
 
-        monkeypatch.setenv("REPRO_SPARSE", "0")  # lockstep is dense-only
+        monkeypatch.setenv("REPRO_SPARSE", "0")  # pin the dense kernel
 
         def entry():
             ckt = Circuit("divider")
@@ -158,6 +157,23 @@ class TestSolverWiring:
         phases = phase_breakdown(payload["histograms"]).get("batch", {})
         assert phases.get("assembly", 0.0) > 0.0
         assert phases.get("factorize", 0.0) > 0.0
+        assert phases.get("scatter", 0.0) > 0.0
+
+    def test_sparse_batch_driver_phases(self, monkeypatch):
+        from repro.spice.batch import transient_batch
+        from repro.spice.builders import inverter_chain
+
+        monkeypatch.setenv("REPRO_SPARSE", "1")  # sparse lockstep kernel
+        lanes = [inverter_chain(4) for _ in range(2)]
+        with recording() as recorder:
+            transient_batch(lanes, "0.2ns")
+            payload = recorder.metrics_payload()
+        phases = phase_breakdown(payload["histograms"]).get("sparse_batch", {})
+        assert phases.get("assembly", 0.0) > 0.0
+        # Per-lane SuperLU exposes the factorize/back-solve boundary,
+        # unlike the dense kernel's fused stacked gesv.
+        assert phases.get("factorize", 0.0) > 0.0
+        assert phases.get("back_solve", 0.0) > 0.0
         assert phases.get("scatter", 0.0) > 0.0
 
     def test_no_histograms_without_telemetry(self):

@@ -12,6 +12,9 @@ import pytest
 from repro.spice import solve_dc, transient
 from repro.spice.builders import (
     STAGE_LOAD,
+    bitcell_array,
+    bitcell_levels,
+    delay_chain,
     hierarchical_decoder,
     inverter_chain,
     nand_chain,
@@ -129,3 +132,72 @@ class TestHierarchicalDecoder:
         for row in range(4):
             assert caps[f"cwl{row}"] == 5e-15
         assert STAGE_LOAD > 0
+
+
+class TestBitcellArray:
+    def test_unknown_count_is_two_per_cell(self):
+        compiled = bitcell_array(4, 8).compile()
+        assert compiled.n_unknown == 2 * 4 * 8
+        # AMC scale: a 72x72 array passes 10k unknowns (constructed
+        # only -- compiling one is benchmark territory).
+        big = bitcell_array(72, 72)
+        assert len(big._mosfets) == 6 * 72 * 72
+
+    def test_dc_recovers_stored_pattern(self):
+        rows, cols = 3, 6
+        pattern = [0b101010, 0b011011, 0b000111]
+        ckt = bitcell_array(rows, cols, pattern=pattern, wordline=0)
+        op = solve_dc(ckt, initial_guess=bitcell_levels(rows, cols, pattern))
+        for row in range(rows):
+            for col in range(cols):
+                bit = (pattern[row] >> col) & 1
+                q = op.voltages[f"q{row}_{col}"]
+                qb = op.voltages[f"qb{row}_{col}"]
+                assert (q > HIGH) == bool(bit), (row, col)
+                assert (qb > HIGH) == (not bit), (row, col)
+
+    def test_levels_are_complementary(self):
+        levels = bitcell_levels(2, 3, [0b101, 0b010])
+        assert levels["q0_0"] == PROC.vdd and levels["qb0_0"] == 0.0
+        assert levels["q0_1"] == 0.0 and levels["qb0_1"] == PROC.vdd
+        assert len(levels) == 2 * 2 * 3
+
+    def test_stimulus_overrides_driven_net(self):
+        ckt = bitcell_array(2, 2, stimuli={"wl1": ramp(0.1e-9, 0.0,
+                                                       PROC.vdd, 0.1e-9)})
+        assert "vwl1" in ckt._vsources
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bitcell_array(0, 4)
+        with pytest.raises(ValueError):
+            bitcell_array(2, 2, pattern=[1])
+        with pytest.raises(ValueError):
+            bitcell_array(2, 2, wordline=2)
+
+
+class TestDelayChain:
+    def test_unknowns_scale_with_stages_times_fanout(self):
+        compiled = delay_chain(10, 4).compile()
+        assert compiled.n_unknown == 10 * 4
+
+    def test_transient_propagates_edge(self):
+        ckt = delay_chain(2, 2,
+                          input_stimulus=ramp(0.1e-9, 0.0, PROC.vdd, 0.1e-9))
+        result = transient(ckt, 2e-9)
+        # Two inverting stages: the output follows the input's rise.
+        assert result.samples("out")[0] < LOW
+        assert result.samples("out")[-1] > HIGH
+
+    def test_dummy_loads_present(self):
+        ckt = delay_chain(3, 3, stage_load=7e-15)
+        caps = {c.name: c.capacitance for c in ckt._capacitors}
+        # fanout-1 dummies per stage, each loaded.
+        assert caps["cd1_1"] == 7e-15
+        assert caps["cd1_2"] == 7e-15
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            delay_chain(0)
+        with pytest.raises(ValueError):
+            delay_chain(3, 0)
